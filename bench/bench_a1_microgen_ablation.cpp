@@ -1,0 +1,107 @@
+// Experiment A1 — ablation of the micro-generator composition (the design
+// choice DESIGN.md calls out): per-call cost as a function of the number of
+// composed micro-generators, 1 through 6 (the full Fig 3 set), in both
+// simulated cycles and real time.
+//
+// Expected shape: cost grows roughly linearly with the number of composed
+// features — each micro-generator contributes an independent constant —
+// validating the "only pay for the features you compose" architecture.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/toolkit.hpp"
+#include "testbed.hpp"
+#include "wrappers/wrappers.hpp"
+
+using namespace healers;
+using simlib::SimValue;
+
+namespace {
+
+// Feature stack, in Fig 3 order; prototype/caller are structural (free), so
+// the ablation adds the four measurable features one at a time, then the
+// trace feature on top.
+std::vector<gen::MicroGeneratorPtr> feature_stack(int features) {
+  std::vector<gen::MicroGeneratorPtr> gens;
+  gens.push_back(gen::prototype_gen());
+  if (features >= 1) gens.push_back(gen::exectime_gen());
+  if (features >= 2) gens.push_back(gen::collect_errors_gen());
+  if (features >= 3) gens.push_back(gen::func_errors_gen());
+  if (features >= 4) gens.push_back(gen::call_counter_gen());
+  if (features >= 5) gens.push_back(gen::log_call_gen());
+  gens.push_back(gen::caller_gen());
+  return gens;
+}
+
+std::unique_ptr<linker::Process> make_process(int features) {
+  auto proc = testbed::make_process("ablation");
+  if (features >= 0) {
+    gen::WrapperBuilder builder("ablation-" + std::to_string(features));
+    for (const auto& g : feature_stack(features)) builder.add(g);
+    proc->preload(builder.build(testbed::libsimc()).value());
+  }
+  return proc;
+}
+
+std::uint64_t cycles_per_call(int features) {
+  auto proc = make_process(features);
+  const mem::Addr s = proc->rodata_cstring("ablation-probe");
+  constexpr int kCalls = 2000;
+  const std::uint64_t before = proc->machine().rdtsc();
+  for (int i = 0; i < kCalls; ++i) proc->call("strlen", {SimValue::ptr(s)});
+  return (proc->machine().rdtsc() - before) / kCalls;
+}
+
+void print_report() {
+  std::printf("==== A1: per-call cost vs number of composed micro-generators ====\n\n");
+  std::printf("micro-generators              cycles/strlen   delta\n");
+  std::printf("----------------------------------------------------\n");
+  const char* labels[] = {"prototype+caller only",
+                          "+ function exectime",
+                          "+ collect errors",
+                          "+ func errors",
+                          "+ call counter (Fig 3 set)",
+                          "+ log call (trace)"};
+  std::uint64_t prev = 0;
+  for (int features = 0; features <= 5; ++features) {
+    const std::uint64_t cycles = cycles_per_call(features);
+    std::printf("%-28s %14llu   %+lld\n", labels[features],
+                static_cast<unsigned long long>(cycles),
+                features == 0 ? 0LL : static_cast<long long>(cycles - prev));
+    prev = cycles;
+  }
+  std::printf("\n");
+}
+
+void BM_AblationCall(benchmark::State& state) {
+  const int features = static_cast<int>(state.range(0));
+  auto proc = make_process(features);
+  const mem::Addr s = proc->rodata_cstring("ablation-probe");
+  for (auto _ : state) {
+    proc->machine().reset_steps();  // keep the hang oracle out of steady-state timing
+    benchmark::DoNotOptimize(proc->call("strlen", {SimValue::ptr(s)}));
+  }
+  state.counters["features"] = features;
+}
+
+void BM_UnwrappedBaseline(benchmark::State& state) {
+  auto proc = testbed::make_process("baseline");
+  const mem::Addr s = proc->rodata_cstring("ablation-probe");
+  for (auto _ : state) {
+    proc->machine().reset_steps();
+    benchmark::DoNotOptimize(proc->call("strlen", {SimValue::ptr(s)}));
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_UnwrappedBaseline);
+BENCHMARK(BM_AblationCall)->DenseRange(0, 5, 1);
+
+int main(int argc, char** argv) {
+  print_report();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,133 @@
+// Experiment A2 — ablation of the robustness wrapper's knowledge sources.
+//
+// The paper's robust API comes from TWO places: automated fault-injection
+// (the derived checks) and the man pages' semantic annotations (precise
+// buffer-size expressions, domains, roles). This ablation replays the full
+// Ballista-style campaign against libsimc under three wrapper variants —
+// derived-only, annotations-only, both — and reports the residual failure
+// counts, quantifying what the automation alone buys and what the size
+// expressions add.
+//
+// Expected shape: derived-only already eliminates the large majority of
+// failures (the paper's cost-effectiveness argument for automation);
+// annotations-only also does well but misses behaviours the probes
+// discover; the union reaches zero.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/toolkit.hpp"
+#include "testbed.hpp"
+#include "wrappers/wrappers.hpp"
+
+using namespace healers;
+
+namespace {
+
+core::Toolkit& toolkit() {
+  static core::Toolkit instance;
+  return instance;
+}
+
+injector::InjectorConfig config() {
+  injector::InjectorConfig cfg;
+  cfg.seed = 99;
+  cfg.variants = 1;
+  return cfg;
+}
+
+struct AblationResult {
+  std::uint64_t probes = 0;
+  std::uint64_t failures = 0;
+};
+
+AblationResult replay(const simlib::SharedLibrary& lib,
+                      const injector::CampaignResult& campaign,
+                      std::optional<wrappers::CheckSource> source) {
+  AblationResult result;
+  for (const injector::RobustSpec& spec : campaign.specs) {
+    if (spec.skipped_noreturn) continue;
+    const simlib::Symbol* symbol = lib.find(spec.function);
+    const auto page = parser::parse_manpage(symbol->manpage).value();
+    for (std::size_t i = 0; i < page.proto.params.size(); ++i) {
+      for (const lattice::TestTypeId id :
+           lattice::test_types_for(page.proto.params[i].type.classify())) {
+        for (std::size_t case_index = 0;; ++case_index) {
+          auto proc = testbed::make_process();
+          proc->state().stdin_content = "a line of console input for the probe\n";
+          if (source.has_value()) {
+            proc->preload(wrappers::make_robustness_wrapper(lib, campaign, *source).value());
+          }
+          Rng rng(config().seed + case_index);
+          lattice::ValueFactory factory(*proc, rng);
+          const auto cases = factory.cases_of(id, config().variants);
+          if (case_index >= cases.size()) break;
+          std::vector<simlib::SimValue> args;
+          for (std::size_t j = 0; j < page.proto.params.size(); ++j) {
+            args.push_back(j == i ? cases[case_index].value
+                                  : factory.safe_value(page, static_cast<int>(j) + 1));
+          }
+          ++result.probes;
+          if (proc->supervised_call(spec.function, std::move(args)).robustness_failure()) {
+            ++result.failures;
+          }
+        }
+      }
+    }
+  }
+  return result;
+}
+
+void print_report() {
+  std::printf("==== A2: robustness wrapper knowledge-source ablation (libsimc) ====\n\n");
+  const simlib::SharedLibrary& lib = *toolkit().library("libsimc.so.1");
+  const auto campaign = toolkit().derive_robust_api("libsimc.so.1", config()).value();
+
+  struct Row {
+    const char* label;
+    std::optional<wrappers::CheckSource> source;
+  };
+  const Row rows[] = {
+      {"no wrapper (baseline)", std::nullopt},
+      {"annotations only", wrappers::CheckSource::kAnnotationsOnly},
+      {"derived (fault injection) only", wrappers::CheckSource::kDerivedOnly},
+      {"derived + annotations (shipped)", wrappers::CheckSource::kDerivedAndAnnotations},
+  };
+
+  std::printf("%-34s  probes  residual failures  eliminated\n", "wrapper variant");
+  std::printf("---------------------------------------------------------------------\n");
+  std::uint64_t baseline = 0;
+  for (const Row& row : rows) {
+    const AblationResult result = replay(lib, campaign, row.source);
+    if (!row.source.has_value()) baseline = result.failures;
+    const double eliminated =
+        baseline == 0 ? 0.0
+                      : 100.0 * static_cast<double>(baseline - result.failures) /
+                            static_cast<double>(baseline);
+    std::printf("%-34s  %6llu  %17llu  %9.1f%%\n", row.label,
+                static_cast<unsigned long long>(result.probes),
+                static_cast<unsigned long long>(result.failures),
+                row.source.has_value() ? eliminated : 0.0);
+  }
+  std::printf("\n");
+}
+
+void BM_ReplayDerivedOnly(benchmark::State& state) {
+  const simlib::SharedLibrary& lib = *toolkit().library("libsimm.so.1");
+  const auto campaign = toolkit().derive_robust_api("libsimm.so.1", config()).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        replay(lib, campaign, wrappers::CheckSource::kDerivedOnly).probes);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_ReplayDerivedOnly)->Unit(benchmark::kMillisecond);
+
+int main(int argc, char** argv) {
+  print_report();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

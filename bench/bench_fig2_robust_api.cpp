@@ -1,0 +1,100 @@
+// Experiment F2 — Fig 2: the fault-injection pipeline deriving the robust
+// API of a shared library.
+//
+// Regenerates: the Fig 2 report for every stock library (probes run,
+// robustness failures found, weakest safe argument types per function), plus
+// google-benchmark timings of the pipeline's stages (campaign per library,
+// per-function probing, spec XML serialization).
+//
+// Expected shape (paper §2.2 and Ballista [6]): the string/memory family is
+// riddled with robustness failures (most functions fail on NULL/wild/
+// unterminated arguments); the value-in/value-out math library has none.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/toolkit.hpp"
+
+using namespace healers;
+
+namespace {
+
+const core::Toolkit& toolkit() {
+  static const core::Toolkit instance;
+  return instance;
+}
+
+injector::InjectorConfig config() {
+  injector::InjectorConfig cfg;
+  cfg.seed = 2003;
+  cfg.variants = 2;
+  return cfg;
+}
+
+void print_report() {
+  std::printf("==== Fig 2: robust-API derivation (fault-injection campaigns) ====\n\n");
+  for (const std::string& soname : toolkit().list_libraries()) {
+    const auto campaign = toolkit().derive_robust_api(soname, config()).value();
+    std::printf("%s\n", campaign.to_table().c_str());
+    const double failure_rate =
+        campaign.total_probes() == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(campaign.total_failures()) /
+                  static_cast<double>(campaign.total_probes());
+    std::printf("failure rate: %.1f%% of probes; %zu/%zu functions non-robust\n\n",
+                failure_rate, campaign.functions_with_failures(), campaign.specs.size());
+  }
+}
+
+void BM_CampaignLibrary(benchmark::State& state, const std::string& soname) {
+  std::uint64_t probes = 0;
+  for (auto _ : state) {
+    const auto campaign = toolkit().derive_robust_api(soname, config()).value();
+    probes += campaign.total_probes();
+    benchmark::DoNotOptimize(campaign.total_failures());
+  }
+  state.counters["probes/s"] = benchmark::Counter(static_cast<double>(probes),
+                                                  benchmark::Counter::kIsRate);
+}
+
+void BM_ProbeSingleFunction(benchmark::State& state, const std::string& name) {
+  linker::LibraryCatalog catalog = toolkit().catalog();
+  injector::FaultInjector injector(catalog, config());
+  const simlib::SharedLibrary* lib = toolkit().library("libsimc.so.1");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(injector.probe_function(*lib, name).value().total_failures);
+  }
+}
+
+void BM_SpecXmlSerialize(benchmark::State& state) {
+  const auto campaign = toolkit().derive_robust_api("libsimc.so.1", config()).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(xml::serialize(campaign.to_xml()).size());
+  }
+}
+
+void BM_SpecXmlParse(benchmark::State& state) {
+  const auto campaign = toolkit().derive_robust_api("libsimc.so.1", config()).value();
+  const std::string doc = xml::serialize(campaign.to_xml());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        injector::CampaignResult::from_xml(xml::parse(doc).value()).value().specs.size());
+  }
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_CampaignLibrary, libsimc, "libsimc.so.1")->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_CampaignLibrary, libsimio, "libsimio.so.1")->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_CampaignLibrary, libsimm, "libsimm.so.1")->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ProbeSingleFunction, strcpy, "strcpy")->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_ProbeSingleFunction, atoi, "atoi")->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_SpecXmlSerialize)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_SpecXmlParse)->Unit(benchmark::kMicrosecond);
+
+int main(int argc, char** argv) {
+  print_report();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

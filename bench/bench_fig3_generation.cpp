@@ -1,0 +1,89 @@
+// Experiment F3 — Fig 3: flexible wrapper generation from micro-generators.
+//
+// Regenerates: the exact Fig 3 wrapper source for wctrans (six standard
+// micro-generators, function id 1206), then benchmarks the generator
+// architecture: source emission per function and per library, and runtime
+// wrapper construction (hook chains) per feature set.
+//
+// Expected shape: generation is cheap (microseconds per function) and cost
+// scales linearly with the number of wrapped functions — the property that
+// makes per-release regeneration ("adapt quickly to new software releases")
+// practical.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/toolkit.hpp"
+#include "wrappers/wrappers.hpp"
+
+using namespace healers;
+
+namespace {
+
+const core::Toolkit& toolkit() {
+  static const core::Toolkit instance;
+  return instance;
+}
+
+void print_report() {
+  std::printf("==== Fig 3: generated wrapper function for wctrans ====\n\n");
+  const simlib::Symbol* symbol = toolkit().library("libsimc.so.1")->find("wctrans");
+  const auto page = parser::parse_manpage(symbol->manpage).value();
+  gen::GenContext ctx{page.proto, 1206, nullptr, &page};
+  std::printf("%s\n", gen::emit_wrapper_source(ctx, wrappers::fig3_generators()).c_str());
+
+  gen::WrapperBuilder profiling("profiling-wrapper");
+  for (const auto& g : wrappers::fig3_generators()) profiling.add(g);
+  const auto source = profiling.emit_library_source(*toolkit().library("libsimc.so.1"));
+  std::printf("whole-library wrapper source: %zu bytes for %zu functions\n\n",
+              source.value().size(), toolkit().library("libsimc.so.1")->size());
+}
+
+void BM_EmitOneFunction(benchmark::State& state) {
+  const simlib::Symbol* symbol = toolkit().library("libsimc.so.1")->find("wctrans");
+  const auto page = parser::parse_manpage(symbol->manpage).value();
+  gen::GenContext ctx{page.proto, 1206, nullptr, &page};
+  const auto gens = wrappers::fig3_generators();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen::emit_wrapper_source(ctx, gens).size());
+  }
+}
+
+void BM_EmitWholeLibrary(benchmark::State& state, const std::string& soname) {
+  gen::WrapperBuilder builder("profiling-wrapper");
+  for (const auto& g : wrappers::fig3_generators()) builder.add(g);
+  const simlib::SharedLibrary* lib = toolkit().library(soname);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(builder.emit_library_source(*lib).value().size());
+  }
+  state.counters["functions"] = static_cast<double>(lib->size());
+}
+
+void BM_BuildRuntimeWrapper(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        wrappers::make_profiling_wrapper(*toolkit().library("libsimc.so.1")).value());
+  }
+}
+
+void BM_BuildSecurityWrapper(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        wrappers::make_security_wrapper(*toolkit().library("libsimc.so.1")).value());
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_EmitOneFunction)->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_EmitWholeLibrary, libsimc, "libsimc.so.1")->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_EmitWholeLibrary, libsimm, "libsimm.so.1")->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_BuildRuntimeWrapper)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_BuildSecurityWrapper)->Unit(benchmark::kMicrosecond);
+
+int main(int argc, char** argv) {
+  print_report();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

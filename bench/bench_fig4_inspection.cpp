@@ -1,0 +1,93 @@
+// Experiment F4 — Fig 4 / demo §3.2: application-centric inspection.
+//
+// Regenerates: the Fig 4 view (linked libraries + undefined functions, with
+// providers) for the demo executables, then benchmarks inspection and the
+// §3.1 library-centric operations (listing, declaration-file emission) so
+// the "toolkit responsiveness" story is quantified.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "attacks/attacks.hpp"
+#include "core/toolkit.hpp"
+
+using namespace healers;
+
+namespace {
+
+const core::Toolkit& toolkit() {
+  static const core::Toolkit instance;
+  return instance;
+}
+
+linker::Executable big_app() {
+  linker::Executable exe;
+  exe.name = "bigapp";
+  exe.needed = {"libsimc.so.1", "libsimio.so.1", "libsimm.so.1"};
+  // Import everything the stock libraries define plus a few misses.
+  for (const std::string& soname : toolkit().list_libraries()) {
+    const auto functions = toolkit().list_functions(soname);
+    for (const std::string& fn : functions.value()) exe.undefined.push_back(fn);
+  }
+  exe.undefined.emplace_back("gethostbyname");
+  exe.undefined.emplace_back("pthread_create");
+  return exe;
+}
+
+void print_report() {
+  std::printf("==== Fig 4: application-centric extraction ====\n\n");
+  std::printf("%s\n", toolkit().inspect(attacks::heap_victim_executable()).to_text().c_str());
+  const linker::LinkMap big = toolkit().inspect(big_app());
+  std::printf("executable: %s — %zu undefined symbols, %zu unresolved\n\n",
+              big.executable.c_str(), big.resolutions.size(), big.unresolved.size());
+  std::printf("library-centric view (3.1): %zu libraries installed\n",
+              toolkit().list_libraries().size());
+  for (const std::string& soname : toolkit().list_libraries()) {
+    const auto decls = toolkit().declaration_xml(soname);
+    std::printf("  %-16s declaration file: %zu bytes\n", soname.c_str(),
+                xml::serialize(decls.value()).size());
+  }
+  std::printf("\n");
+}
+
+void BM_InspectSmallApp(benchmark::State& state) {
+  const linker::Executable exe = attacks::heap_victim_executable();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(toolkit().inspect(exe).resolutions.size());
+  }
+}
+
+void BM_InspectBigApp(benchmark::State& state) {
+  const linker::Executable exe = big_app();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(toolkit().inspect(exe).resolutions.size());
+  }
+  state.counters["symbols"] = static_cast<double>(exe.undefined.size());
+}
+
+void BM_DeclarationXml(benchmark::State& state, const std::string& soname) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(xml::serialize(toolkit().declaration_xml(soname).value()).size());
+  }
+}
+
+void BM_SpawnProcess(benchmark::State& state) {
+  const linker::Executable exe = attacks::heap_victim_executable();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(toolkit().spawn(exe));
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_InspectSmallApp)->Unit(benchmark::kNanosecond);
+BENCHMARK(BM_InspectBigApp)->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_DeclarationXml, libsimc, "libsimc.so.1")->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_SpawnProcess)->Unit(benchmark::kMicrosecond);
+
+int main(int argc, char** argv) {
+  print_report();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

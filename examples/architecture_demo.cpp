@@ -1,0 +1,123 @@
+// Fig 1 of the paper, executed: three applications over the same shared
+// libraries, each with the wrapper its role demands —
+//
+//   root process      -> security wrapper   (buffer-overflow prevention)
+//   user application  -> robustness wrapper (contain API failures)
+//   user application  -> profiling wrapper  (error/frequency statistics)
+//
+// and, as the figure notes, applications may also SHARE a wrapper: the two
+// user applications are additionally run over one shared profiling wrapper
+// whose statistics then aggregate both.
+//
+// Build & run:  ./build/examples/architecture_demo
+#include <cstdio>
+
+#include "core/toolkit.hpp"
+#include "profile/report.hpp"
+
+using namespace healers;
+using simlib::SimValue;
+
+namespace {
+
+// A root daemon: parses a request, copies it around, allocates.
+linker::Executable root_daemon() {
+  linker::Executable exe;
+  exe.name = "rootd";
+  exe.needed = {"libsimc.so.1"};
+  exe.undefined = {"malloc", "free", "strcpy", "strlen"};
+  exe.entry = [](linker::Process& p) {
+    const mem::Addr req = p.alloc_cstring("GET /status");
+    const mem::Addr copy = p.call("malloc", {SimValue::integer(32)}).as_ptr();
+    p.call("strcpy", {SimValue::ptr(copy), SimValue::ptr(req)});
+    const auto len = p.call("strlen", {SimValue::ptr(copy)});
+    p.call("free", {SimValue::ptr(copy)});
+    p.call("free", {SimValue::ptr(req)});
+    return static_cast<int>(len.as_int());
+  };
+  return exe;
+}
+
+// A flaky user app: occasionally passes bad arguments (missing config).
+linker::Executable flaky_app() {
+  linker::Executable exe;
+  exe.name = "reportgen";
+  exe.needed = {"libsimc.so.1", "libsimio.so.1"};
+  exe.undefined = {"fopen", "fgets", "fclose", "atoi", "strlen"};
+  exe.entry = [](linker::Process& p) {
+    // Config file does not exist: fopen fails ...
+    const auto file = p.call("fopen", {SimValue::ptr(p.rodata_cstring("/etc/reportgen.conf")),
+                                       SimValue::ptr(p.rodata_cstring("r"))});
+    if (file.as_ptr() == 0) {
+      // ... and the unchecked NULL propagates into strlen — the classic
+      // crash a robustness wrapper turns into an error return.
+      const auto n = p.call("strlen", {SimValue::null()});
+      return static_cast<int>(n.as_int());
+    }
+    p.call("fclose", {file});
+    return 0;
+  };
+  return exe;
+}
+
+// A healthy workload app for profiling.
+linker::Executable worker_app() {
+  linker::Executable exe;
+  exe.name = "worker";
+  exe.needed = {"libsimc.so.1", "libsimio.so.1"};
+  exe.undefined = {"strcpy", "strlen", "atoi", "fopen", "fputs", "fclose"};
+  exe.entry = [](linker::Process& p) {
+    for (int i = 0; i < 20; ++i) {
+      const mem::Addr buf = p.scratch(64);
+      p.call("strcpy", {SimValue::ptr(buf), SimValue::ptr(p.rodata_cstring("item-12345"))});
+      p.call("strlen", {SimValue::ptr(buf)});
+      p.call("atoi", {SimValue::ptr(p.rodata_cstring("12345"))});
+    }
+    // One error: opening a missing file (ENOENT shows up in the profile).
+    p.call("fopen", {SimValue::ptr(p.rodata_cstring("/no/such/file")),
+                     SimValue::ptr(p.rodata_cstring("r"))});
+    return 0;
+  };
+  return exe;
+}
+
+}  // namespace
+
+int main() {
+  core::Toolkit toolkit;
+
+  std::printf("Fig 1: applications | wrappers | shared libraries\n\n");
+
+  // Root process with the security wrapper.
+  auto security = toolkit.security_wrapper("libsimc.so.1").value();
+  auto rootd = toolkit.spawn(root_daemon(), {security});
+  const auto root_outcome = rootd->run(root_daemon().entry);
+  std::printf("rootd      + security wrapper   -> %s\n", root_outcome.to_string().c_str());
+
+  // Flaky user app with the robustness wrapper (needs the derived API).
+  injector::InjectorConfig cfg;
+  cfg.variants = 1;
+  auto campaign = toolkit.derive_robust_api("libsimc.so.1", cfg).value();
+  auto robustness = toolkit.robustness_wrapper("libsimc.so.1", campaign).value();
+  auto flaky = toolkit.spawn(flaky_app(), {robustness});
+  const auto flaky_outcome = flaky->run(flaky_app().entry);
+  std::printf("reportgen  + robustness wrapper -> %s (contained %llu)\n",
+              flaky_outcome.to_string().c_str(),
+              static_cast<unsigned long long>(robustness->stats()->total_contained()));
+
+  // Worker with its own profiling wrapper.
+  auto profiling = toolkit.profiling_wrapper("libsimc.so.1").value();
+  auto worker = toolkit.spawn(worker_app(), {profiling});
+  worker->run(worker_app().entry);
+  std::printf("worker     + profiling wrapper  -> %llu calls profiled\n\n",
+              static_cast<unsigned long long>(profiling->stats()->total_calls()));
+
+  // SHARED wrapper: both user apps over one profiling wrapper instance.
+  auto shared = toolkit.profiling_wrapper("libsimc.so.1").value();
+  toolkit.spawn(flaky_app(), {shared})->run(flaky_app().entry);
+  toolkit.spawn(worker_app(), {shared})->run(worker_app().entry);
+  const auto report = profile::build_report("flaky+worker", shared->name(), *shared->stats());
+  std::printf("shared profiling wrapper across both apps:\n%s\n", profile::render(report).c_str());
+
+  return 0;
+}

@@ -1,0 +1,93 @@
+// The testing-wrapper family (companion paper [5] of the generator
+// architecture): instead of containing faults, INJECT them — so the error
+// handling of an existing application can be exercised without source
+// access.
+//
+// The demo app has a fallback path for allocation failure and a retry path
+// for missing files. Under normal runs neither executes; under the testing
+// wrapper both are driven deterministically.
+//
+// Build & run:  ./build/examples/error_injection_demo
+#include <cstdio>
+
+#include "core/toolkit.hpp"
+#include "wrappers/wrappers.hpp"
+
+using namespace healers;
+using simlib::SimValue;
+
+namespace {
+
+struct RunStats {
+  int alloc_fallbacks = 0;
+  int open_retries = 0;
+  int completed = 0;
+};
+
+linker::Executable resilient_app(RunStats& stats) {
+  linker::Executable exe;
+  exe.name = "resilient";
+  exe.needed = {"libsimc.so.1", "libsimio.so.1"};
+  exe.undefined = {"malloc", "free", "fopen", "fclose", "strcpy"};
+  exe.entry = [&stats](linker::Process& p) {
+    p.state().fs.put("/cfg", "option=1\n");
+    for (int i = 0; i < 50; ++i) {
+      // Allocation with a static-buffer fallback.
+      const mem::Addr buf = p.call("malloc", {SimValue::integer(64)}).as_ptr();
+      mem::Addr dest = buf;
+      if (buf == 0) {
+        ++stats.alloc_fallbacks;
+        dest = p.scratch(64, mem::Perm::kReadWrite, "static_fallback");
+      }
+      p.call("strcpy", {SimValue::ptr(dest), SimValue::ptr(p.rodata_cstring("payload"))});
+      if (buf != 0) p.call("free", {SimValue::ptr(buf)});
+
+      // File open with one retry.
+      auto file = p.call("fopen", {SimValue::ptr(p.rodata_cstring("/cfg")),
+                                   SimValue::ptr(p.rodata_cstring("r"))});
+      if (file.as_ptr() == 0) {
+        ++stats.open_retries;
+        file = p.call("fopen", {SimValue::ptr(p.rodata_cstring("/cfg")),
+                                SimValue::ptr(p.rodata_cstring("r"))});
+      }
+      if (file.as_ptr() != 0) p.call("fclose", {file});
+      ++stats.completed;
+    }
+    return 0;
+  };
+  return exe;
+}
+
+}  // namespace
+
+int main() {
+  core::Toolkit toolkit;
+
+  // Normal run: the error paths never execute — 0% coverage of them.
+  RunStats normal;
+  toolkit.spawn(resilient_app(normal))->run(resilient_app(normal).entry);
+  std::printf("normal run:            %d iterations, %d alloc fallbacks, %d open retries\n",
+              normal.completed, normal.alloc_fallbacks, normal.open_retries);
+
+  // Testing run: 30%% of fallible libsimc calls and 30%% of fallible
+  // libsimio calls fail with their documented errnos.
+  RunStats injected;
+  const auto exe = resilient_app(injected);
+  auto wrap_c = wrappers::make_testing_wrapper(*toolkit.library("libsimc.so.1"), 0.3, 7).value();
+  auto wrap_io =
+      wrappers::make_testing_wrapper(*toolkit.library("libsimio.so.1"), 0.3, 8).value();
+  const auto outcome = toolkit.spawn(exe, {wrap_c, wrap_io})->run(exe.entry);
+  std::printf("error-injected run:    %d iterations, %d alloc fallbacks, %d open retries\n",
+              injected.completed, injected.alloc_fallbacks, injected.open_retries);
+  std::printf("outcome: %s — the app's error handling held up\n",
+              outcome.to_string().c_str());
+  std::printf("injected failures: %llu (libsimc) + %llu (libsimio)\n",
+              static_cast<unsigned long long>(wrap_c->stats()->total_contained()),
+              static_cast<unsigned long long>(wrap_io->stats()->total_contained()));
+
+  const bool exercised = injected.alloc_fallbacks > 0 && injected.open_retries > 0 &&
+                         normal.alloc_fallbacks == 0 && normal.open_retries == 0;
+  std::printf("verdict: error paths %s\n",
+              exercised ? "exercised only under injection (as intended)" : "UNEXPECTED");
+  return exercised && outcome.exit_code == 0 ? 0 : 1;
+}

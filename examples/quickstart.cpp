@@ -1,0 +1,73 @@
+// Quickstart: the whole HEALERS pipeline in one sitting.
+//
+//   1. list the installed shared libraries and a library's functions,
+//   2. derive a robust API for a few functions by fault injection,
+//   3. generate a robustness wrapper from the results,
+//   4. run the same broken program unprotected (it dies) and protected
+//      (the wrapper contains the fault and the program finishes).
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/toolkit.hpp"
+
+using namespace healers;
+
+int main() {
+  core::Toolkit toolkit;
+
+  // --- 1. what is installed? ----------------------------------------------
+  std::printf("installed libraries:\n");
+  for (const std::string& soname : toolkit.list_libraries()) {
+    const auto functions = toolkit.list_functions(soname);
+    std::printf("  %-16s %zu functions\n", soname.c_str(), functions.value().size());
+  }
+
+  // --- 2. derive the robust API of libsimc by fault injection --------------
+  injector::InjectorConfig config;
+  config.seed = 7;
+  config.variants = 1;  // keep the quickstart quick
+  std::printf("\nrunning fault-injection campaign against libsimc.so.1 ...\n");
+  auto campaign = toolkit.derive_robust_api("libsimc.so.1", config);
+  if (!campaign.ok()) {
+    std::printf("campaign failed: %s\n", campaign.error().message.c_str());
+    return 1;
+  }
+  std::printf("%llu probes, %llu robustness failures in %zu of %zu functions\n",
+              static_cast<unsigned long long>(campaign.value().total_probes()),
+              static_cast<unsigned long long>(campaign.value().total_failures()),
+              campaign.value().functions_with_failures(), campaign.value().specs.size());
+  const injector::RobustSpec* strcpy_spec = campaign.value().spec("strcpy");
+  std::printf("derived for strcpy: arg1 = %s; arg2 = %s\n",
+              strcpy_spec->args[0].safe_type_name().c_str(),
+              strcpy_spec->args[1].safe_type_name().c_str());
+
+  // --- 3. generate the robustness wrapper ---------------------------------
+  auto wrapper = toolkit.robustness_wrapper("libsimc.so.1", campaign.value());
+  std::printf("\ngenerated %s over %zu functions\n", wrapper.value()->name().c_str(),
+              wrapper.value()->wrapped_count());
+
+  // --- 4. a buggy program, unprotected vs protected ------------------------
+  linker::Executable buggy;
+  buggy.name = "buggy";
+  buggy.needed = {"libsimc.so.1"};
+  buggy.undefined = {"strcpy", "strlen", "atoi"};
+  buggy.entry = [](linker::Process& p) {
+    using simlib::SimValue;
+    // A classic API failure: strlen(NULL) — the config string is missing.
+    const SimValue len = p.call("strlen", {SimValue::null()});
+    return static_cast<int>(len.as_int());
+  };
+
+  auto unprotected = toolkit.spawn(buggy);
+  const linker::CallOutcome plain = unprotected->run(buggy.entry);
+  std::printf("\nunprotected run: %s\n", plain.to_string().c_str());
+
+  auto protected_proc = toolkit.spawn(buggy, {wrapper.value()});
+  const linker::CallOutcome contained = protected_proc->run(buggy.entry);
+  std::printf("protected run:   %s  (wrapper contained %llu call(s))\n",
+              contained.to_string().c_str(),
+              static_cast<unsigned long long>(wrapper.value()->stats()->total_contained()));
+
+  return plain.robustness_failure() && !contained.robustness_failure() ? 0 : 1;
+}

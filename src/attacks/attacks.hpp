@@ -1,0 +1,55 @@
+// The buffer-overflow attack demonstrations of paper §3.4:
+//
+//   "It first shows that an attacker can hijack the control flow of a root
+//    privileged program by overflowing a buffer allocated on the heap. This
+//    results in a root shell for the attacker. ... Then we show that our
+//    security wrapper can detect such buffer overflows and terminate the
+//    attacker's program."
+//
+// run_heap_smash_attack() mounts the classic unsafe-unlink exploit against
+// the simulated chunked heap: a victim process copies an attacker-crafted
+// message into a heap buffer; the overflow rewrites the neighbouring chunk
+// header into a fake free chunk whose fd/bk aim at a GOT slot; the victim's
+// own free() then performs the unlink's arbitrary write, and its next
+// library call jumps into attacker-controlled memory (ControlFlowHijack —
+// the simulated "root shell").
+//
+// run_stack_smash_attack() is the stack variant: strcpy through a
+// stack-allocated buffer overruns the frame's saved return address; the
+// function's return transfers control to the attacker.
+//
+// Both take the preload list of the victim process: empty = unprotected
+// (attack succeeds), {security wrapper} = protected (wrapper aborts the
+// process before the hijack).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "linker/executable.hpp"
+
+namespace healers::attacks {
+
+struct AttackResult {
+  linker::CallOutcome outcome;     // terminal outcome of the victim run
+  bool hijack_succeeded = false;   // attacker got "a shell"
+  bool blocked_by_wrapper = false; // a wrapper aborted the process first
+  std::string narrative;           // step-by-step demo log
+};
+
+// `hardened_allocator` enables the simulated heap's post-2004 safe-unlink
+// check in the victim process — the allocator-side mitigation the ablation
+// bench compares against the paper's wrapper-side defence.
+[[nodiscard]] AttackResult run_heap_smash_attack(const linker::LibraryCatalog& catalog,
+                                                 std::vector<linker::InterpositionPtr> preloads,
+                                                 bool hardened_allocator = false);
+
+[[nodiscard]] AttackResult run_stack_smash_attack(const linker::LibraryCatalog& catalog,
+                                                  std::vector<linker::InterpositionPtr> preloads);
+
+// The victim executables themselves, exposed for the Fig 4 inspection demo
+// (they have realistic DT_NEEDED / undefined-symbol lists).
+[[nodiscard]] linker::Executable heap_victim_executable();
+[[nodiscard]] linker::Executable stack_victim_executable();
+
+}  // namespace healers::attacks

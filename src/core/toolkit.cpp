@@ -1,0 +1,101 @@
+#include "core/toolkit.hpp"
+
+#include "parser/header_parser.hpp"
+
+namespace healers::core {
+
+Toolkit::Toolkit() {
+  install_library(simlib::build_libsimc());
+  install_library(simlib::build_libsimio());
+  install_library(simlib::build_libsimm());
+}
+
+void Toolkit::install_library(simlib::SharedLibrary lib) {
+  owned_.push_back(std::make_unique<simlib::SharedLibrary>(std::move(lib)));
+  catalog_.install(owned_.back().get());
+}
+
+std::vector<std::string> Toolkit::list_libraries() const { return catalog_.sonames(); }
+
+Result<std::vector<std::string>> Toolkit::list_functions(const std::string& soname) const {
+  const simlib::SharedLibrary* lib = catalog_.find(soname);
+  if (lib == nullptr) return Error("no such library: " + soname);
+  return lib->names();
+}
+
+Result<xml::Node> Toolkit::declaration_xml(const std::string& soname) const {
+  const simlib::SharedLibrary* lib = catalog_.find(soname);
+  if (lib == nullptr) return Error("no such library: " + soname);
+  // Parse the library's own header text — the toolkit reads prototypes the
+  // way it would from a third-party library, not out of band.
+  auto parsed = parser::parse_header(lib->header_text());
+  if (!parsed.ok()) return parsed.error();
+
+  xml::Node node("library");
+  node.set_attr("name", lib->soname());
+  node.set_attr("version", lib->version());
+  node.set_attr("functions", std::to_string(parsed.value().functions.size()));
+  for (const parser::FunctionProto& proto : parsed.value().functions) {
+    xml::Node& fn = node.add_child("function");
+    fn.set_attr("name", proto.name);
+    fn.set_attr("returns", proto.return_type.to_string());
+    if (proto.varargs) fn.set_attr("varargs", "1");
+    fn.add_text_child("prototype", proto.to_declaration());
+    for (std::size_t i = 0; i < proto.params.size(); ++i) {
+      xml::Node& param = fn.add_child("param");
+      param.set_attr("index", std::to_string(i + 1));
+      param.set_attr("type", proto.params[i].type.to_string());
+      if (!proto.params[i].name.empty()) param.set_attr("name", proto.params[i].name);
+    }
+  }
+  return node;
+}
+
+Result<injector::CampaignResult> Toolkit::derive_robust_api(
+    const std::string& soname, injector::InjectorConfig config) const {
+  const simlib::SharedLibrary* lib = catalog_.find(soname);
+  if (lib == nullptr) return Error("no such library: " + soname);
+  injector::FaultInjector injector(catalog_, config);
+  return injector.run_campaign(*lib);
+}
+
+linker::LinkMap Toolkit::inspect(const linker::Executable& exe) const {
+  return linker::inspect_executable(exe, catalog_);
+}
+
+Result<std::shared_ptr<gen::ComposedWrapper>> Toolkit::robustness_wrapper(
+    const std::string& soname, const injector::CampaignResult& campaign) const {
+  const simlib::SharedLibrary* lib = catalog_.find(soname);
+  if (lib == nullptr) return Error("no such library: " + soname);
+  return wrappers::make_robustness_wrapper(*lib, campaign);
+}
+
+Result<std::shared_ptr<gen::ComposedWrapper>> Toolkit::security_wrapper(
+    const std::string& soname) const {
+  const simlib::SharedLibrary* lib = catalog_.find(soname);
+  if (lib == nullptr) return Error("no such library: " + soname);
+  return wrappers::make_security_wrapper(*lib);
+}
+
+Result<std::shared_ptr<gen::ComposedWrapper>> Toolkit::profiling_wrapper(
+    const std::string& soname, bool include_trace) const {
+  const simlib::SharedLibrary* lib = catalog_.find(soname);
+  if (lib == nullptr) return Error("no such library: " + soname);
+  return wrappers::make_profiling_wrapper(*lib, include_trace);
+}
+
+Result<std::string> Toolkit::wrapper_source(const std::string& soname,
+                                            const gen::WrapperBuilder& builder,
+                                            const injector::CampaignResult* campaign) const {
+  const simlib::SharedLibrary* lib = catalog_.find(soname);
+  if (lib == nullptr) return Error("no such library: " + soname);
+  return builder.emit_library_source(*lib, campaign);
+}
+
+std::unique_ptr<linker::Process> Toolkit::spawn(const linker::Executable& exe,
+                                                std::vector<linker::InterpositionPtr> preloads,
+                                                mem::MachineConfig config) const {
+  return linker::spawn(exe, catalog_, std::move(preloads), config);
+}
+
+}  // namespace healers::core

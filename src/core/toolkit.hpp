@@ -1,0 +1,80 @@
+// The HEALERS toolkit facade — the operations the paper demonstrates:
+//
+//   §3.1 library-centric: list all libraries, list all functions defined in
+//        a library, emit the XML declaration file describing each
+//        function's prototype, derive the robust API by fault injection;
+//   §3.2 application-centric: extract an executable's linked libraries and
+//        undefined functions;
+//   §2.3 wrapper generation: build robustness / security / profiling
+//        wrappers (and their C source) and spawn processes with wrappers
+//        preloaded.
+//
+// A Toolkit owns the installed shared libraries; every Process it spawns
+// borrows them, so keep the Toolkit alive while processes run.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gen/composer.hpp"
+#include "injector/injector.hpp"
+#include "linker/executable.hpp"
+#include "profile/collector.hpp"
+#include "support/result.hpp"
+#include "wrappers/wrappers.hpp"
+#include "xml/xml.hpp"
+
+namespace healers::core {
+
+class Toolkit {
+ public:
+  // Installs the stock simulated libraries (libsimc, libsimio, libsimm).
+  Toolkit();
+
+  // Installs an additional library (takes ownership).
+  void install_library(simlib::SharedLibrary lib);
+
+  // --- demo §3.1: library-centric -----------------------------------------
+  [[nodiscard]] std::vector<std::string> list_libraries() const;
+  [[nodiscard]] Result<std::vector<std::string>> list_functions(const std::string& soname) const;
+  // The XML declaration file: every function's parsed prototype.
+  [[nodiscard]] Result<xml::Node> declaration_xml(const std::string& soname) const;
+  // Fault-injection campaign deriving the library's robust API (Fig 2).
+  [[nodiscard]] Result<injector::CampaignResult> derive_robust_api(
+      const std::string& soname, injector::InjectorConfig config = {}) const;
+
+  // --- demo §3.2: application-centric --------------------------------------
+  [[nodiscard]] linker::LinkMap inspect(const linker::Executable& exe) const;
+
+  // --- wrapper generation (§2.3) -------------------------------------------
+  [[nodiscard]] Result<std::shared_ptr<gen::ComposedWrapper>> robustness_wrapper(
+      const std::string& soname, const injector::CampaignResult& campaign) const;
+  [[nodiscard]] Result<std::shared_ptr<gen::ComposedWrapper>> security_wrapper(
+      const std::string& soname) const;
+  [[nodiscard]] Result<std::shared_ptr<gen::ComposedWrapper>> profiling_wrapper(
+      const std::string& soname, bool include_trace = false) const;
+
+  // The generated wrapper library's C source (Fig 3 per function).
+  [[nodiscard]] Result<std::string> wrapper_source(
+      const std::string& soname, const gen::WrapperBuilder& builder,
+      const injector::CampaignResult* campaign = nullptr) const;
+
+  // --- running applications -------------------------------------------------
+  // Spawns the executable with the given wrappers preloaded (LD_PRELOAD
+  // order: first wrapper sees calls first).
+  [[nodiscard]] std::unique_ptr<linker::Process> spawn(
+      const linker::Executable& exe, std::vector<linker::InterpositionPtr> preloads = {},
+      mem::MachineConfig config = {}) const;
+
+  [[nodiscard]] const linker::LibraryCatalog& catalog() const noexcept { return catalog_; }
+  [[nodiscard]] const simlib::SharedLibrary* library(const std::string& soname) const {
+    return catalog_.find(soname);
+  }
+
+ private:
+  std::vector<std::unique_ptr<simlib::SharedLibrary>> owned_;
+  linker::LibraryCatalog catalog_;
+};
+
+}  // namespace healers::core

@@ -1,0 +1,94 @@
+// Micro-generator framework (paper §2.3, Fig 3, and [5]).
+//
+// "The functionality of a wrapper generator is decomposed into a number of
+// features, each supported by a micro-generator. Each micro-generator
+// generates a fragment of the prefix and postfix code of a function. The
+// micro-generators can be combined in a variety of ways to generate new
+// wrapper types."
+//
+// Every micro-generator here produces BOTH artifacts from the same object:
+//   * C source fragments (prefix/postfix), assembled by the composer into
+//     the wrapper function text of Fig 3, and
+//   * a RuntimeHook, assembled into an executable interposition installed
+//     in the simulated linker.
+// Producing both from one object is what keeps the demonstrated behaviour
+// and the emitted code from drifting apart (DESIGN.md).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "injector/robust_spec.hpp"
+#include "parser/ctypes.hpp"
+#include "parser/manpage.hpp"
+#include "simlib/value.hpp"
+
+namespace healers::gen {
+
+class WrapperStats;
+
+// Everything a micro-generator may consult about the function being wrapped.
+struct GenContext {
+  const parser::FunctionProto& proto;
+  int function_id = 0;                             // index into stats arrays (Fig 3: 1206)
+  const injector::RobustSpec* spec = nullptr;      // robust API, when derived
+  const parser::ManPage* page = nullptr;           // annotations, when parsed
+};
+
+// Runtime behaviour contributed by one micro-generator for one function.
+// prefix() may short-circuit: returning a value skips the base call, all
+// remaining prefixes, and all postfixes — the fault-containment "return an
+// error instead of crashing" path (generated C would `return err;` there).
+class RuntimeHook {
+ public:
+  virtual ~RuntimeHook() = default;
+  virtual std::optional<simlib::SimValue> prefix(simlib::CallContext& ctx) {
+    (void)ctx;
+    return std::nullopt;
+  }
+  virtual void postfix(simlib::CallContext& ctx, simlib::SimValue& ret) {
+    (void)ctx;
+    (void)ret;
+  }
+};
+
+using RuntimeHookPtr = std::unique_ptr<RuntimeHook>;
+
+class MicroGenerator {
+ public:
+  virtual ~MicroGenerator() = default;
+
+  // Fig 3 fragment label ("prototype", "function exectime", ...).
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  // C source fragments. Empty string = no fragment. `stats` identifies the
+  // wrapper's shared state arrays in both artifacts.
+  [[nodiscard]] virtual std::string prefix_code(const GenContext& ctx) const = 0;
+  [[nodiscard]] virtual std::string postfix_code(const GenContext& ctx) const = 0;
+
+  // Runtime hook for one function; nullptr when the feature is
+  // code-structure only (prototype, caller).
+  [[nodiscard]] virtual RuntimeHookPtr make_hook(const GenContext& ctx,
+                                                 WrapperStats& stats) const = 0;
+};
+
+using MicroGeneratorPtr = std::shared_ptr<MicroGenerator>;
+
+// --- the standard micro-generators of Fig 3 ---
+// prototype: signature + `ret` declaration + final `return ret;`
+[[nodiscard]] MicroGeneratorPtr prototype_gen();
+// caller: `ret = (*addr_f)(a1, ...);` — the call site itself
+[[nodiscard]] MicroGeneratorPtr caller_gen();
+// function exectime: rdtsc around the call, per-function cycle accumulation
+[[nodiscard]] MicroGeneratorPtr exectime_gen();
+// collect errors: process-wide errno histogram
+[[nodiscard]] MicroGeneratorPtr collect_errors_gen();
+// func errors: per-function errno histogram
+[[nodiscard]] MicroGeneratorPtr func_errors_gen();
+// call counter: per-function call count
+[[nodiscard]] MicroGeneratorPtr call_counter_gen();
+// log call: per-call trace record (symbol + rendered arguments)
+[[nodiscard]] MicroGeneratorPtr log_call_gen();
+
+}  // namespace healers::gen

@@ -1,0 +1,53 @@
+#include "gen/stats.hpp"
+
+#include <stdexcept>
+
+namespace healers::gen {
+
+void WrapperStats::register_function(int function_id, std::string symbol) {
+  FunctionStats& entry = functions_[function_id];
+  if (entry.symbol.empty()) {
+    entry.symbol = std::move(symbol);
+  } else if (entry.symbol != symbol) {
+    throw std::logic_error("WrapperStats: function id " + std::to_string(function_id) +
+                           " registered for both " + entry.symbol + " and " + symbol);
+  }
+}
+
+FunctionStats& WrapperStats::function(int function_id) { return functions_[function_id]; }
+
+const FunctionStats* WrapperStats::function(int function_id) const {
+  auto it = functions_.find(function_id);
+  return it == functions_.end() ? nullptr : &it->second;
+}
+
+void WrapperStats::count_global_errno(int err) {
+  // Fig 3: out-of-range errnos fold into the MAX_ERRNO bucket.
+  if (err < 0 || err >= simlib::kMaxErrno) err = simlib::kMaxErrno;
+  ++global_errnos_[err];
+}
+
+void WrapperStats::append_trace(TraceRecord record) {
+  if (trace_.size() >= trace_limit_) return;  // bounded trace, newest dropped
+  trace_.push_back(std::move(record));
+}
+
+std::uint64_t WrapperStats::total_calls() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& [_, fn] : functions_) n += fn.calls;
+  return n;
+}
+
+std::uint64_t WrapperStats::total_cycles() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& [_, fn] : functions_) n += fn.cycles;
+  return n;
+}
+
+std::uint64_t WrapperStats::total_contained() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& [_, fn] : functions_) n += fn.contained;
+  return n;
+}
+
+}  // namespace healers::gen

@@ -1,0 +1,65 @@
+// Shared runtime state of a generated wrapper: the arrays the Fig 3 code
+// indexes (call_counter_num_calls[fid], func_error_cnter[fid][errno],
+// collect_errors_cnter[errno], exectime[fid]) plus the call trace of the
+// log-call micro-generator. One WrapperStats per wrapper instance; the
+// profiling module turns it into the XML document shipped to the collector
+// (paper §2.3: "the collection code is called to send the gathered
+// information to a central server").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "simlib/cerrno.hpp"
+
+namespace healers::gen {
+
+struct FunctionStats {
+  std::string symbol;
+  std::uint64_t calls = 0;
+  std::uint64_t cycles = 0;                      // exectime accumulation
+  std::map<int, std::uint64_t> errno_counts;     // func_error_cnter[fid][e]
+  std::uint64_t contained = 0;                   // calls vetoed by arg checks
+};
+
+struct TraceRecord {
+  std::string symbol;
+  std::vector<std::string> args;  // rendered values
+  std::string outcome;            // "ok", "contained", rendered return
+};
+
+class WrapperStats {
+ public:
+  // Registers a function id for a symbol (idempotent per id).
+  void register_function(int function_id, std::string symbol);
+
+  [[nodiscard]] FunctionStats& function(int function_id);
+  [[nodiscard]] const FunctionStats* function(int function_id) const;
+  [[nodiscard]] const std::map<int, FunctionStats>& functions() const noexcept {
+    return functions_;
+  }
+
+  // collect_errors_cnter[] — process-wide errno histogram.
+  void count_global_errno(int err);
+  [[nodiscard]] const std::map<int, std::uint64_t>& global_errnos() const noexcept {
+    return global_errnos_;
+  }
+
+  void append_trace(TraceRecord record);
+  [[nodiscard]] const std::vector<TraceRecord>& trace() const noexcept { return trace_; }
+  void set_trace_limit(std::size_t limit) noexcept { trace_limit_ = limit; }
+
+  [[nodiscard]] std::uint64_t total_calls() const noexcept;
+  [[nodiscard]] std::uint64_t total_cycles() const noexcept;
+  [[nodiscard]] std::uint64_t total_contained() const noexcept;
+
+ private:
+  std::map<int, FunctionStats> functions_;
+  std::map<int, std::uint64_t> global_errnos_;
+  std::vector<TraceRecord> trace_;
+  std::size_t trace_limit_ = 10'000;
+};
+
+}  // namespace healers::gen

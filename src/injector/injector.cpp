@@ -1,0 +1,215 @@
+#include "injector/injector.hpp"
+
+#include <algorithm>
+
+#include "parser/manpage.hpp"
+
+namespace healers::injector {
+
+using lattice::TestTypeId;
+using linker::CallOutcome;
+
+FaultInjector::FaultInjector(const linker::LibraryCatalog& catalog, InjectorConfig config)
+    : catalog_(catalog), config_(config), rng_(config.seed) {}
+
+linker::CallOutcome FaultInjector::run_probe(const simlib::SharedLibrary& lib,
+                                             const parser::ManPage& page,
+                                             std::size_t inject_index_0based, TestTypeId id,
+                                             std::size_t case_index, bool& case_existed) {
+  // One probe = one fresh process, as the paper forked one child per probe.
+  mem::MachineConfig machine_config;
+  machine_config.heap_size = config_.testbed_heap;
+  machine_config.stack_size = config_.testbed_stack;
+  machine_config.step_budget = config_.probe_step_budget;
+  linker::Process process("probe:" + page.proto.name, machine_config);
+  // Testbed environment: pending console input so stdin-consuming functions
+  // (gets) do real work during probes.
+  process.state().stdin_content = "a line of console input for the probe\n";
+  for (const std::string& soname : catalog_.sonames()) {
+    process.load_library(catalog_.find(soname));
+  }
+  if (!lib.defines(page.proto.name)) {
+    // Caller verified; belt and braces.
+    case_existed = false;
+    return CallOutcome{};
+  }
+
+  lattice::ValueFactory factory(process, rng_);
+  const std::vector<lattice::TestCase> cases = factory.cases_of(id, config_.variants);
+  if (case_index >= cases.size()) {
+    case_existed = false;
+    return CallOutcome{};
+  }
+  case_existed = true;
+
+  std::vector<simlib::SimValue> args;
+  args.reserve(page.proto.params.size());
+  for (std::size_t j = 0; j < page.proto.params.size(); ++j) {
+    if (j == inject_index_0based) {
+      args.push_back(cases[case_index].value);
+    } else {
+      args.push_back(factory.safe_value(page, static_cast<int>(j) + 1));
+    }
+  }
+  ++probes_executed_;
+  return process.supervised_call(page.proto.name, std::move(args));
+}
+
+DerivedChecks derive_checks(const ArgSpec& arg, const parser::ArgAnnotation* note) {
+  DerivedChecks checks;
+  const auto failed = [&arg](TestTypeId id) {
+    const TypeVerdict* v = arg.verdict(id);
+    return v != nullptr && v->failed();
+  };
+
+  if (arg.cls == parser::TypeClass::kPointer) {
+    checks.require_nonnull = failed(TestTypeId::kNull);
+    checks.require_mapped = failed(TestTypeId::kIntAsPtr) || failed(TestTypeId::kWildPtr) ||
+                            failed(TestTypeId::kFreedPtr);
+    checks.require_writable = failed(TestTypeId::kReadOnlyCString);
+    checks.require_terminated = failed(TestTypeId::kUntermBuf);
+    checks.require_size_check = failed(TestTypeId::kTinyWritable);
+    // Buffer semantics imply a mapped pointer even when the hostile probes
+    // happened not to fault (e.g. variants landed on mapped garbage).
+    if (checks.require_writable || checks.require_terminated || checks.require_size_check) {
+      checks.require_mapped = true;
+    }
+    // Opaque-handle roles cannot be told apart by buffer probes (everything
+    // non-handle fails); the annotation names the role, the near-universal
+    // failure profile corroborates it.
+    if (note != nullptr && note->is_file) {
+      checks.require_file = true;
+      checks.require_nonnull = true;
+      checks.require_mapped = true;
+    }
+    if (note != nullptr && note->is_heapptr) {
+      checks.require_heap_pointer = true;
+    }
+    if (note != nullptr && note->is_funcptr) {
+      checks.require_callback = true;
+      checks.require_nonnull = true;
+    }
+    return checks;
+  }
+
+  if (arg.cls == parser::TypeClass::kIntegral) {
+    bool any_failure = false;
+    for (const TypeVerdict& v : arg.verdicts) any_failure = any_failure || v.failed();
+    if (any_failure) {
+      if (note != nullptr && note->range.has_value()) {
+        checks.range = note->range;
+      } else if (!arg.passing_int_values.empty()) {
+        const auto [lo, hi] =
+            std::minmax_element(arg.passing_int_values.begin(), arg.passing_int_values.end());
+        checks.range = {*lo, *hi};
+      } else {
+        checks.range = {0, 0};  // nothing passed: only a degenerate domain is known safe
+      }
+    }
+    return checks;
+  }
+
+  return checks;  // floating/void: no derivable preconditions
+}
+
+Result<RobustSpec> FaultInjector::probe_function(const simlib::SharedLibrary& lib,
+                                                 const std::string& name) {
+  const simlib::Symbol* symbol = lib.find(name);
+  if (symbol == nullptr) {
+    return Error("probe_function: " + lib.soname() + " does not define " + name);
+  }
+  auto page_result = parser::parse_manpage(symbol->manpage);
+  if (!page_result.ok()) {
+    return Error("probe_function: man page of " + name + ": " + page_result.error().message);
+  }
+  const parser::ManPage page = std::move(page_result).take();
+
+  RobustSpec spec;
+  spec.function = name;
+  spec.library = lib.soname();
+  spec.declaration = symbol->declaration;
+
+  if (page.noreturn) {
+    spec.skipped_noreturn = true;
+    return spec;
+  }
+
+  for (std::size_t i = 0; i < page.proto.params.size(); ++i) {
+    ArgSpec arg;
+    arg.index = static_cast<int>(i) + 1;
+    arg.ctype = page.proto.params[i].type.to_string();
+    arg.cls = page.proto.params[i].type.classify();
+
+    for (const TestTypeId id : lattice::test_types_for(arg.cls)) {
+      TypeVerdict verdict;
+      verdict.id = id;
+      for (std::size_t case_index = 0;; ++case_index) {
+        bool case_existed = false;
+        const CallOutcome outcome = run_probe(lib, page, i, id, case_index, case_existed);
+        if (!case_existed) break;
+        ++verdict.probes;
+        ++spec.total_probes;
+        if (outcome.robustness_failure()) {
+          ++verdict.failures;
+          ++spec.total_failures;
+          switch (outcome.kind) {
+            case CallOutcome::Kind::kCrash:
+            case CallOutcome::Kind::kHijack:
+              ++verdict.crashes;
+              ++spec.crashes;
+              break;
+            case CallOutcome::Kind::kHang:
+              ++verdict.hangs;
+              ++spec.hangs;
+              break;
+            case CallOutcome::Kind::kAbort:
+              ++verdict.aborts;
+              ++spec.aborts;
+              break;
+            default:
+              break;
+          }
+          if (verdict.first_failure.empty()) verdict.first_failure = outcome.detail;
+        }
+      }
+      arg.verdicts.push_back(std::move(verdict));
+    }
+
+    // Collect the integral probe values that passed: the weakest safe range
+    // is derived from them when the annotation gives no domain. Integral
+    // test cases are process-independent, so one scratch factory suffices.
+    if (arg.cls == parser::TypeClass::kIntegral) {
+      arg.passing_int_values.clear();
+      linker::Process scratch_proc("values:" + name);
+      Rng scratch_rng(config_.seed);
+      lattice::ValueFactory factory(scratch_proc, scratch_rng);
+      for (const TypeVerdict& v : arg.verdicts) {
+        if (v.failures > 0) continue;
+        for (const lattice::TestCase& test : factory.cases_of(v.id, config_.variants)) {
+          arg.passing_int_values.push_back(test.value.as_int());
+        }
+      }
+    }
+
+    arg.checks = derive_checks(arg, page.arg(arg.index));
+    spec.args.push_back(std::move(arg));
+  }
+
+  return spec;
+}
+
+Result<CampaignResult> FaultInjector::run_campaign(
+    const simlib::SharedLibrary& lib, const std::function<void(const std::string&)>& progress) {
+  CampaignResult result;
+  result.library = lib.soname();
+  result.seed = config_.seed;
+  for (const std::string& name : lib.names()) {
+    if (progress) progress(name);
+    auto spec = probe_function(lib, name);
+    if (!spec.ok()) return spec.error();
+    result.specs.push_back(std::move(spec).take());
+  }
+  return result;
+}
+
+}  // namespace healers::injector

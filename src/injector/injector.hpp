@@ -1,0 +1,69 @@
+// The automated fault-injection driver (paper §2.2, Fig 2).
+//
+// For each function in a library the driver parses its man page (prototype
+// + semantic hints), then probes every argument with every test type of its
+// class: each probe runs in a FRESH simulated process (the analogue of the
+// paper's one-child-per-probe driver) with the remaining arguments held at
+// their safest values, under a reduced step budget (the watchdog timeout).
+// Outcomes are reaped into TypeVerdicts and folded into DerivedChecks —
+// the robust API the wrapper generator consumes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "injector/robust_spec.hpp"
+#include "linker/executable.hpp"
+#include "support/result.hpp"
+
+namespace healers::injector {
+
+struct InjectorConfig {
+  std::uint64_t seed = 42;
+  int variants = 2;                       // random instances of fuzzy test types
+  std::uint64_t probe_step_budget = 2'000'000;  // watchdog per probe
+  std::uint64_t testbed_heap = 256 << 10;
+  std::uint64_t testbed_stack = 64 << 10;
+};
+
+class FaultInjector {
+ public:
+  // The catalog supplies the testbed environment: every probe process loads
+  // all catalog libraries so safe values (e.g. a live FILE*) can be built.
+  FaultInjector(const linker::LibraryCatalog& catalog, InjectorConfig config = {});
+
+  // Probes one function of `lib`. Fails when the man page cannot be parsed
+  // or the symbol does not exist.
+  [[nodiscard]] Result<RobustSpec> probe_function(const simlib::SharedLibrary& lib,
+                                                  const std::string& name);
+
+  // Probes every function in the library (Fig 2's full pipeline). Functions
+  // marked NORETURN are recorded but not probed. `progress`, when set, is
+  // called with each function name before probing.
+  [[nodiscard]] Result<CampaignResult> run_campaign(
+      const simlib::SharedLibrary& lib,
+      const std::function<void(const std::string&)>& progress = {});
+
+  // Probes actually executed so far (across calls) — for throughput benches.
+  [[nodiscard]] std::uint64_t probes_executed() const noexcept { return probes_executed_; }
+
+ private:
+  [[nodiscard]] linker::CallOutcome run_probe(const simlib::SharedLibrary& lib,
+                                              const parser::ManPage& page,
+                                              std::size_t inject_index_0based,
+                                              lattice::TestTypeId id, std::size_t case_index,
+                                              bool& case_existed);
+
+  const linker::LibraryCatalog& catalog_;
+  InjectorConfig config_;
+  Rng rng_;
+  std::uint64_t probes_executed_ = 0;
+};
+
+// Derives the wrapper-enforceable checks from an argument's verdicts (and
+// the annotation, which supplies ranges/roles the probes confirm).
+// Exposed for targeted unit tests.
+[[nodiscard]] DerivedChecks derive_checks(const ArgSpec& arg, const parser::ArgAnnotation* note);
+
+}  // namespace healers::injector

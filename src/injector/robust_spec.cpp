@@ -1,0 +1,290 @@
+#include "injector/robust_spec.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace healers::injector {
+
+const TypeVerdict* ArgSpec::verdict(lattice::TestTypeId id) const noexcept {
+  for (const TypeVerdict& v : verdicts) {
+    if (v.id == id) return &v;
+  }
+  return nullptr;
+}
+
+std::string ArgSpec::safe_type_name() const {
+  if (cls == parser::TypeClass::kPointer) {
+    if (checks.require_file) return "live FILE* from fopen";
+    if (checks.require_heap_pointer) return "live malloc'd pointer";
+    if (checks.require_callback) return "registered callback function pointer";
+    std::vector<std::string> parts;
+    if (checks.require_nonnull) parts.emplace_back("non-NULL");
+    if (checks.require_writable) parts.emplace_back("writable");
+    else if (checks.require_mapped) parts.emplace_back("mapped");
+    if (checks.require_terminated) parts.emplace_back("NUL-terminated");
+    if (parts.empty()) return "any pointer";
+    std::string out;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+      if (i > 0) out += ' ';
+      out += parts[i];
+    }
+    out += " buffer";
+    if (checks.require_size_check) out += " (size-checked)";
+    return out;
+  }
+  if (cls == parser::TypeClass::kIntegral) {
+    if (checks.range.has_value()) {
+      return "int in [" + std::to_string(checks.range->first) + ", " +
+             std::to_string(checks.range->second) + "]";
+    }
+    return "any int";
+  }
+  if (cls == parser::TypeClass::kFloating) return "any double";
+  return "void";
+}
+
+namespace {
+
+void checks_to_xml(const DerivedChecks& checks, xml::Node& node) {
+  xml::Node& el = node.add_child("checks");
+  auto flag = [&el](const char* key, bool value) {
+    if (value) el.set_attr(key, "1");
+  };
+  flag("nonnull", checks.require_nonnull);
+  flag("mapped", checks.require_mapped);
+  flag("writable", checks.require_writable);
+  flag("terminated", checks.require_terminated);
+  flag("size", checks.require_size_check);
+  flag("heapptr", checks.require_heap_pointer);
+  flag("file", checks.require_file);
+  flag("callback", checks.require_callback);
+  if (checks.range.has_value()) {
+    el.set_attr("range_lo", std::to_string(checks.range->first));
+    el.set_attr("range_hi", std::to_string(checks.range->second));
+  }
+}
+
+DerivedChecks checks_from_xml(const xml::Node* el) {
+  DerivedChecks checks;
+  if (el == nullptr) return checks;
+  checks.require_nonnull = el->attr_int("nonnull", 0) != 0;
+  checks.require_mapped = el->attr_int("mapped", 0) != 0;
+  checks.require_writable = el->attr_int("writable", 0) != 0;
+  checks.require_terminated = el->attr_int("terminated", 0) != 0;
+  checks.require_size_check = el->attr_int("size", 0) != 0;
+  checks.require_heap_pointer = el->attr_int("heapptr", 0) != 0;
+  checks.require_file = el->attr_int("file", 0) != 0;
+  checks.require_callback = el->attr_int("callback", 0) != 0;
+  if (el->attr("range_lo") != nullptr && el->attr("range_hi") != nullptr) {
+    checks.range = {el->attr_int("range_lo", 0), el->attr_int("range_hi", 0)};
+  }
+  return checks;
+}
+
+const char* class_name(parser::TypeClass cls) {
+  switch (cls) {
+    case parser::TypeClass::kPointer: return "pointer";
+    case parser::TypeClass::kIntegral: return "integral";
+    case parser::TypeClass::kFloating: return "floating";
+    case parser::TypeClass::kVoid: return "void";
+  }
+  return "?";
+}
+
+parser::TypeClass class_from_name(const std::string& name) {
+  if (name == "pointer") return parser::TypeClass::kPointer;
+  if (name == "floating") return parser::TypeClass::kFloating;
+  if (name == "void") return parser::TypeClass::kVoid;
+  return parser::TypeClass::kIntegral;
+}
+
+// TestTypeId <-> string for serialization: reuse lattice::to_string and a
+// reverse scan over all known ids.
+std::optional<lattice::TestTypeId> test_type_from_name(const std::string& name) {
+  using lattice::TestTypeId;
+  static const TestTypeId kAll[] = {
+      TestTypeId::kIntAsPtr,  TestTypeId::kNull,         TestTypeId::kWildPtr,
+      TestTypeId::kFreedPtr,  TestTypeId::kMisaligned,   TestTypeId::kReadOnlyCString,
+      TestTypeId::kUntermBuf, TestTypeId::kTinyWritable, TestTypeId::kValidWritable,
+      TestTypeId::kValidCString, TestTypeId::kZero,      TestTypeId::kOne,
+      TestTypeId::kNegOne,    TestTypeId::kIntMin,       TestTypeId::kIntMax,
+      TestTypeId::kHugeSize,  TestTypeId::kSmallRange,   TestTypeId::kByteRange,
+      TestTypeId::kFZero,     TestTypeId::kFOne,         TestTypeId::kFNegative,
+      TestTypeId::kFHuge,     TestTypeId::kFNan,         TestTypeId::kFInf};
+  for (const TestTypeId id : kAll) {
+    if (lattice::to_string(id) == name) return id;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+xml::Node RobustSpec::to_xml() const {
+  xml::Node node("robust-spec");
+  node.set_attr("function", function);
+  node.set_attr("library", library);
+  node.set_attr("probes", std::to_string(total_probes));
+  node.set_attr("failures", std::to_string(total_failures));
+  node.set_attr("crashes", std::to_string(crashes));
+  node.set_attr("hangs", std::to_string(hangs));
+  node.set_attr("aborts", std::to_string(aborts));
+  if (skipped_noreturn) node.set_attr("skipped", "noreturn");
+  node.add_text_child("prototype", declaration);
+  for (const ArgSpec& arg : args) {
+    xml::Node& arg_el = node.add_child("arg");
+    arg_el.set_attr("index", std::to_string(arg.index));
+    arg_el.set_attr("ctype", arg.ctype);
+    arg_el.set_attr("class", class_name(arg.cls));
+    arg_el.set_attr("safe-type", arg.safe_type_name());
+    for (const TypeVerdict& v : arg.verdicts) {
+      xml::Node& v_el = arg_el.add_child("verdict");
+      v_el.set_attr("type", lattice::to_string(v.id));
+      v_el.set_attr("probes", std::to_string(v.probes));
+      v_el.set_attr("failures", std::to_string(v.failures));
+      v_el.set_attr("crashes", std::to_string(v.crashes));
+      v_el.set_attr("hangs", std::to_string(v.hangs));
+      v_el.set_attr("aborts", std::to_string(v.aborts));
+      if (!v.first_failure.empty()) v_el.set_attr("first", v.first_failure);
+    }
+    checks_to_xml(arg.checks, arg_el);
+  }
+  return node;
+}
+
+Result<RobustSpec> RobustSpec::from_xml(const xml::Node& node) {
+  if (node.name() != "robust-spec") return Error("expected <robust-spec>");
+  RobustSpec spec;
+  const std::string* function = node.attr("function");
+  if (function == nullptr) return Error("<robust-spec> missing function attribute");
+  spec.function = *function;
+  if (const std::string* library = node.attr("library")) spec.library = *library;
+  spec.total_probes = static_cast<std::uint64_t>(node.attr_int("probes", 0));
+  spec.total_failures = static_cast<std::uint64_t>(node.attr_int("failures", 0));
+  spec.crashes = static_cast<std::uint64_t>(node.attr_int("crashes", 0));
+  spec.hangs = static_cast<std::uint64_t>(node.attr_int("hangs", 0));
+  spec.aborts = static_cast<std::uint64_t>(node.attr_int("aborts", 0));
+  spec.skipped_noreturn = node.attr("skipped") != nullptr;
+  if (const xml::Node* proto = node.child("prototype")) spec.declaration = proto->text();
+  for (const xml::Node* arg_el : node.children_named("arg")) {
+    ArgSpec arg;
+    arg.index = static_cast<int>(arg_el->attr_int("index", 0));
+    if (arg.index < 1) return Error("<arg> with bad index");
+    if (const std::string* ctype = arg_el->attr("ctype")) arg.ctype = *ctype;
+    const std::string* cls = arg_el->attr("class");
+    arg.cls = class_from_name(cls == nullptr ? "integral" : *cls);
+    for (const xml::Node* v_el : arg_el->children_named("verdict")) {
+      TypeVerdict v;
+      const std::string* type_name = v_el->attr("type");
+      if (type_name == nullptr) return Error("<verdict> missing type");
+      const auto id = test_type_from_name(*type_name);
+      if (!id.has_value()) return Error("<verdict> unknown type " + *type_name);
+      v.id = *id;
+      v.probes = static_cast<int>(v_el->attr_int("probes", 0));
+      v.failures = static_cast<int>(v_el->attr_int("failures", 0));
+      v.crashes = static_cast<int>(v_el->attr_int("crashes", 0));
+      v.hangs = static_cast<int>(v_el->attr_int("hangs", 0));
+      v.aborts = static_cast<int>(v_el->attr_int("aborts", 0));
+      if (const std::string* first = v_el->attr("first")) v.first_failure = *first;
+      arg.verdicts.push_back(std::move(v));
+    }
+    arg.checks = checks_from_xml(arg_el->child("checks"));
+    spec.args.push_back(std::move(arg));
+  }
+  return spec;
+}
+
+std::uint64_t CampaignResult::total_probes() const noexcept {
+  std::uint64_t n = 0;
+  for (const RobustSpec& spec : specs) n += spec.total_probes;
+  return n;
+}
+
+std::uint64_t CampaignResult::total_failures() const noexcept {
+  std::uint64_t n = 0;
+  for (const RobustSpec& spec : specs) n += spec.total_failures;
+  return n;
+}
+
+std::size_t CampaignResult::functions_with_failures() const noexcept {
+  std::size_t n = 0;
+  for (const RobustSpec& spec : specs) {
+    if (spec.total_failures > 0) ++n;
+  }
+  return n;
+}
+
+const RobustSpec* CampaignResult::spec(const std::string& function) const noexcept {
+  for (const RobustSpec& s : specs) {
+    if (s.function == function) return &s;
+  }
+  return nullptr;
+}
+
+std::string CampaignResult::to_table() const {
+  std::ostringstream out;
+  out << "robust API derivation for " << library << " (seed " << seed << ")\n";
+  out << "----------------------------------------------------------------------\n";
+  out << "function        probes  fail  crash  hang  abort  derived safe types\n";
+  out << "----------------------------------------------------------------------\n";
+  for (const RobustSpec& spec : specs) {
+    std::string name = spec.function;
+    name.resize(15, ' ');
+    out << name << ' ';
+    if (spec.skipped_noreturn) {
+      out << "   (noreturn: skipped)\n";
+      continue;
+    }
+    auto col = [&out](std::uint64_t v, int width) {
+      std::string s = std::to_string(v);
+      out << std::string(width > static_cast<int>(s.size())
+                             ? static_cast<std::size_t>(width) - s.size()
+                             : 0,
+                         ' ')
+          << s << ' ';
+    };
+    col(spec.total_probes, 6);
+    col(spec.total_failures, 5);
+    col(spec.crashes, 6);
+    col(spec.hangs, 5);
+    col(spec.aborts, 6);
+    out << ' ';
+    bool first = true;
+    for (const ArgSpec& arg : spec.args) {
+      if (!first) out << "; ";
+      out << "a" << arg.index << ": " << arg.safe_type_name();
+      first = false;
+    }
+    if (spec.args.empty()) out << "(no arguments)";
+    out << '\n';
+  }
+  out << "----------------------------------------------------------------------\n";
+  out << "totals: " << specs.size() << " functions, " << total_probes() << " probes, "
+      << total_failures() << " robustness failures in " << functions_with_failures()
+      << " functions\n";
+  return out.str();
+}
+
+xml::Node CampaignResult::to_xml() const {
+  xml::Node node("campaign");
+  node.set_attr("library", library);
+  node.set_attr("seed", std::to_string(seed));
+  for (const RobustSpec& spec : specs) {
+    node.add_child(spec.to_xml());
+  }
+  return node;
+}
+
+Result<CampaignResult> CampaignResult::from_xml(const xml::Node& node) {
+  if (node.name() != "campaign") return Error("expected <campaign>");
+  CampaignResult out;
+  if (const std::string* library = node.attr("library")) out.library = *library;
+  out.seed = static_cast<std::uint64_t>(node.attr_int("seed", 0));
+  for (const xml::Node* spec_el : node.children_named("robust-spec")) {
+    auto spec = RobustSpec::from_xml(*spec_el);
+    if (!spec.ok()) return spec.error();
+    out.specs.push_back(std::move(spec).take());
+  }
+  return out;
+}
+
+}  // namespace healers::injector

@@ -1,0 +1,110 @@
+// Robust-API specifications — the output of fault injection (paper Fig 2:
+// "searching robust argument types ... generates the robust API for a
+// shared library").
+//
+// For every argument of every probed function we record the verdict of each
+// test type (how many probes, how many robustness failures, by outcome
+// kind) and fold the profile into DerivedChecks: the exact preconditions a
+// fault-containment wrapper must enforce so the call cannot crash the
+// process. Specs serialize to self-describing XML (demo §3.1's declaration
+// files carry these) and parse back, so campaigns can run offline and
+// wrapper generation can consume stored specs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "linker/process.hpp"
+#include "parser/ctypes.hpp"
+#include "typelattice/testtype.hpp"
+#include "xml/xml.hpp"
+
+namespace healers::injector {
+
+// Aggregated result of probing one argument with one test type.
+struct TypeVerdict {
+  lattice::TestTypeId id = lattice::TestTypeId::kNull;
+  int probes = 0;
+  int failures = 0;  // crash + hang + abort + hijack
+  int crashes = 0;
+  int hangs = 0;
+  int aborts = 0;
+  std::string first_failure;  // detail of the first failing probe
+
+  [[nodiscard]] bool failed() const noexcept { return failures > 0; }
+};
+
+// The wrapper-enforceable preconditions derived from an argument's profile.
+struct DerivedChecks {
+  bool require_nonnull = false;
+  bool require_mapped = false;      // pointer must be a mapped, readable address
+  bool require_writable = false;    // ... and writable
+  bool require_terminated = false;  // must contain a NUL within the scan cap
+  bool require_size_check = false;  // destination size matters (tiny buffers failed)
+  bool require_heap_pointer = false;  // only live malloc results acceptable
+  bool require_file = false;          // only live FILE* acceptable
+  bool require_callback = false;      // only registered application callbacks
+  std::optional<std::pair<std::int64_t, std::int64_t>> range;  // integral domain
+
+  [[nodiscard]] bool any() const noexcept {
+    return require_nonnull || require_mapped || require_writable || require_terminated ||
+           require_size_check || require_heap_pointer || require_file || require_callback ||
+           range.has_value();
+  }
+};
+
+struct ArgSpec {
+  int index = 0;  // 1-based
+  std::string ctype;
+  parser::TypeClass cls = parser::TypeClass::kIntegral;
+  std::vector<TypeVerdict> verdicts;
+  DerivedChecks checks;
+  // Concrete integral probe values that did NOT fail — the raw material for
+  // range derivation. Campaign-internal; not serialized.
+  std::vector<std::int64_t> passing_int_values;
+
+  // Human name of the weakest safe argument type, e.g.
+  // "non-NULL writable NUL-terminated buffer (size-checked)".
+  [[nodiscard]] std::string safe_type_name() const;
+  [[nodiscard]] const TypeVerdict* verdict(lattice::TestTypeId id) const noexcept;
+};
+
+struct RobustSpec {
+  std::string function;
+  std::string library;
+  std::string declaration;  // canonical prototype text
+  std::vector<ArgSpec> args;
+  std::uint64_t total_probes = 0;
+  std::uint64_t total_failures = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t hangs = 0;
+  std::uint64_t aborts = 0;
+  bool skipped_noreturn = false;  // exit/abort are not probed
+
+  [[nodiscard]] xml::Node to_xml() const;
+  [[nodiscard]] static Result<RobustSpec> from_xml(const xml::Node& node);
+};
+
+// A whole library's campaign output.
+struct CampaignResult {
+  std::string library;
+  std::uint64_t seed = 0;
+  std::vector<RobustSpec> specs;
+
+  [[nodiscard]] std::uint64_t total_probes() const noexcept;
+  [[nodiscard]] std::uint64_t total_failures() const noexcept;
+  [[nodiscard]] std::size_t functions_with_failures() const noexcept;
+
+  [[nodiscard]] const RobustSpec* spec(const std::string& function) const noexcept;
+
+  // The Fig 2 report: one row per function with probe/failure counts and
+  // the derived safe types.
+  [[nodiscard]] std::string to_table() const;
+  [[nodiscard]] xml::Node to_xml() const;
+  [[nodiscard]] static Result<CampaignResult> from_xml(const xml::Node& node);
+};
+
+}  // namespace healers::injector

@@ -1,0 +1,76 @@
+// Simulated executables and the application-centric inspection of demo §3.2
+// (paper Fig 4): given an executable, extract the list of libraries it links
+// against and the list of undefined functions it imports, then map each
+// undefined function to the library that would resolve it.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "linker/process.hpp"
+#include "simlib/library.hpp"
+
+namespace healers::linker {
+
+// The ELF-shaped view of an application: a name, its DT_NEEDED list, its
+// undefined (imported) symbols, and an entry point. `undefined` is what a
+// real toolkit reads with nm -D --undefined-only; here app authors declare
+// it, and validate_executable() below cross-checks it against the entry
+// point's actual calls.
+struct Executable {
+  std::string name;
+  std::vector<std::string> needed;     // sonames, resolution order
+  std::vector<std::string> undefined;  // imported function symbols
+  std::function<int(Process&)> entry;  // "main"
+};
+
+// One row of the Fig 4 report: an undefined symbol and where it resolves.
+struct SymbolResolution {
+  std::string symbol;
+  std::string provider;  // soname, or "" when unresolved
+};
+
+// The whole Fig 4 view for one executable.
+struct LinkMap {
+  std::string executable;
+  std::vector<std::string> linked_libraries;    // needed, in order
+  std::vector<SymbolResolution> resolutions;    // one per undefined symbol
+  std::vector<std::string> unresolved;          // subset with no provider
+
+  [[nodiscard]] std::string to_text() const;  // human-readable rendering
+};
+
+// A catalogue of installed libraries ("list all libraries in the system",
+// demo §3.1) keyed by soname.
+class LibraryCatalog {
+ public:
+  void install(const simlib::SharedLibrary* lib);
+  [[nodiscard]] const simlib::SharedLibrary* find(const std::string& soname) const;
+  [[nodiscard]] std::vector<std::string> sonames() const;
+
+ private:
+  std::map<std::string, const simlib::SharedLibrary*> libraries_;
+};
+
+// Builds the Fig 4 link map for an executable against a catalog.
+[[nodiscard]] LinkMap inspect_executable(const Executable& exe, const LibraryCatalog& catalog);
+
+// Creates a ready-to-run process for the executable: loads its needed
+// libraries from the catalog (throws std::runtime_error when one is
+// missing) and applies the given preloads outermost-first.
+[[nodiscard]] std::unique_ptr<Process> spawn(const Executable& exe, const LibraryCatalog& catalog,
+                                             std::vector<InterpositionPtr> preloads = {},
+                                             mem::MachineConfig config = {});
+
+// Dynamic cross-check of an executable's declared import list: runs the
+// entry point once under a tracing interposition and reports library
+// symbols it actually called that are MISSING from `undefined` (stale
+// import lists are how Fig 4 views rot). The run's own outcome is returned
+// through `outcome` when non-null.
+[[nodiscard]] std::vector<std::string> validate_executable(const Executable& exe,
+                                                           const LibraryCatalog& catalog,
+                                                           CallOutcome* outcome = nullptr);
+
+}  // namespace healers::linker

@@ -1,0 +1,44 @@
+// Interposition interface between the dynamic linker and wrapper libraries.
+//
+// A preloaded wrapper (paper §2.1, Fig 1) sits between the application and
+// the shared libraries: every intercepted call runs the wrapper's logic,
+// which may check arguments, collect statistics, veto the call, or forward
+// to the next layer (another wrapper, or the base library function) — the
+// simulated analogue of dlsym(RTLD_NEXT).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "simlib/value.hpp"
+
+namespace healers::linker {
+
+// Invokes the next layer in the interposition chain with (possibly modified)
+// arguments; ultimately the base library function.
+using NextFn = std::function<simlib::SimValue(simlib::CallContext&)>;
+
+class Interposition {
+ public:
+  virtual ~Interposition() = default;
+
+  // Wrapper library name shown in link maps and reports
+  // (e.g. "security-wrapper", "profiling-wrapper").
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  // True when this wrapper interposes on `symbol`. Non-wrapped symbols
+  // bypass the layer entirely — the paper's "pay only for the protection an
+  // application actually needs".
+  [[nodiscard]] virtual bool wraps(const std::string& symbol) const = 0;
+
+  // Around-advice for one call: run prefix logic, call next(ctx) zero or one
+  // times, run postfix logic, return the result. Throwing SimAbort here
+  // terminates the process (the security wrapper's response to an attack).
+  virtual simlib::SimValue call(const std::string& symbol, simlib::CallContext& ctx,
+                                const NextFn& next) = 0;
+};
+
+using InterpositionPtr = std::shared_ptr<Interposition>;
+
+}  // namespace healers::linker

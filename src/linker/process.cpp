@@ -1,0 +1,155 @@
+#include "linker/process.hpp"
+
+#include <stdexcept>
+
+namespace healers::linker {
+
+std::string CallOutcome::to_string() const {
+  switch (kind) {
+    case Kind::kReturned:
+      return "returned " + ret.to_string();
+    case Kind::kCrash:
+      return "crash (" + healers::to_string(signal) + "): " + detail;
+    case Kind::kHang:
+      return "hang: " + detail;
+    case Kind::kAbort:
+      return "abort: " + detail;
+    case Kind::kExit:
+      return "exit " + std::to_string(exit_code);
+    case Kind::kHijack:
+      return "HIJACKED: " + detail;
+  }
+  return "?";
+}
+
+Process::Process(std::string name, mem::MachineConfig config)
+    : name_(std::move(name)), machine_(config) {}
+
+void Process::load_library(const simlib::SharedLibrary* lib) {
+  if (lib == nullptr) throw std::invalid_argument("Process::load_library: null library");
+  libraries_.push_back(lib);
+  // Populate GOT slots for the library's exports (lazy binding is not
+  // modeled; all slots bind at load, as with LD_BIND_NOW).
+  for (const std::string& symbol : lib->names()) {
+    machine_.define_got_slot(symbol);
+  }
+}
+
+void Process::preload(InterpositionPtr wrapper) {
+  if (wrapper == nullptr) throw std::invalid_argument("Process::preload: null wrapper");
+  preloads_.push_back(std::move(wrapper));
+}
+
+const simlib::Symbol* Process::resolve(const std::string& symbol) const {
+  for (const simlib::SharedLibrary* lib : libraries_) {
+    if (const simlib::Symbol* found = lib->find(symbol)) return found;
+  }
+  return nullptr;
+}
+
+simlib::SimValue Process::dispatch(const std::string& symbol, simlib::CallContext& ctx,
+                                   std::size_t layer) {
+  // Find the next preloaded wrapper (at or after `layer`) that wraps this
+  // symbol; when none remain, call the base library function.
+  for (std::size_t i = layer; i < preloads_.size(); ++i) {
+    if (!preloads_[i]->wraps(symbol)) continue;
+    const NextFn next = [this, &symbol, i](simlib::CallContext& inner) {
+      return dispatch(symbol, inner, i + 1);
+    };
+    return preloads_[i]->call(symbol, ctx, next);
+  }
+  const simlib::Symbol* base = resolve(symbol);
+  if (base == nullptr) {
+    // Unresolved at call time: the loader would have refused to start; for a
+    // running process this is the closest analogue of a PLT failure.
+    throw AccessFault(FaultKind::kSegv, 0, "unresolved symbol " + symbol);
+  }
+  return base->fn(ctx);
+}
+
+simlib::SimValue Process::call(const std::string& symbol, std::vector<simlib::SimValue> args) {
+  // The GOT hop: validates that the slot still points at real code. An
+  // attacker-rewritten slot raises ControlFlowHijack here — *before* any
+  // wrapper or library code runs, like a hijacked PLT jump. Symbols with no
+  // slot (nothing loaded defines them) fall through to dispatch, which
+  // reports the unresolved-symbol crash.
+  const std::string target =
+      machine_.has_got_slot(symbol) ? machine_.call_through_got(symbol) : symbol;
+  ++calls_dispatched_;
+  simlib::CallContext ctx{machine_, state_, std::move(args)};
+  return dispatch(target, ctx, 0);
+}
+
+CallOutcome Process::supervised_call(const std::string& symbol,
+                                     std::vector<simlib::SimValue> args) {
+  CallOutcome outcome;
+  try {
+    outcome.ret = call(symbol, std::move(args));
+    outcome.kind = CallOutcome::Kind::kReturned;
+  } catch (const AccessFault& fault) {
+    outcome.kind = CallOutcome::Kind::kCrash;
+    outcome.signal = fault.kind();
+    outcome.detail = fault.what();
+  } catch (const SimHang& hang) {
+    outcome.kind = CallOutcome::Kind::kHang;
+    outcome.detail = hang.what();
+  } catch (const SimAbort& abort_) {
+    outcome.kind = CallOutcome::Kind::kAbort;
+    outcome.detail = abort_.reason();
+  } catch (const ControlFlowHijack& hijack) {
+    outcome.kind = CallOutcome::Kind::kHijack;
+    outcome.detail = hijack.detail();
+  } catch (const SimExit& exit_) {
+    outcome.kind = CallOutcome::Kind::kExit;
+    outcome.exit_code = exit_.code();
+  }
+  return outcome;
+}
+
+CallOutcome Process::run(const std::function<int(Process&)>& program) {
+  CallOutcome outcome;
+  try {
+    outcome.exit_code = program(*this);
+    outcome.kind = CallOutcome::Kind::kExit;
+  } catch (const AccessFault& fault) {
+    outcome.kind = CallOutcome::Kind::kCrash;
+    outcome.signal = fault.kind();
+    outcome.detail = fault.what();
+  } catch (const SimHang& hang) {
+    outcome.kind = CallOutcome::Kind::kHang;
+    outcome.detail = hang.what();
+  } catch (const SimAbort& abort_) {
+    outcome.kind = CallOutcome::Kind::kAbort;
+    outcome.detail = abort_.reason();
+  } catch (const ControlFlowHijack& hijack) {
+    outcome.kind = CallOutcome::Kind::kHijack;
+    outcome.detail = hijack.detail();
+  } catch (const SimExit& exit_) {
+    outcome.kind = CallOutcome::Kind::kExit;
+    outcome.exit_code = exit_.code();
+  }
+  return outcome;
+}
+
+mem::Addr Process::alloc_cstring(const std::string& text) {
+  const mem::Addr addr = machine_.heap().malloc(text.size() + 1);
+  if (addr == 0) throw std::runtime_error("Process::alloc_cstring: simulated heap exhausted");
+  machine_.mem().write_cstring(addr, text);
+  return addr;
+}
+
+mem::Addr Process::scratch(std::uint64_t size, mem::Perm perm, const std::string& label) {
+  return machine_.mem().map(size, perm, mem::RegionKind::kScratch, label).base;
+}
+
+mem::Addr Process::rodata_cstring(const std::string& text) {
+  return machine_.intern_string(text);
+}
+
+mem::Addr Process::register_callback(const std::string& name, simlib::CFunction fn) {
+  const mem::Addr addr = machine_.register_code("callback:" + name);
+  state_.callbacks[addr] = std::move(fn);
+  return addr;
+}
+
+}  // namespace healers::linker

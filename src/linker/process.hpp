@@ -1,0 +1,122 @@
+// Simulated process + dynamic link loader.
+//
+// A Process owns one simulated machine and C-runtime state, a list of loaded
+// shared libraries (searched in load order, like DT_NEEDED resolution), and
+// a preload list of wrapper interpositions (outermost first, like
+// LD_PRELOAD). Calls go:
+//
+//     app --> GOT slot --> [wrapper, wrapper, ...] --> base library function
+//
+// The GOT hop is the hijack oracle: each symbol gets a writable 8-byte slot
+// holding its code address, and every call validates the slot before
+// dispatch — so a heap-unlink or stack-smash that rewrites a slot turns the
+// *next* call into a ControlFlowHijack, exactly like a GOT-overwrite exploit.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "linker/interpose.hpp"
+#include "memmodel/machine.hpp"
+#include "simlib/library.hpp"
+#include "simlib/libstate.hpp"
+
+namespace healers::linker {
+
+// Terminal result of a supervised call or program run — the data the
+// fault-injection driver reaps from a probe (paper Fig 2).
+struct CallOutcome {
+  enum class Kind : std::uint8_t {
+    kReturned,  // normal return (value in `ret`)
+    kCrash,     // AccessFault (signal in `signal`)
+    kHang,      // step budget exhausted
+    kAbort,     // SimAbort (library- or wrapper-initiated termination)
+    kExit,      // orderly exit() (status in `exit_code`)
+    kHijack,    // control flow left the program (successful exploit)
+  };
+
+  Kind kind = Kind::kReturned;
+  simlib::SimValue ret = simlib::SimValue::integer(0);
+  FaultKind signal = FaultKind::kSegv;
+  int exit_code = 0;
+  std::string detail;
+
+  [[nodiscard]] bool robustness_failure() const noexcept {
+    return kind == Kind::kCrash || kind == Kind::kHang || kind == Kind::kAbort ||
+           kind == Kind::kHijack;
+  }
+  [[nodiscard]] std::string to_string() const;
+};
+
+class Process {
+ public:
+  explicit Process(std::string name, mem::MachineConfig config = {});
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] mem::Machine& machine() noexcept { return machine_; }
+  [[nodiscard]] simlib::LibState& state() noexcept { return state_; }
+
+  // --- loading ---
+  // Loads a shared library (non-owning; the library must outlive the
+  // process). Resolution searches libraries in load order. Defines a GOT
+  // slot for every symbol the library exports.
+  void load_library(const simlib::SharedLibrary* lib);
+  // Prepends/appends a wrapper to the preload list. Wrappers preloaded
+  // earlier are outermost (first to see the call), matching LD_PRELOAD.
+  void preload(InterpositionPtr wrapper);
+  [[nodiscard]] const std::vector<const simlib::SharedLibrary*>& libraries() const noexcept {
+    return libraries_;
+  }
+  [[nodiscard]] const std::vector<InterpositionPtr>& preloads() const noexcept {
+    return preloads_;
+  }
+
+  // First library defining `symbol`, or nullptr.
+  [[nodiscard]] const simlib::Symbol* resolve(const std::string& symbol) const;
+
+  // --- calling ---
+  // Raw call: interposition chain runs; faults propagate as exceptions.
+  // This is what application code uses, so that a crash inside any call
+  // unwinds the whole simulated program.
+  simlib::SimValue call(const std::string& symbol, std::vector<simlib::SimValue> args);
+
+  // Supervised call: like call(), but faults are reaped into a CallOutcome.
+  CallOutcome supervised_call(const std::string& symbol, std::vector<simlib::SimValue> args);
+
+  // Runs a whole simulated program under supervision. The program's int
+  // return becomes kExit with that status; faults are reaped as above.
+  CallOutcome run(const std::function<int(Process&)>& program);
+
+  // --- convenience for app/test code (not part of the libc surface) ---
+  // Heap-allocates and fills a NUL-terminated string; throws on OOM.
+  mem::Addr alloc_cstring(const std::string& text);
+  // Maps a dedicated scratch region (exact size, fault-bounded on both
+  // ends thanks to guard gaps) — the injector's precise test buffers.
+  mem::Addr scratch(std::uint64_t size, mem::Perm perm = mem::Perm::kReadWrite,
+                    const std::string& label = "scratch");
+  // Read-only string (interned into rodata).
+  mem::Addr rodata_cstring(const std::string& text);
+
+  // Registers an application callback (e.g. a qsort comparator): allocates
+  // a code address for `name` and binds `fn` to it in the C runtime's
+  // callback table. The returned address is what the app passes as a
+  // function-pointer argument.
+  mem::Addr register_callback(const std::string& name, simlib::CFunction fn);
+
+  // Number of calls dispatched through this process (all symbols).
+  [[nodiscard]] std::uint64_t calls_dispatched() const noexcept { return calls_dispatched_; }
+
+ private:
+  simlib::SimValue dispatch(const std::string& symbol, simlib::CallContext& ctx,
+                            std::size_t layer);
+
+  std::string name_;
+  mem::Machine machine_;
+  simlib::LibState state_;
+  std::vector<const simlib::SharedLibrary*> libraries_;
+  std::vector<InterpositionPtr> preloads_;
+  std::uint64_t calls_dispatched_ = 0;
+};
+
+}  // namespace healers::linker

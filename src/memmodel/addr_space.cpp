@@ -1,0 +1,174 @@
+#include "memmodel/addr_space.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace healers::mem {
+
+namespace {
+
+// Base of the simulated mappable range; below this everything faults, which
+// makes small-integer "pointers" (including NULL and NULL+offset) invalid, as
+// on a real OS with a protected zero page.
+constexpr Addr kFirstBase = 0x10000;
+// Guard gap between consecutive mappings.
+constexpr Addr kGuardGap = 0x1000;
+
+}  // namespace
+
+AddressSpace::AddressSpace() : next_base_(kFirstBase) {}
+
+Region& AddressSpace::map(std::uint64_t size, Perm perm, RegionKind kind, std::string label) {
+  if (size == 0) throw std::invalid_argument("AddressSpace::map: zero-size region");
+  const Addr base = next_base_;
+  next_base_ += size + kGuardGap;
+  // Round the next base up to a page-ish boundary for readable addresses.
+  next_base_ = (next_base_ + 0xFFF) & ~Addr{0xFFF};
+  return map_at(base, size, perm, kind, std::move(label));
+}
+
+Region& AddressSpace::map_at(Addr base, std::uint64_t size, Perm perm, RegionKind kind,
+                             std::string label) {
+  if (size == 0) throw std::invalid_argument("AddressSpace::map_at: zero-size region");
+  // Reject overlap: find the first region at or after base, and the one
+  // before it.
+  auto after = regions_.lower_bound(base);
+  if (after != regions_.end() && base + size > after->second.base) {
+    throw std::invalid_argument("AddressSpace::map_at: overlaps region " + after->second.label);
+  }
+  if (after != regions_.begin()) {
+    const auto& prev = std::prev(after)->second;
+    if (prev.end() > base) {
+      throw std::invalid_argument("AddressSpace::map_at: overlaps region " + prev.label);
+    }
+  }
+  Region region;
+  region.base = base;
+  region.size = size;
+  region.perm = perm;
+  region.kind = kind;
+  region.label = std::move(label);
+  region.bytes.assign(size, std::byte{0});
+  auto [it, inserted] = regions_.emplace(base, std::move(region));
+  (void)inserted;
+  return it->second;
+}
+
+void AddressSpace::unmap(Addr base) {
+  if (regions_.erase(base) == 0) {
+    throw std::invalid_argument("AddressSpace::unmap: no region at base");
+  }
+}
+
+const Region* AddressSpace::find(Addr addr) const noexcept {
+  auto it = regions_.upper_bound(addr);
+  if (it == regions_.begin()) return nullptr;
+  const Region& region = std::prev(it)->second;
+  return region.contains(addr) ? &region : nullptr;
+}
+
+Region* AddressSpace::find(Addr addr) noexcept {
+  return const_cast<Region*>(static_cast<const AddressSpace*>(this)->find(addr));
+}
+
+void AddressSpace::protect(Addr base, Perm perm) {
+  auto it = regions_.find(base);
+  if (it == regions_.end()) {
+    throw std::invalid_argument("AddressSpace::protect: no region at base");
+  }
+  it->second.perm = perm;
+}
+
+const Region& AddressSpace::checked(Addr addr, std::uint64_t len, Perm want) const {
+  const Region* region = find(addr);
+  if (region == nullptr) {
+    throw AccessFault(FaultKind::kSegv, addr, "unmapped address");
+  }
+  if (!allows(region->perm, want)) {
+    throw AccessFault(FaultKind::kSegv, addr,
+                      std::string("permission violation in region '") + region->label + "'");
+  }
+  if (len > region->size - (addr - region->base)) {
+    throw AccessFault(FaultKind::kSegv, region->end(),
+                      "access of " + std::to_string(len) + " bytes runs past region '" +
+                          region->label + "'");
+  }
+  return *region;
+}
+
+Region& AddressSpace::checked_mut(Addr addr, std::uint64_t len, Perm want) {
+  return const_cast<Region&>(checked(addr, len, want));
+}
+
+std::uint8_t AddressSpace::load8(Addr addr) const {
+  const Region& region = checked(addr, 1, Perm::kRead);
+  return std::to_integer<std::uint8_t>(region.bytes[addr - region.base]);
+}
+
+void AddressSpace::store8(Addr addr, std::uint8_t value) {
+  Region& region = checked_mut(addr, 1, Perm::kWrite);
+  region.bytes[addr - region.base] = std::byte{value};
+}
+
+std::uint64_t AddressSpace::load64(Addr addr) const {
+  const Region& region = checked(addr, 8, Perm::kRead);
+  std::uint64_t value = 0;
+  const std::size_t off = addr - region.base;
+  for (int i = 7; i >= 0; --i) {
+    value = (value << 8) | std::to_integer<std::uint64_t>(region.bytes[off + static_cast<std::size_t>(i)]);
+  }
+  return value;
+}
+
+void AddressSpace::store64(Addr addr, std::uint64_t value) {
+  Region& region = checked_mut(addr, 8, Perm::kWrite);
+  const std::size_t off = addr - region.base;
+  for (std::size_t i = 0; i < 8; ++i) {
+    region.bytes[off + i] = std::byte{static_cast<std::uint8_t>(value >> (8 * i))};
+  }
+}
+
+std::vector<std::byte> AddressSpace::read_bytes(Addr addr, std::uint64_t len) const {
+  if (len == 0) return {};
+  const Region& region = checked(addr, len, Perm::kRead);
+  const std::size_t off = addr - region.base;
+  return {region.bytes.begin() + static_cast<std::ptrdiff_t>(off),
+          region.bytes.begin() + static_cast<std::ptrdiff_t>(off + len)};
+}
+
+void AddressSpace::write_bytes(Addr addr, const std::byte* data, std::uint64_t len) {
+  if (len == 0) return;
+  Region& region = checked_mut(addr, len, Perm::kWrite);
+  std::memcpy(region.bytes.data() + (addr - region.base), data, len);
+}
+
+std::string AddressSpace::read_cstring(Addr addr, std::uint64_t max_len) const {
+  std::string out;
+  for (std::uint64_t i = 0; i < max_len; ++i) {
+    const std::uint8_t byte = load8(addr + i);
+    if (byte == 0) return out;
+    out += static_cast<char>(byte);
+  }
+  throw AccessFault(FaultKind::kSegv, addr + max_len,
+                    "unterminated string scan exceeded " + std::to_string(max_len) + " bytes");
+}
+
+void AddressSpace::write_cstring(Addr addr, std::string_view text) {
+  check(addr, text.size() + 1, Perm::kWrite);
+  write_bytes(addr, reinterpret_cast<const std::byte*>(text.data()), text.size());
+  store8(addr + text.size(), 0);
+}
+
+void AddressSpace::check(Addr addr, std::uint64_t len, Perm want) const {
+  if (len == 0) return;
+  (void)checked(addr, len, want);
+}
+
+bool AddressSpace::accessible(Addr addr, std::uint64_t len, Perm want) const noexcept {
+  if (len == 0) return true;
+  const Region* region = find(addr);
+  if (region == nullptr || !allows(region->perm, want)) return false;
+  return len <= region->size - (addr - region->base);
+}
+
+}  // namespace healers::mem

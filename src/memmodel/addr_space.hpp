@@ -1,0 +1,126 @@
+// Simulated address space.
+//
+// This is the substrate that replaces hardware memory protection in the
+// paper's setup (DESIGN.md, substitution table). Library code in simlib/
+// performs every load and store through this class; the first access outside
+// a mapped region, or against region permissions, raises AccessFault at
+// exactly the point a real process would have received SIGSEGV.
+//
+// Regions are mapped with guard gaps between them so that off-by-one and
+// runaway accesses land in unmapped space rather than silently hitting a
+// neighbouring mapping. The heap is deliberately a *single* region (see
+// heap.hpp): overflow between allocations must corrupt silently, as it does
+// on a real chunked allocator.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/faults.hpp"
+
+namespace healers::mem {
+
+using Addr = std::uint64_t;
+
+enum class Perm : std::uint8_t {
+  kNone = 0,
+  kRead = 1,
+  kWrite = 2,
+  kReadWrite = 3,
+};
+
+[[nodiscard]] constexpr bool allows(Perm have, Perm want) noexcept {
+  return (static_cast<std::uint8_t>(have) & static_cast<std::uint8_t>(want)) ==
+         static_cast<std::uint8_t>(want);
+}
+
+enum class RegionKind : std::uint8_t {
+  kHeapArena,
+  kStack,
+  kRodata,   // string literals, read-only tables
+  kData,     // writable globals, simulated GOT
+  kScratch,  // injector-provisioned test buffers
+};
+
+struct Region {
+  Addr base = 0;
+  std::uint64_t size = 0;
+  Perm perm = Perm::kNone;
+  RegionKind kind = RegionKind::kScratch;
+  std::string label;
+  std::vector<std::byte> bytes;
+
+  [[nodiscard]] bool contains(Addr addr) const noexcept {
+    return addr >= base && addr - base < size;
+  }
+  [[nodiscard]] Addr end() const noexcept { return base + size; }
+};
+
+class AddressSpace {
+ public:
+  AddressSpace();
+
+  // Maps a fresh region of `size` bytes (zero-filled). Base addresses are
+  // assigned by a bump allocator with guard gaps. size must be > 0.
+  Region& map(std::uint64_t size, Perm perm, RegionKind kind, std::string label);
+
+  // Maps at a caller-chosen base (used by tests to build precise layouts).
+  // Throws std::invalid_argument on overlap with an existing region.
+  Region& map_at(Addr base, std::uint64_t size, Perm perm, RegionKind kind, std::string label);
+
+  // Unmaps the region with the given base. Subsequent accesses fault.
+  void unmap(Addr base);
+
+  // Region lookup; nullptr when the address is unmapped.
+  [[nodiscard]] const Region* find(Addr addr) const noexcept;
+  [[nodiscard]] Region* find(Addr addr) noexcept;
+
+  [[nodiscard]] std::size_t region_count() const noexcept { return regions_.size(); }
+
+  // Changes the permissions of an existing region (simulated mprotect).
+  void protect(Addr base, Perm perm);
+
+  // --- Access API (every call is one simulated access) ---
+  // All of these throw AccessFault on unmapped addresses, permission
+  // violations, or ranges that cross a region boundary.
+
+  [[nodiscard]] std::uint8_t load8(Addr addr) const;
+  void store8(Addr addr, std::uint8_t value);
+  [[nodiscard]] std::uint64_t load64(Addr addr) const;  // little-endian
+  void store64(Addr addr, std::uint64_t value);
+
+  // Bulk helpers (bounds-checked as a whole, then copied).
+  [[nodiscard]] std::vector<std::byte> read_bytes(Addr addr, std::uint64_t len) const;
+  void write_bytes(Addr addr, const std::byte* data, std::uint64_t len);
+
+  // Reads a NUL-terminated string starting at addr, faulting if the scan
+  // leaves mapped readable memory before a NUL. max_len bounds the scan so a
+  // missing terminator in a huge region surfaces as a hang upstream.
+  [[nodiscard]] std::string read_cstring(Addr addr, std::uint64_t max_len = 1 << 20) const;
+
+  // Copies a host string (plus NUL) into simulated memory.
+  void write_cstring(Addr addr, std::string_view text);
+
+  // Validates an access without performing it.
+  void check(Addr addr, std::uint64_t len, Perm want) const;
+
+  // True iff [addr, addr+len) is mapped with the requested permission.
+  [[nodiscard]] bool accessible(Addr addr, std::uint64_t len, Perm want) const noexcept;
+
+  // An address guaranteed unmapped forever (wild-pointer test value).
+  [[nodiscard]] static constexpr Addr wild_pointer() noexcept { return 0xdeadbeef000ULL; }
+
+ private:
+  // Throws AccessFault unless [addr, addr+len) lies in one region with perm.
+  const Region& checked(Addr addr, std::uint64_t len, Perm want) const;
+  Region& checked_mut(Addr addr, std::uint64_t len, Perm want);
+
+  std::map<Addr, Region> regions_;  // keyed by base
+  Addr next_base_;
+};
+
+}  // namespace healers::mem

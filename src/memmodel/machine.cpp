@@ -1,0 +1,108 @@
+#include "memmodel/machine.hpp"
+
+#include <stdexcept>
+
+namespace healers::mem {
+
+namespace {
+constexpr std::uint64_t kRodataSize = 256 << 10;
+constexpr std::uint64_t kTextSize = 64 << 10;
+constexpr std::uint64_t kGotSize = 8 << 10;
+constexpr std::uint64_t kCodeStride = 16;  // pseudo function entry spacing
+}  // namespace
+
+Machine::Machine(MachineConfig config) : config_(config) {
+  // Map text and rodata first so they sit at low, stable addresses.
+  Region& text = space_.map(kTextSize, Perm::kRead, RegionKind::kRodata, "text");
+  text_base_ = text.base;
+  text_next_ = 0;
+
+  Region& rodata = space_.map(kRodataSize, Perm::kRead, RegionKind::kRodata, "rodata");
+  rodata_base_ = rodata.base;
+  rodata_size_ = kRodataSize;
+
+  Region& got = space_.map(kGotSize, Perm::kReadWrite, RegionKind::kData, "got");
+  got_base_ = got.base;
+  got_capacity_ = kGotSize;
+
+  heap_ = std::make_unique<Heap>(space_, config_.heap_size);
+  stack_ = std::make_unique<Stack>(space_, config_.stack_size);
+}
+
+void Machine::tick(std::uint64_t n) {
+  steps_ += n;
+  cycles_ += n;
+  if (steps_ > config_.step_budget) {
+    throw SimHang(config_.step_budget);
+  }
+}
+
+Addr Machine::intern_string(const std::string& text) {
+  if (auto it = interned_.find(text); it != interned_.end()) return it->second;
+  const std::uint64_t need = text.size() + 1;
+  if (rodata_used_ + need > rodata_size_) {
+    throw std::runtime_error("Machine: rodata segment exhausted");
+  }
+  const Addr addr = rodata_base_ + rodata_used_;
+  // rodata is mapped read-only; write through the region directly (this is
+  // the loader populating the segment, not simulated program code).
+  Region* region = space_.find(addr);
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    region->bytes[addr - region->base + i] = std::byte{static_cast<std::uint8_t>(text[i])};
+  }
+  region->bytes[addr - region->base + text.size()] = std::byte{0};
+  rodata_used_ += need;
+  interned_.emplace(text, addr);
+  return addr;
+}
+
+Addr Machine::register_code(const std::string& name) {
+  if (auto it = code_by_name_.find(name); it != code_by_name_.end()) return it->second;
+  if (text_next_ + kCodeStride > kTextSize) {
+    throw std::runtime_error("Machine: text segment exhausted");
+  }
+  const Addr addr = text_base_ + text_next_;
+  text_next_ += kCodeStride;
+  code_by_name_.emplace(name, addr);
+  name_by_code_.emplace(addr, name);
+  return addr;
+}
+
+std::optional<std::string> Machine::resolve_code(Addr addr) const {
+  auto it = name_by_code_.find(addr);
+  if (it == name_by_code_.end()) return std::nullopt;
+  return it->second;
+}
+
+Addr Machine::define_got_slot(const std::string& name) {
+  if (auto it = got_slots_.find(name); it != got_slots_.end()) return it->second;
+  if (got_next_ + 8 > got_capacity_) {
+    throw std::runtime_error("Machine: GOT exhausted");
+  }
+  const Addr slot = got_base_ + got_next_;
+  got_next_ += 8;
+  space_.store64(slot, register_code(name));
+  got_slots_.emplace(name, slot);
+  return slot;
+}
+
+Addr Machine::got_slot(const std::string& name) const {
+  auto it = got_slots_.find(name);
+  if (it == got_slots_.end()) {
+    throw std::invalid_argument("Machine: no GOT slot for " + name);
+  }
+  return it->second;
+}
+
+std::string Machine::call_through_got(const std::string& name) {
+  const Addr slot = got_slot(name);
+  const Addr target = space_.load64(slot);
+  tick();
+  if (auto callee = resolve_code(target)) {
+    return *callee;
+  }
+  throw ControlFlowHijack("indirect call through GOT slot '" + name + "' jumped to 0x" +
+                          std::to_string(target) + " (not program code)");
+}
+
+}  // namespace healers::mem

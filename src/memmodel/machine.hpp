@@ -1,0 +1,120 @@
+// The simulated machine: one address space + heap + stack + the three
+// oracles the paper's fault-injection driver relied on, made deterministic:
+//
+//   * crash oracle  — AccessFault from the address space (SIGSEGV analogue),
+//   * hang oracle   — a step budget; library loops call tick() per unit of
+//                     work and SimHang fires when the budget is exhausted
+//                     (the driver's watchdog timeout analogue),
+//   * hijack oracle — a simulated GOT of named function-pointer slots; an
+//                     indirect call through a slot whose value no longer
+//                     names registered code raises ControlFlowHijack (the
+//                     "attacker got a shell" outcome of demo §3.4).
+//
+// It also carries the per-process errno cell and a virtual cycle counter
+// (the rdtsc analogue read by the profiling micro-generator, Fig 3).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "memmodel/addr_space.hpp"
+#include "memmodel/heap.hpp"
+#include "memmodel/stack.hpp"
+
+namespace healers::mem {
+
+struct MachineConfig {
+  std::uint64_t heap_size = 1 << 20;   // 1 MiB arena
+  std::uint64_t stack_size = 64 << 10; // 64 KiB
+  std::uint64_t step_budget = 10'000'000;  // SimHang beyond this many steps
+};
+
+class Machine {
+ public:
+  explicit Machine(MachineConfig config = {});
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  [[nodiscard]] AddressSpace& mem() noexcept { return space_; }
+  [[nodiscard]] const AddressSpace& mem() const noexcept { return space_; }
+  [[nodiscard]] Heap& heap() noexcept { return *heap_; }
+  [[nodiscard]] Stack& stack() noexcept { return *stack_; }
+  [[nodiscard]] const Heap& heap() const noexcept { return *heap_; }
+  [[nodiscard]] const Stack& stack() const noexcept { return *stack_; }
+
+  // --- hang oracle ---
+  // Consumes `n` steps of work; throws SimHang when the budget is exceeded.
+  // Each step also advances the virtual cycle clock.
+  void tick(std::uint64_t n = 1);
+  [[nodiscard]] std::uint64_t steps() const noexcept { return steps_; }
+  [[nodiscard]] std::uint64_t step_budget() const noexcept { return config_.step_budget; }
+  void set_step_budget(std::uint64_t budget) noexcept { config_.step_budget = budget; }
+  void reset_steps() noexcept { steps_ = 0; }
+
+  // --- virtual cycle clock (rdtsc analogue) ---
+  [[nodiscard]] std::uint64_t rdtsc() const noexcept { return cycles_; }
+  void add_cycles(std::uint64_t n) noexcept { cycles_ += n; }
+
+  // --- errno cell ---
+  [[nodiscard]] int err() const noexcept { return errno_; }
+  void set_err(int value) noexcept { errno_ = value; }
+
+  // --- rodata interning (string literals, read-only test values) ---
+  // Maps `text` (NUL-terminated) into a read-only region and returns its
+  // simulated address. Identical strings are interned once.
+  Addr intern_string(const std::string& text);
+
+  // --- simulated text segment & GOT (hijack oracle) ---
+  // Registers a named code entry point; returns its pseudo code address in
+  // the (read-only) text region. Idempotent per name.
+  Addr register_code(const std::string& name);
+  // Resolves a code address back to its name; nullopt for addresses that do
+  // not denote registered code (i.e. attacker-chosen values).
+  [[nodiscard]] std::optional<std::string> resolve_code(Addr addr) const;
+
+  // Defines a writable 8-byte GOT slot holding the code address for `name`
+  // (registering the code if needed). Returns the slot address. The slot is
+  // ordinary writable data — exactly why GOT overwrites work.
+  Addr define_got_slot(const std::string& name);
+  [[nodiscard]] Addr got_slot(const std::string& name) const;
+  [[nodiscard]] bool has_got_slot(const std::string& name) const noexcept {
+    return got_slots_.contains(name);
+  }
+
+  // Performs an indirect call through the named slot: loads the stored code
+  // address and resolves it. Returns the callee name, or raises
+  // ControlFlowHijack when the slot was overwritten with a non-code value.
+  std::string call_through_got(const std::string& name);
+
+ private:
+  MachineConfig config_;
+  AddressSpace space_;
+  std::unique_ptr<Heap> heap_;
+  std::unique_ptr<Stack> stack_;
+
+  std::uint64_t steps_ = 0;
+  std::uint64_t cycles_ = 0;
+  int errno_ = 0;
+
+  // rodata interning
+  Addr rodata_base_ = 0;
+  std::uint64_t rodata_used_ = 0;
+  std::uint64_t rodata_size_ = 0;
+  std::unordered_map<std::string, Addr> interned_;
+
+  // text + GOT
+  Addr text_base_ = 0;
+  std::uint64_t text_next_ = 0;
+  std::unordered_map<std::string, Addr> code_by_name_;
+  std::unordered_map<Addr, std::string> name_by_code_;
+  Addr got_base_ = 0;
+  std::uint64_t got_next_ = 0;
+  std::uint64_t got_capacity_ = 0;
+  std::unordered_map<std::string, Addr> got_slots_;
+};
+
+}  // namespace healers::mem

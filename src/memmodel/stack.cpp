@@ -1,0 +1,71 @@
+#include "memmodel/stack.hpp"
+
+#include <stdexcept>
+
+namespace healers::mem {
+
+namespace {
+constexpr std::uint64_t kRetSlotSize = 8;
+constexpr std::uint64_t kAlign = 16;
+
+[[nodiscard]] std::uint64_t round_up(std::uint64_t value, std::uint64_t align) {
+  return (value + align - 1) & ~(align - 1);
+}
+}  // namespace
+
+Stack::Stack(AddressSpace& space, std::uint64_t size, std::string label) : space_(space) {
+  size = round_up(size, kAlign);
+  Region& region = space_.map(size, Perm::kReadWrite, RegionKind::kStack, std::move(label));
+  region_base_ = region.base;
+  region_size_ = size;
+  sp_ = region_base_ + region_size_;
+}
+
+Frame& Stack::push(std::string function, std::uint64_t locals_size, std::uint64_t return_address) {
+  const std::uint64_t frame_size = round_up(locals_size + kRetSlotSize, kAlign);
+  if (frame_size > sp_ - region_base_) {
+    throw AccessFault(FaultKind::kSegv, region_base_,
+                      "stack overflow pushing frame for " + function);
+  }
+  Frame frame;
+  frame.function = std::move(function);
+  frame.size = frame_size;
+  frame.base = sp_ - frame_size;
+  frame.ret_slot = sp_ - kRetSlotSize;
+  frame.saved_ret = return_address;
+  frame.locals_next = frame.base;
+  space_.store64(frame.ret_slot, return_address);
+  sp_ = frame.base;
+  frames_.push_back(frame);
+  return frames_.back();
+}
+
+Addr Stack::alloc_local(std::uint64_t size) {
+  if (frames_.empty()) throw std::logic_error("Stack::alloc_local: no live frame");
+  Frame& frame = frames_.back();
+  const Addr addr = frame.locals_next;
+  const std::uint64_t aligned = round_up(size, 8);
+  if (addr + aligned > frame.ret_slot) {
+    throw std::logic_error("Stack::alloc_local: frame locals exhausted in " + frame.function);
+  }
+  frame.locals_next = addr + aligned;
+  return addr;
+}
+
+Stack::PopResult Stack::pop() {
+  if (frames_.empty()) throw std::logic_error("Stack::pop: no live frame");
+  const Frame frame = frames_.back();
+  frames_.pop_back();
+  const std::uint64_t stored = space_.load64(frame.ret_slot);
+  sp_ = frame.base + frame.size;
+  return PopResult{stored, frame.saved_ret};
+}
+
+const Frame* Stack::frame_of(Addr addr) const noexcept {
+  for (auto it = frames_.rbegin(); it != frames_.rend(); ++it) {
+    if (addr >= it->base && addr < it->base + it->size) return &*it;
+  }
+  return nullptr;
+}
+
+}  // namespace healers::mem

@@ -1,0 +1,308 @@
+#include "parser/header_parser.hpp"
+
+#include <cctype>
+
+namespace healers::parser {
+
+namespace {
+
+enum class TokKind : std::uint8_t { kIdent, kStar, kLParen, kRParen, kComma, kSemi, kEllipsis, kEnd };
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;
+  std::size_t line = 1;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  Result<std::vector<Token>> run() {
+    std::vector<Token> out;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        ++pos_;
+        continue;
+      }
+      if (c == '/' && pos_ + 1 < src_.size()) {
+        if (src_[pos_ + 1] == '/') {
+          while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+          continue;
+        }
+        if (src_[pos_ + 1] == '*') {
+          const std::size_t end = src_.find("*/", pos_ + 2);
+          if (end == std::string_view::npos) {
+            return Error("line " + std::to_string(line_) + ": unterminated comment");
+          }
+          for (std::size_t i = pos_; i < end; ++i) {
+            if (src_[i] == '\n') ++line_;
+          }
+          pos_ = end + 2;
+          continue;
+        }
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+        std::string ident;
+        while (pos_ < src_.size() &&
+               ((std::isalnum(static_cast<unsigned char>(src_[pos_])) != 0) ||
+                src_[pos_] == '_')) {
+          ident += src_[pos_++];
+        }
+        out.push_back(Token{TokKind::kIdent, std::move(ident), line_});
+        continue;
+      }
+      switch (c) {
+        case '*': out.push_back(Token{TokKind::kStar, "*", line_}); break;
+        case '(': out.push_back(Token{TokKind::kLParen, "(", line_}); break;
+        case ')': out.push_back(Token{TokKind::kRParen, ")", line_}); break;
+        case ',': out.push_back(Token{TokKind::kComma, ",", line_}); break;
+        case ';': out.push_back(Token{TokKind::kSemi, ";", line_}); break;
+        case '.':
+          if (src_.compare(pos_, 3, "...") == 0) {
+            out.push_back(Token{TokKind::kEllipsis, "...", line_});
+            pos_ += 2;
+            break;
+          }
+          return Error("line " + std::to_string(line_) + ": stray '.'");
+        default:
+          return Error("line " + std::to_string(line_) + ": unexpected character '" +
+                       std::string(1, c) + "'");
+      }
+      ++pos_;
+    }
+    out.push_back(Token{TokKind::kEnd, "", line_});
+    return out;
+  }
+
+ private:
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+};
+
+class DeclParser {
+ public:
+  DeclParser(std::vector<Token> tokens, std::vector<std::string>& diagnostics)
+      : tokens_(std::move(tokens)), diagnostics_(diagnostics) {}
+
+  Result<std::vector<FunctionProto>> run() {
+    std::vector<FunctionProto> out;
+    while (peek().kind != TokKind::kEnd) {
+      auto proto = parse_one();
+      if (!proto.ok()) return proto.error();
+      out.push_back(std::move(proto).take());
+    }
+    return out;
+  }
+
+ private:
+  [[nodiscard]] const Token& peek() const { return tokens_[pos_]; }
+  const Token& take() { return tokens_[pos_++]; }
+
+  [[nodiscard]] std::string where() const {
+    return "line " + std::to_string(peek().line);
+  }
+
+  static bool is_base_keyword(const std::string& word) {
+    return word == "void" || word == "char" || word == "short" || word == "int" ||
+           word == "long" || word == "float" || word == "double";
+  }
+
+  // Parses qualifiers + base + '*'s. `named_ok` lets us distinguish a type
+  // name from a parameter/function identifier: a lone unknown identifier
+  // followed by another identifier or '*' is a type; otherwise it is the
+  // declarator.
+  Result<TypeExpr> parse_type() {
+    TypeExpr type;
+    bool have_base = false;
+    bool have_sign = false;
+    for (;;) {
+      if (peek().kind != TokKind::kIdent) break;
+      const std::string& word = peek().text;
+      if (word == "const") {
+        type.pointee_const = true;
+        take();
+        continue;
+      }
+      if (word == "unsigned" || word == "signed") {
+        if (have_sign) return Error(where() + ": duplicate signedness");
+        type.is_unsigned = word == "unsigned";
+        have_sign = true;
+        have_base = true;  // bare "unsigned" means unsigned int
+        type.base = BaseType::kInt;
+        take();
+        continue;
+      }
+      if (is_base_keyword(word)) {
+        if (word == "long" && have_base && type.base == BaseType::kLong) {
+          type.base = BaseType::kLongLong;  // "long long"
+          take();
+          continue;
+        }
+        if (have_base && type.base != BaseType::kInt) {
+          return Error(where() + ": unexpected type keyword '" + word + "'");
+        }
+        if (word == "void") type.base = BaseType::kVoid;
+        else if (word == "char") type.base = BaseType::kChar;
+        else if (word == "short") type.base = BaseType::kShort;
+        else if (word == "int") type.base = BaseType::kInt;
+        else if (word == "long") type.base = BaseType::kLong;
+        else if (word == "float") type.base = BaseType::kFloat;
+        else if (word == "double") type.base = BaseType::kDouble;
+        have_base = true;
+        take();
+        continue;
+      }
+      // Candidate named type: only if we have no base yet AND the *next*
+      // token continues a declaration (identifier or '*').
+      if (!have_base && !have_sign) {
+        const Token& next = tokens_[pos_ + 1];
+        if (next.kind == TokKind::kIdent || next.kind == TokKind::kStar) {
+          type.base = BaseType::kNamed;
+          type.name = word;
+          if (!is_known_typedef(word)) {
+            diagnostics_.push_back("line " + std::to_string(peek().line) +
+                                   ": unknown type name '" + word + "' accepted as typedef");
+          }
+          have_base = true;
+          take();
+          continue;
+        }
+      }
+      break;
+    }
+    if (!have_base) return Error(where() + ": expected type");
+    while (peek().kind == TokKind::kStar) {
+      ++type.pointer_depth;
+      take();
+    }
+    return type;
+  }
+
+  // Parses `(*[name])(params)` after the return type; mutates `type` into
+  // the function-pointer type and returns the declarator name (may be "").
+  Result<std::string> parse_function_pointer(TypeExpr& type) {
+    take();  // '('
+    if (take().kind != TokKind::kStar) {
+      return Error(where() + ": expected '*' in function-pointer declarator");
+    }
+    std::string name;
+    if (peek().kind == TokKind::kIdent) name = take().text;
+    if (take().kind != TokKind::kRParen) {
+      return Error(where() + ": expected ')' after function-pointer name");
+    }
+    if (take().kind != TokKind::kLParen) {
+      return Error(where() + ": expected '(' opening function-pointer parameters");
+    }
+    type.is_function_pointer = true;
+    if (peek().kind == TokKind::kIdent && peek().text == "void" &&
+        tokens_[pos_ + 1].kind == TokKind::kRParen) {
+      take();
+    } else if (peek().kind != TokKind::kRParen) {
+      for (;;) {
+        auto sub = parse_type();
+        if (!sub.ok()) return sub.error();
+        type.fn_params.push_back(std::move(sub).take());
+        if (peek().kind == TokKind::kIdent) take();  // discard parameter name
+        if (peek().kind == TokKind::kComma) {
+          take();
+          continue;
+        }
+        break;
+      }
+    }
+    if (take().kind != TokKind::kRParen) {
+      return Error(where() + ": expected ')' closing function-pointer parameters");
+    }
+    return name;
+  }
+
+  Result<FunctionProto> parse_one() {
+    FunctionProto proto;
+    auto ret = parse_type();
+    if (!ret.ok()) return ret.error();
+    proto.return_type = std::move(ret).take();
+    if (peek().kind != TokKind::kIdent) {
+      return Error(where() + ": expected function name");
+    }
+    proto.name = take().text;
+    if (take().kind != TokKind::kLParen) {
+      return Error(where() + ": expected '(' after function name");
+    }
+    // Parameter list.
+    if (peek().kind == TokKind::kIdent && peek().text == "void" &&
+        tokens_[pos_ + 1].kind == TokKind::kRParen) {
+      take();  // void
+    } else if (peek().kind != TokKind::kRParen) {
+      for (;;) {
+        if (peek().kind == TokKind::kEllipsis) {
+          proto.varargs = true;
+          take();
+          break;
+        }
+        Parameter param;
+        auto ptype = parse_type();
+        if (!ptype.ok()) return ptype.error();
+        param.type = std::move(ptype).take();
+        if (peek().kind == TokKind::kLParen) {
+          // Function-pointer declarator: `ret (*name)(params)`. The type
+          // parsed so far is the callback's return type.
+          auto fn = parse_function_pointer(param.type);
+          if (!fn.ok()) return fn.error();
+          param.name = std::move(fn).take();
+        } else if (peek().kind == TokKind::kIdent) {
+          param.name = take().text;
+        }
+        proto.params.push_back(std::move(param));
+        if (peek().kind == TokKind::kComma) {
+          take();
+          continue;
+        }
+        break;
+      }
+    }
+    if (take().kind != TokKind::kRParen) {
+      return Error(where() + ": expected ')' closing parameter list");
+    }
+    if (take().kind != TokKind::kSemi) {
+      return Error(where() + ": expected ';' after declaration");
+    }
+    return proto;
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  std::vector<std::string>& diagnostics_;
+};
+
+}  // namespace
+
+Result<HeaderParse> parse_header(std::string_view source) {
+  auto tokens = Lexer(source).run();
+  if (!tokens.ok()) return tokens.error();
+  HeaderParse out;
+  DeclParser parser(std::move(tokens).take(), out.diagnostics);
+  auto protos = parser.run();
+  if (!protos.ok()) return protos.error();
+  out.functions = std::move(protos).take();
+  return out;
+}
+
+Result<FunctionProto> parse_declaration(std::string_view source) {
+  auto header = parse_header(source);
+  if (!header.ok()) return header.error();
+  if (header.value().functions.size() != 1) {
+    return Error("expected exactly one declaration, found " +
+                 std::to_string(header.value().functions.size()));
+  }
+  return std::move(header.value().functions.front());
+}
+
+}  // namespace healers::parser

@@ -1,0 +1,32 @@
+// Parser for C library headers (function declarations).
+//
+// Accepts the declaration subset library headers use:
+//   [const] [unsigned|signed] base-or-typedef '*'* name '(' params ')' ';'
+// with parameters of the same shape (optionally unnamed), `void` parameter
+// lists, and trailing `, ...` varargs. Block and line comments are skipped.
+// Unknown identifiers in type position are accepted as named types (real
+// headers are full of typedefs), but a diagnostic records them.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "parser/ctypes.hpp"
+#include "support/result.hpp"
+
+namespace healers::parser {
+
+struct HeaderParse {
+  std::vector<FunctionProto> functions;
+  std::vector<std::string> diagnostics;  // non-fatal notes (unknown typedefs)
+};
+
+// Parses a whole header (many declarations). Fails with position info on
+// malformed declarations.
+[[nodiscard]] Result<HeaderParse> parse_header(std::string_view source);
+
+// Parses exactly one declaration, e.g. "char *strcpy(char *dest, const char *src);"
+[[nodiscard]] Result<FunctionProto> parse_declaration(std::string_view source);
+
+}  // namespace healers::parser

@@ -1,0 +1,472 @@
+#include "parser/manpage.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+
+#include "parser/header_parser.hpp"
+
+namespace healers::parser {
+
+// --- SizeExpr -------------------------------------------------------------
+
+SizeExpr SizeExpr::constant(std::uint64_t value) {
+  SizeExpr e;
+  e.kind_ = Kind::kConst;
+  e.value_ = value;
+  return e;
+}
+
+SizeExpr SizeExpr::arg(int index_1based) {
+  SizeExpr e;
+  e.kind_ = Kind::kArg;
+  e.index_ = index_1based;
+  return e;
+}
+
+SizeExpr SizeExpr::cstrlen(int index_1based) {
+  SizeExpr e;
+  e.kind_ = Kind::kCstrlen;
+  e.index_ = index_1based;
+  return e;
+}
+
+SizeExpr SizeExpr::formatted(int index_1based) {
+  SizeExpr e;
+  e.kind_ = Kind::kFormatted;
+  e.index_ = index_1based;
+  return e;
+}
+
+SizeExpr SizeExpr::stdin_line() {
+  SizeExpr e;
+  e.kind_ = Kind::kStdinLine;
+  return e;
+}
+
+SizeExpr SizeExpr::min_of(SizeExpr a, SizeExpr b) {
+  SizeExpr e;
+  e.kind_ = Kind::kMin;
+  e.children_.push_back(std::move(a));
+  e.children_.push_back(std::move(b));
+  return e;
+}
+
+SizeExpr SizeExpr::mul_of(SizeExpr a, SizeExpr b) {
+  SizeExpr e;
+  e.kind_ = Kind::kMul;
+  e.children_.push_back(std::move(a));
+  e.children_.push_back(std::move(b));
+  return e;
+}
+
+SizeExpr SizeExpr::sum_of(std::vector<SizeExpr> terms) {
+  if (terms.size() == 1) return std::move(terms.front());
+  SizeExpr e;
+  e.kind_ = Kind::kSum;
+  e.children_ = std::move(terms);
+  return e;
+}
+
+std::optional<std::uint64_t> safe_cstrlen(const mem::AddressSpace& space, mem::Addr addr,
+                                          std::uint64_t cap) {
+  for (std::uint64_t i = 0; i < cap; ++i) {
+    if (!space.accessible(addr + i, 1, mem::Perm::kRead)) return std::nullopt;
+    if (space.load8(addr + i) == 0) return i;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::uint64_t> SizeExpr::eval(const EvalEnv& env) const {
+  switch (kind_) {
+    case Kind::kConst:
+      return value_;
+    case Kind::kArg: {
+      const std::size_t i = static_cast<std::size_t>(index_) - 1;
+      if (i >= env.args.size()) return std::nullopt;
+      return env.args[i];
+    }
+    case Kind::kCstrlen: {
+      const std::size_t i = static_cast<std::size_t>(index_) - 1;
+      if (i >= env.args.size()) return std::nullopt;
+      return safe_cstrlen(env.space, env.args[i], env.cstrlen_cap);
+    }
+    case Kind::kFormatted:
+      if (env.formatted_len) return env.formatted_len(index_);
+      return std::nullopt;  // no oracle: not statically evaluable
+    case Kind::kStdinLine:
+      if (env.stdin_line_len) return env.stdin_line_len();
+      return std::nullopt;
+    case Kind::kMin: {
+      const auto a = children_[0].eval(env);
+      const auto b = children_[1].eval(env);
+      if (!a || !b) return std::nullopt;
+      return std::min(*a, *b);
+    }
+    case Kind::kMul: {
+      const auto a = children_[0].eval(env);
+      const auto b = children_[1].eval(env);
+      if (!a || !b) return std::nullopt;
+      if (*a != 0 && *b > ~std::uint64_t{0} / *a) return std::nullopt;  // overflow
+      return *a * *b;
+    }
+    case Kind::kSum: {
+      std::uint64_t total = 0;
+      for (const SizeExpr& child : children_) {
+        const auto v = child.eval(env);
+        if (!v) return std::nullopt;
+        if (total + *v < total) return std::nullopt;  // overflow
+        total += *v;
+      }
+      return total;
+    }
+  }
+  return std::nullopt;
+}
+
+std::string SizeExpr::to_string() const {
+  switch (kind_) {
+    case Kind::kConst:
+      return std::to_string(value_);
+    case Kind::kArg:
+      return "arg(" + std::to_string(index_) + ")";
+    case Kind::kCstrlen:
+      return "cstrlen(" + std::to_string(index_) + ")";
+    case Kind::kFormatted:
+      return "formatted(" + std::to_string(index_) + ")";
+    case Kind::kStdinLine:
+      return "stdinline()";
+    case Kind::kMin:
+      return "min(" + children_[0].to_string() + "," + children_[1].to_string() + ")";
+    case Kind::kMul:
+      return "mul(" + children_[0].to_string() + "," + children_[1].to_string() + ")";
+    case Kind::kSum: {
+      std::string out;
+      for (std::size_t i = 0; i < children_.size(); ++i) {
+        if (i > 0) out += '+';
+        out += children_[i].to_string();
+      }
+      return out;
+    }
+  }
+  return "?";
+}
+
+namespace {
+
+class ExprParser {
+ public:
+  explicit ExprParser(std::string_view text) : text_(text) {}
+
+  Result<SizeExpr> run() {
+    auto expr = parse_sum();
+    if (!expr.ok()) return expr;
+    skip_ws();
+    if (pos_ != text_.size()) {
+      return Error("size expr: trailing input at offset " + std::to_string(pos_));
+    }
+    return expr;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() && (std::isspace(static_cast<unsigned char>(text_[pos_])) != 0)) {
+      ++pos_;
+    }
+  }
+  [[nodiscard]] char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  Result<SizeExpr> parse_sum() {
+    std::vector<SizeExpr> terms;
+    for (;;) {
+      auto term = parse_term();
+      if (!term.ok()) return term;
+      terms.push_back(std::move(term).take());
+      skip_ws();
+      if (peek() != '+') break;
+      ++pos_;
+    }
+    return SizeExpr::sum_of(std::move(terms));
+  }
+
+  Result<SizeExpr> parse_term() {
+    skip_ws();
+    if (std::isdigit(static_cast<unsigned char>(peek())) != 0) {
+      std::uint64_t value = 0;
+      const auto [ptr, ec] = std::from_chars(text_.data() + pos_, text_.data() + text_.size(),
+                                             value);
+      if (ec != std::errc{}) return Error("size expr: bad integer");
+      pos_ = static_cast<std::size_t>(ptr - text_.data());
+      return SizeExpr::constant(value);
+    }
+    std::string word;
+    while (std::isalpha(static_cast<unsigned char>(peek())) != 0) word += text_[pos_++];
+    if (word.empty()) return Error("size expr: expected term at offset " + std::to_string(pos_));
+    skip_ws();
+    if (peek() != '(') return Error("size expr: expected '(' after " + word);
+    ++pos_;
+    if (word == "stdinline") {
+      skip_ws();
+      if (peek() != ')') return Error("size expr: expected ')' in stdinline");
+      ++pos_;
+      return SizeExpr::stdin_line();
+    }
+    if (word == "arg" || word == "cstrlen" || word == "formatted") {
+      skip_ws();
+      int index = 0;
+      const auto [ptr, ec] = std::from_chars(text_.data() + pos_, text_.data() + text_.size(),
+                                             index);
+      if (ec != std::errc{} || index < 1) return Error("size expr: bad index in " + word);
+      pos_ = static_cast<std::size_t>(ptr - text_.data());
+      skip_ws();
+      if (peek() != ')') return Error("size expr: expected ')' in " + word);
+      ++pos_;
+      if (word == "arg") return SizeExpr::arg(index);
+      if (word == "cstrlen") return SizeExpr::cstrlen(index);
+      return SizeExpr::formatted(index);
+    }
+    if (word == "min" || word == "mul") {
+      auto a = parse_sum();
+      if (!a.ok()) return a;
+      skip_ws();
+      if (peek() != ',') return Error("size expr: expected ',' in " + word);
+      ++pos_;
+      auto b = parse_sum();
+      if (!b.ok()) return b;
+      skip_ws();
+      if (peek() != ')') return Error("size expr: expected ')' in " + word);
+      ++pos_;
+      return word == "min" ? SizeExpr::min_of(std::move(a).take(), std::move(b).take())
+                           : SizeExpr::mul_of(std::move(a).take(), std::move(b).take());
+    }
+    return Error("size expr: unknown function '" + word + "'");
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+std::vector<std::string> split_words(const std::string& line) {
+  std::vector<std::string> words;
+  std::string cur;
+  for (const char c : line) {
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      if (!cur.empty()) words.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) words.push_back(std::move(cur));
+  return words;
+}
+
+Result<int> parse_index(const std::string& word) {
+  int index = 0;
+  const auto [ptr, ec] = std::from_chars(word.data(), word.data() + word.size(), index);
+  if (ec != std::errc{} || ptr != word.data() + word.size() || index < 1) {
+    return Error("bad argument index '" + word + "'");
+  }
+  return index;
+}
+
+}  // namespace
+
+Result<SizeExpr> SizeExpr::parse(std::string_view text) { return ExprParser(text).run(); }
+
+// --- ManPage ---------------------------------------------------------------
+
+const ArgAnnotation* ManPage::arg(int index_1based) const noexcept {
+  for (const ArgAnnotation& a : args) {
+    if (a.index == index_1based) return &a;
+  }
+  return nullptr;
+}
+
+ArgAnnotation& ManPage::arg_mut(int index_1based) {
+  for (ArgAnnotation& a : args) {
+    if (a.index == index_1based) return a;
+  }
+  args.push_back(ArgAnnotation{});
+  args.back().index = index_1based;
+  return args.back();
+}
+
+namespace {
+
+Status apply_note(ManPage& page, const std::string& line) {
+  const std::vector<std::string> words = split_words(line);
+  if (words.empty()) return Status::success();
+  const std::string& keyword = words[0];
+
+  if (keyword == "NONNULL" || keyword == "ALLOWNULL") {
+    if (words.size() < 2) return Error(keyword + ": missing index");
+    for (std::size_t i = 1; i < words.size(); ++i) {
+      auto index = parse_index(words[i]);
+      if (!index.ok()) return index.error();
+      ArgAnnotation& arg = page.arg_mut(index.value());
+      (keyword == "NONNULL" ? arg.nonnull : arg.allownull) = true;
+    }
+    return Status::success();
+  }
+  if (keyword == "ARG") {
+    if (words.size() < 3) return Error("ARG: expected 'ARG <i> <kind>'");
+    auto index = parse_index(words[1]);
+    if (!index.ok()) return index.error();
+    ArgAnnotation& arg = page.arg_mut(index.value());
+    const std::string& kind = words[2];
+    if (kind == "CSTRING") {
+      arg.cstring = true;
+      return Status::success();
+    }
+    if (kind == "CURSOR") {
+      arg.cursor = true;
+      return Status::success();
+    }
+    if (kind == "FILE") {
+      arg.is_file = true;
+      return Status::success();
+    }
+    if (kind == "HEAPPTR") {
+      arg.is_heapptr = true;
+      return Status::success();
+    }
+    if (kind == "FUNCPTR") {
+      arg.is_funcptr = true;
+      return Status::success();
+    }
+    if (kind == "SAVEPTR") {
+      if (words.size() != 4) return Error("ARG SAVEPTR: expected cursor index");
+      auto cursor = parse_index(words[3]);
+      if (!cursor.ok()) return cursor.error();
+      arg.saveptr_index = cursor.value();
+      return Status::success();
+    }
+    if (kind == "RANGE") {
+      if (words.size() != 5) return Error("ARG RANGE: expected lo and hi");
+      std::int64_t lo = 0;
+      std::int64_t hi = 0;
+      auto parse64 = [](const std::string& w, std::int64_t& out) {
+        const auto [ptr, ec] = std::from_chars(w.data(), w.data() + w.size(), out);
+        return ec == std::errc{} && ptr == w.data() + w.size();
+      };
+      if (!parse64(words[3], lo) || !parse64(words[4], hi) || lo > hi) {
+        return Error("ARG RANGE: bad bounds");
+      }
+      arg.range = {lo, hi};
+      return Status::success();
+    }
+    if (kind == "BUF") {
+      // ARG <i> BUF WRITE|READ SIZE <expr>
+      if (words.size() < 6 || (words[3] != "WRITE" && words[3] != "READ") ||
+          words[4] != "SIZE") {
+        return Error("ARG BUF: expected 'BUF WRITE|READ SIZE <expr>'");
+      }
+      std::string expr_text;
+      for (std::size_t i = 5; i < words.size(); ++i) expr_text += words[i];
+      auto expr = SizeExpr::parse(expr_text);
+      if (!expr.ok()) return expr.error();
+      if (words[3] == "WRITE") {
+        arg.write_size = std::move(expr).take();
+      } else {
+        arg.read_size = std::move(expr).take();
+      }
+      return Status::success();
+    }
+    return Error("ARG: unknown kind '" + kind + "'");
+  }
+  if (keyword == "HEAP") {
+    if (words.size() != 2 || (words[1] != "ALLOC" && words[1] != "FREE")) {
+      return Error("HEAP: expected ALLOC or FREE");
+    }
+    (words[1] == "ALLOC" ? page.heap_alloc : page.heap_free) = true;
+    return Status::success();
+  }
+  if (keyword == "ERRNO") {
+    for (std::size_t i = 1; i < words.size(); ++i) page.errnos.push_back(words[i]);
+    return Status::success();
+  }
+  if (keyword == "VARARGS") {
+    page.varargs = true;
+    return Status::success();
+  }
+  if (keyword == "STATEFUL") {
+    page.stateful = true;
+    return Status::success();
+  }
+  if (keyword == "NORETURN") {
+    page.noreturn = true;
+    return Status::success();
+  }
+  return Error("unknown annotation '" + keyword + "'");
+}
+
+}  // namespace
+
+Result<ManPage> parse_manpage(std::string_view document) {
+  ManPage page;
+  enum class Section { kNone, kName, kSynopsis, kNotes };
+  Section section = Section::kNone;
+  std::string synopsis;
+
+  std::size_t start = 0;
+  while (start <= document.size()) {
+    std::size_t end = document.find('\n', start);
+    if (end == std::string_view::npos) end = document.size();
+    std::string line(document.substr(start, end - start));
+    start = end + 1;
+
+    // Trim.
+    while (!line.empty() && (std::isspace(static_cast<unsigned char>(line.back())) != 0)) {
+      line.pop_back();
+    }
+    std::size_t indent = 0;
+    while (indent < line.size() && (std::isspace(static_cast<unsigned char>(line[indent])) != 0)) {
+      ++indent;
+    }
+    const std::string body = line.substr(indent);
+    if (body.empty()) continue;
+
+    if (indent == 0) {
+      if (body == "NAME") section = Section::kName;
+      else if (body == "SYNOPSIS") section = Section::kSynopsis;
+      else if (body == "NOTES") section = Section::kNotes;
+      else return Error("unknown man-page section '" + body + "'");
+      continue;
+    }
+
+    switch (section) {
+      case Section::kNone:
+        return Error("content before first section: '" + body + "'");
+      case Section::kName: {
+        const std::size_t dash = body.find(" - ");
+        if (dash == std::string::npos) {
+          page.name = body;
+        } else {
+          page.name = body.substr(0, dash);
+          page.summary = body.substr(dash + 3);
+        }
+        break;
+      }
+      case Section::kSynopsis:
+        synopsis += body;
+        synopsis += '\n';
+        break;
+      case Section::kNotes: {
+        auto status = apply_note(page, body);
+        if (!status.ok()) return status.error();
+        break;
+      }
+    }
+  }
+
+  if (synopsis.empty()) return Error("man page has no SYNOPSIS");
+  auto proto = parse_declaration(synopsis);
+  if (!proto.ok()) return proto.error();
+  page.proto = std::move(proto).take();
+  if (page.name.empty()) page.name = page.proto.name;
+  if (page.proto.varargs) page.varargs = true;
+  return page;
+}
+
+}  // namespace healers::parser

@@ -1,0 +1,138 @@
+// Man-page parser and the semantic-annotation DSL.
+//
+// The paper derives prototypes from headers and *semantics* from man pages
+// ("the prototype of strcpy specifies its first argument to be char*.
+// However, it actually has to be a pointer to a writable buffer with enough
+// space to accommodate the source string"). Our man pages carry that
+// knowledge in a machine-readable NOTES section; this module parses the
+// document (NAME/SYNOPSIS/NOTES) and the annotation grammar:
+//
+//   NONNULL <i> [<i>...]           pointer args that must not be NULL
+//   ALLOWNULL <i>                  NULL is explicitly valid for this arg
+//   ARG <i> CSTRING                must point at a readable NUL-terminated string
+//   ARG <i> CURSOR                 NULL is valid only once the runtime's
+//                                  hidden cursor is initialized (strtok)
+//   ARG <i> FILE                   must be a live FILE* from fopen
+//   ARG <i> HEAPPTR                must be a live malloc'd pointer (or NULL if ALLOWNULL)
+//   ARG <i> FUNCPTR                must be a registered application callback
+//   ARG <i> SAVEPTR <k>            NULL is valid only when *arg<k> points at
+//                                  a readable string (strtok_r-style cursor)
+//   ARG <i> RANGE <lo> <hi>        integer argument domain
+//   ARG <i> BUF WRITE SIZE <expr>  writable buffer of at least <expr> bytes
+//   ARG <i> BUF READ SIZE <expr>   readable buffer of at least <expr> bytes
+//   HEAP ALLOC | HEAP FREE         allocation-tracking hints
+//   ERRNO <name...>                errno values the function may set
+//   VARARGS | STATEFUL | NORETURN  behavioural flags
+//
+// <expr> is a '+'-separated sum of: an integer literal, arg(k) (the value of
+// the k-th argument), cstrlen(k) (the string length of the k-th argument),
+// min(e,e), mul(e,e), or formatted(k) (the length sprintf would produce —
+// not statically evaluable; wrappers treat it conservatively).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "memmodel/addr_space.hpp"
+#include "parser/ctypes.hpp"
+#include "support/result.hpp"
+
+namespace healers::parser {
+
+// Bounded, non-faulting string-length measurement: scans only while bytes
+// stay readable. nullopt when the pointer is invalid or no NUL appears
+// within `cap`. Shared by SizeExpr evaluation and the wrappers' checks.
+[[nodiscard]] std::optional<std::uint64_t> safe_cstrlen(const mem::AddressSpace& space,
+                                                        mem::Addr addr, std::uint64_t cap);
+
+class SizeExpr {
+ public:
+  enum class Kind : std::uint8_t {
+    kConst, kArg, kCstrlen, kMin, kMul, kSum, kFormatted,
+    kStdinLine,  // bytes of the pending stdin line (gets' write size - 1)
+  };
+
+  // Context for evaluation: argument values (as unsigned), the address
+  // space for cstrlen measurement, and an optional formatted-length oracle
+  // (supplied by wrappers that implement a safe printf-length pre-pass,
+  // libsafe-style). Without the oracle, formatted(k) is unevaluable.
+  struct EvalEnv {
+    const mem::AddressSpace& space;
+    std::vector<std::uint64_t> args;  // 0-based
+    std::uint64_t cstrlen_cap = 1 << 20;
+    std::function<std::optional<std::uint64_t>(int fmt_index_1based)> formatted_len;
+    // Length of the pending stdin line (wrapper-supplied, like formatted_len).
+    std::function<std::optional<std::uint64_t>()> stdin_line_len;
+  };
+
+  static SizeExpr constant(std::uint64_t value);
+  static SizeExpr arg(int index_1based);
+  static SizeExpr cstrlen(int index_1based);
+  static SizeExpr formatted(int index_1based);
+  static SizeExpr stdin_line();
+  static SizeExpr min_of(SizeExpr a, SizeExpr b);
+  static SizeExpr mul_of(SizeExpr a, SizeExpr b);
+  static SizeExpr sum_of(std::vector<SizeExpr> terms);
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+
+  // Evaluates to a byte count. nullopt when the expression involves
+  // formatted() or a cstrlen over an invalid/unterminated string — the
+  // caller must then fall back to a conservative policy.
+  [[nodiscard]] std::optional<std::uint64_t> eval(const EvalEnv& env) const;
+
+  // Renders back to the DSL text ("cstrlen(2)+1").
+  [[nodiscard]] std::string to_string() const;
+
+  // Parses the DSL. Fails on malformed input.
+  [[nodiscard]] static Result<SizeExpr> parse(std::string_view text);
+
+ private:
+  SizeExpr() = default;
+
+  Kind kind_ = Kind::kConst;
+  std::uint64_t value_ = 0;
+  int index_ = 0;  // 1-based argument index
+  std::vector<SizeExpr> children_;
+};
+
+struct ArgAnnotation {
+  int index = 0;  // 1-based
+  bool nonnull = false;
+  bool allownull = false;
+  bool cstring = false;
+  bool cursor = false;  // NULL valid only with an initialized runtime cursor
+  bool is_file = false;
+  bool is_heapptr = false;
+  bool is_funcptr = false;
+  std::optional<int> saveptr_index;  // SAVEPTR: 1-based index of the cursor arg
+  std::optional<std::pair<std::int64_t, std::int64_t>> range;
+  std::optional<SizeExpr> write_size;
+  std::optional<SizeExpr> read_size;
+};
+
+struct ManPage {
+  std::string name;
+  std::string summary;
+  FunctionProto proto;
+  std::vector<ArgAnnotation> args;  // only annotated args present
+  bool heap_alloc = false;
+  bool heap_free = false;
+  bool stateful = false;
+  bool noreturn = false;
+  bool varargs = false;
+  std::vector<std::string> errnos;
+
+  // Annotation for a 1-based argument index; nullptr when unannotated.
+  [[nodiscard]] const ArgAnnotation* arg(int index_1based) const noexcept;
+  ArgAnnotation& arg_mut(int index_1based);  // creates on demand
+};
+
+[[nodiscard]] Result<ManPage> parse_manpage(std::string_view document);
+
+}  // namespace healers::parser

@@ -1,0 +1,66 @@
+#include "profile/collector.hpp"
+
+#include <sstream>
+
+#include "simlib/cerrno.hpp"
+
+namespace healers::profile {
+
+Status CollectorServer::ingest(const std::string& xml_document) {
+  auto parsed = xml::parse(xml_document);
+  if (!parsed.ok()) {
+    return Status::failure("collector: malformed document: " + parsed.error().message);
+  }
+  auto report = from_xml(parsed.value());
+  if (!report.ok()) {
+    return Status::failure("collector: not a profile document: " + report.error().message);
+  }
+  reports_.push_back(std::move(report).take());
+  return Status::success();
+}
+
+std::vector<const ProfileReport*> CollectorServer::reports_for(const std::string& process) const {
+  std::vector<const ProfileReport*> out;
+  for (const ProfileReport& report : reports_) {
+    if (report.process == process) out.push_back(&report);
+  }
+  return out;
+}
+
+std::map<std::string, FunctionProfile> CollectorServer::aggregate() const {
+  std::map<std::string, FunctionProfile> out;
+  for (const ProfileReport& report : reports_) {
+    for (const FunctionProfile& fn : report.functions) {
+      FunctionProfile& agg = out[fn.symbol];
+      agg.symbol = fn.symbol;
+      agg.calls += fn.calls;
+      agg.cycles += fn.cycles;
+      agg.contained += fn.contained;
+      for (const auto& [err, count] : fn.errno_counts) agg.errno_counts[err] += count;
+    }
+  }
+  return out;
+}
+
+std::string CollectorServer::render_summary() const {
+  std::ostringstream out;
+  out << "collector: " << reports_.size() << " document(s)\n";
+  const auto agg = aggregate();
+  std::uint64_t calls = 0;
+  std::uint64_t errors = 0;
+  for (const auto& [_, fn] : agg) {
+    calls += fn.calls;
+    errors += fn.errors();
+  }
+  out << "aggregate: " << agg.size() << " distinct functions, " << calls << " calls, " << errors
+      << " errors\n";
+  for (const auto& [symbol, fn] : agg) {
+    out << "  " << symbol << ": " << fn.calls << " calls";
+    if (fn.errors() > 0) out << ", " << fn.errors() << " errors";
+    if (fn.contained > 0) out << ", " << fn.contained << " contained";
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace healers::profile

@@ -1,0 +1,40 @@
+// The central collector server (paper §2.3): wrappers running in many
+// processes across a distributed environment ship self-describing XML
+// documents; the server "can extract from the document which functions were
+// wrapped and what kind of information was collected", stores them, and
+// aggregates across processes.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "profile/report.hpp"
+#include "support/result.hpp"
+
+namespace healers::profile {
+
+class CollectorServer {
+ public:
+  // Parses and stores one document (the wire format is the XML text).
+  Status ingest(const std::string& xml_document);
+
+  [[nodiscard]] std::size_t document_count() const noexcept { return reports_.size(); }
+  [[nodiscard]] const std::vector<ProfileReport>& reports() const noexcept { return reports_; }
+
+  // Reports from one process name (a process may submit several runs).
+  [[nodiscard]] std::vector<const ProfileReport*> reports_for(const std::string& process) const;
+
+  // Cross-process aggregation: per-function totals over every stored
+  // document — the server-side view of "what does the whole fleet call and
+  // where do its errors come from".
+  [[nodiscard]] std::map<std::string, FunctionProfile> aggregate() const;
+
+  // Fleet-wide summary rendering.
+  [[nodiscard]] std::string render_summary() const;
+
+ private:
+  std::vector<ProfileReport> reports_;
+};
+
+}  // namespace healers::profile

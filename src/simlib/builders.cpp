@@ -1,0 +1,29 @@
+// Assembles the stock simulated libraries from the function families.
+#include "simlib/funcs.hpp"
+
+namespace healers::simlib {
+
+SharedLibrary build_libsimc() {
+  SharedLibrary lib("libsimc.so.1", "1.0.3");
+  register_string_funcs(lib);
+  register_memory_funcs(lib);
+  register_conv_funcs(lib);
+  register_ctype_funcs(lib);
+  register_misc_funcs(lib);
+  register_sort_funcs(lib);
+  return lib;
+}
+
+SharedLibrary build_libsimio() {
+  SharedLibrary lib("libsimio.so.1", "1.0.1");
+  register_stdio_funcs(lib);
+  return lib;
+}
+
+SharedLibrary build_libsimm() {
+  SharedLibrary lib("libsimm.so.1", "2.1.0");
+  register_math_funcs(lib);
+  return lib;
+}
+
+}  // namespace healers::simlib

@@ -1,0 +1,88 @@
+// Math family (libsimm): value-in/value-out functions with no pointer
+// arguments. These are robust by construction and serve as the campaign's
+// contrast class — the fault injector should find (and the reports show)
+// near-zero robustness failures here, against the string family's many.
+#include <cmath>
+
+#include "simlib/cerrno.hpp"
+#include "simlib/funcs.hpp"
+#include "simlib/libstate.hpp"
+
+namespace healers::simlib {
+
+namespace {
+
+using detail::make_symbol;
+
+CFunction unary(double (*fn)(double)) {
+  return [fn](CallContext& ctx) {
+    ctx.machine.tick(4);
+    return SimValue::fp(fn(ctx.arg_double(0)));
+  };
+}
+
+SimValue fn_sqrt(CallContext& ctx) {
+  ctx.machine.tick(4);
+  const double x = ctx.arg_double(0);
+  if (x < 0) {
+    ctx.machine.set_err(kEDOM);
+    return SimValue::fp(std::nan(""));
+  }
+  return SimValue::fp(std::sqrt(x));
+}
+
+SimValue fn_log(CallContext& ctx) {
+  ctx.machine.tick(4);
+  const double x = ctx.arg_double(0);
+  if (x < 0) {
+    ctx.machine.set_err(kEDOM);
+    return SimValue::fp(std::nan(""));
+  }
+  if (x == 0) {
+    ctx.machine.set_err(kERANGE);
+    return SimValue::fp(-std::numeric_limits<double>::infinity());
+  }
+  return SimValue::fp(std::log(x));
+}
+
+SimValue fn_pow(CallContext& ctx) {
+  ctx.machine.tick(8);
+  const double result = std::pow(ctx.arg_double(0), ctx.arg_double(1));
+  if (std::isinf(result)) ctx.machine.set_err(kERANGE);
+  return SimValue::fp(result);
+}
+
+SimValue fn_fmod(CallContext& ctx) {
+  ctx.machine.tick(4);
+  const double y = ctx.arg_double(1);
+  if (y == 0) {
+    ctx.machine.set_err(kEDOM);
+    return SimValue::fp(std::nan(""));
+  }
+  return SimValue::fp(std::fmod(ctx.arg_double(0), y));
+}
+
+}  // namespace
+
+void register_math_funcs(SharedLibrary& lib) {
+  lib.add(make_symbol("sin", "sine", "double sin(double x);", {}, unary(std::sin)));
+  lib.add(make_symbol("cos", "cosine", "double cos(double x);", {}, unary(std::cos)));
+  lib.add(make_symbol("tan", "tangent", "double tan(double x);", {}, unary(std::tan)));
+  lib.add(make_symbol("exp", "exponential", "double exp(double x);", {"ERRNO ERANGE"},
+                      unary(std::exp)));
+  lib.add(make_symbol("fabs", "absolute value", "double fabs(double x);", {},
+                      unary(std::fabs)));
+  lib.add(make_symbol("floor", "round down", "double floor(double x);", {},
+                      unary(std::floor)));
+  lib.add(make_symbol("ceil", "round up", "double ceil(double x);", {}, unary(std::ceil)));
+  lib.add(make_symbol("sqrt", "square root", "double sqrt(double x);", {"ERRNO EDOM"},
+                      fn_sqrt));
+  lib.add(make_symbol("log", "natural logarithm", "double log(double x);",
+                      {"ERRNO EDOM ERANGE"}, fn_log));
+  lib.add(make_symbol("pow", "power", "double pow(double x, double y);",
+                      {"ERRNO ERANGE"}, fn_pow));
+  lib.add(make_symbol("fmod", "floating-point remainder", "double fmod(double x, double y);",
+                      {"ERRNO EDOM"}, fn_fmod));
+}
+
+}  // namespace healers::simlib

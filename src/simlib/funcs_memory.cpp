@@ -1,0 +1,163 @@
+// Memory family: mem* block operations and the allocation entry points that
+// forward to the simulated chunked heap. calloc keeps the historical
+// multiplication-overflow bug (CVE-2002-0391 era): nmemb*size wraps silently.
+#include "simlib/cerrno.hpp"
+#include "simlib/funcs.hpp"
+#include "simlib/libstate.hpp"
+
+namespace healers::simlib {
+
+namespace {
+
+using detail::make_symbol;
+using mem::Addr;
+using mem::AddressSpace;
+
+SimValue fn_memcpy(CallContext& ctx) {
+  AddressSpace& as = ctx.machine.mem();
+  const Addr dest = ctx.arg_ptr(0);
+  const Addr src = ctx.arg_ptr(1);
+  const std::uint64_t n = ctx.arg_size(2);
+  // Forward byte copy, no overlap handling (memcpy's historical laxity).
+  for (std::uint64_t i = 0; i < n; ++i) {
+    ctx.machine.tick();
+    as.store8(dest + i, as.load8(src + i));
+  }
+  return SimValue::ptr(dest);
+}
+
+SimValue fn_memmove(CallContext& ctx) {
+  AddressSpace& as = ctx.machine.mem();
+  const Addr dest = ctx.arg_ptr(0);
+  const Addr src = ctx.arg_ptr(1);
+  const std::uint64_t n = ctx.arg_size(2);
+  if (dest <= src) {
+    for (std::uint64_t i = 0; i < n; ++i) {
+      ctx.machine.tick();
+      as.store8(dest + i, as.load8(src + i));
+    }
+  } else {
+    for (std::uint64_t i = n; i > 0; --i) {
+      ctx.machine.tick();
+      as.store8(dest + i - 1, as.load8(src + i - 1));
+    }
+  }
+  return SimValue::ptr(dest);
+}
+
+SimValue fn_memset(CallContext& ctx) {
+  AddressSpace& as = ctx.machine.mem();
+  const Addr dest = ctx.arg_ptr(0);
+  const auto value = static_cast<std::uint8_t>(ctx.arg_int(1));
+  const std::uint64_t n = ctx.arg_size(2);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    ctx.machine.tick();
+    as.store8(dest + i, value);
+  }
+  return SimValue::ptr(dest);
+}
+
+SimValue fn_memcmp(CallContext& ctx) {
+  AddressSpace& as = ctx.machine.mem();
+  const Addr a = ctx.arg_ptr(0);
+  const Addr b = ctx.arg_ptr(1);
+  const std::uint64_t n = ctx.arg_size(2);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    ctx.machine.tick();
+    const int ca = as.load8(a + i);
+    const int cb = as.load8(b + i);
+    if (ca != cb) return SimValue::integer(ca < cb ? -1 : 1);
+  }
+  return SimValue::integer(0);
+}
+
+SimValue fn_memchr(CallContext& ctx) {
+  AddressSpace& as = ctx.machine.mem();
+  const Addr s = ctx.arg_ptr(0);
+  const auto target = static_cast<std::uint8_t>(ctx.arg_int(1));
+  const std::uint64_t n = ctx.arg_size(2);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    ctx.machine.tick();
+    if (as.load8(s + i) == target) return SimValue::ptr(s + i);
+  }
+  return SimValue::null();
+}
+
+SimValue fn_malloc(CallContext& ctx) {
+  ctx.machine.tick(8);
+  const Addr p = ctx.machine.heap().malloc(ctx.arg_size(0));
+  if (p == 0) ctx.machine.set_err(kENOMEM);
+  return SimValue::ptr(p);
+}
+
+SimValue fn_free(CallContext& ctx) {
+  ctx.machine.tick(8);
+  ctx.machine.heap().free(ctx.arg_ptr(0));
+  return SimValue::integer(0);
+}
+
+SimValue fn_calloc(CallContext& ctx) {
+  // Historical bug preserved: the multiplication wraps, so
+  // calloc(SIZE_MAX/2+1, 2) quietly allocates ~0 bytes.
+  const std::uint64_t total = ctx.arg_size(0) * ctx.arg_size(1);
+  ctx.machine.tick(8);
+  const Addr p = ctx.machine.heap().malloc(total);
+  if (p == 0) {
+    ctx.machine.set_err(kENOMEM);
+    return SimValue::null();
+  }
+  AddressSpace& as = ctx.machine.mem();
+  for (std::uint64_t i = 0; i < total; ++i) {
+    ctx.machine.tick();
+    as.store8(p + i, 0);
+  }
+  return SimValue::ptr(p);
+}
+
+SimValue fn_realloc(CallContext& ctx) {
+  ctx.machine.tick(8);
+  const Addr p = ctx.machine.heap().realloc(ctx.arg_ptr(0), ctx.arg_size(1));
+  if (p == 0 && ctx.arg_size(1) != 0) ctx.machine.set_err(kENOMEM);
+  return SimValue::ptr(p);
+}
+
+}  // namespace
+
+void register_memory_funcs(SharedLibrary& lib) {
+  lib.add(make_symbol("memcpy", "copy a memory block",
+                      "void *memcpy(void *dest, const void *src, size_t n);",
+                      {"NONNULL 1 2", "ARG 2 BUF READ SIZE arg(3)",
+                       "ARG 1 BUF WRITE SIZE arg(3)"},
+                      fn_memcpy));
+  lib.add(make_symbol("memmove", "copy a possibly overlapping memory block",
+                      "void *memmove(void *dest, const void *src, size_t n);",
+                      {"NONNULL 1 2", "ARG 2 BUF READ SIZE arg(3)",
+                       "ARG 1 BUF WRITE SIZE arg(3)"},
+                      fn_memmove));
+  lib.add(make_symbol("memset", "fill a memory block",
+                      "void *memset(void *s, int c, size_t n);",
+                      {"NONNULL 1", "ARG 1 BUF WRITE SIZE arg(3)"}, fn_memset));
+  lib.add(make_symbol("memcmp", "compare two memory blocks",
+                      "int memcmp(const void *s1, const void *s2, size_t n);",
+                      {"NONNULL 1 2", "ARG 1 BUF READ SIZE arg(3)",
+                       "ARG 2 BUF READ SIZE arg(3)"},
+                      fn_memcmp));
+  lib.add(make_symbol("memchr", "locate a byte in a memory block",
+                      "void *memchr(const void *s, int c, size_t n);",
+                      {"NONNULL 1", "ARG 1 BUF READ SIZE arg(3)"}, fn_memchr));
+  lib.add(make_symbol("malloc", "allocate heap memory",
+                      "void *malloc(size_t size);", {"HEAP ALLOC", "ERRNO ENOMEM"},
+                      fn_malloc));
+  lib.add(make_symbol("free", "release heap memory",
+                      "void free(void *ptr);",
+                      {"HEAP FREE", "ARG 1 HEAPPTR", "ALLOWNULL 1"}, fn_free));
+  lib.add(make_symbol("calloc", "allocate zeroed heap memory",
+                      "void *calloc(size_t nmemb, size_t size);",
+                      {"HEAP ALLOC", "ERRNO ENOMEM"}, fn_calloc));
+  lib.add(make_symbol("realloc", "resize a heap allocation",
+                      "void *realloc(void *ptr, size_t size);",
+                      {"HEAP ALLOC", "ARG 1 HEAPPTR", "ALLOWNULL 1", "ERRNO ENOMEM"},
+                      fn_realloc));
+}
+
+}  // namespace healers::simlib

@@ -1,0 +1,449 @@
+// Stdio subset over the in-memory filesystem.
+//
+// FILE objects live in *simulated* heap memory (16 bytes: magic, slot
+// index); the open-file table itself is host-side LibState. A garbage FILE*
+// faults when the library loads the magic through it; a stale FILE* (used
+// after fclose) likewise "crashes" — both are behaviours the robustness
+// wrapper must contain by tracking streams it saw fopen return.
+#include <algorithm>
+
+#include "simlib/cerrno.hpp"
+#include "simlib/funcs.hpp"
+#include "simlib/libstate.hpp"
+
+namespace healers::simlib {
+
+namespace {
+
+using detail::make_symbol;
+using mem::Addr;
+using mem::AddressSpace;
+
+OpenFile& file_of(CallContext& ctx, Addr file_ptr) {
+  AddressSpace& as = ctx.machine.mem();
+  ctx.machine.tick(2);
+  const std::uint64_t magic = as.load64(file_ptr);  // faults on garbage pointers
+  if (magic != kFileMagic) {
+    // The simulated library chases internal pointers of what it believes is
+    // a FILE; wrong magic means those "pointers" are garbage.
+    throw AccessFault(FaultKind::kSegv, file_ptr, "not a FILE object");
+  }
+  const std::uint64_t index = as.load64(file_ptr + 8);
+  if (index >= ctx.state.open_files.size() || !ctx.state.open_files[index].live) {
+    throw AccessFault(FaultKind::kSegv, file_ptr, "stale FILE object (closed stream)");
+  }
+  return ctx.state.open_files[index];
+}
+
+SimValue fn_fopen(CallContext& ctx) {
+  AddressSpace& as = ctx.machine.mem();
+  const std::string path = as.read_cstring(ctx.arg_ptr(0));
+  const std::string mode = as.read_cstring(ctx.arg_ptr(1));
+  ctx.machine.tick(path.size() + mode.size() + 4);
+
+  bool readable = false;
+  bool writable = false;
+  bool append = false;
+  bool truncate = false;
+  if (mode.empty()) {
+    ctx.machine.set_err(kEINVAL);
+    return SimValue::null();
+  }
+  switch (mode[0]) {
+    case 'r': readable = true; break;
+    case 'w': writable = true; truncate = true; break;
+    case 'a': writable = true; append = true; break;
+    default:
+      ctx.machine.set_err(kEINVAL);
+      return SimValue::null();
+  }
+  if (mode.find('+') != std::string::npos) {
+    readable = true;
+    writable = true;
+  }
+
+  if (!ctx.state.fs.exists(path)) {
+    if (!writable) {
+      ctx.machine.set_err(kENOENT);
+      return SimValue::null();
+    }
+    ctx.state.fs.put(path, "");
+  } else if (truncate) {
+    ctx.state.fs.put(path, "");
+  }
+
+  const auto slot = ctx.state.allocate_slot();
+  if (!slot.has_value()) {
+    ctx.machine.set_err(kEMFILE);
+    return SimValue::null();
+  }
+  const Addr obj = ctx.machine.heap().malloc(kFileObjSize);
+  if (obj == 0) {
+    ctx.machine.set_err(kENOMEM);
+    return SimValue::null();
+  }
+  as.store64(obj, kFileMagic);
+  as.store64(obj + 8, *slot);
+
+  OpenFile& file = ctx.state.open_files[*slot];
+  file = OpenFile{};
+  file.path = path;
+  file.readable = readable;
+  file.writable = writable;
+  file.append = append;
+  file.pos = append ? ctx.state.fs.contents(path)->size() : 0;
+  file.live = true;
+  file.file_obj = obj;
+  return SimValue::ptr(obj);
+}
+
+SimValue fn_fclose(CallContext& ctx) {
+  const Addr file_ptr = ctx.arg_ptr(0);
+  OpenFile& file = file_of(ctx, file_ptr);
+  file.live = false;
+  ctx.machine.heap().free(file.file_obj);
+  return SimValue::integer(0);
+}
+
+SimValue fn_fread(CallContext& ctx) {
+  AddressSpace& as = ctx.machine.mem();
+  const Addr buf = ctx.arg_ptr(0);
+  const std::uint64_t size = ctx.arg_size(1);
+  const std::uint64_t nmemb = ctx.arg_size(2);
+  OpenFile& file = file_of(ctx, ctx.arg_ptr(3));
+  if (!file.readable) {
+    ctx.machine.set_err(kEBADF);
+    return SimValue::integer(0);
+  }
+  const std::string* data = ctx.state.fs.contents(file.path);
+  if (data == nullptr) {
+    ctx.machine.set_err(kEIO);
+    return SimValue::integer(0);
+  }
+  std::uint64_t done = 0;
+  for (; done < nmemb; ++done) {
+    if (file.pos + size > data->size()) break;
+    for (std::uint64_t i = 0; i < size; ++i) {
+      ctx.machine.tick();
+      as.store8(buf + done * size + i, static_cast<std::uint8_t>((*data)[file.pos + i]));
+    }
+    file.pos += size;
+  }
+  if (done < nmemb) file.eof = true;
+  return SimValue::integer(static_cast<std::int64_t>(done));
+}
+
+SimValue fn_fwrite(CallContext& ctx) {
+  AddressSpace& as = ctx.machine.mem();
+  const Addr buf = ctx.arg_ptr(0);
+  const std::uint64_t size = ctx.arg_size(1);
+  const std::uint64_t nmemb = ctx.arg_size(2);
+  OpenFile& file = file_of(ctx, ctx.arg_ptr(3));
+  if (!file.writable) {
+    ctx.machine.set_err(kEBADF);
+    return SimValue::integer(0);
+  }
+  std::string* data = ctx.state.fs.contents_mut(file.path);
+  if (data == nullptr) {
+    ctx.machine.set_err(kEIO);
+    return SimValue::integer(0);
+  }
+  for (std::uint64_t m = 0; m < nmemb; ++m) {
+    for (std::uint64_t i = 0; i < size; ++i) {
+      ctx.machine.tick();
+      const char byte = static_cast<char>(as.load8(buf + m * size + i));
+      if (file.pos >= data->size()) data->resize(file.pos + 1);
+      (*data)[file.pos] = byte;
+      ++file.pos;
+    }
+  }
+  return SimValue::integer(static_cast<std::int64_t>(nmemb));
+}
+
+SimValue fn_fgets(CallContext& ctx) {
+  AddressSpace& as = ctx.machine.mem();
+  const Addr buf = ctx.arg_ptr(0);
+  const std::int64_t n = ctx.arg_int(1);
+  OpenFile& file = file_of(ctx, ctx.arg_ptr(2));
+  if (!file.readable) {
+    ctx.machine.set_err(kEBADF);
+    return SimValue::null();
+  }
+  const std::string* data = ctx.state.fs.contents(file.path);
+  if (data == nullptr || n <= 0 || file.pos >= data->size()) {
+    file.eof = true;
+    return SimValue::null();
+  }
+  std::int64_t written = 0;
+  while (written < n - 1 && file.pos < data->size()) {
+    ctx.machine.tick();
+    const char byte = (*data)[file.pos++];
+    as.store8(buf + static_cast<std::uint64_t>(written), static_cast<std::uint8_t>(byte));
+    ++written;
+    if (byte == '\n') break;
+  }
+  as.store8(buf + static_cast<std::uint64_t>(written), 0);
+  return SimValue::ptr(buf);
+}
+
+SimValue fn_fputs(CallContext& ctx) {
+  AddressSpace& as = ctx.machine.mem();
+  const Addr s = ctx.arg_ptr(0);
+  OpenFile& file = file_of(ctx, ctx.arg_ptr(1));
+  if (!file.writable) {
+    ctx.machine.set_err(kEBADF);
+    return SimValue::integer(-1);
+  }
+  std::string* data = ctx.state.fs.contents_mut(file.path);
+  if (data == nullptr) {
+    ctx.machine.set_err(kEIO);
+    return SimValue::integer(-1);
+  }
+  for (std::uint64_t i = 0;; ++i) {
+    ctx.machine.tick();
+    const std::uint8_t byte = as.load8(s + i);
+    if (byte == 0) break;
+    if (file.pos >= data->size()) data->resize(file.pos + 1);
+    (*data)[file.pos++] = static_cast<char>(byte);
+  }
+  return SimValue::integer(1);
+}
+
+SimValue fn_fgetc(CallContext& ctx) {
+  OpenFile& file = file_of(ctx, ctx.arg_ptr(0));
+  if (!file.readable) {
+    ctx.machine.set_err(kEBADF);
+    return SimValue::integer(-1);
+  }
+  const std::string* data = ctx.state.fs.contents(file.path);
+  ctx.machine.tick();
+  if (data == nullptr || file.pos >= data->size()) {
+    file.eof = true;
+    return SimValue::integer(-1);  // EOF
+  }
+  return SimValue::integer(static_cast<std::uint8_t>((*data)[file.pos++]));
+}
+
+SimValue fn_fputc(CallContext& ctx) {
+  const auto byte = static_cast<char>(ctx.arg_int(0));
+  OpenFile& file = file_of(ctx, ctx.arg_ptr(1));
+  if (!file.writable) {
+    ctx.machine.set_err(kEBADF);
+    return SimValue::integer(-1);
+  }
+  std::string* data = ctx.state.fs.contents_mut(file.path);
+  if (data == nullptr) {
+    ctx.machine.set_err(kEIO);
+    return SimValue::integer(-1);
+  }
+  ctx.machine.tick();
+  if (file.pos >= data->size()) data->resize(file.pos + 1);
+  (*data)[file.pos++] = byte;
+  return SimValue::integer(static_cast<std::uint8_t>(byte));
+}
+
+SimValue fn_feof(CallContext& ctx) {
+  OpenFile& file = file_of(ctx, ctx.arg_ptr(0));
+  return SimValue::integer(file.eof ? 1 : 0);
+}
+
+SimValue fn_fflush(CallContext& ctx) {
+  if (ctx.arg_ptr(0) != 0) (void)file_of(ctx, ctx.arg_ptr(0));
+  ctx.machine.tick();
+  return SimValue::integer(0);
+}
+
+SimValue fn_ftell(CallContext& ctx) {
+  OpenFile& file = file_of(ctx, ctx.arg_ptr(0));
+  return SimValue::integer(static_cast<std::int64_t>(file.pos));
+}
+
+SimValue fn_rewind(CallContext& ctx) {
+  OpenFile& file = file_of(ctx, ctx.arg_ptr(0));
+  file.pos = 0;
+  file.eof = false;
+  return SimValue::integer(0);
+}
+
+SimValue fn_remove(CallContext& ctx) {
+  const std::string path = ctx.machine.mem().read_cstring(ctx.arg_ptr(0));
+  ctx.machine.tick(path.size() + 1);
+  if (!ctx.state.fs.exists(path)) {
+    ctx.machine.set_err(kENOENT);
+    return SimValue::integer(-1);
+  }
+  ctx.state.fs.remove(path);
+  return SimValue::integer(0);
+}
+
+SimValue fn_fprintf(CallContext& ctx) {
+  OpenFile& file = file_of(ctx, ctx.arg_ptr(0));
+  if (!file.writable) {
+    ctx.machine.set_err(kEBADF);
+    return SimValue::integer(-1);
+  }
+  std::string out;
+  detail::format_into(ctx, ctx.arg_ptr(1), 2, out);
+  std::string* data = ctx.state.fs.contents_mut(file.path);
+  if (data == nullptr) {
+    ctx.machine.set_err(kEIO);
+    return SimValue::integer(-1);
+  }
+  for (const char byte : out) {
+    if (file.pos >= data->size()) data->resize(file.pos + 1);
+    (*data)[file.pos++] = byte;
+  }
+  return SimValue::integer(static_cast<std::int64_t>(out.size()));
+}
+
+SimValue fn_sprintf(CallContext& ctx) {
+  AddressSpace& as = ctx.machine.mem();
+  const Addr dest = ctx.arg_ptr(0);
+  std::string out;
+  detail::format_into(ctx, ctx.arg_ptr(1), 2, out);
+  // Unbounded write: the classic overflow vector.
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    ctx.machine.tick();
+    as.store8(dest + i, static_cast<std::uint8_t>(out[i]));
+  }
+  as.store8(dest + out.size(), 0);
+  return SimValue::integer(static_cast<std::int64_t>(out.size()));
+}
+
+SimValue fn_snprintf(CallContext& ctx) {
+  AddressSpace& as = ctx.machine.mem();
+  const Addr dest = ctx.arg_ptr(0);
+  const std::uint64_t cap = ctx.arg_size(1);
+  std::string out;
+  detail::format_into(ctx, ctx.arg_ptr(2), 3, out);
+  if (cap > 0) {
+    const std::uint64_t n = std::min<std::uint64_t>(out.size(), cap - 1);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      ctx.machine.tick();
+      as.store8(dest + i, static_cast<std::uint8_t>(out[i]));
+    }
+    as.store8(dest + n, 0);
+  }
+  return SimValue::integer(static_cast<std::int64_t>(out.size()));
+}
+
+// THE classic: gets() writes the pending stdin line into the caller's
+// buffer with no bound whatsoever.
+SimValue fn_gets(CallContext& ctx) {
+  AddressSpace& as = ctx.machine.mem();
+  const Addr dest = ctx.arg_ptr(0);
+  simlib::LibState& st = ctx.state;
+  if (st.stdin_pos >= st.stdin_content.size()) return SimValue::null();  // EOF
+  std::uint64_t written = 0;
+  while (st.stdin_pos < st.stdin_content.size()) {
+    ctx.machine.tick();
+    const char byte = st.stdin_content[st.stdin_pos++];
+    if (byte == '\n') break;
+    as.store8(dest + written, static_cast<std::uint8_t>(byte));
+    ++written;
+  }
+  as.store8(dest + written, 0);
+  return SimValue::ptr(dest);
+}
+
+SimValue fn_getchar(CallContext& ctx) {
+  simlib::LibState& st = ctx.state;
+  ctx.machine.tick();
+  if (st.stdin_pos >= st.stdin_content.size()) return SimValue::integer(-1);
+  return SimValue::integer(static_cast<std::uint8_t>(st.stdin_content[st.stdin_pos++]));
+}
+
+SimValue fn_puts(CallContext& ctx) {
+  AddressSpace& as = ctx.machine.mem();
+  const Addr s = ctx.arg_ptr(0);
+  for (std::uint64_t i = 0;; ++i) {
+    ctx.machine.tick();
+    const std::uint8_t byte = as.load8(s + i);
+    if (byte == 0) break;
+    ctx.state.stdout_capture += static_cast<char>(byte);
+  }
+  ctx.state.stdout_capture += '\n';
+  return SimValue::integer(1);
+}
+
+SimValue fn_printf(CallContext& ctx) {
+  std::string out;
+  detail::format_into(ctx, ctx.arg_ptr(0), 1, out);
+  ctx.state.stdout_capture += out;
+  return SimValue::integer(static_cast<std::int64_t>(out.size()));
+}
+
+}  // namespace
+
+void register_stdio_funcs(SharedLibrary& lib) {
+  lib.add(make_symbol("fopen", "open a stream",
+                      "FILE *fopen(const char *pathname, const char *mode);",
+                      {"NONNULL 1 2", "ARG 1 CSTRING", "ARG 2 CSTRING",
+                       "ERRNO EINVAL ENOENT EMFILE ENOMEM"},
+                      fn_fopen));
+  lib.add(make_symbol("fclose", "close a stream", "int fclose(FILE *stream);",
+                      {"NONNULL 1", "ARG 1 FILE"}, fn_fclose));
+  lib.add(make_symbol("fread", "read from a stream",
+                      "size_t fread(void *ptr, size_t size, size_t nmemb, FILE *stream);",
+                      {"NONNULL 1 4", "ARG 4 FILE",
+                       "ARG 1 BUF WRITE SIZE mul(arg(2),arg(3))", "ERRNO EBADF EIO"},
+                      fn_fread));
+  lib.add(make_symbol("fwrite", "write to a stream",
+                      "size_t fwrite(const void *ptr, size_t size, size_t nmemb, FILE *stream);",
+                      {"NONNULL 1 4", "ARG 4 FILE",
+                       "ARG 1 BUF READ SIZE mul(arg(2),arg(3))", "ERRNO EBADF EIO"},
+                      fn_fwrite));
+  lib.add(make_symbol("fgets", "read a line from a stream",
+                      "char *fgets(char *s, int size, FILE *stream);",
+                      {"NONNULL 1 3", "ARG 3 FILE", "ARG 1 BUF WRITE SIZE arg(2)",
+                       "ERRNO EBADF"},
+                      fn_fgets));
+  lib.add(make_symbol("fputs", "write a string to a stream",
+                      "int fputs(const char *s, FILE *stream);",
+                      {"NONNULL 1 2", "ARG 1 CSTRING", "ARG 2 FILE", "ERRNO EBADF"},
+                      fn_fputs));
+  lib.add(make_symbol("fgetc", "read a character from a stream",
+                      "int fgetc(FILE *stream);", {"NONNULL 1", "ARG 1 FILE", "ERRNO EBADF"},
+                      fn_fgetc));
+  lib.add(make_symbol("fputc", "write a character to a stream",
+                      "int fputc(int c, FILE *stream);",
+                      {"NONNULL 2", "ARG 2 FILE", "ERRNO EBADF"}, fn_fputc));
+  lib.add(make_symbol("feof", "test a stream's end-of-file flag",
+                      "int feof(FILE *stream);", {"NONNULL 1", "ARG 1 FILE"}, fn_feof));
+  lib.add(make_symbol("fflush", "flush a stream",
+                      "int fflush(FILE *stream);", {"ALLOWNULL 1", "ARG 1 FILE"}, fn_fflush));
+  lib.add(make_symbol("ftell", "report a stream position",
+                      "long ftell(FILE *stream);", {"NONNULL 1", "ARG 1 FILE"}, fn_ftell));
+  lib.add(make_symbol("rewind", "reset a stream position",
+                      "void rewind(FILE *stream);", {"NONNULL 1", "ARG 1 FILE"}, fn_rewind));
+  lib.add(make_symbol("remove", "delete a file",
+                      "int remove(const char *pathname);",
+                      {"NONNULL 1", "ARG 1 CSTRING", "ERRNO ENOENT"}, fn_remove));
+  lib.add(make_symbol("fprintf", "formatted write to a stream",
+                      "int fprintf(FILE *stream, const char *format, ...);",
+                      {"NONNULL 1 2", "ARG 1 FILE", "ARG 2 CSTRING", "VARARGS",
+                       "ERRNO EBADF"},
+                      fn_fprintf));
+  lib.add(make_symbol("sprintf", "formatted write to a buffer (unbounded)",
+                      "int sprintf(char *str, const char *format, ...);",
+                      {"NONNULL 1 2", "ARG 2 CSTRING", "VARARGS",
+                       "ARG 1 BUF WRITE SIZE formatted(2)+1"},
+                      fn_sprintf));
+  lib.add(make_symbol("snprintf", "formatted write to a bounded buffer",
+                      "int snprintf(char *str, size_t size, const char *format, ...);",
+                      {"NONNULL 1 3", "ARG 3 CSTRING", "VARARGS",
+                       "ARG 1 BUF WRITE SIZE arg(2)"},
+                      fn_snprintf));
+  lib.add(make_symbol("gets", "read a line from stdin (unbounded write)",
+                      "char *gets(char *s);",
+                      {"NONNULL 1", "ARG 1 BUF WRITE SIZE stdinline()+1"}, fn_gets));
+  lib.add(make_symbol("getchar", "read a character from stdin",
+                      "int getchar(void);", {"STATEFUL"}, fn_getchar));
+  lib.add(make_symbol("puts", "write a string to stdout",
+                      "int puts(const char *s);", {"NONNULL 1", "ARG 1 CSTRING"}, fn_puts));
+  lib.add(make_symbol("printf", "formatted write to stdout",
+                      "int printf(const char *format, ...);",
+                      {"NONNULL 1", "ARG 1 CSTRING", "VARARGS"}, fn_printf));
+}
+
+}  // namespace healers::simlib

@@ -1,0 +1,475 @@
+// String family of the simulated C library.
+//
+// Every function reproduces the fragile pre-hardening semantics: pointers
+// are chased without NULL checks, destinations are written without bounds,
+// and scans run until a terminator or a fault. Each processed byte costs one
+// machine tick so that unterminated scans over huge mappings surface as
+// hangs (the driver-timeout outcome).
+#include "simlib/cerrno.hpp"
+#include "simlib/funcs.hpp"
+#include "simlib/libstate.hpp"
+
+namespace healers::simlib {
+
+namespace {
+
+using detail::make_symbol;
+using mem::Addr;
+using mem::AddressSpace;
+
+// strlen core: scan until NUL, ticking per byte.
+std::uint64_t scan_len(CallContext& ctx, Addr s) {
+  AddressSpace& as = ctx.machine.mem();
+  std::uint64_t n = 0;
+  while (true) {
+    ctx.machine.tick();
+    if (as.load8(s + n) == 0) return n;
+    ++n;
+  }
+}
+
+SimValue fn_strlen(CallContext& ctx) {
+  return SimValue::integer(static_cast<std::int64_t>(scan_len(ctx, ctx.arg_ptr(0))));
+}
+
+SimValue fn_strcpy(CallContext& ctx) {
+  AddressSpace& as = ctx.machine.mem();
+  const Addr dest = ctx.arg_ptr(0);
+  const Addr src = ctx.arg_ptr(1);
+  for (std::uint64_t i = 0;; ++i) {
+    ctx.machine.tick();
+    const std::uint8_t byte = as.load8(src + i);
+    as.store8(dest + i, byte);
+    if (byte == 0) break;
+  }
+  return SimValue::ptr(dest);
+}
+
+SimValue fn_strncpy(CallContext& ctx) {
+  AddressSpace& as = ctx.machine.mem();
+  const Addr dest = ctx.arg_ptr(0);
+  const Addr src = ctx.arg_ptr(1);
+  const std::uint64_t n = ctx.arg_size(2);
+  std::uint64_t i = 0;
+  for (; i < n; ++i) {
+    ctx.machine.tick();
+    const std::uint8_t byte = as.load8(src + i);
+    as.store8(dest + i, byte);
+    if (byte == 0) {
+      ++i;
+      break;
+    }
+  }
+  for (; i < n; ++i) {  // spec-faithful zero fill to exactly n bytes
+    ctx.machine.tick();
+    as.store8(dest + i, 0);
+  }
+  return SimValue::ptr(dest);
+}
+
+SimValue fn_strcat(CallContext& ctx) {
+  AddressSpace& as = ctx.machine.mem();
+  const Addr dest = ctx.arg_ptr(0);
+  const Addr src = ctx.arg_ptr(1);
+  const std::uint64_t base = scan_len(ctx, dest);
+  for (std::uint64_t i = 0;; ++i) {
+    ctx.machine.tick();
+    const std::uint8_t byte = as.load8(src + i);
+    as.store8(dest + base + i, byte);
+    if (byte == 0) break;
+  }
+  return SimValue::ptr(dest);
+}
+
+SimValue fn_strncat(CallContext& ctx) {
+  AddressSpace& as = ctx.machine.mem();
+  const Addr dest = ctx.arg_ptr(0);
+  const Addr src = ctx.arg_ptr(1);
+  const std::uint64_t n = ctx.arg_size(2);
+  const std::uint64_t base = scan_len(ctx, dest);
+  std::uint64_t i = 0;
+  for (; i < n; ++i) {
+    ctx.machine.tick();
+    const std::uint8_t byte = as.load8(src + i);
+    if (byte == 0) break;
+    as.store8(dest + base + i, byte);
+  }
+  as.store8(dest + base + i, 0);
+  return SimValue::ptr(dest);
+}
+
+SimValue fn_strcmp(CallContext& ctx) {
+  AddressSpace& as = ctx.machine.mem();
+  const Addr a = ctx.arg_ptr(0);
+  const Addr b = ctx.arg_ptr(1);
+  for (std::uint64_t i = 0;; ++i) {
+    ctx.machine.tick();
+    const int ca = as.load8(a + i);
+    const int cb = as.load8(b + i);
+    if (ca != cb) return SimValue::integer(ca < cb ? -1 : 1);
+    if (ca == 0) return SimValue::integer(0);
+  }
+}
+
+SimValue fn_strncmp(CallContext& ctx) {
+  AddressSpace& as = ctx.machine.mem();
+  const Addr a = ctx.arg_ptr(0);
+  const Addr b = ctx.arg_ptr(1);
+  const std::uint64_t n = ctx.arg_size(2);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    ctx.machine.tick();
+    const int ca = as.load8(a + i);
+    const int cb = as.load8(b + i);
+    if (ca != cb) return SimValue::integer(ca < cb ? -1 : 1);
+    if (ca == 0) break;
+  }
+  return SimValue::integer(0);
+}
+
+SimValue fn_strchr(CallContext& ctx) {
+  AddressSpace& as = ctx.machine.mem();
+  const Addr s = ctx.arg_ptr(0);
+  const auto target = static_cast<std::uint8_t>(ctx.arg_int(1));
+  for (std::uint64_t i = 0;; ++i) {
+    ctx.machine.tick();
+    const std::uint8_t byte = as.load8(s + i);
+    if (byte == target) return SimValue::ptr(s + i);
+    if (byte == 0) return SimValue::null();
+  }
+}
+
+SimValue fn_strrchr(CallContext& ctx) {
+  AddressSpace& as = ctx.machine.mem();
+  const Addr s = ctx.arg_ptr(0);
+  const auto target = static_cast<std::uint8_t>(ctx.arg_int(1));
+  Addr found = 0;
+  bool any = false;
+  for (std::uint64_t i = 0;; ++i) {
+    ctx.machine.tick();
+    const std::uint8_t byte = as.load8(s + i);
+    if (byte == target) {
+      found = s + i;
+      any = true;
+    }
+    if (byte == 0) break;
+  }
+  return any ? SimValue::ptr(found) : SimValue::null();
+}
+
+SimValue fn_strstr(CallContext& ctx) {
+  AddressSpace& as = ctx.machine.mem();
+  const Addr hay = ctx.arg_ptr(0);
+  const Addr needle = ctx.arg_ptr(1);
+  ctx.machine.tick();
+  if (as.load8(needle) == 0) return SimValue::ptr(hay);
+  for (std::uint64_t i = 0;; ++i) {
+    ctx.machine.tick();
+    const std::uint8_t hc = as.load8(hay + i);
+    if (hc == 0) return SimValue::null();
+    std::uint64_t j = 0;
+    while (true) {
+      ctx.machine.tick();
+      const std::uint8_t nc = as.load8(needle + j);
+      if (nc == 0) return SimValue::ptr(hay + i);
+      if (as.load8(hay + i + j) != nc) break;
+      ++j;
+    }
+  }
+}
+
+// Shared scanner for strspn/strcspn: returns the length of the initial
+// segment whose bytes are (in=true) / are not (in=false) in `accept`.
+SimValue span_impl(CallContext& ctx, bool in) {
+  AddressSpace& as = ctx.machine.mem();
+  const Addr s = ctx.arg_ptr(0);
+  const Addr accept = ctx.arg_ptr(1);
+  std::uint64_t i = 0;
+  for (;; ++i) {
+    ctx.machine.tick();
+    const std::uint8_t byte = as.load8(s + i);
+    if (byte == 0) break;
+    bool member = false;
+    for (std::uint64_t j = 0;; ++j) {
+      ctx.machine.tick();
+      const std::uint8_t ac = as.load8(accept + j);
+      if (ac == 0) break;
+      if (ac == byte) {
+        member = true;
+        break;
+      }
+    }
+    if (member != in) break;
+  }
+  return SimValue::integer(static_cast<std::int64_t>(i));
+}
+
+SimValue fn_strpbrk(CallContext& ctx) {
+  AddressSpace& as = ctx.machine.mem();
+  const Addr s = ctx.arg_ptr(0);
+  const Addr accept = ctx.arg_ptr(1);
+  for (std::uint64_t i = 0;; ++i) {
+    ctx.machine.tick();
+    const std::uint8_t byte = as.load8(s + i);
+    if (byte == 0) return SimValue::null();
+    for (std::uint64_t j = 0;; ++j) {
+      ctx.machine.tick();
+      const std::uint8_t ac = as.load8(accept + j);
+      if (ac == 0) break;
+      if (ac == byte) return SimValue::ptr(s + i);
+    }
+  }
+}
+
+SimValue fn_strdup(CallContext& ctx) {
+  AddressSpace& as = ctx.machine.mem();
+  const Addr s = ctx.arg_ptr(0);
+  const std::uint64_t len = scan_len(ctx, s);
+  const Addr copy = ctx.machine.heap().malloc(len + 1);
+  if (copy == 0) {
+    ctx.machine.set_err(kENOMEM);
+    return SimValue::null();
+  }
+  for (std::uint64_t i = 0; i <= len; ++i) {
+    ctx.machine.tick();
+    as.store8(copy + i, as.load8(s + i));
+  }
+  return SimValue::ptr(copy);
+}
+
+SimValue fn_strtok(CallContext& ctx) {
+  AddressSpace& as = ctx.machine.mem();
+  Addr s = ctx.arg_ptr(0);
+  const Addr delim = ctx.arg_ptr(1);
+  if (s == 0) {
+    // Continue from the hidden cursor; classic crash when strtok(NULL, d)
+    // is the first-ever call (cursor 0 -> load at 0 faults).
+    s = ctx.state.strtok_cursor;
+  }
+  const auto is_delim = [&](std::uint8_t byte) {
+    for (std::uint64_t j = 0;; ++j) {
+      ctx.machine.tick();
+      const std::uint8_t dc = as.load8(delim + j);
+      if (dc == 0) return false;
+      if (dc == byte) return true;
+    }
+  };
+  // Skip leading delimiters.
+  std::uint64_t i = 0;
+  while (true) {
+    ctx.machine.tick();
+    const std::uint8_t byte = as.load8(s + i);
+    if (byte == 0) {
+      ctx.state.strtok_cursor = s + i;
+      return SimValue::null();
+    }
+    if (!is_delim(byte)) break;
+    ++i;
+  }
+  const Addr token = s + i;
+  while (true) {
+    ctx.machine.tick();
+    const std::uint8_t byte = as.load8(s + i);
+    if (byte == 0) {
+      ctx.state.strtok_cursor = s + i;
+      return SimValue::ptr(token);
+    }
+    if (is_delim(byte)) {
+      as.store8(s + i, 0);
+      ctx.state.strtok_cursor = s + i + 1;
+      return SimValue::ptr(token);
+    }
+    ++i;
+  }
+}
+
+SimValue fn_strerror(CallContext& ctx) {
+  const int err = static_cast<int>(ctx.arg_int(0));
+  // glibc-style: returns a pointer to a static buffer, overwritten per call.
+  if (ctx.state.strerror_buf == 0) {
+    mem::Region& region = ctx.machine.mem().map(128, mem::Perm::kReadWrite,
+                                                mem::RegionKind::kData, "strerror_buf");
+    ctx.state.strerror_buf = region.base;
+  }
+  const std::string text = errno_describe(err);
+  ctx.machine.tick(text.size());
+  ctx.machine.mem().write_cstring(ctx.state.strerror_buf, text.substr(0, 127));
+  return SimValue::ptr(ctx.state.strerror_buf);
+}
+
+SimValue fn_strcoll(CallContext& ctx) {
+  // C locale: strcoll == strcmp.
+  return fn_strcmp(ctx);
+}
+
+SimValue fn_strnlen(CallContext& ctx) {
+  AddressSpace& as = ctx.machine.mem();
+  const Addr s = ctx.arg_ptr(0);
+  const std::uint64_t maxlen = ctx.arg_size(1);
+  std::uint64_t n = 0;
+  while (n < maxlen) {
+    ctx.machine.tick();
+    if (as.load8(s + n) == 0) break;
+    ++n;
+  }
+  return SimValue::integer(static_cast<std::int64_t>(n));
+}
+
+std::uint8_t lower_byte(std::uint8_t byte) {
+  return byte >= 'A' && byte <= 'Z' ? static_cast<std::uint8_t>(byte + 32) : byte;
+}
+
+SimValue fn_strcasecmp(CallContext& ctx) {
+  AddressSpace& as = ctx.machine.mem();
+  const Addr a = ctx.arg_ptr(0);
+  const Addr b = ctx.arg_ptr(1);
+  for (std::uint64_t i = 0;; ++i) {
+    ctx.machine.tick();
+    const int ca = lower_byte(as.load8(a + i));
+    const int cb = lower_byte(as.load8(b + i));
+    if (ca != cb) return SimValue::integer(ca < cb ? -1 : 1);
+    if (ca == 0) return SimValue::integer(0);
+  }
+}
+
+SimValue fn_strncasecmp(CallContext& ctx) {
+  AddressSpace& as = ctx.machine.mem();
+  const Addr a = ctx.arg_ptr(0);
+  const Addr b = ctx.arg_ptr(1);
+  const std::uint64_t n = ctx.arg_size(2);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    ctx.machine.tick();
+    const int ca = lower_byte(as.load8(a + i));
+    const int cb = lower_byte(as.load8(b + i));
+    if (ca != cb) return SimValue::integer(ca < cb ? -1 : 1);
+    if (ca == 0) break;
+  }
+  return SimValue::integer(0);
+}
+
+// The reentrant tokenizer: cursor kept in *saveptr instead of hidden state.
+SimValue fn_strtok_r(CallContext& ctx) {
+  AddressSpace& as = ctx.machine.mem();
+  Addr s = ctx.arg_ptr(0);
+  const Addr delim = ctx.arg_ptr(1);
+  const Addr saveptr = ctx.arg_ptr(2);
+  if (s == 0) {
+    s = as.load64(saveptr);  // continuation: read the cursor (crashes on garbage)
+  }
+  const auto is_delim = [&](std::uint8_t byte) {
+    for (std::uint64_t j = 0;; ++j) {
+      ctx.machine.tick();
+      const std::uint8_t dc = as.load8(delim + j);
+      if (dc == 0) return false;
+      if (dc == byte) return true;
+    }
+  };
+  std::uint64_t i = 0;
+  while (true) {
+    ctx.machine.tick();
+    const std::uint8_t byte = as.load8(s + i);
+    if (byte == 0) {
+      as.store64(saveptr, s + i);
+      return SimValue::null();
+    }
+    if (!is_delim(byte)) break;
+    ++i;
+  }
+  const Addr token = s + i;
+  while (true) {
+    ctx.machine.tick();
+    const std::uint8_t byte = as.load8(s + i);
+    if (byte == 0) {
+      as.store64(saveptr, s + i);
+      return SimValue::ptr(token);
+    }
+    if (is_delim(byte)) {
+      as.store8(s + i, 0);
+      as.store64(saveptr, s + i + 1);
+      return SimValue::ptr(token);
+    }
+    ++i;
+  }
+}
+
+}  // namespace
+
+void register_string_funcs(SharedLibrary& lib) {
+  lib.add(make_symbol("strlen", "compute the length of a string",
+                      "size_t strlen(const char *s);",
+                      {"NONNULL 1", "ARG 1 CSTRING"}, fn_strlen));
+  lib.add(make_symbol("strcpy", "copy a string",
+                      "char *strcpy(char *dest, const char *src);",
+                      {"NONNULL 1 2", "ARG 2 CSTRING",
+                       "ARG 1 BUF WRITE SIZE cstrlen(2)+1"},
+                      fn_strcpy));
+  lib.add(make_symbol("strncpy", "copy a bounded string",
+                      "char *strncpy(char *dest, const char *src, size_t n);",
+                      {"NONNULL 1 2", "ARG 2 CSTRING", "ARG 1 BUF WRITE SIZE arg(3)"},
+                      fn_strncpy));
+  lib.add(make_symbol("strcat", "concatenate two strings",
+                      "char *strcat(char *dest, const char *src);",
+                      {"NONNULL 1 2", "ARG 1 CSTRING", "ARG 2 CSTRING",
+                       "ARG 1 BUF WRITE SIZE cstrlen(1)+cstrlen(2)+1"},
+                      fn_strcat));
+  lib.add(make_symbol("strncat", "concatenate a bounded string",
+                      "char *strncat(char *dest, const char *src, size_t n);",
+                      {"NONNULL 1 2", "ARG 1 CSTRING", "ARG 2 CSTRING",
+                       "ARG 1 BUF WRITE SIZE cstrlen(1)+min(arg(3),cstrlen(2))+1"},
+                      fn_strncat));
+  lib.add(make_symbol("strcmp", "compare two strings",
+                      "int strcmp(const char *s1, const char *s2);",
+                      {"NONNULL 1 2", "ARG 1 CSTRING", "ARG 2 CSTRING"}, fn_strcmp));
+  lib.add(make_symbol("strncmp", "compare two bounded strings",
+                      "int strncmp(const char *s1, const char *s2, size_t n);",
+                      {"NONNULL 1 2", "ARG 1 CSTRING", "ARG 2 CSTRING"}, fn_strncmp));
+  lib.add(make_symbol("strchr", "locate a character in a string",
+                      "char *strchr(const char *s, int c);",
+                      {"NONNULL 1", "ARG 1 CSTRING"}, fn_strchr));
+  lib.add(make_symbol("strrchr", "locate a character in a string, from the end",
+                      "char *strrchr(const char *s, int c);",
+                      {"NONNULL 1", "ARG 1 CSTRING"}, fn_strrchr));
+  lib.add(make_symbol("strstr", "locate a substring",
+                      "char *strstr(const char *haystack, const char *needle);",
+                      {"NONNULL 1 2", "ARG 1 CSTRING", "ARG 2 CSTRING"}, fn_strstr));
+  lib.add(make_symbol("strspn", "span of accepted characters",
+                      "size_t strspn(const char *s, const char *accept);",
+                      {"NONNULL 1 2", "ARG 1 CSTRING", "ARG 2 CSTRING"},
+                      [](CallContext& ctx) { return span_impl(ctx, true); }));
+  lib.add(make_symbol("strcspn", "span of rejected characters",
+                      "size_t strcspn(const char *s, const char *reject);",
+                      {"NONNULL 1 2", "ARG 1 CSTRING", "ARG 2 CSTRING"},
+                      [](CallContext& ctx) { return span_impl(ctx, false); }));
+  lib.add(make_symbol("strpbrk", "locate any of a set of characters",
+                      "char *strpbrk(const char *s, const char *accept);",
+                      {"NONNULL 1 2", "ARG 1 CSTRING", "ARG 2 CSTRING"}, fn_strpbrk));
+  lib.add(make_symbol("strdup", "duplicate a string on the heap",
+                      "char *strdup(const char *s);",
+                      {"NONNULL 1", "ARG 1 CSTRING", "ERRNO ENOMEM"}, fn_strdup));
+  lib.add(make_symbol("strtok", "tokenize a string (stateful)",
+                      "char *strtok(char *str, const char *delim);",
+                      {"NONNULL 2", "ARG 2 CSTRING", "ARG 1 CSTRING", "ALLOWNULL 1",
+                       "ARG 1 CURSOR", "STATEFUL"},
+                      fn_strtok));
+  lib.add(make_symbol("strerror", "describe an errno value",
+                      "char *strerror(int errnum);", {"STATEFUL"}, fn_strerror));
+  lib.add(make_symbol("strcoll", "compare strings in the current locale",
+                      "int strcoll(const char *s1, const char *s2);",
+                      {"NONNULL 1 2", "ARG 1 CSTRING", "ARG 2 CSTRING"}, fn_strcoll));
+  lib.add(make_symbol("strnlen", "compute a bounded string length",
+                      "size_t strnlen(const char *s, size_t maxlen);",
+                      {"NONNULL 1", "ARG 1 BUF READ SIZE min(arg(2),cstrlen(1)+1)"},
+                      fn_strnlen));
+  lib.add(make_symbol("strcasecmp", "compare two strings ignoring case",
+                      "int strcasecmp(const char *s1, const char *s2);",
+                      {"NONNULL 1 2", "ARG 1 CSTRING", "ARG 2 CSTRING"}, fn_strcasecmp));
+  lib.add(make_symbol("strncasecmp", "compare two bounded strings ignoring case",
+                      "int strncasecmp(const char *s1, const char *s2, size_t n);",
+                      {"NONNULL 1 2", "ARG 1 CSTRING", "ARG 2 CSTRING"}, fn_strncasecmp));
+  lib.add(make_symbol("strtok_r", "tokenize a string (reentrant)",
+                      "char *strtok_r(char *str, const char *delim, char **saveptr);",
+                      {"NONNULL 2 3", "ARG 2 CSTRING", "ALLOWNULL 1", "ARG 1 CSTRING",
+                       "ARG 1 SAVEPTR 3", "ARG 3 BUF WRITE SIZE 8"},
+                      fn_strtok_r));
+}
+
+}  // namespace healers::simlib

@@ -1,0 +1,143 @@
+#include <cctype>
+
+#include "simlib/cerrno.hpp"
+#include "simlib/funcs.hpp"
+#include "simlib/libstate.hpp"
+
+namespace healers::simlib::detail {
+
+Symbol make_symbol(std::string name, std::string summary, std::string declaration,
+                   std::initializer_list<const char*> notes, CFunction fn) {
+  std::string manpage;
+  manpage += "NAME\n  " + name + " - " + summary + "\n";
+  manpage += "SYNOPSIS\n  " + declaration + "\n";
+  manpage += "NOTES\n";
+  for (const char* note : notes) {
+    manpage += "  ";
+    manpage += note;
+    manpage += '\n';
+  }
+  Symbol symbol;
+  symbol.name = std::move(name);
+  symbol.fn = std::move(fn);
+  symbol.declaration = std::move(declaration);
+  symbol.manpage = std::move(manpage);
+  return symbol;
+}
+
+mem::Addr ctype_table(CallContext& ctx) {
+  if (ctx.state.ctype_table != 0) return ctx.state.ctype_table + 128;
+  // 384 entries covering [-128, 255]; the returned base is biased so that
+  // table[c] is a direct (and for wild c, faulting) lookup.
+  mem::Region& region =
+      ctx.machine.mem().map(384, mem::Perm::kRead, mem::RegionKind::kRodata, "ctype_table");
+  for (int i = 0; i < 384; ++i) {
+    const int c = i - 128;
+    std::uint8_t bits = 0;
+    if (c >= 0 && c <= 255) {
+      if (c >= 'A' && c <= 'Z') bits |= kCtUpper;
+      if (c >= 'a' && c <= 'z') bits |= kCtLower;
+      if (c >= '0' && c <= '9') bits |= kCtDigit;
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\v' || c == '\f' || c == '\r') {
+        bits |= kCtSpace;
+      }
+      if (c > 32 && c < 127 && ((bits & (kCtUpper | kCtLower | kCtDigit)) == 0)) bits |= kCtPunct;
+      if ((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')) {
+        bits |= kCtXdigit;
+      }
+      if (c < 32 || c == 127) bits |= kCtCntrl;
+    }
+    region.bytes[static_cast<std::size_t>(i)] = std::byte{bits};
+  }
+  ctx.state.ctype_table = region.base;
+  return region.base + 128;
+}
+
+void format_into(CallContext& ctx, mem::Addr fmt, std::size_t first_vararg, std::string& out) {
+  mem::AddressSpace& as = ctx.machine.mem();
+  std::size_t arg = first_vararg;
+  for (mem::Addr p = fmt;; ++p) {
+    ctx.machine.tick();
+    const char c = static_cast<char>(as.load8(p));
+    if (c == '\0') return;
+    if (c != '%') {
+      out += c;
+      continue;
+    }
+    // Parse %[0][width][l]conv — the subset HEALERS workloads use.
+    ++p;
+    ctx.machine.tick();
+    char conv = static_cast<char>(as.load8(p));
+    bool zero_pad = false;
+    if (conv == '0') {
+      zero_pad = true;
+      ++p;
+      conv = static_cast<char>(as.load8(p));
+    }
+    int width = 0;
+    while (conv >= '0' && conv <= '9') {
+      width = width * 10 + (conv - '0');
+      ++p;
+      ctx.machine.tick();
+      conv = static_cast<char>(as.load8(p));
+    }
+    while (conv == 'l') {  // %ld / %lld width modifiers are a no-op at 64 bit
+      ++p;
+      ctx.machine.tick();
+      conv = static_cast<char>(as.load8(p));
+    }
+    std::string piece;
+    switch (conv) {
+      case '%':
+        piece = "%";
+        break;
+      case 'd':
+      case 'i':
+        piece = std::to_string(ctx.args.at(arg++).as_int());
+        break;
+      case 'u':
+        piece = std::to_string(ctx.args.at(arg++).as_uint());
+        break;
+      case 'x': {
+        std::uint64_t v = ctx.args.at(arg++).as_uint();
+        if (v == 0) {
+          piece = "0";
+        } else {
+          while (v != 0) {
+            piece.insert(piece.begin(), "0123456789abcdef"[v & 0xF]);
+            v >>= 4;
+          }
+        }
+        break;
+      }
+      case 'c':
+        piece = std::string(1, static_cast<char>(ctx.args.at(arg++).as_int()));
+        break;
+      case 'f':
+        piece = std::to_string(ctx.args.at(arg++).as_double());
+        break;
+      case 's': {
+        // Faithfully fragile: chase the pointer with no NULL check. Each
+        // character costs a tick; an unterminated argument ends in a fault.
+        const mem::Addr s = ctx.args.at(arg++).as_ptr();
+        for (mem::Addr q = s;; ++q) {
+          ctx.machine.tick();
+          const std::uint8_t byte = as.load8(q);
+          if (byte == 0) break;
+          piece += static_cast<char>(byte);
+        }
+        break;
+      }
+      default:
+        // Unknown conversion: emit verbatim, as glibc does.
+        piece = std::string("%") + conv;
+    }
+    if (width > static_cast<int>(piece.size())) {
+      piece.insert(piece.begin(), static_cast<std::size_t>(width) - piece.size(),
+                   zero_pad ? '0' : ' ');
+    }
+    out += piece;
+  }
+}
+
+}  // namespace healers::simlib::detail

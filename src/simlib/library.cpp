@@ -1,0 +1,35 @@
+#include "simlib/library.hpp"
+
+#include <stdexcept>
+
+namespace healers::simlib {
+
+void SharedLibrary::add(Symbol symbol) {
+  if (symbols_.contains(symbol.name)) {
+    throw std::invalid_argument("SharedLibrary::add: duplicate symbol " + symbol.name);
+  }
+  symbols_.emplace(symbol.name, std::move(symbol));
+}
+
+const Symbol* SharedLibrary::find(const std::string& name) const noexcept {
+  auto it = symbols_.find(name);
+  return it == symbols_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> SharedLibrary::names() const {
+  std::vector<std::string> out;
+  out.reserve(symbols_.size());
+  for (const auto& [name, _] : symbols_) out.push_back(name);
+  return out;
+}
+
+std::string SharedLibrary::header_text() const {
+  std::string out = "/* " + soname_ + " " + version_ + " */\n";
+  for (const auto& [_, symbol] : symbols_) {
+    out += symbol.declaration;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace healers::simlib

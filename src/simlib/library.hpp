@@ -1,0 +1,67 @@
+// Simulated shared libraries.
+//
+// A SharedLibrary packages callable symbols together with the two textual
+// artifacts the HEALERS pipeline consumes (paper §2.2, Fig 2):
+//   * the C declaration of each function (the "header file"), and
+//   * a man-page document per function (NAME/SYNOPSIS/NOTES), whose NOTES
+//     section carries the machine-readable semantic annotations that stand
+//     in for the paper's "some manual editing may be needed" step.
+//
+// The toolkit never reads prototypes out of band: it parses header_text()
+// and manpages with src/parser, exactly as the paper's tool parsed glibc's
+// headers and man pages.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "simlib/value.hpp"
+
+namespace healers::simlib {
+
+struct Symbol {
+  std::string name;
+  CFunction fn;
+  std::string declaration;  // e.g. "char *strcpy(char *dest, const char *src);"
+  std::string manpage;      // NAME/SYNOPSIS/NOTES document
+};
+
+class SharedLibrary {
+ public:
+  SharedLibrary(std::string soname, std::string version)
+      : soname_(std::move(soname)), version_(std::move(version)) {}
+
+  // Registers a symbol; throws std::invalid_argument on duplicates.
+  void add(Symbol symbol);
+
+  [[nodiscard]] const std::string& soname() const noexcept { return soname_; }
+  [[nodiscard]] const std::string& version() const noexcept { return version_; }
+
+  [[nodiscard]] const Symbol* find(const std::string& name) const noexcept;
+  [[nodiscard]] bool defines(const std::string& name) const noexcept {
+    return find(name) != nullptr;
+  }
+  // Symbol names in deterministic (sorted) order — the toolkit's "list all
+  // functions defined in the library" (demo §3.1).
+  [[nodiscard]] std::vector<std::string> names() const;
+  [[nodiscard]] std::size_t size() const noexcept { return symbols_.size(); }
+
+  // Concatenated declarations, parseable as a C header by src/parser.
+  [[nodiscard]] std::string header_text() const;
+
+ private:
+  std::string soname_;
+  std::string version_;
+  std::map<std::string, Symbol> symbols_;
+};
+
+// Builders for the stock simulated libraries (see each funcs_*.cpp):
+//   libsimc.so.1  — strings, memory, conversion, ctype, misc (45+ functions)
+//   libsimio.so.1 — stdio subset over the in-memory filesystem
+//   libsimm.so.1  — math subset (robust by construction: a contrast library)
+[[nodiscard]] SharedLibrary build_libsimc();
+[[nodiscard]] SharedLibrary build_libsimio();
+[[nodiscard]] SharedLibrary build_libsimm();
+
+}  // namespace healers::simlib

@@ -1,0 +1,39 @@
+#include "simlib/libstate.hpp"
+
+namespace healers::simlib {
+
+void SimFileSystem::put(const std::string& path, std::string contents) {
+  files_[path] = std::move(contents);
+}
+
+bool SimFileSystem::exists(const std::string& path) const { return files_.contains(path); }
+
+const std::string* SimFileSystem::contents(const std::string& path) const {
+  auto it = files_.find(path);
+  return it == files_.end() ? nullptr : &it->second;
+}
+
+std::string* SimFileSystem::contents_mut(const std::string& path) {
+  auto it = files_.find(path);
+  return it == files_.end() ? nullptr : &it->second;
+}
+
+void SimFileSystem::remove(const std::string& path) { files_.erase(path); }
+
+std::vector<std::string> SimFileSystem::paths() const {
+  std::vector<std::string> out;
+  out.reserve(files_.size());
+  for (const auto& [path, _] : files_) out.push_back(path);
+  return out;
+}
+
+std::optional<std::size_t> LibState::allocate_slot() {
+  for (std::size_t i = 0; i < open_files.size(); ++i) {
+    if (!open_files[i].live) return i;
+  }
+  if (open_files.size() >= kMaxOpenFiles) return std::nullopt;
+  open_files.emplace_back();
+  return open_files.size() - 1;
+}
+
+}  // namespace healers::simlib

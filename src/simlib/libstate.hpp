@@ -1,0 +1,97 @@
+// Per-process state of the simulated C runtime: the in-memory filesystem and
+// open-file table behind the stdio subset, strtok's hidden cursor, the
+// rand() state, and the environment block. One LibState lives in each
+// simulated process (linker::Process); the fault injector snapshots nothing
+// here — it simply builds a fresh process per probe.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "memmodel/addr_space.hpp"
+
+namespace healers::simlib {
+
+class SimValue;
+struct CallContext;
+
+// Tiny in-memory filesystem. Paths are flat strings ("/etc/motd").
+class SimFileSystem {
+ public:
+  void put(const std::string& path, std::string contents);
+  [[nodiscard]] bool exists(const std::string& path) const;
+  [[nodiscard]] const std::string* contents(const std::string& path) const;
+  std::string* contents_mut(const std::string& path);
+  void remove(const std::string& path);
+  [[nodiscard]] std::vector<std::string> paths() const;
+
+ private:
+  std::map<std::string, std::string> files_;
+};
+
+// One open stdio stream. The FILE object the application holds is a heap
+// allocation in *simulated* memory whose layout is:
+//   +0  u64 magic  (kFileMagic)
+//   +8  u64 index  into LibState::open_files
+// A garbage FILE* therefore faults naturally when the library loads the
+// magic through it, or aborts when the magic does not match.
+struct OpenFile {
+  std::string path;
+  bool readable = false;
+  bool writable = false;
+  bool append = false;
+  std::uint64_t pos = 0;
+  bool live = false;        // false after fclose (slot reusable)
+  bool eof = false;
+  mem::Addr file_obj = 0;   // simulated FILE* backing this slot
+};
+
+inline constexpr std::uint64_t kFileMagic = 0xF11EF11E01234567ULL;
+inline constexpr std::uint64_t kFileObjSize = 16;
+inline constexpr std::size_t kMaxOpenFiles = 64;
+
+class LibState {
+ public:
+  SimFileSystem fs;
+
+  // strtok's static cursor (simulated address of the next scan position).
+  mem::Addr strtok_cursor = 0;
+
+  // Lazily mapped ctype classification table (see detail::ctype_table).
+  mem::Addr ctype_table = 0;
+
+  // Lazily allocated static buffer shared by strerror() results.
+  mem::Addr strerror_buf = 0;
+
+  // rand()/srand() state (glibc-style minimal LCG).
+  std::uint64_t rand_state = 1;
+
+  // Environment: name -> interned "value" address is resolved lazily by
+  // getenv via Machine::intern_string; store host-side strings here.
+  std::map<std::string, std::string> env;
+
+  std::vector<OpenFile> open_files;
+
+  // Text written through puts/printf (the process's captured stdout).
+  std::string stdout_capture;
+
+  // The process's stdin stream (consumed by gets/getchar).
+  std::string stdin_content;
+  std::size_t stdin_pos = 0;
+
+  // Application callbacks reachable through function pointers (qsort
+  // comparators and the like): code address -> behaviour. Populated by
+  // Process::register_callback; library code calling through an address NOT
+  // in this table is a jump into data (a crash).
+  std::map<mem::Addr, std::function<SimValue(CallContext&)>> callbacks;
+
+  // Allocates (or reuses) an open-file slot; nullopt when kMaxOpenFiles
+  // streams are already open (fopen then fails with EMFILE).
+  std::optional<std::size_t> allocate_slot();
+};
+
+}  // namespace healers::simlib

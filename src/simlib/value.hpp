@@ -1,0 +1,92 @@
+// Value and call model for the simulated C library.
+//
+// Library functions receive their arguments as SimValues (the moral
+// equivalent of the registers a real call would pass) and execute against
+// the simulated machine. Everything a function touches — memory, errno, the
+// step/cycle clocks, per-process C-runtime state — is reachable from the
+// CallContext, so functions are pure with respect to host state and a whole
+// call can be replayed deterministically by the fault injector.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "memmodel/machine.hpp"
+
+namespace healers::simlib {
+
+class LibState;
+
+// One C scalar crossing the call boundary. C's implicit conversions are
+// modeled by the accessors (as varargs promotion would): integers and
+// pointers interconvert freely — which is precisely what lets the fault
+// injector pass wild integers where pointers are expected.
+class SimValue {
+ public:
+  enum class Kind : std::uint8_t { kInt, kFloat, kPtr };
+
+  static SimValue integer(std::int64_t v) { return SimValue(Kind::kInt, v, 0.0, 0); }
+  static SimValue fp(double v) { return SimValue(Kind::kFloat, 0, v, 0); }
+  static SimValue ptr(mem::Addr v) { return SimValue(Kind::kPtr, 0, 0.0, v); }
+  static SimValue null() { return ptr(0); }
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+
+  [[nodiscard]] std::int64_t as_int() const noexcept {
+    switch (kind_) {
+      case Kind::kInt: return int_;
+      case Kind::kFloat: return static_cast<std::int64_t>(float_);
+      case Kind::kPtr: return static_cast<std::int64_t>(ptr_);
+    }
+    return 0;
+  }
+  [[nodiscard]] std::uint64_t as_uint() const noexcept {
+    return static_cast<std::uint64_t>(as_int());
+  }
+  [[nodiscard]] mem::Addr as_ptr() const noexcept {
+    return kind_ == Kind::kPtr ? ptr_ : static_cast<mem::Addr>(as_int());
+  }
+  [[nodiscard]] double as_double() const noexcept {
+    return kind_ == Kind::kFloat ? float_ : static_cast<double>(as_int());
+  }
+
+  [[nodiscard]] bool operator==(const SimValue& other) const noexcept {
+    if (kind_ != other.kind_) return false;
+    switch (kind_) {
+      case Kind::kInt: return int_ == other.int_;
+      case Kind::kFloat: return float_ == other.float_;
+      case Kind::kPtr: return ptr_ == other.ptr_;
+    }
+    return false;
+  }
+
+  // Debug rendering ("0x1234", "42", "3.5") used in campaign reports.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  SimValue(Kind kind, std::int64_t i, double f, mem::Addr p)
+      : kind_(kind), int_(i), float_(f), ptr_(p) {}
+
+  Kind kind_;
+  std::int64_t int_;
+  double float_;
+  mem::Addr ptr_;
+};
+
+// Everything a simulated library function may touch during one call.
+struct CallContext {
+  mem::Machine& machine;
+  LibState& state;
+  std::vector<SimValue> args;
+
+  [[nodiscard]] mem::Addr arg_ptr(std::size_t i) const { return args.at(i).as_ptr(); }
+  [[nodiscard]] std::int64_t arg_int(std::size_t i) const { return args.at(i).as_int(); }
+  [[nodiscard]] std::uint64_t arg_size(std::size_t i) const { return args.at(i).as_uint(); }
+  [[nodiscard]] double arg_double(std::size_t i) const { return args.at(i).as_double(); }
+};
+
+using CFunction = std::function<SimValue(CallContext&)>;
+
+}  // namespace healers::simlib

@@ -1,0 +1,90 @@
+// Lightweight expected/result vocabulary type used across HEALERS module
+// boundaries for anticipated failures (parse errors, lookup misses, I/O).
+//
+// Faults discovered *inside the simulated machine* (invalid memory accesses,
+// aborts) are not Results: they propagate as healers::AccessFault /
+// healers::SimAbort exceptions and are converted to data only by the
+// fault-injection sandbox and the linker call engine (see DESIGN.md).
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace healers {
+
+// Error payload carried by a failed Result.
+struct Error {
+  std::string message;
+
+  explicit Error(std::string msg) : message(std::move(msg)) {}
+};
+
+// Thrown when a Result is unwrapped without checking. Indicates a programmer
+// error at the call site, not a recoverable condition.
+class BadResultAccess : public std::logic_error {
+ public:
+  explicit BadResultAccess(const std::string& what) : std::logic_error(what) {}
+};
+
+// Minimal expected<T, Error>. C++23 std::expected is unavailable on this
+// toolchain; this covers the subset HEALERS needs.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : state_(std::move(value)) {}              // NOLINT(google-explicit-constructor)
+  Result(Error error) : state_(std::move(error)) {}          // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const noexcept { return std::holds_alternative<T>(state_); }
+  explicit operator bool() const noexcept { return ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    if (!ok()) throw BadResultAccess("Result::value on error: " + error().message);
+    return std::get<T>(state_);
+  }
+  [[nodiscard]] T& value() & {
+    if (!ok()) throw BadResultAccess("Result::value on error: " + error().message);
+    return std::get<T>(state_);
+  }
+  [[nodiscard]] T&& take() && {
+    if (!ok()) throw BadResultAccess("Result::take on error: " + error().message);
+    return std::get<T>(std::move(state_));
+  }
+
+  [[nodiscard]] const Error& error() const {
+    if (ok()) throw BadResultAccess("Result::error on value");
+    return std::get<Error>(state_);
+  }
+
+  [[nodiscard]] T value_or(T fallback) const& {
+    return ok() ? std::get<T>(state_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> state_;
+};
+
+// Result<void> analogue.
+class Status {
+ public:
+  Status() = default;                                        // success
+  Status(Error error) : error_(std::move(error)) {}          // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const noexcept { return !error_.has_value(); }
+  explicit operator bool() const noexcept { return ok(); }
+
+  [[nodiscard]] const Error& error() const {
+    if (ok()) throw BadResultAccess("Status::error on success");
+    return *error_;
+  }
+
+  static Status success() { return {}; }
+  static Status failure(std::string msg) { return Status(Error(std::move(msg))); }
+
+ private:
+  std::optional<Error> error_;
+};
+
+}  // namespace healers

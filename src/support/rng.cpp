@@ -1,0 +1,13 @@
+#include "support/rng.hpp"
+
+namespace healers {
+
+std::int64_t Rng::between(std::int64_t lo, std::int64_t hi) noexcept {
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) {  // full 64-bit range requested
+    return static_cast<std::int64_t>(next());
+  }
+  return lo + static_cast<std::int64_t>(next() % span);
+}
+
+}  // namespace healers

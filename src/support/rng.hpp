@@ -1,0 +1,45 @@
+// Deterministic PRNG used by the fault injector's value generators.
+//
+// Determinism is a design requirement (DESIGN.md): a fault-injection campaign
+// with a given seed must derive the same robust API on every run so that the
+// golden tests and experiment shapes are stable.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace healers {
+
+// SplitMix64: tiny, fast, well-distributed; good enough for test-value
+// generation (we are not doing statistics, just spreading probes).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept : state_(seed) {}
+
+  [[nodiscard]] std::uint64_t next() noexcept {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  [[nodiscard]] std::uint64_t below(std::uint64_t bound) noexcept {
+    return next() % bound;
+  }
+
+  // Uniform in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t between(std::int64_t lo, std::int64_t hi) noexcept;
+
+  [[nodiscard]] double unit() noexcept {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  [[nodiscard]] bool chance(double p) noexcept { return unit() < p; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace healers

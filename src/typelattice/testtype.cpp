@@ -1,0 +1,242 @@
+#include "typelattice/testtype.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace healers::lattice {
+
+using parser::TypeClass;
+using simlib::SimValue;
+
+std::string to_string(TestTypeId id) {
+  switch (id) {
+    case TestTypeId::kIntAsPtr: return "int_as_ptr";
+    case TestTypeId::kNull: return "null";
+    case TestTypeId::kWildPtr: return "wild_ptr";
+    case TestTypeId::kFreedPtr: return "freed_ptr";
+    case TestTypeId::kMisaligned: return "misaligned";
+    case TestTypeId::kReadOnlyCString: return "readonly_cstring";
+    case TestTypeId::kUntermBuf: return "unterminated_buf";
+    case TestTypeId::kTinyWritable: return "tiny_writable";
+    case TestTypeId::kValidWritable: return "valid_writable";
+    case TestTypeId::kValidCString: return "valid_cstring";
+    case TestTypeId::kZero: return "zero";
+    case TestTypeId::kOne: return "one";
+    case TestTypeId::kNegOne: return "neg_one";
+    case TestTypeId::kIntMin: return "int_min";
+    case TestTypeId::kIntMax: return "int_max";
+    case TestTypeId::kHugeSize: return "huge_size";
+    case TestTypeId::kSmallRange: return "small_range";
+    case TestTypeId::kByteRange: return "byte_range";
+    case TestTypeId::kFZero: return "f_zero";
+    case TestTypeId::kFOne: return "f_one";
+    case TestTypeId::kFNegative: return "f_negative";
+    case TestTypeId::kFHuge: return "f_huge";
+    case TestTypeId::kFNan: return "f_nan";
+    case TestTypeId::kFInf: return "f_inf";
+  }
+  return "?";
+}
+
+const std::vector<TestTypeId>& test_types_for(TypeClass cls) {
+  static const std::vector<TestTypeId> kPointer = {
+      TestTypeId::kIntAsPtr,  TestTypeId::kNull,         TestTypeId::kWildPtr,
+      TestTypeId::kFreedPtr,  TestTypeId::kMisaligned,   TestTypeId::kReadOnlyCString,
+      TestTypeId::kUntermBuf, TestTypeId::kTinyWritable, TestTypeId::kValidWritable,
+      TestTypeId::kValidCString};
+  static const std::vector<TestTypeId> kIntegral = {
+      TestTypeId::kZero,   TestTypeId::kOne,      TestTypeId::kNegOne,
+      TestTypeId::kIntMin, TestTypeId::kIntMax,   TestTypeId::kHugeSize,
+      TestTypeId::kSmallRange, TestTypeId::kByteRange};
+  static const std::vector<TestTypeId> kFloating = {
+      TestTypeId::kFZero, TestTypeId::kFOne, TestTypeId::kFNegative,
+      TestTypeId::kFHuge, TestTypeId::kFNan, TestTypeId::kFInf};
+  static const std::vector<TestTypeId> kNone = {};
+  switch (cls) {
+    case TypeClass::kPointer: return kPointer;
+    case TypeClass::kIntegral: return kIntegral;
+    case TypeClass::kFloating: return kFloating;
+    case TypeClass::kVoid: return kNone;
+  }
+  return kNone;
+}
+
+mem::Addr ValueFactory::writable_buffer(std::uint64_t size, const std::string& fill) {
+  const mem::Addr addr = process_.scratch(size, mem::Perm::kReadWrite, "probe_buf");
+  const std::string text = fill.substr(0, size == 0 ? 0 : size - 1);
+  process_.machine().mem().write_cstring(addr, text);
+  return addr;
+}
+
+mem::Addr ValueFactory::valid_file() {
+  // A FILE* can only be fabricated through the library itself.
+  const mem::Addr path = process_.rodata_cstring("/probe/file.txt");
+  const mem::Addr mode = process_.rodata_cstring("w+");
+  const simlib::SimValue file = process_.call("fopen", {SimValue::ptr(path), SimValue::ptr(mode)});
+  if (file.as_ptr() == 0) {
+    throw std::runtime_error("ValueFactory::valid_file: fopen failed in testbed");
+  }
+  return file.as_ptr();
+}
+
+std::vector<TestCase> ValueFactory::cases_of(TestTypeId id, int variants) {
+  std::vector<TestCase> out;
+  auto add = [&out, id](SimValue value, std::string note) {
+    out.push_back(TestCase{id, value, std::move(note)});
+  };
+  switch (id) {
+    case TestTypeId::kIntAsPtr: {
+      add(SimValue::ptr(1), "ptr 0x1");
+      add(SimValue::ptr(0xfff), "ptr 0xfff (below first mapping)");
+      for (int i = 0; i < variants; ++i) {
+        const auto raw = rng_.next();
+        add(SimValue::ptr(raw), "random int as ptr");
+      }
+      break;
+    }
+    case TestTypeId::kNull:
+      add(SimValue::null(), "NULL");
+      break;
+    case TestTypeId::kWildPtr:
+      add(SimValue::ptr(mem::AddressSpace::wild_pointer()), "unmapped high address");
+      add(SimValue::ptr(0x7fff00000000ULL), "unmapped canonical-ish address");
+      break;
+    case TestTypeId::kFreedPtr: {
+      const mem::Addr p = process_.machine().heap().malloc(32);
+      if (p != 0) {
+        process_.machine().mem().write_cstring(p, "stale");
+        process_.machine().heap().free(p);
+        add(SimValue::ptr(p), "freed heap pointer");
+      }
+      break;
+    }
+    case TestTypeId::kMisaligned: {
+      const mem::Addr buf = writable_buffer(64, "misaligned-content");
+      add(SimValue::ptr(buf + 1), "buffer base + 1");
+      add(SimValue::ptr(buf + 3), "buffer base + 3");
+      break;
+    }
+    case TestTypeId::kReadOnlyCString:
+      add(SimValue::ptr(process_.rodata_cstring("read-only literal")), "rodata string");
+      break;
+    case TestTypeId::kUntermBuf: {
+      // A writable region with NO terminating NUL anywhere inside.
+      const mem::Addr addr = process_.scratch(64, mem::Perm::kReadWrite, "unterm_buf");
+      for (std::uint64_t i = 0; i < 64; ++i) {
+        process_.machine().mem().store8(addr + i, 'A');
+      }
+      add(SimValue::ptr(addr), "64B buffer without NUL");
+      break;
+    }
+    case TestTypeId::kTinyWritable:
+      add(SimValue::ptr(writable_buffer(4, "abc")), "4-byte writable buffer");
+      break;
+    case TestTypeId::kValidWritable:
+      add(SimValue::ptr(writable_buffer(256, "hello")), "256B writable buffer");
+      break;
+    case TestTypeId::kValidCString: {
+      const mem::Addr p = process_.alloc_cstring("a pristine heap string");
+      add(SimValue::ptr(p), "heap C string");
+      break;
+    }
+    case TestTypeId::kZero:
+      add(SimValue::integer(0), "0");
+      break;
+    case TestTypeId::kOne:
+      add(SimValue::integer(1), "1");
+      break;
+    case TestTypeId::kNegOne:
+      add(SimValue::integer(-1), "-1");
+      break;
+    case TestTypeId::kIntMin:
+      add(SimValue::integer(static_cast<std::int64_t>(0x8000000000000000ULL)), "INT64_MIN");
+      add(SimValue::integer(-2147483648LL), "INT32_MIN");
+      break;
+    case TestTypeId::kIntMax:
+      add(SimValue::integer(0x7fffffffffffffffLL), "INT64_MAX");
+      add(SimValue::integer(2147483647LL), "INT32_MAX");
+      add(SimValue::integer(-1), "SIZE_MAX (as unsigned)");
+      break;
+    case TestTypeId::kHugeSize:
+      add(SimValue::integer(1LL << 40), "2^40");
+      for (int i = 0; i < variants; ++i) {
+        add(SimValue::integer(rng_.between(1LL << 24, 1LL << 36)), "random huge size");
+      }
+      break;
+    case TestTypeId::kSmallRange:
+      add(SimValue::integer(2), "2");
+      add(SimValue::integer(7), "7");
+      add(SimValue::integer(16), "16");
+      break;
+    case TestTypeId::kByteRange:
+      add(SimValue::integer(-1), "EOF");
+      add(SimValue::integer('A'), "'A'");
+      add(SimValue::integer(255), "255");
+      break;
+    case TestTypeId::kFZero:
+      add(SimValue::fp(0.0), "0.0");
+      break;
+    case TestTypeId::kFOne:
+      add(SimValue::fp(1.0), "1.0");
+      break;
+    case TestTypeId::kFNegative:
+      add(SimValue::fp(-1.5), "-1.5");
+      break;
+    case TestTypeId::kFHuge:
+      add(SimValue::fp(1e308), "1e308");
+      break;
+    case TestTypeId::kFNan:
+      add(SimValue::fp(std::nan("")), "NaN");
+      break;
+    case TestTypeId::kFInf:
+      add(SimValue::fp(std::numeric_limits<double>::infinity()), "+inf");
+      break;
+  }
+  return out;
+}
+
+simlib::SimValue ValueFactory::safe_value(const parser::ManPage& page, int arg_index_1based) {
+  const auto& param = page.proto.params.at(static_cast<std::size_t>(arg_index_1based) - 1);
+  const parser::ArgAnnotation* note = page.arg(arg_index_1based);
+  switch (param.type.classify()) {
+    case TypeClass::kPointer: {
+      if (note != nullptr && note->is_file) return SimValue::ptr(valid_file());
+      if (note != nullptr && note->is_heapptr) {
+        const mem::Addr p = process_.machine().heap().malloc(64);
+        if (p == 0) throw std::runtime_error("safe_value: testbed heap exhausted");
+        process_.machine().mem().write_cstring(p, "heap");
+        return SimValue::ptr(p);
+      }
+      if (note != nullptr && note->is_funcptr) {
+        // A valid callback: byte-wise comparator, the shape qsort expects.
+        return SimValue::ptr(process_.register_callback(
+            "probe_compar", [](simlib::CallContext& cb) {
+              const int a = cb.machine.mem().load8(cb.arg_ptr(0));
+              const int b = cb.machine.mem().load8(cb.arg_ptr(1));
+              return SimValue::integer(a < b ? -1 : (a > b ? 1 : 0));
+            }));
+      }
+      // Generous writable, terminated buffer works for read and write roles.
+      return SimValue::ptr(writable_buffer(512, "sample"));
+    }
+    case TypeClass::kIntegral: {
+      if (note != nullptr && note->range.has_value()) {
+        // Midpoint of the documented domain.
+        return SimValue::integer(note->range->first +
+                                 (note->range->second - note->range->first) / 2);
+      }
+      // Small positive: safe as a size for the 512-byte buffers above, safe
+      // as a character, safe as a base=10-ish parameter... except base
+      // constraints; strto* accept 10.
+      return SimValue::integer(param.name == "base" ? 10 : 4);
+    }
+    case TypeClass::kFloating:
+      return SimValue::fp(1.5);
+    case TypeClass::kVoid:
+      return SimValue::integer(0);
+  }
+  return SimValue::integer(0);
+}
+
+}  // namespace healers::lattice

@@ -1,0 +1,120 @@
+// Error-injection micro-generator — the *testing* wrapper family of the
+// generator architecture paper [5]: instead of containing faults, it
+// INJECTS them, returning realistic error outcomes (the errnos the man page
+// documents) for a configurable fraction of calls, so an application's
+// error-handling paths can be exercised without touching its source.
+//
+// Deterministic: a seeded SplitMix64 stream decides which calls fail, so a
+// failing test run can be replayed exactly.
+#include <cmath>
+
+#include "gen/microgen.hpp"
+#include "gen/stats.hpp"
+#include "simlib/cerrno.hpp"
+#include "wrappers/wrappers.hpp"
+
+namespace healers::wrappers {
+
+namespace {
+
+using simlib::CallContext;
+using simlib::SimValue;
+
+int errno_value_from_name(const std::string& name) {
+  for (int err = 1; err < simlib::kMaxErrno; ++err) {
+    if (simlib::errno_name(err) == name) return err;
+  }
+  return simlib::kEIO;  // unknown names degrade to a generic I/O error
+}
+
+SimValue injected_error_value(const parser::FunctionProto& proto) {
+  if (proto.return_type.is_pointer()) return SimValue::null();
+  switch (proto.return_type.classify()) {
+    case parser::TypeClass::kFloating:
+      return SimValue::fp(std::nan(""));
+    case parser::TypeClass::kVoid:
+      return SimValue::integer(0);
+    default:
+      return SimValue::integer(-1);
+  }
+}
+
+class ErrorInjectHook : public gen::RuntimeHook {
+ public:
+  ErrorInjectHook(gen::WrapperStats& stats, const gen::GenContext& ctx,
+                  std::shared_ptr<Rng> rng, double rate)
+      : stats_(stats),
+        fid_(ctx.function_id),
+        rng_(std::move(rng)),
+        rate_(rate),
+        error_(injected_error_value(ctx.proto)) {
+    if (ctx.page != nullptr && !ctx.page->errnos.empty()) {
+      errno_to_set_ = errno_value_from_name(ctx.page->errnos.front());
+    }
+  }
+
+  std::optional<SimValue> prefix(CallContext& ctx) override {
+    // Only functions with a documented failure mode are injectable: an
+    // error return from a function that cannot fail would be a lie the
+    // application could never have seen in production.
+    if (errno_to_set_ == 0) return std::nullopt;
+    if (!rng_->chance(rate_)) return std::nullopt;
+    ctx.machine.set_err(errno_to_set_);
+    ++stats_.function(fid_).contained;  // reuse the counter: injected calls
+    return error_;
+  }
+
+ private:
+  gen::WrapperStats& stats_;
+  int fid_;
+  std::shared_ptr<Rng> rng_;
+  double rate_;
+  SimValue error_;
+  int errno_to_set_ = 0;
+};
+
+class ErrorInjectGen : public gen::MicroGenerator {
+ public:
+  ErrorInjectGen(double rate, std::uint64_t seed)
+      : rate_(rate), rng_(std::make_shared<Rng>(seed)) {}
+
+  [[nodiscard]] std::string name() const override { return "error injection"; }
+
+  [[nodiscard]] std::string prefix_code(const gen::GenContext& ctx) const override {
+    if (ctx.page == nullptr || ctx.page->errnos.empty()) return {};
+    const std::string err =
+        ctx.proto.return_type.is_pointer()
+            ? "NULL"
+            : (ctx.proto.return_type.classify() == parser::TypeClass::kFloating ? "NAN" : "-1");
+    return "  if (healers_fault_roll(" + std::to_string(rate_) + ")) { errno = " +
+           ctx.page->errnos.front() + "; return " + err + "; }\n";
+  }
+  [[nodiscard]] std::string postfix_code(const gen::GenContext&) const override { return {}; }
+
+  [[nodiscard]] gen::RuntimeHookPtr make_hook(const gen::GenContext& ctx,
+                                              gen::WrapperStats& stats) const override {
+    return std::make_unique<ErrorInjectHook>(stats, ctx, rng_, rate_);
+  }
+
+ private:
+  double rate_;
+  std::shared_ptr<Rng> rng_;  // one stream per wrapper instance
+};
+
+}  // namespace
+
+gen::MicroGeneratorPtr error_injection_gen(double rate, std::uint64_t seed) {
+  return std::make_shared<ErrorInjectGen>(rate, seed);
+}
+
+Result<std::shared_ptr<gen::ComposedWrapper>> make_testing_wrapper(
+    const simlib::SharedLibrary& lib, double rate, std::uint64_t seed) {
+  gen::WrapperBuilder builder("testing-wrapper");
+  builder.add(gen::prototype_gen())
+      .add(error_injection_gen(rate, seed))
+      .add(gen::call_counter_gen())
+      .add(gen::caller_gen());
+  return builder.build(lib);
+}
+
+}  // namespace healers::wrappers

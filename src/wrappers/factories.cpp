@@ -1,0 +1,51 @@
+// Stock wrapper factories: the three wrapper types of Fig 1, each a
+// particular composition of micro-generators (paper §2.3: "the
+// micro-generators can be combined in a variety of ways to generate new
+// wrapper types").
+#include "wrappers/wrappers.hpp"
+
+namespace healers::wrappers {
+
+std::vector<gen::MicroGeneratorPtr> fig3_generators() {
+  // Exactly the six micro-generators of the paper's Fig 3, in its order:
+  // prototype, function exectime, collect errors, func error, call counter,
+  // caller.
+  return {gen::prototype_gen(),      gen::exectime_gen(),     gen::collect_errors_gen(),
+          gen::func_errors_gen(),    gen::call_counter_gen(), gen::caller_gen()};
+}
+
+Result<std::shared_ptr<gen::ComposedWrapper>> make_robustness_wrapper(
+    const simlib::SharedLibrary& lib, const injector::CampaignResult& campaign,
+    CheckSource source) {
+  gen::WrapperBuilder builder("robustness-wrapper");
+  builder.add(gen::prototype_gen())
+      .add(arg_check_gen(source))
+      .add(gen::call_counter_gen())
+      .add(gen::caller_gen());
+  return builder.build(lib, &campaign);
+}
+
+Result<std::shared_ptr<gen::ComposedWrapper>> make_security_wrapper(
+    const simlib::SharedLibrary& lib) {
+  gen::WrapperBuilder builder("security-wrapper");
+  builder.add(gen::prototype_gen())
+      .add(heap_canary_gen())
+      .add(stack_guard_gen())
+      .add(gen::caller_gen());
+  return builder.build(lib);
+}
+
+Result<std::shared_ptr<gen::ComposedWrapper>> make_profiling_wrapper(
+    const simlib::SharedLibrary& lib, bool include_trace) {
+  gen::WrapperBuilder builder("profiling-wrapper");
+  builder.add(gen::prototype_gen())
+      .add(gen::exectime_gen())
+      .add(gen::collect_errors_gen())
+      .add(gen::func_errors_gen())
+      .add(gen::call_counter_gen());
+  if (include_trace) builder.add(gen::log_call_gen());
+  builder.add(gen::caller_gen());
+  return builder.build(lib);
+}
+
+}  // namespace healers::wrappers

@@ -1,0 +1,106 @@
+// Stack-guard micro-generator — the libsafe-style stack-smashing defence
+// (paper §2.1 cites [1] "Transparent run-time defense against stack
+// smashing attacks"; demo §3.4 shows the attack class).
+//
+// Two layers, both from outside the library:
+//   * prefix bound check: when a wrapped call writes through a pointer into
+//     a stack frame and the man page gives the write size, the wrapper
+//     computes the room between the destination and the frame's saved
+//     return address; a write that would reach the return address is a
+//     smashing attempt and the process is terminated (libsafe semantics);
+//   * postfix integrity sweep: after every wrapped call, every live frame's
+//     return-address slot is compared against the value recorded at frame
+//     push — catching smashes the prefix could not predict (unterminated
+//     sources, formatted output).
+#include "gen/microgen.hpp"
+#include "gen/stats.hpp"
+#include "parser/manpage.hpp"
+#include "wrappers/wrappers.hpp"
+
+namespace healers::wrappers {
+
+namespace {
+
+using simlib::CallContext;
+using simlib::SimValue;
+
+constexpr std::uint64_t kScanCap = 1 << 20;
+
+class StackGuardHook : public gen::RuntimeHook {
+ public:
+  explicit StackGuardHook(const gen::GenContext& ctx) : symbol_(ctx.proto.name) {
+    if (ctx.page == nullptr) return;
+    for (std::size_t i = 0; i < ctx.proto.params.size(); ++i) {
+      const parser::ArgAnnotation* note = ctx.page->arg(static_cast<int>(i) + 1);
+      if (note != nullptr && note->write_size.has_value()) {
+        write_args_.emplace_back(i, *note->write_size);
+      }
+    }
+  }
+
+  std::optional<SimValue> prefix(CallContext& ctx) override {
+    const mem::Stack& stack = ctx.machine.stack();
+    for (const auto& [index, size_expr] : write_args_) {
+      const mem::Addr dest = ctx.args.at(index).as_ptr();
+      const mem::Frame* frame = stack.frame_of(dest);
+      if (frame == nullptr || dest >= frame->ret_slot) continue;
+      parser::SizeExpr::EvalEnv env{ctx.machine.mem(), {}, kScanCap, {}, {}};
+      for (const SimValue& v : ctx.args) env.args.push_back(v.as_uint());
+      const auto needed = size_expr.eval(env);
+      if (!needed.has_value()) continue;  // postfix sweep still protects
+      const std::uint64_t room = frame->ret_slot - dest;
+      if (*needed > room) {
+        throw SimAbort("security wrapper: stack smashing attempt blocked in " + symbol_ +
+                       " (write of " + std::to_string(*needed) + " bytes into frame of " +
+                       frame->function + " with " + std::to_string(room) +
+                       " bytes before the return address)");
+      }
+    }
+    return std::nullopt;
+  }
+
+  void postfix(CallContext& ctx, SimValue&) override {
+    for (const mem::Frame& frame : ctx.machine.stack().frames()) {
+      if (ctx.machine.mem().load64(frame.ret_slot) != frame.saved_ret) {
+        throw SimAbort("security wrapper: stack smashing detected after " + symbol_ +
+                       " (return address of " + frame.function + " overwritten)");
+      }
+    }
+  }
+
+ private:
+  std::string symbol_;
+  std::vector<std::pair<std::size_t, parser::SizeExpr>> write_args_;
+};
+
+class StackGuardGen : public gen::MicroGenerator {
+ public:
+  [[nodiscard]] std::string name() const override { return "stack guard"; }
+
+  [[nodiscard]] std::string prefix_code(const gen::GenContext& ctx) const override {
+    std::string out;
+    if (ctx.page == nullptr) return out;
+    for (std::size_t i = 0; i < ctx.proto.params.size(); ++i) {
+      const parser::ArgAnnotation* note = ctx.page->arg(static_cast<int>(i) + 1);
+      if (note == nullptr || !note->write_size.has_value()) continue;
+      out += "  healers_stack_bound_check(a" + std::to_string(i + 1) + ", " +
+             note->write_size->to_string() + ");\n";
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::string postfix_code(const gen::GenContext&) const override {
+    return "  healers_stack_integrity_sweep();\n";
+  }
+
+  [[nodiscard]] gen::RuntimeHookPtr make_hook(const gen::GenContext& ctx,
+                                              gen::WrapperStats&) const override {
+    return std::make_unique<StackGuardHook>(ctx);
+  }
+};
+
+}  // namespace
+
+gen::MicroGeneratorPtr stack_guard_gen() { return std::make_shared<StackGuardGen>(); }
+
+}  // namespace healers::wrappers

@@ -1,0 +1,180 @@
+// Unit tests for the simulated address space: mapping, guard gaps,
+// permissions, faulting accesses, bulk and string helpers.
+#include <gtest/gtest.h>
+
+#include "memmodel/addr_space.hpp"
+
+namespace healers::mem {
+namespace {
+
+TEST(AddressSpace, MappedRegionIsZeroFilledAndReadable) {
+  AddressSpace space;
+  const Region& region = space.map(64, Perm::kReadWrite, RegionKind::kScratch, "r");
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(space.load8(region.base + i), 0u);
+  }
+}
+
+TEST(AddressSpace, GuardGapsBetweenConsecutiveMappings) {
+  AddressSpace space;
+  const Region& a = space.map(64, Perm::kReadWrite, RegionKind::kScratch, "a");
+  const Region& b = space.map(64, Perm::kReadWrite, RegionKind::kScratch, "b");
+  EXPECT_GE(b.base, a.end() + 0x1000 - 64);  // at least the guard gap apart
+  // The byte just past region a is unmapped.
+  EXPECT_THROW((void)space.load8(a.end()), AccessFault);
+}
+
+TEST(AddressSpace, NullPageIsNeverMapped) {
+  AddressSpace space;
+  space.map(64, Perm::kReadWrite, RegionKind::kScratch, "r");
+  EXPECT_THROW((void)space.load8(0), AccessFault);
+  EXPECT_THROW((void)space.load8(7), AccessFault);
+  EXPECT_THROW(space.store8(0xfff, 1), AccessFault);
+}
+
+TEST(AddressSpace, WildPointerFaults) {
+  AddressSpace space;
+  EXPECT_THROW((void)space.load8(AddressSpace::wild_pointer()), AccessFault);
+}
+
+TEST(AddressSpace, PermissionViolationsFault) {
+  AddressSpace space;
+  const Region& ro = space.map(32, Perm::kRead, RegionKind::kRodata, "ro");
+  EXPECT_EQ(space.load8(ro.base), 0u);
+  EXPECT_THROW(space.store8(ro.base, 1), AccessFault);
+  const Region& none = space.map(32, Perm::kNone, RegionKind::kScratch, "none");
+  EXPECT_THROW((void)space.load8(none.base), AccessFault);
+}
+
+TEST(AddressSpace, FaultCarriesKindAddressAndDetail) {
+  AddressSpace space;
+  try {
+    (void)space.load8(0x5);
+    FAIL() << "expected AccessFault";
+  } catch (const AccessFault& fault) {
+    EXPECT_EQ(fault.kind(), FaultKind::kSegv);
+    EXPECT_EQ(fault.address(), 0x5u);
+    EXPECT_NE(fault.detail().find("unmapped"), std::string::npos);
+  }
+}
+
+TEST(AddressSpace, RangeCrossingRegionEndFaults) {
+  AddressSpace space;
+  const Region& region = space.map(16, Perm::kReadWrite, RegionKind::kScratch, "r");
+  EXPECT_NO_THROW(space.check(region.base, 16, Perm::kRead));
+  EXPECT_THROW(space.check(region.base, 17, Perm::kRead), AccessFault);
+  EXPECT_THROW(space.check(region.base + 9, 8, Perm::kRead), AccessFault);
+}
+
+TEST(AddressSpace, Load64Store64LittleEndianRoundTrip) {
+  AddressSpace space;
+  const Region& region = space.map(32, Perm::kReadWrite, RegionKind::kScratch, "r");
+  space.store64(region.base, 0x1122334455667788ULL);
+  EXPECT_EQ(space.load64(region.base), 0x1122334455667788ULL);
+  EXPECT_EQ(space.load8(region.base), 0x88u);      // little-endian low byte first
+  EXPECT_EQ(space.load8(region.base + 7), 0x11u);
+}
+
+TEST(AddressSpace, ReadWriteBytesRoundTrip) {
+  AddressSpace space;
+  const Region& region = space.map(64, Perm::kReadWrite, RegionKind::kScratch, "r");
+  const std::vector<std::byte> data = {std::byte{1}, std::byte{2}, std::byte{3}};
+  space.write_bytes(region.base + 5, data.data(), data.size());
+  const auto back = space.read_bytes(region.base + 5, 3);
+  EXPECT_EQ(back, data);
+}
+
+TEST(AddressSpace, ZeroLengthAccessesAlwaysSucceed) {
+  AddressSpace space;
+  EXPECT_NO_THROW(space.check(AddressSpace::wild_pointer(), 0, Perm::kWrite));
+  EXPECT_TRUE(space.accessible(0, 0, Perm::kWrite));
+  EXPECT_TRUE(space.read_bytes(0, 0).empty());
+}
+
+TEST(AddressSpace, CStringHelpersRoundTrip) {
+  AddressSpace space;
+  const Region& region = space.map(64, Perm::kReadWrite, RegionKind::kScratch, "r");
+  space.write_cstring(region.base, "hello world");
+  EXPECT_EQ(space.read_cstring(region.base), "hello world");
+  EXPECT_EQ(space.read_cstring(region.base + 6), "world");
+}
+
+TEST(AddressSpace, UnterminatedCStringScanFaultsAtRegionEnd) {
+  AddressSpace space;
+  const Region& region = space.map(8, Perm::kReadWrite, RegionKind::kScratch, "r");
+  for (std::uint64_t i = 0; i < 8; ++i) space.store8(region.base + i, 'A');
+  EXPECT_THROW(space.read_cstring(region.base), AccessFault);
+}
+
+TEST(AddressSpace, CStringScanCapLimitsRunaway) {
+  AddressSpace space;
+  const Region& region = space.map(1024, Perm::kReadWrite, RegionKind::kScratch, "r");
+  for (std::uint64_t i = 0; i < 1024; ++i) space.store8(region.base + i, 'A');
+  EXPECT_THROW(space.read_cstring(region.base, 100), AccessFault);
+}
+
+TEST(AddressSpace, AccessibleMirrorsCheckWithoutThrowing) {
+  AddressSpace space;
+  const Region& rw = space.map(16, Perm::kReadWrite, RegionKind::kScratch, "rw");
+  const Region& ro = space.map(16, Perm::kRead, RegionKind::kRodata, "ro");
+  EXPECT_TRUE(space.accessible(rw.base, 16, Perm::kWrite));
+  EXPECT_FALSE(space.accessible(rw.base, 17, Perm::kWrite));
+  EXPECT_TRUE(space.accessible(ro.base, 1, Perm::kRead));
+  EXPECT_FALSE(space.accessible(ro.base, 1, Perm::kWrite));
+  EXPECT_FALSE(space.accessible(0, 1, Perm::kRead));
+}
+
+TEST(AddressSpace, FindLocatesRegionByInteriorAddress) {
+  AddressSpace space;
+  const Region& region = space.map(100, Perm::kReadWrite, RegionKind::kScratch, "r");
+  EXPECT_EQ(space.find(region.base + 50)->label, "r");
+  EXPECT_EQ(space.find(region.base + 99)->label, "r");
+  EXPECT_EQ(space.find(region.end()), nullptr);
+  EXPECT_EQ(space.find(region.base - 1), nullptr);
+}
+
+TEST(AddressSpace, MapAtRejectsOverlap) {
+  AddressSpace space;
+  space.map_at(0x100000, 0x100, Perm::kReadWrite, RegionKind::kScratch, "a");
+  EXPECT_THROW(space.map_at(0x100080, 0x100, Perm::kReadWrite, RegionKind::kScratch, "b"),
+               std::invalid_argument);
+  EXPECT_THROW(space.map_at(0xfff90, 0x100, Perm::kReadWrite, RegionKind::kScratch, "c"),
+               std::invalid_argument);
+  // Abutting is fine.
+  EXPECT_NO_THROW(space.map_at(0x100100, 0x100, Perm::kReadWrite, RegionKind::kScratch, "d"));
+}
+
+TEST(AddressSpace, UnmapMakesAddressesFaultAgain) {
+  AddressSpace space;
+  const Region& region = space.map(32, Perm::kReadWrite, RegionKind::kScratch, "r");
+  const Addr base = region.base;
+  space.store8(base, 42);
+  space.unmap(base);
+  EXPECT_THROW((void)space.load8(base), AccessFault);
+  EXPECT_THROW(space.unmap(base), std::invalid_argument);
+}
+
+TEST(AddressSpace, ProtectChangesPermissions) {
+  AddressSpace space;
+  const Region& region = space.map(32, Perm::kReadWrite, RegionKind::kScratch, "r");
+  space.store8(region.base, 1);
+  space.protect(region.base, Perm::kRead);
+  EXPECT_EQ(space.load8(region.base), 1u);
+  EXPECT_THROW(space.store8(region.base, 2), AccessFault);
+}
+
+TEST(AddressSpace, ZeroSizeMapRejected) {
+  AddressSpace space;
+  EXPECT_THROW(space.map(0, Perm::kRead, RegionKind::kScratch, "z"), std::invalid_argument);
+}
+
+TEST(PermAllows, BitSemantics) {
+  EXPECT_TRUE(allows(Perm::kReadWrite, Perm::kRead));
+  EXPECT_TRUE(allows(Perm::kReadWrite, Perm::kWrite));
+  EXPECT_TRUE(allows(Perm::kRead, Perm::kRead));
+  EXPECT_FALSE(allows(Perm::kRead, Perm::kWrite));
+  EXPECT_FALSE(allows(Perm::kNone, Perm::kRead));
+}
+
+}  // namespace
+}  // namespace healers::mem

@@ -1,0 +1,164 @@
+// Unit tests for the Ballista-style type lattice: chain composition per
+// type class, the concrete probe values a factory fabricates, and the
+// safest-value construction used to hold non-injected arguments steady.
+#include <gtest/gtest.h>
+
+#include "parser/manpage.hpp"
+#include "testbed.hpp"
+#include "typelattice/testtype.hpp"
+
+namespace healers::lattice {
+namespace {
+
+using parser::TypeClass;
+using testbed::P;
+
+struct LatticeFixture : ::testing::Test {
+  std::unique_ptr<linker::Process> proc = testbed::make_process();
+  Rng rng{42};
+  ValueFactory factory{*proc, rng};
+
+  parser::ManPage page(const std::string& symbol) {
+    const simlib::Symbol* sym = testbed::libsimc().find(symbol);
+    if (sym == nullptr) sym = testbed::libsimio().find(symbol);
+    return parser::parse_manpage(sym->manpage).value();
+  }
+};
+
+TEST_F(LatticeFixture, ChainsCoverEachClass) {
+  EXPECT_EQ(test_types_for(TypeClass::kPointer).size(), 10u);
+  EXPECT_EQ(test_types_for(TypeClass::kIntegral).size(), 8u);
+  EXPECT_EQ(test_types_for(TypeClass::kFloating).size(), 6u);
+  EXPECT_TRUE(test_types_for(TypeClass::kVoid).empty());
+}
+
+TEST_F(LatticeFixture, ChainsAreDisjointByClass) {
+  for (const TestTypeId id : test_types_for(TypeClass::kPointer)) {
+    for (const TestTypeId other : test_types_for(TypeClass::kIntegral)) {
+      EXPECT_NE(id, other);
+    }
+  }
+}
+
+TEST_F(LatticeFixture, EveryTestTypeHasANameAndCases) {
+  for (const TypeClass cls : {TypeClass::kPointer, TypeClass::kIntegral, TypeClass::kFloating}) {
+    for (const TestTypeId id : test_types_for(cls)) {
+      EXPECT_NE(to_string(id), "?");
+      const auto cases = factory.cases_of(id, 2);
+      EXPECT_FALSE(cases.empty()) << to_string(id);
+      for (const TestCase& test : cases) {
+        EXPECT_EQ(test.id, id);
+        EXPECT_FALSE(test.note.empty());
+      }
+    }
+  }
+}
+
+TEST_F(LatticeFixture, NullCaseIsNull) {
+  const auto cases = factory.cases_of(TestTypeId::kNull, 1);
+  ASSERT_EQ(cases.size(), 1u);
+  EXPECT_EQ(cases[0].value.as_ptr(), 0u);
+}
+
+TEST_F(LatticeFixture, WildPointerCasesAreUnmapped) {
+  for (const TestCase& test : factory.cases_of(TestTypeId::kWildPtr, 1)) {
+    EXPECT_FALSE(proc->machine().mem().accessible(test.value.as_ptr(), 1, mem::Perm::kRead))
+        << test.note;
+  }
+}
+
+TEST_F(LatticeFixture, FreedPointerCaseIsDeadHeapMemory) {
+  const auto cases = factory.cases_of(TestTypeId::kFreedPtr, 1);
+  ASSERT_EQ(cases.size(), 1u);
+  EXPECT_FALSE(proc->machine().heap().is_live(cases[0].value.as_ptr()));
+}
+
+TEST_F(LatticeFixture, ReadOnlyCaseIsReadableNotWritable) {
+  const auto cases = factory.cases_of(TestTypeId::kReadOnlyCString, 1);
+  ASSERT_EQ(cases.size(), 1u);
+  const mem::Addr p = cases[0].value.as_ptr();
+  EXPECT_TRUE(proc->machine().mem().accessible(p, 1, mem::Perm::kRead));
+  EXPECT_FALSE(proc->machine().mem().accessible(p, 1, mem::Perm::kWrite));
+}
+
+TEST_F(LatticeFixture, UnterminatedCaseHasNoNulInRegion) {
+  const auto cases = factory.cases_of(TestTypeId::kUntermBuf, 1);
+  ASSERT_EQ(cases.size(), 1u);
+  EXPECT_EQ(parser::safe_cstrlen(proc->machine().mem(), cases[0].value.as_ptr(), 1 << 20),
+            std::nullopt);
+}
+
+TEST_F(LatticeFixture, TinyWritableIsExactlyFourBytes) {
+  const auto cases = factory.cases_of(TestTypeId::kTinyWritable, 1);
+  const mem::Addr p = cases[0].value.as_ptr();
+  EXPECT_TRUE(proc->machine().mem().accessible(p, 4, mem::Perm::kWrite));
+  EXPECT_FALSE(proc->machine().mem().accessible(p, 5, mem::Perm::kWrite));
+}
+
+TEST_F(LatticeFixture, ValidCStringIsTerminatedAndLive) {
+  const auto cases = factory.cases_of(TestTypeId::kValidCString, 1);
+  const mem::Addr p = cases[0].value.as_ptr();
+  EXPECT_TRUE(proc->machine().heap().is_live(p));
+  EXPECT_TRUE(parser::safe_cstrlen(proc->machine().mem(), p, 1 << 20).has_value());
+}
+
+TEST_F(LatticeFixture, VariantsControlFuzzyCaseCount) {
+  EXPECT_LT(factory.cases_of(TestTypeId::kIntAsPtr, 1).size(),
+            factory.cases_of(TestTypeId::kIntAsPtr, 5).size());
+}
+
+TEST_F(LatticeFixture, IntegralExtremesIncludeBoundaries) {
+  bool saw_int64_min = false;
+  for (const TestCase& test : factory.cases_of(TestTypeId::kIntMin, 1)) {
+    if (test.value.as_int() == static_cast<std::int64_t>(0x8000000000000000ULL)) {
+      saw_int64_min = true;
+    }
+  }
+  EXPECT_TRUE(saw_int64_min);
+}
+
+TEST_F(LatticeFixture, SafeValueForPointerIsGenerousBuffer) {
+  const auto page_copy = page("strcpy");
+  const simlib::SimValue v = factory.safe_value(page_copy, 1);
+  EXPECT_TRUE(proc->machine().mem().accessible(v.as_ptr(), 512, mem::Perm::kWrite));
+}
+
+TEST_F(LatticeFixture, SafeValueForFileIsLiveStream) {
+  const auto page_copy = page("fclose");
+  const simlib::SimValue v = factory.safe_value(page_copy, 1);
+  // Validate exactly as the library would: magic + live slot.
+  EXPECT_EQ(proc->machine().mem().load64(v.as_ptr()), simlib::kFileMagic);
+}
+
+TEST_F(LatticeFixture, SafeValueForHeapPtrIsLiveAllocation) {
+  const auto page_copy = page("free");
+  const simlib::SimValue v = factory.safe_value(page_copy, 1);
+  EXPECT_TRUE(proc->machine().heap().is_live(v.as_ptr()));
+}
+
+TEST_F(LatticeFixture, SafeValueRespectsAnnotatedRange) {
+  const auto page_copy = page("isalpha");  // ARG 1 RANGE -128 255
+  const simlib::SimValue v = factory.safe_value(page_copy, 1);
+  EXPECT_GE(v.as_int(), -128);
+  EXPECT_LE(v.as_int(), 255);
+}
+
+TEST_F(LatticeFixture, SafeValueForBaseParameterIsTen) {
+  const auto page_copy = page("strtol");
+  EXPECT_EQ(factory.safe_value(page_copy, 3).as_int(), 10);
+}
+
+TEST_F(LatticeFixture, DeterministicUnderFixedSeed) {
+  auto proc2 = testbed::make_process();
+  Rng rng2{42};
+  ValueFactory factory2{*proc2, rng2};
+  const auto a = factory.cases_of(TestTypeId::kIntAsPtr, 3);
+  const auto b = factory2.cases_of(TestTypeId::kIntAsPtr, 3);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].value.as_ptr(), b[i].value.as_ptr()) << i;
+  }
+}
+
+}  // namespace
+}  // namespace healers::lattice

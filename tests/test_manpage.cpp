@@ -1,0 +1,217 @@
+// Unit tests for the man-page parser and the size-expression DSL: grammar,
+// evaluation against live simulated memory, rendering round trips, and the
+// property that every stock man page parses with a consistent prototype.
+#include <gtest/gtest.h>
+
+#include "parser/manpage.hpp"
+#include "testbed.hpp"
+
+namespace healers::parser {
+namespace {
+
+ManPage page_of(const std::string& doc) {
+  auto result = parse_manpage(doc);
+  EXPECT_TRUE(result.ok()) << (result.ok() ? "" : result.error().message);
+  return result.ok() ? std::move(result).take() : ManPage{};
+}
+
+const std::string kStrcpyPage =
+    "NAME\n"
+    "  strcpy - copy a string\n"
+    "SYNOPSIS\n"
+    "  char *strcpy(char *dest, const char *src);\n"
+    "NOTES\n"
+    "  NONNULL 1 2\n"
+    "  ARG 2 CSTRING\n"
+    "  ARG 1 BUF WRITE SIZE cstrlen(2)+1\n";
+
+TEST(ManPage, ParsesSections) {
+  const ManPage page = page_of(kStrcpyPage);
+  EXPECT_EQ(page.name, "strcpy");
+  EXPECT_EQ(page.summary, "copy a string");
+  EXPECT_EQ(page.proto.to_declaration(), "char *strcpy(char *dest, const char *src);");
+}
+
+TEST(ManPage, ParsesArgAnnotations) {
+  const ManPage page = page_of(kStrcpyPage);
+  ASSERT_NE(page.arg(1), nullptr);
+  ASSERT_NE(page.arg(2), nullptr);
+  EXPECT_TRUE(page.arg(1)->nonnull);
+  EXPECT_TRUE(page.arg(2)->cstring);
+  ASSERT_TRUE(page.arg(1)->write_size.has_value());
+  EXPECT_EQ(page.arg(1)->write_size->to_string(), "cstrlen(2)+1");
+  EXPECT_EQ(page.arg(3), nullptr);
+}
+
+TEST(ManPage, FlagsAndErrnos) {
+  const ManPage page = page_of(
+      "NAME\n  f - flags\nSYNOPSIS\n  int f(void *p, int n, ...);\nNOTES\n"
+      "  ALLOWNULL 1\n  ARG 2 RANGE -1 255\n  HEAP ALLOC\n  ERRNO EINVAL ENOMEM\n"
+      "  VARARGS\n  STATEFUL\n");
+  EXPECT_TRUE(page.arg(1)->allownull);
+  ASSERT_TRUE(page.arg(2)->range.has_value());
+  EXPECT_EQ(page.arg(2)->range->first, -1);
+  EXPECT_EQ(page.arg(2)->range->second, 255);
+  EXPECT_TRUE(page.heap_alloc);
+  EXPECT_FALSE(page.heap_free);
+  EXPECT_TRUE(page.varargs);
+  EXPECT_TRUE(page.stateful);
+  ASSERT_EQ(page.errnos.size(), 2u);
+  EXPECT_EQ(page.errnos[0], "EINVAL");
+}
+
+TEST(ManPage, VarargsInferredFromSynopsis) {
+  const ManPage page =
+      page_of("NAME\n  p - print\nSYNOPSIS\n  int p(const char *f, ...);\nNOTES\n");
+  EXPECT_TRUE(page.varargs);
+}
+
+TEST(ManPage, FileAndHeapptrRoles) {
+  const ManPage page = page_of(
+      "NAME\n  g - roles\nSYNOPSIS\n  int g(FILE *f, void *p);\nNOTES\n"
+      "  ARG 1 FILE\n  ARG 2 HEAPPTR\n");
+  EXPECT_TRUE(page.arg(1)->is_file);
+  EXPECT_TRUE(page.arg(2)->is_heapptr);
+}
+
+TEST(ManPage, RejectsMalformedDocuments) {
+  EXPECT_FALSE(parse_manpage("garbage before sections\n").ok());
+  EXPECT_FALSE(parse_manpage("NAME\n  x - y\n").ok());  // no SYNOPSIS
+  EXPECT_FALSE(parse_manpage("WEIRD\n  s\n").ok());
+  EXPECT_FALSE(
+      parse_manpage("NAME\n  f\nSYNOPSIS\n  int f(void);\nNOTES\n  BOGUS 1\n").ok());
+  EXPECT_FALSE(
+      parse_manpage("NAME\n  f\nSYNOPSIS\n  int f(void);\nNOTES\n  ARG x CSTRING\n").ok());
+  EXPECT_FALSE(
+      parse_manpage("NAME\n  f\nSYNOPSIS\n  int f(void);\nNOTES\n  ARG 1 RANGE 9 1\n").ok());
+}
+
+// --- SizeExpr ----------------------------------------------------------------
+
+TEST(SizeExpr, ParseRenderRoundTrip) {
+  const char* cases[] = {
+      "1",
+      "arg(3)",
+      "cstrlen(2)+1",
+      "cstrlen(1)+cstrlen(2)+1",
+      "min(arg(3),cstrlen(2))+1",
+      "mul(arg(2),arg(3))",
+      "formatted(2)",
+      "cstrlen(1)+min(arg(3),cstrlen(2))+1",
+  };
+  for (const char* text : cases) {
+    auto expr = SizeExpr::parse(text);
+    ASSERT_TRUE(expr.ok()) << text;
+    EXPECT_EQ(expr.value().to_string(), text);
+  }
+}
+
+TEST(SizeExpr, RejectsMalformed) {
+  EXPECT_FALSE(SizeExpr::parse("").ok());
+  EXPECT_FALSE(SizeExpr::parse("arg()").ok());
+  EXPECT_FALSE(SizeExpr::parse("arg(0)").ok());
+  EXPECT_FALSE(SizeExpr::parse("unknown(1)").ok());
+  EXPECT_FALSE(SizeExpr::parse("min(1)").ok());
+  EXPECT_FALSE(SizeExpr::parse("1+").ok());
+  EXPECT_FALSE(SizeExpr::parse("arg(1))").ok());
+}
+
+struct SizeExprEval : ::testing::Test {
+  std::unique_ptr<linker::Process> proc = testbed::make_process();
+
+  std::optional<std::uint64_t> eval(const std::string& text,
+                                    std::vector<std::uint64_t> args) {
+    auto expr = SizeExpr::parse(text);
+    EXPECT_TRUE(expr.ok()) << text;
+    SizeExpr::EvalEnv env{proc->machine().mem(), std::move(args), 1 << 20, {}, {}};
+    return expr.value().eval(env);
+  }
+};
+
+TEST_F(SizeExprEval, ConstantsAndArgs) {
+  EXPECT_EQ(eval("7", {}), 7u);
+  EXPECT_EQ(eval("arg(2)", {10, 20}), 20u);
+  EXPECT_EQ(eval("arg(1)+3", {10}), 13u);
+  EXPECT_EQ(eval("min(arg(1),arg(2))", {9, 4}), 4u);
+  EXPECT_EQ(eval("mul(arg(1),arg(2))", {3, 5}), 15u);
+}
+
+TEST_F(SizeExprEval, CstrlenMeasuresSimulatedMemory) {
+  const mem::Addr s = proc->alloc_cstring("hello");
+  EXPECT_EQ(eval("cstrlen(1)+1", {s}), 6u);
+}
+
+TEST_F(SizeExprEval, CstrlenOfInvalidPointerIsUnevaluable) {
+  EXPECT_EQ(eval("cstrlen(1)+1", {0}), std::nullopt);
+  EXPECT_EQ(eval("cstrlen(1)", {mem::AddressSpace::wild_pointer()}), std::nullopt);
+}
+
+TEST_F(SizeExprEval, CstrlenOfUnterminatedBufferIsUnevaluable) {
+  const mem::Addr buf = proc->scratch(32);
+  for (int i = 0; i < 32; ++i) proc->machine().mem().store8(buf + i, 'A');
+  EXPECT_EQ(eval("cstrlen(1)", {buf}), std::nullopt);
+}
+
+TEST_F(SizeExprEval, FormattedIsNeverEvaluable) {
+  EXPECT_EQ(eval("formatted(2)", {1, 2}), std::nullopt);
+  EXPECT_EQ(eval("formatted(2)+5", {1, 2}), std::nullopt);
+}
+
+TEST_F(SizeExprEval, MissingArgIndexIsUnevaluable) {
+  EXPECT_EQ(eval("arg(5)", {1, 2}), std::nullopt);
+}
+
+TEST_F(SizeExprEval, OverflowIsUnevaluable) {
+  EXPECT_EQ(eval("mul(arg(1),arg(2))", {~std::uint64_t{0}, 2}), std::nullopt);
+  EXPECT_EQ(eval("arg(1)+arg(2)", {~std::uint64_t{0}, 2}), std::nullopt);
+}
+
+TEST_F(SizeExprEval, StrcatStyleCompound) {
+  const mem::Addr dest = proc->alloc_cstring("abc");
+  const mem::Addr src = proc->alloc_cstring("defg");
+  EXPECT_EQ(eval("cstrlen(1)+cstrlen(2)+1", {dest, src}), 8u);
+}
+
+TEST(SafeCstrlen, BoundedAndNonFaulting) {
+  mem::AddressSpace space;
+  const mem::Region& region = space.map(16, mem::Perm::kReadWrite,
+                                        mem::RegionKind::kScratch, "r");
+  space.write_cstring(region.base, "abc");
+  EXPECT_EQ(safe_cstrlen(space, region.base, 1000), 3u);
+  EXPECT_EQ(safe_cstrlen(space, 0, 1000), std::nullopt);
+  // Cap smaller than the string: unevaluable rather than a long scan.
+  EXPECT_EQ(safe_cstrlen(space, region.base, 2), std::nullopt);
+}
+
+// Property: every stock man page parses; its SYNOPSIS matches the symbol's
+// declaration; annotation indices stay within the prototype's arity.
+class ManPageSweep : public ::testing::TestWithParam<const simlib::SharedLibrary*> {};
+
+TEST_P(ManPageSweep, AllStockManPagesAreConsistent) {
+  const simlib::SharedLibrary& lib = *GetParam();
+  for (const std::string& name : lib.names()) {
+    const simlib::Symbol* symbol = lib.find(name);
+    auto page = parse_manpage(symbol->manpage);
+    ASSERT_TRUE(page.ok()) << name << ": " << (page.ok() ? "" : page.error().message);
+    EXPECT_EQ(page.value().name, name);
+    EXPECT_EQ(page.value().proto.to_declaration(), symbol->declaration) << name;
+    for (const ArgAnnotation& arg : page.value().args) {
+      EXPECT_GE(arg.index, 1) << name;
+      EXPECT_LE(arg.index, static_cast<int>(page.value().proto.params.size())) << name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(StockLibraries, ManPageSweep,
+                         ::testing::Values(&testbed::libsimc(), &testbed::libsimio(),
+                                           &testbed::libsimm()),
+                         [](const auto& info) {
+                           std::string name = info.param->soname();
+                           for (char& c : name) {
+                             if (c == '.') c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace healers::parser

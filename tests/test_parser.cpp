@@ -1,0 +1,206 @@
+// Unit tests for the C declaration parser: types, qualifiers, pointers,
+// typedefs, varargs, whole-header parsing, diagnostics, error positions —
+// plus the property that every stock library declaration round-trips.
+#include <gtest/gtest.h>
+
+#include "parser/header_parser.hpp"
+#include "testbed.hpp"
+
+namespace healers::parser {
+namespace {
+
+FunctionProto decl(const std::string& text) {
+  auto result = parse_declaration(text);
+  EXPECT_TRUE(result.ok()) << text << ": " << (result.ok() ? "" : result.error().message);
+  return result.ok() ? result.value() : FunctionProto{};
+}
+
+TEST(HeaderParser, SimpleIntFunction) {
+  const FunctionProto proto = decl("int abs(int j);");
+  EXPECT_EQ(proto.name, "abs");
+  EXPECT_EQ(proto.return_type.base, BaseType::kInt);
+  ASSERT_EQ(proto.params.size(), 1u);
+  EXPECT_EQ(proto.params[0].name, "j");
+  EXPECT_EQ(proto.params[0].type.classify(), TypeClass::kIntegral);
+}
+
+TEST(HeaderParser, PointerReturnAndConstPointerParam) {
+  const FunctionProto proto = decl("char *strcpy(char *dest, const char *src);");
+  EXPECT_EQ(proto.return_type.base, BaseType::kChar);
+  EXPECT_EQ(proto.return_type.pointer_depth, 1);
+  ASSERT_EQ(proto.params.size(), 2u);
+  EXPECT_FALSE(proto.params[0].type.pointee_const);
+  EXPECT_TRUE(proto.params[1].type.pointee_const);
+  EXPECT_EQ(proto.params[1].type.classify(), TypeClass::kPointer);
+}
+
+TEST(HeaderParser, DoublePointer) {
+  const FunctionProto proto = decl("long strtol(const char *nptr, char **endptr, int base);");
+  EXPECT_EQ(proto.params[1].type.pointer_depth, 2);
+  EXPECT_EQ(proto.return_type.base, BaseType::kLong);
+}
+
+TEST(HeaderParser, UnsignedAndLongLong) {
+  const FunctionProto proto = decl("unsigned long long f(unsigned x, long long y);");
+  EXPECT_TRUE(proto.return_type.is_unsigned);
+  EXPECT_EQ(proto.return_type.base, BaseType::kLongLong);
+  EXPECT_TRUE(proto.params[0].type.is_unsigned);
+  EXPECT_EQ(proto.params[0].type.base, BaseType::kInt);
+  EXPECT_EQ(proto.params[1].type.base, BaseType::kLongLong);
+}
+
+TEST(HeaderParser, VoidParameterListIsEmpty) {
+  const FunctionProto proto = decl("int rand(void);");
+  EXPECT_TRUE(proto.params.empty());
+  EXPECT_FALSE(proto.varargs);
+}
+
+TEST(HeaderParser, VoidPointerParamIsAPointer) {
+  const FunctionProto proto = decl("void *memcpy(void *dest, const void *src, size_t n);");
+  EXPECT_EQ(proto.params[0].type.classify(), TypeClass::kPointer);
+  EXPECT_EQ(proto.return_type.classify(), TypeClass::kPointer);
+  EXPECT_EQ(proto.params[2].type.classify(), TypeClass::kIntegral);
+}
+
+TEST(HeaderParser, KnownTypedefs) {
+  const FunctionProto proto = decl("size_t strlen(const char *s);");
+  EXPECT_EQ(proto.return_type.base, BaseType::kNamed);
+  EXPECT_EQ(proto.return_type.name, "size_t");
+  EXPECT_EQ(proto.return_type.classify(), TypeClass::kIntegral);
+}
+
+TEST(HeaderParser, FileTypedefBehindPointer) {
+  const FunctionProto proto = decl("int fclose(FILE *stream);");
+  EXPECT_EQ(proto.params[0].type.name, "FILE");
+  EXPECT_EQ(proto.params[0].type.classify(), TypeClass::kPointer);
+}
+
+TEST(HeaderParser, VarargsDeclaration) {
+  const FunctionProto proto = decl("int printf(const char *format, ...);");
+  EXPECT_TRUE(proto.varargs);
+  EXPECT_EQ(proto.params.size(), 1u);
+}
+
+TEST(HeaderParser, UnnamedParameters) {
+  const FunctionProto proto = decl("int f(int, const char *);");
+  ASSERT_EQ(proto.params.size(), 2u);
+  EXPECT_TRUE(proto.params[0].name.empty());
+  EXPECT_TRUE(proto.params[1].name.empty());
+}
+
+TEST(HeaderParser, UnknownTypedefAcceptedWithDiagnostic) {
+  auto result = parse_header("mystery_t f(mystery_t x);");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().functions[0].return_type.name, "mystery_t");
+  EXPECT_FALSE(result.value().diagnostics.empty());
+  EXPECT_NE(result.value().diagnostics[0].find("mystery_t"), std::string::npos);
+}
+
+TEST(HeaderParser, CommentsAreSkipped) {
+  auto result = parse_header(
+      "/* header preamble */\n"
+      "int a(void); // trailing\n"
+      "/* multi\n   line */ int b(void);\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().functions.size(), 2u);
+}
+
+TEST(HeaderParser, WholeHeaderManyDeclarations) {
+  auto result = parse_header(
+      "int a(void);\n"
+      "char *b(char *s);\n"
+      "double c(double x, double y);\n");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().functions.size(), 3u);
+  EXPECT_EQ(result.value().functions[2].name, "c");
+}
+
+TEST(HeaderParser, ErrorsCarryLineNumbers) {
+  auto result = parse_header("int good(void);\nint bad(;\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message.find("line 2"), std::string::npos);
+}
+
+TEST(HeaderParser, RejectsMalformedDeclarations) {
+  EXPECT_FALSE(parse_header("int f(").ok());
+  EXPECT_FALSE(parse_header("int f(int x)").ok());  // missing ';'
+  EXPECT_FALSE(parse_header("f(int x);").ok());     // no return type
+  EXPECT_FALSE(parse_header("int 123(void);").ok());
+  EXPECT_FALSE(parse_header("int f(void); trailing").ok());
+  EXPECT_FALSE(parse_header("int f(void)@;").ok());
+  EXPECT_FALSE(parse_header("/* unterminated").ok());
+}
+
+TEST(HeaderParser, DeclarationRendersBack) {
+  const char* cases[] = {
+      "char *strcpy(char *dest, const char *src);",
+      "int abs(int j);",
+      "void *memcpy(void *dest, const void *src, size_t n);",
+      "unsigned long strtoul(const char *nptr, char **endptr, int base);",
+      "int printf(const char *format, ...);",
+      "int rand(void);",
+      "double pow(double x, double y);",
+      "void free(void *ptr);",
+      "wctrans_t wctrans(const char *name);",
+  };
+  for (const char* text : cases) {
+    EXPECT_EQ(decl(text).to_declaration(), text);
+  }
+}
+
+TEST(TypeExpr, ClassifyAndRender) {
+  TypeExpr t;
+  t.base = BaseType::kChar;
+  t.pointer_depth = 1;
+  t.pointee_const = true;
+  EXPECT_EQ(t.classify(), TypeClass::kPointer);
+  EXPECT_EQ(t.to_string(), "const char *");
+  EXPECT_EQ(t.declare("s"), "const char *s");
+  t.pointer_depth = 0;
+  EXPECT_EQ(t.classify(), TypeClass::kIntegral);
+}
+
+TEST(TypeExpr, NamedTypeClasses) {
+  EXPECT_EQ(named_type_class("size_t"), TypeClass::kIntegral);
+  EXPECT_EQ(named_type_class("FILE"), TypeClass::kVoid);
+  EXPECT_EQ(named_type_class("anything_else"), TypeClass::kIntegral);
+  EXPECT_TRUE(is_known_typedef("wctrans_t"));
+  EXPECT_FALSE(is_known_typedef("nope_t"));
+}
+
+// Property: every declaration shipped by the stock libraries parses, and
+// re-rendering reproduces the original text byte for byte.
+class DeclarationRoundTrip : public ::testing::TestWithParam<const simlib::SharedLibrary*> {};
+
+TEST_P(DeclarationRoundTrip, AllLibraryDeclarationsRoundTrip) {
+  const simlib::SharedLibrary& lib = *GetParam();
+  for (const std::string& name : lib.names()) {
+    const simlib::Symbol* symbol = lib.find(name);
+    auto proto = parse_declaration(symbol->declaration);
+    ASSERT_TRUE(proto.ok()) << name << ": "
+                            << (proto.ok() ? "" : proto.error().message);
+    EXPECT_EQ(proto.value().to_declaration(), symbol->declaration) << name;
+    EXPECT_EQ(proto.value().name, name);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(StockLibraries, DeclarationRoundTrip,
+                         ::testing::Values(&testbed::libsimc(), &testbed::libsimio(),
+                                           &testbed::libsimm()),
+                         [](const auto& info) {
+                           std::string name = info.param->soname();
+                           for (char& c : name) {
+                             if (c == '.') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(HeaderParser, WholeStockHeaderParses) {
+  auto result = parse_header(testbed::libsimc().header_text());
+  ASSERT_TRUE(result.ok()) << result.error().message;
+  EXPECT_EQ(result.value().functions.size(), testbed::libsimc().size());
+  EXPECT_TRUE(result.value().diagnostics.empty());
+}
+
+}  // namespace
+}  // namespace healers::parser

@@ -1,0 +1,189 @@
+// Behaviour tests for the ctype/wide-char, math, and misc families: correct
+// classification in range, the table-lookup crash on wild ints (Ballista's
+// classic finding), math errno discipline, and the runtime helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "testbed.hpp"
+
+namespace healers {
+namespace {
+
+using testbed::F;
+using testbed::I;
+using testbed::P;
+
+struct CtypeFixture : ::testing::Test {
+  std::unique_ptr<linker::Process> proc = testbed::make_process();
+  mem::Addr str(const std::string& text) { return proc->alloc_cstring(text); }
+};
+
+TEST_F(CtypeFixture, ClassifiersAgreeWithHostCtype) {
+  for (int c = -1; c <= 255; ++c) {
+    const int probe = c == -1 ? -1 : c;
+    const bool host_alpha = c >= 0 && c < 128 && (std::isalpha(c) != 0);
+    EXPECT_EQ(proc->call("isalpha", {I(probe)}).as_int() != 0, host_alpha) << c;
+    const bool host_digit = c >= '0' && c <= '9';
+    EXPECT_EQ(proc->call("isdigit", {I(probe)}).as_int() != 0, host_digit) << c;
+  }
+}
+
+TEST_F(CtypeFixture, SpacePunctXdigitCntrl) {
+  EXPECT_TRUE(proc->call("isspace", {I(' ')}).as_int() != 0);
+  EXPECT_TRUE(proc->call("isspace", {I('\t')}).as_int() != 0);
+  EXPECT_FALSE(proc->call("isspace", {I('x')}).as_int() != 0);
+  EXPECT_TRUE(proc->call("ispunct", {I('!')}).as_int() != 0);
+  EXPECT_FALSE(proc->call("ispunct", {I('a')}).as_int() != 0);
+  EXPECT_TRUE(proc->call("isxdigit", {I('f')}).as_int() != 0);
+  EXPECT_TRUE(proc->call("isxdigit", {I('A')}).as_int() != 0);
+  EXPECT_FALSE(proc->call("isxdigit", {I('g')}).as_int() != 0);
+  EXPECT_TRUE(proc->call("iscntrl", {I(7)}).as_int() != 0);
+  EXPECT_TRUE(proc->call("iscntrl", {I(127)}).as_int() != 0);
+}
+
+TEST_F(CtypeFixture, ToupperTolower) {
+  EXPECT_EQ(proc->call("toupper", {I('a')}).as_int(), 'A');
+  EXPECT_EQ(proc->call("toupper", {I('A')}).as_int(), 'A');
+  EXPECT_EQ(proc->call("toupper", {I('7')}).as_int(), '7');
+  EXPECT_EQ(proc->call("tolower", {I('Z')}).as_int(), 'z');
+  EXPECT_EQ(proc->call("tolower", {I('z')}).as_int(), 'z');
+}
+
+TEST_F(CtypeFixture, EofIsAcceptedWithoutCrash) {
+  EXPECT_EQ(proc->call("isalpha", {I(-1)}).as_int(), 0);
+  EXPECT_EQ(proc->call("isdigit", {I(-1)}).as_int(), 0);
+}
+
+TEST_F(CtypeFixture, WildIntCrashesTableLookup) {
+  // The table covers [-128, 255]; anything beyond drives the lookup out of
+  // the mapped region — exactly how table-driven libcs crash.
+  // (Offsets chosen far outside every mapping; nearer wild values may land
+  // in other mapped regions and merely misclassify, as on a real libc.)
+  EXPECT_THROW(proc->call("isalpha", {I(1 << 30)}), AccessFault);
+  EXPECT_THROW(proc->call("isdigit", {I(-(1 << 26))}), AccessFault);
+  EXPECT_THROW(proc->call("toupper", {I(1LL << 40)}), AccessFault);
+}
+
+TEST_F(CtypeFixture, WctransLooksUpNamedTransformations) {
+  EXPECT_EQ(proc->call("wctrans", {P(str("tolower"))}).as_int(), 1);
+  EXPECT_EQ(proc->call("wctrans", {P(str("toupper"))}).as_int(), 2);
+  proc->machine().set_err(0);
+  EXPECT_EQ(proc->call("wctrans", {P(str("bogus"))}).as_int(), 0);
+  EXPECT_EQ(proc->machine().err(), simlib::kEINVAL);
+}
+
+TEST_F(CtypeFixture, WctransNullCrashes) {
+  // The paper's running example: wctrans' argument must actually be a
+  // valid C string, not merely "const char *".
+  EXPECT_THROW(proc->call("wctrans", {P(0)}), AccessFault);
+}
+
+TEST_F(CtypeFixture, TowctransAppliesDescriptor) {
+  EXPECT_EQ(proc->call("towctrans", {I('A'), I(1)}).as_int(), 'a');
+  EXPECT_EQ(proc->call("towctrans", {I('a'), I(2)}).as_int(), 'A');
+  proc->machine().set_err(0);
+  EXPECT_EQ(proc->call("towctrans", {I('a'), I(99)}).as_int(), 'a');
+  EXPECT_EQ(proc->machine().err(), simlib::kEINVAL);
+}
+
+TEST_F(CtypeFixture, WctypeAndIswctype) {
+  const auto alpha = proc->call("wctype", {P(str("alpha"))});
+  EXPECT_NE(alpha.as_int(), 0);
+  EXPECT_EQ(proc->call("iswctype", {I('x'), alpha}).as_int(), 1);
+  EXPECT_EQ(proc->call("iswctype", {I('5'), alpha}).as_int(), 0);
+  const auto digit = proc->call("wctype", {P(str("digit"))});
+  EXPECT_EQ(proc->call("iswctype", {I('5'), digit}).as_int(), 1);
+  EXPECT_EQ(proc->call("wctype", {P(str("nope"))}).as_int(), 0);
+}
+
+struct MathFixture : CtypeFixture {};
+
+TEST_F(MathFixture, BasicFunctions) {
+  EXPECT_DOUBLE_EQ(proc->call("fabs", {F(-2.5)}).as_double(), 2.5);
+  EXPECT_DOUBLE_EQ(proc->call("floor", {F(2.7)}).as_double(), 2.0);
+  EXPECT_DOUBLE_EQ(proc->call("ceil", {F(2.2)}).as_double(), 3.0);
+  EXPECT_DOUBLE_EQ(proc->call("sqrt", {F(9.0)}).as_double(), 3.0);
+  EXPECT_DOUBLE_EQ(proc->call("pow", {F(2.0), F(10.0)}).as_double(), 1024.0);
+  EXPECT_NEAR(proc->call("sin", {F(0.0)}).as_double(), 0.0, 1e-12);
+  EXPECT_NEAR(proc->call("cos", {F(0.0)}).as_double(), 1.0, 1e-12);
+}
+
+TEST_F(MathFixture, DomainErrorsSetEdom) {
+  proc->machine().set_err(0);
+  EXPECT_TRUE(std::isnan(proc->call("sqrt", {F(-1.0)}).as_double()));
+  EXPECT_EQ(proc->machine().err(), simlib::kEDOM);
+  proc->machine().set_err(0);
+  EXPECT_TRUE(std::isnan(proc->call("log", {F(-1.0)}).as_double()));
+  EXPECT_EQ(proc->machine().err(), simlib::kEDOM);
+  proc->machine().set_err(0);
+  EXPECT_TRUE(std::isnan(proc->call("fmod", {F(1.0), F(0.0)}).as_double()));
+  EXPECT_EQ(proc->machine().err(), simlib::kEDOM);
+}
+
+TEST_F(MathFixture, RangeErrorsSetErange) {
+  proc->machine().set_err(0);
+  EXPECT_TRUE(std::isinf(proc->call("log", {F(0.0)}).as_double()));
+  EXPECT_EQ(proc->machine().err(), simlib::kERANGE);
+  proc->machine().set_err(0);
+  EXPECT_TRUE(std::isinf(proc->call("pow", {F(10.0), F(5000.0)}).as_double()));
+  EXPECT_EQ(proc->machine().err(), simlib::kERANGE);
+}
+
+TEST_F(MathFixture, MathNeverCrashesOnExtremeInputs) {
+  // The contrast class: value-in/value-out functions tolerate anything.
+  for (const double x : {0.0, -1.0, 1e308, -1e308, std::nan(""),
+                         std::numeric_limits<double>::infinity()}) {
+    for (const char* fn : {"sin", "cos", "tan", "exp", "fabs", "floor", "ceil", "sqrt", "log"}) {
+      EXPECT_NO_THROW(proc->call(fn, {F(x)})) << fn << "(" << x << ")";
+    }
+  }
+}
+
+struct MiscFixture : CtypeFixture {};
+
+TEST_F(MiscFixture, GetenvFindsAndMisses) {
+  proc->state().env["HOME"] = "/home/user";
+  const auto home = proc->call("getenv", {P(str("HOME"))});
+  ASSERT_NE(home.as_ptr(), 0u);
+  EXPECT_EQ(proc->machine().mem().read_cstring(home.as_ptr()), "/home/user");
+  EXPECT_EQ(proc->call("getenv", {P(str("NOPE"))}).as_ptr(), 0u);
+}
+
+TEST_F(MiscFixture, GetenvNullCrashes) {
+  EXPECT_THROW(proc->call("getenv", {P(0)}), AccessFault);
+}
+
+TEST_F(MiscFixture, RandIsDeterministicUnderSrand) {
+  proc->call("srand", {I(123)});
+  const auto a1 = proc->call("rand", {}).as_int();
+  const auto a2 = proc->call("rand", {}).as_int();
+  proc->call("srand", {I(123)});
+  EXPECT_EQ(proc->call("rand", {}).as_int(), a1);
+  EXPECT_EQ(proc->call("rand", {}).as_int(), a2);
+  EXPECT_GE(a1, 0);
+  EXPECT_LE(a1, 0x7fffffff);
+}
+
+TEST_F(MiscFixture, ExitRaisesSimExitWithStatus) {
+  try {
+    proc->call("exit", {I(3)});
+    FAIL() << "expected SimExit";
+  } catch (const SimExit& e) {
+    EXPECT_EQ(e.code(), 3);
+  }
+}
+
+TEST_F(MiscFixture, AbortRaisesSimAbort) {
+  EXPECT_THROW(proc->call("abort", {}), SimAbort);
+}
+
+TEST_F(MiscFixture, SupervisedExitBecomesExitOutcome) {
+  const auto outcome = proc->supervised_call("exit", {I(7)});
+  EXPECT_EQ(outcome.kind, linker::CallOutcome::Kind::kExit);
+  EXPECT_EQ(outcome.exit_code, 7);
+  EXPECT_FALSE(outcome.robustness_failure());
+}
+
+}  // namespace
+}  // namespace healers

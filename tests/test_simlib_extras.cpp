@@ -1,0 +1,183 @@
+// Behaviour tests for the late additions to libsimc/libsimio: gets/getchar
+// (stdin), strnlen, strcasecmp/strncasecmp, strtok_r — plus their wrapper
+// interactions (the stdinline() gets pre-pass, the SAVEPTR conditional-NULL
+// check).
+#include <gtest/gtest.h>
+
+#include "injector/injector.hpp"
+#include "testbed.hpp"
+#include "wrappers/wrappers.hpp"
+
+namespace healers {
+namespace {
+
+using testbed::I;
+using testbed::P;
+
+struct ExtrasFixture : ::testing::Test {
+  std::unique_ptr<linker::Process> proc = testbed::make_process();
+  mem::AddressSpace& mem() { return proc->machine().mem(); }
+  mem::Addr str(const std::string& text) { return proc->alloc_cstring(text); }
+  mem::Addr buf(std::uint64_t size) { return proc->scratch(size); }
+};
+
+// --- gets / getchar -----------------------------------------------------------
+
+TEST_F(ExtrasFixture, GetsReadsLineAndStripsNewline) {
+  proc->state().stdin_content = "first line\nsecond\n";
+  const mem::Addr dest = buf(64);
+  EXPECT_EQ(proc->call("gets", {P(dest)}).as_ptr(), dest);
+  EXPECT_EQ(mem().read_cstring(dest), "first line");
+  proc->call("gets", {P(dest)});
+  EXPECT_EQ(mem().read_cstring(dest), "second");
+  EXPECT_EQ(proc->call("gets", {P(dest)}).as_ptr(), 0u);  // EOF
+}
+
+TEST_F(ExtrasFixture, GetsOverflowsUnboundedly) {
+  // THE classic: a 4-byte buffer, a longer console line.
+  proc->state().stdin_content = "longer than four bytes\n";
+  EXPECT_THROW(proc->call("gets", {P(buf(4))}), AccessFault);
+}
+
+TEST_F(ExtrasFixture, GetcharConsumesStdin) {
+  proc->state().stdin_content = "ab";
+  EXPECT_EQ(proc->call("getchar", {}).as_int(), 'a');
+  EXPECT_EQ(proc->call("getchar", {}).as_int(), 'b');
+  EXPECT_EQ(proc->call("getchar", {}).as_int(), -1);
+}
+
+TEST_F(ExtrasFixture, GetsContainedByWrapperStdinPrePass) {
+  // The wrapper's stdinline() oracle measures the pending line: a too-small
+  // destination is contained BEFORE any byte is written.
+  linker::LibraryCatalog catalog;
+  catalog.install(&testbed::libsimio());
+  catalog.install(&testbed::libsimc());
+  catalog.install(&testbed::libsimm());
+  injector::InjectorConfig config;
+  config.seed = 17;
+  config.variants = 1;
+  injector::FaultInjector injector(catalog, config);
+  injector::CampaignResult campaign;
+  campaign.library = testbed::libsimio().soname();
+  campaign.specs.push_back(injector.probe_function(testbed::libsimio(), "gets").value());
+  EXPECT_GT(campaign.specs[0].total_failures, 0u);  // probes with seeded stdin crashed
+
+  auto wrapped = testbed::make_process();
+  wrapped->state().stdin_content = "a fairly long console line\n";
+  wrapped->preload(wrappers::make_robustness_wrapper(testbed::libsimio(), campaign).value());
+  const mem::Addr tiny = wrapped->scratch(4);
+  const auto contained = wrapped->supervised_call("gets", {P(tiny)});
+  EXPECT_FALSE(contained.robustness_failure());
+  EXPECT_EQ(contained.ret.as_ptr(), 0u);
+  // A big-enough buffer still works through the wrapper.
+  const mem::Addr roomy = wrapped->scratch(64);
+  EXPECT_EQ(wrapped->call("gets", {P(roomy)}).as_ptr(), roomy);
+  EXPECT_EQ(wrapped->machine().mem().read_cstring(roomy), "a fairly long console line");
+}
+
+// --- strnlen -------------------------------------------------------------------
+
+TEST_F(ExtrasFixture, StrnlenBoundsTheScan) {
+  EXPECT_EQ(proc->call("strnlen", {P(str("hello")), I(64)}).as_int(), 5);
+  EXPECT_EQ(proc->call("strnlen", {P(str("hello")), I(3)}).as_int(), 3);
+  EXPECT_EQ(proc->call("strnlen", {P(str("")), I(64)}).as_int(), 0);
+}
+
+TEST_F(ExtrasFixture, StrnlenToleratesUnterminatedWithinBound) {
+  // The robust contrast to strlen: a bounded scan over an unterminated
+  // buffer is fine as long as maxlen stays inside.
+  const mem::Addr unterm = buf(32);
+  for (int i = 0; i < 32; ++i) mem().store8(unterm + i, 'A');
+  EXPECT_EQ(proc->call("strnlen", {P(unterm), I(32)}).as_int(), 32);
+  EXPECT_THROW(proc->call("strnlen", {P(unterm), I(1000)}), AccessFault);
+}
+
+// --- strcasecmp / strncasecmp ----------------------------------------------------
+
+TEST_F(ExtrasFixture, StrcasecmpIgnoresCase) {
+  EXPECT_EQ(proc->call("strcasecmp", {P(str("Hello")), P(str("hELLo"))}).as_int(), 0);
+  EXPECT_LT(proc->call("strcasecmp", {P(str("abc")), P(str("ABD"))}).as_int(), 0);
+  EXPECT_NE(proc->call("strcasecmp", {P(str("abc")), P(str("abcd"))}).as_int(), 0);
+}
+
+TEST_F(ExtrasFixture, StrncasecmpBounded) {
+  EXPECT_EQ(proc->call("strncasecmp", {P(str("ABCx")), P(str("abcy")), I(3)}).as_int(), 0);
+  EXPECT_NE(proc->call("strncasecmp", {P(str("ABCx")), P(str("abcy")), I(4)}).as_int(), 0);
+}
+
+// --- strtok_r --------------------------------------------------------------------
+
+TEST_F(ExtrasFixture, StrtokRTokenizesWithExplicitCursor) {
+  const mem::Addr s = str("x:y:z");
+  const mem::Addr delim = str(":");
+  const mem::Addr save = buf(8);
+  const auto t1 = proc->call("strtok_r", {P(s), P(delim), P(save)});
+  const auto t2 = proc->call("strtok_r", {P(0), P(delim), P(save)});
+  const auto t3 = proc->call("strtok_r", {P(0), P(delim), P(save)});
+  const auto t4 = proc->call("strtok_r", {P(0), P(delim), P(save)});
+  EXPECT_EQ(mem().read_cstring(t1.as_ptr()), "x");
+  EXPECT_EQ(mem().read_cstring(t2.as_ptr()), "y");
+  EXPECT_EQ(mem().read_cstring(t3.as_ptr()), "z");
+  EXPECT_EQ(t4.as_ptr(), 0u);
+}
+
+TEST_F(ExtrasFixture, StrtokRTwoIndependentCursors) {
+  // The reentrancy strtok lacks: two tokenizations interleave safely.
+  const mem::Addr s1 = str("a,b");
+  const mem::Addr s2 = str("1,2");
+  const mem::Addr delim = str(",");
+  const mem::Addr save1 = buf(8);
+  const mem::Addr save2 = buf(8);
+  const auto a = proc->call("strtok_r", {P(s1), P(delim), P(save1)});
+  const auto one = proc->call("strtok_r", {P(s2), P(delim), P(save2)});
+  const auto b = proc->call("strtok_r", {P(0), P(delim), P(save1)});
+  const auto two = proc->call("strtok_r", {P(0), P(delim), P(save2)});
+  EXPECT_EQ(mem().read_cstring(a.as_ptr()), "a");
+  EXPECT_EQ(mem().read_cstring(one.as_ptr()), "1");
+  EXPECT_EQ(mem().read_cstring(b.as_ptr()), "b");
+  EXPECT_EQ(mem().read_cstring(two.as_ptr()), "2");
+}
+
+TEST_F(ExtrasFixture, StrtokRNullFirstCallWithGarbageCursorCrashes) {
+  const mem::Addr save = buf(8);  // zero-filled: *save == 0
+  EXPECT_THROW(proc->call("strtok_r", {P(0), P(str(",")), P(save)}), AccessFault);
+}
+
+TEST_F(ExtrasFixture, StrtokRSaveptrCheckContainsUnprimedNull) {
+  // The SAVEPTR annotation: NULL str is contained unless *saveptr points at
+  // a readable string — first-call NULL is caught, continuation is allowed.
+  injector::CampaignResult campaign;  // annotation-only wrapper suffices
+  campaign.library = testbed::libsimc().soname();
+  auto proc2 = testbed::make_process();
+  proc2->preload(wrappers::make_robustness_wrapper(testbed::libsimc(), campaign).value());
+  const mem::Addr delim = proc2->alloc_cstring(",");
+  const mem::Addr save = proc2->scratch(8);
+  const auto contained = proc2->supervised_call("strtok_r", {P(0), P(delim), P(save)});
+  EXPECT_FALSE(contained.robustness_failure());
+  EXPECT_EQ(contained.ret.as_ptr(), 0u);
+
+  const mem::Addr s = proc2->alloc_cstring("m,n");
+  const auto t1 = proc2->call("strtok_r", {P(s), P(delim), P(save)});
+  EXPECT_EQ(proc2->machine().mem().read_cstring(t1.as_ptr()), "m");
+  const auto t2 = proc2->call("strtok_r", {P(0), P(delim), P(save)});
+  EXPECT_EQ(proc2->machine().mem().read_cstring(t2.as_ptr()), "n");
+}
+
+TEST(ExtrasSizeExpr, StdinlineParsesAndRenders) {
+  auto expr = parser::SizeExpr::parse("stdinline()+1");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_EQ(expr.value().to_string(), "stdinline()+1");
+  EXPECT_FALSE(parser::SizeExpr::parse("stdinline(1)").ok());
+}
+
+TEST(ExtrasSizeExprEval, StdinlineUsesOracle) {
+  mem::AddressSpace space;
+  auto expr = parser::SizeExpr::parse("stdinline()+1").value();
+  parser::SizeExpr::EvalEnv env{space, {}, 1 << 20, {}, {}};
+  EXPECT_EQ(expr.eval(env), std::nullopt);  // no oracle
+  env.stdin_line_len = [] { return std::optional<std::uint64_t>(12); };
+  EXPECT_EQ(expr.eval(env), 13u);
+}
+
+}  // namespace
+}  // namespace healers

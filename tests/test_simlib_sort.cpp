@@ -1,0 +1,221 @@
+// Behaviour tests for qsort/bsearch and the function-pointer machinery:
+// callback registration and dispatch, sorting semantics, fragility on bad
+// function pointers, fault-injection derivation for FUNCPTR args, and
+// containment by the robustness wrapper.
+#include <gtest/gtest.h>
+
+#include "injector/injector.hpp"
+#include "parser/header_parser.hpp"
+#include "testbed.hpp"
+#include "wrappers/wrappers.hpp"
+
+namespace healers {
+namespace {
+
+using testbed::I;
+using testbed::P;
+
+struct SortFixture : ::testing::Test {
+  std::unique_ptr<linker::Process> proc = testbed::make_process();
+  mem::AddressSpace& mem() { return proc->machine().mem(); }
+
+  // A byte-wise ascending comparator callback.
+  mem::Addr byte_comparator() {
+    return proc->register_callback("byte_cmp", [](simlib::CallContext& cb) {
+      const int a = cb.machine.mem().load8(cb.arg_ptr(0));
+      const int b = cb.machine.mem().load8(cb.arg_ptr(1));
+      return simlib::SimValue::integer(a - b);
+    });
+  }
+
+  // A little-endian u32 comparator.
+  mem::Addr u32_comparator() {
+    return proc->register_callback("u32_cmp", [](simlib::CallContext& cb) {
+      auto load32 = [&cb](mem::Addr p) {
+        std::uint32_t v = 0;
+        for (int i = 3; i >= 0; --i) v = (v << 8) | cb.machine.mem().load8(p + i);
+        return v;
+      };
+      const std::uint32_t a = load32(cb.arg_ptr(0));
+      const std::uint32_t b = load32(cb.arg_ptr(1));
+      return simlib::SimValue::integer(a < b ? -1 : (a > b ? 1 : 0));
+    });
+  }
+
+  mem::Addr bytes(const std::string& data) {
+    const mem::Addr addr = proc->scratch(data.size() + 1);
+    mem().write_cstring(addr, data);
+    return addr;
+  }
+};
+
+TEST_F(SortFixture, QsortSortsBytes) {
+  const mem::Addr array = bytes("dacb");
+  proc->call("qsort", {P(array), I(4), I(1), P(byte_comparator())});
+  EXPECT_EQ(mem().read_cstring(array), "abcd");
+}
+
+TEST_F(SortFixture, QsortAlreadySortedIsStableNoop) {
+  const mem::Addr array = bytes("abcd");
+  proc->call("qsort", {P(array), I(4), I(1), P(byte_comparator())});
+  EXPECT_EQ(mem().read_cstring(array), "abcd");
+}
+
+TEST_F(SortFixture, QsortMultibyteElements) {
+  const mem::Addr array = proc->scratch(16);
+  const std::uint32_t values[] = {400, 10, 7, 90};
+  for (int i = 0; i < 4; ++i) {
+    for (int b = 0; b < 4; ++b) {
+      mem().store8(array + static_cast<std::uint64_t>(i * 4 + b),
+                   static_cast<std::uint8_t>(values[i] >> (8 * b)));
+    }
+  }
+  proc->call("qsort", {P(array), I(4), I(4), P(u32_comparator())});
+  auto load32 = [this, array](int i) {
+    std::uint32_t v = 0;
+    for (int b = 3; b >= 0; --b) {
+      v = (v << 8) | mem().load8(array + static_cast<std::uint64_t>(i * 4 + b));
+    }
+    return v;
+  };
+  EXPECT_EQ(load32(0), 7u);
+  EXPECT_EQ(load32(1), 10u);
+  EXPECT_EQ(load32(2), 90u);
+  EXPECT_EQ(load32(3), 400u);
+}
+
+TEST_F(SortFixture, QsortZeroAndOneElementAreNoops) {
+  const mem::Addr array = bytes("x");
+  EXPECT_NO_THROW(proc->call("qsort", {P(array), I(0), I(1), P(byte_comparator())}));
+  EXPECT_NO_THROW(proc->call("qsort", {P(array), I(1), I(1), P(byte_comparator())}));
+  EXPECT_EQ(mem().read_cstring(array), "x");
+}
+
+TEST_F(SortFixture, QsortThroughGarbageComparatorCrashes) {
+  const mem::Addr array = bytes("ba");
+  EXPECT_THROW(proc->call("qsort", {P(array), I(2), I(1), P(array)}), AccessFault);
+  EXPECT_THROW(proc->call("qsort", {P(array), I(2), I(1), P(0)}), AccessFault);
+  EXPECT_THROW(
+      proc->call("qsort", {P(array), I(2), I(1), P(mem::AddressSpace::wild_pointer())}),
+      AccessFault);
+}
+
+TEST_F(SortFixture, QsortHugeArrayHitsHangOracle) {
+  proc->machine().set_step_budget(100'000);
+  const mem::Addr array = proc->scratch(1 << 15);
+  // Reverse-sorted worst case over 32K one-byte elements: quadratic work
+  // exceeds the budget (a driver-timeout outcome, not a crash).
+  for (std::uint64_t i = 0; i < (1 << 15); ++i) {
+    mem().store8(array + i, static_cast<std::uint8_t>(255 - (i % 256)));
+  }
+  const auto outcome =
+      proc->supervised_call("qsort", {P(array), I(1 << 15), I(1), P(byte_comparator())});
+  EXPECT_EQ(outcome.kind, linker::CallOutcome::Kind::kHang);
+}
+
+TEST_F(SortFixture, BsearchFindsAndMisses) {
+  const mem::Addr array = bytes("adfkz");
+  const mem::Addr key = bytes("k");
+  const auto hit =
+      proc->call("bsearch", {P(key), P(array), I(5), I(1), P(byte_comparator())});
+  EXPECT_EQ(hit.as_ptr(), array + 3);
+  const mem::Addr missing = bytes("q");
+  const auto miss =
+      proc->call("bsearch", {P(missing), P(array), I(5), I(1), P(byte_comparator())});
+  EXPECT_EQ(miss.as_ptr(), 0u);
+}
+
+TEST_F(SortFixture, BsearchEmptyArrayReturnsNull) {
+  const mem::Addr key = bytes("a");
+  EXPECT_EQ(proc->call("bsearch", {P(key), P(key), I(0), I(1), P(byte_comparator())}).as_ptr(),
+            0u);
+}
+
+TEST_F(SortFixture, CallbacksCanThemselvesCrash) {
+  // A comparator that dereferences NULL: the fault propagates out of qsort
+  // like any library crash — callbacks are app code, not protected code.
+  const mem::Addr bad = proc->register_callback("crashing_cmp", [](simlib::CallContext& cb) {
+    return simlib::SimValue::integer(cb.machine.mem().load8(0));
+  });
+  const mem::Addr array = bytes("ba");
+  EXPECT_THROW(proc->call("qsort", {P(array), I(2), I(1), P(bad)}), AccessFault);
+}
+
+// --- parser: function-pointer declarators -----------------------------------
+
+TEST(FuncPtrParsing, QsortDeclarationRoundTrips) {
+  const char* decl =
+      "void qsort(void *base, size_t nmemb, size_t size, "
+      "int (*compar)(const void *, const void *));";
+  auto proto = parser::parse_declaration(decl);
+  ASSERT_TRUE(proto.ok()) << proto.error().message;
+  ASSERT_EQ(proto.value().params.size(), 4u);
+  const parser::TypeExpr& compar = proto.value().params[3].type;
+  EXPECT_TRUE(compar.is_function_pointer);
+  EXPECT_TRUE(compar.is_pointer());
+  EXPECT_EQ(compar.classify(), parser::TypeClass::kPointer);
+  ASSERT_EQ(compar.fn_params.size(), 2u);
+  EXPECT_EQ(compar.fn_params[0].to_string(), "const void *");
+  EXPECT_EQ(proto.value().params[3].name, "compar");
+  EXPECT_EQ(proto.value().to_declaration(), decl);
+}
+
+TEST(FuncPtrParsing, UnnamedAndVoidParamCallbacks) {
+  auto proto = parser::parse_declaration("int apply(int (*fn)(void), int x);");
+  ASSERT_TRUE(proto.ok()) << proto.error().message;
+  EXPECT_TRUE(proto.value().params[0].type.is_function_pointer);
+  EXPECT_TRUE(proto.value().params[0].type.fn_params.empty());
+
+  auto anon = parser::parse_declaration("int apply2(int (*)(int, int));");
+  ASSERT_TRUE(anon.ok()) << anon.error().message;
+  EXPECT_TRUE(anon.value().params[0].name.empty());
+  EXPECT_EQ(anon.value().params[0].type.fn_params.size(), 2u);
+}
+
+TEST(FuncPtrParsing, MalformedDeclaratorsRejected) {
+  EXPECT_FALSE(parser::parse_declaration("void f(int (compar)(int));").ok());
+  EXPECT_FALSE(parser::parse_declaration("void f(int (*compar)(int);").ok());
+  EXPECT_FALSE(parser::parse_declaration("void f(int (*compar);").ok());
+}
+
+// --- derivation + containment -------------------------------------------------
+
+TEST(FuncPtrHardening, CampaignDerivesCallbackRoleAndWrapperContains) {
+  linker::LibraryCatalog catalog;
+  catalog.install(&testbed::libsimc());
+  catalog.install(&testbed::libsimio());
+  catalog.install(&testbed::libsimm());
+  injector::InjectorConfig config;
+  config.seed = 3;
+  config.variants = 1;
+  injector::FaultInjector injector(catalog, config);
+  const auto spec = injector.probe_function(testbed::libsimc(), "qsort").value();
+  ASSERT_EQ(spec.args.size(), 4u);
+  EXPECT_TRUE(spec.args[3].checks.require_callback);
+  EXPECT_EQ(spec.args[3].safe_type_name(), "registered callback function pointer");
+  EXPECT_GT(spec.total_failures, 0u);
+
+  // Wrapped: a garbage comparator is contained, a valid one still sorts.
+  injector::CampaignResult campaign;
+  campaign.library = testbed::libsimc().soname();
+  campaign.specs.push_back(spec);
+  auto proc = testbed::make_process();
+  proc->preload(wrappers::make_robustness_wrapper(testbed::libsimc(), campaign).value());
+  const mem::Addr array = proc->scratch(8);
+  proc->machine().mem().write_cstring(array, "cba");
+  const auto contained =
+      proc->supervised_call("qsort", {P(array), I(3), I(1), P(array)});
+  EXPECT_FALSE(contained.robustness_failure());
+  EXPECT_EQ(proc->machine().mem().read_cstring(array), "cba");  // untouched
+
+  const mem::Addr cmp = proc->register_callback("cmp", [](simlib::CallContext& cb) {
+    const int a = cb.machine.mem().load8(cb.arg_ptr(0));
+    const int b = cb.machine.mem().load8(cb.arg_ptr(1));
+    return simlib::SimValue::integer(a - b);
+  });
+  proc->call("qsort", {P(array), I(3), I(1), P(cmp)});
+  EXPECT_EQ(proc->machine().mem().read_cstring(array), "abc");
+}
+
+}  // namespace
+}  // namespace healers

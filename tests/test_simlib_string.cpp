@@ -1,0 +1,237 @@
+// Behaviour tests for the simulated C library's string family: both the
+// specified semantics (against valid inputs) and the deliberate fragility
+// (NULL crashes, silent overflows, unterminated-scan faults) that the fault
+// injector must rediscover.
+#include <gtest/gtest.h>
+
+#include "testbed.hpp"
+
+namespace healers {
+namespace {
+
+using testbed::I;
+using testbed::P;
+
+struct StringFixture : ::testing::Test {
+  std::unique_ptr<linker::Process> proc = testbed::make_process();
+  mem::AddressSpace& mem() { return proc->machine().mem(); }
+
+  mem::Addr str(const std::string& text) { return proc->alloc_cstring(text); }
+  mem::Addr buf(std::uint64_t size) { return proc->scratch(size); }
+};
+
+TEST_F(StringFixture, StrlenCountsBytes) {
+  EXPECT_EQ(proc->call("strlen", {P(str("hello"))}).as_int(), 5);
+  EXPECT_EQ(proc->call("strlen", {P(str(""))}).as_int(), 0);
+}
+
+TEST_F(StringFixture, StrlenNullCrashes) {
+  EXPECT_THROW(proc->call("strlen", {P(0)}), AccessFault);
+}
+
+TEST_F(StringFixture, StrcpyCopiesIncludingTerminator) {
+  const mem::Addr dest = buf(32);
+  const auto ret = proc->call("strcpy", {P(dest), P(str("copy me"))});
+  EXPECT_EQ(ret.as_ptr(), dest);
+  EXPECT_EQ(mem().read_cstring(dest), "copy me");
+}
+
+TEST_F(StringFixture, StrcpyIntoExactBufferFits) {
+  const mem::Addr dest = buf(8);
+  proc->call("strcpy", {P(dest), P(str("1234567"))});  // 7 + NUL = 8
+  EXPECT_EQ(mem().read_cstring(dest), "1234567");
+}
+
+TEST_F(StringFixture, StrcpyOverflowOfScratchBufferFaults) {
+  const mem::Addr dest = buf(4);
+  EXPECT_THROW(proc->call("strcpy", {P(dest), P(str("way too long"))}), AccessFault);
+}
+
+TEST_F(StringFixture, StrcpyIntoReadOnlyMemoryFaults) {
+  const mem::Addr ro = proc->rodata_cstring("readonly");
+  EXPECT_THROW(proc->call("strcpy", {P(ro), P(str("x"))}), AccessFault);
+}
+
+TEST_F(StringFixture, StrcpyHeapOverflowIsSilent) {
+  // The heap-arena variant of the overflow does NOT fault — the corruption
+  // property the security wrapper exists for.
+  const mem::Addr a = proc->call("malloc", {I(16)}).as_ptr();
+  const mem::Addr b = proc->call("malloc", {I(16)}).as_ptr();
+  ASSERT_NE(b, 0u);
+  EXPECT_NO_THROW(proc->call("strcpy", {P(a), P(str("this is far longer than 16"))}));
+}
+
+TEST_F(StringFixture, StrncpyZeroFillsToExactlyN) {
+  const mem::Addr dest = buf(16);
+  mem().write_cstring(dest, "XXXXXXXXXXXXXXX");
+  proc->call("strncpy", {P(dest), P(str("ab")), I(8)});
+  EXPECT_EQ(mem().load8(dest + 0), 'a');
+  EXPECT_EQ(mem().load8(dest + 1), 'b');
+  for (int i = 2; i < 8; ++i) EXPECT_EQ(mem().load8(dest + i), 0u) << i;
+  EXPECT_EQ(mem().load8(dest + 8), 'X');  // untouched beyond n
+}
+
+TEST_F(StringFixture, StrncpyDoesNotTerminateWhenSourceTooLong) {
+  const mem::Addr dest = buf(16);
+  proc->call("strncpy", {P(dest), P(str("abcdefgh")), I(4)});
+  EXPECT_EQ(mem().load8(dest + 3), 'd');  // no NUL among the first 4
+}
+
+TEST_F(StringFixture, StrcatAppends) {
+  const mem::Addr dest = buf(32);
+  mem().write_cstring(dest, "foo");
+  proc->call("strcat", {P(dest), P(str("bar"))});
+  EXPECT_EQ(mem().read_cstring(dest), "foobar");
+}
+
+TEST_F(StringFixture, StrncatAppendsBoundedAndTerminates) {
+  const mem::Addr dest = buf(32);
+  mem().write_cstring(dest, "foo");
+  proc->call("strncat", {P(dest), P(str("barbaz")), I(3)});
+  EXPECT_EQ(mem().read_cstring(dest), "foobar");
+}
+
+TEST_F(StringFixture, StrcmpOrdering) {
+  EXPECT_EQ(proc->call("strcmp", {P(str("abc")), P(str("abc"))}).as_int(), 0);
+  EXPECT_LT(proc->call("strcmp", {P(str("abc")), P(str("abd"))}).as_int(), 0);
+  EXPECT_GT(proc->call("strcmp", {P(str("b")), P(str("a"))}).as_int(), 0);
+  EXPECT_LT(proc->call("strcmp", {P(str("ab")), P(str("abc"))}).as_int(), 0);
+}
+
+TEST_F(StringFixture, StrncmpStopsAtN) {
+  EXPECT_EQ(proc->call("strncmp", {P(str("abcX")), P(str("abcY")), I(3)}).as_int(), 0);
+  EXPECT_NE(proc->call("strncmp", {P(str("abcX")), P(str("abcY")), I(4)}).as_int(), 0);
+}
+
+TEST_F(StringFixture, StrchrFindsFirstAndReportsMissing) {
+  const mem::Addr s = str("hello");
+  EXPECT_EQ(proc->call("strchr", {P(s), I('l')}).as_ptr(), s + 2);
+  EXPECT_EQ(proc->call("strchr", {P(s), I('z')}).as_ptr(), 0u);
+  // Searching for NUL returns the terminator position, per spec.
+  EXPECT_EQ(proc->call("strchr", {P(s), I(0)}).as_ptr(), s + 5);
+}
+
+TEST_F(StringFixture, StrrchrFindsLast) {
+  const mem::Addr s = str("hello");
+  EXPECT_EQ(proc->call("strrchr", {P(s), I('l')}).as_ptr(), s + 3);
+  EXPECT_EQ(proc->call("strrchr", {P(s), I('q')}).as_ptr(), 0u);
+}
+
+TEST_F(StringFixture, StrstrFindsSubstring) {
+  const mem::Addr hay = str("finding a needle here");
+  EXPECT_EQ(proc->call("strstr", {P(hay), P(str("needle"))}).as_ptr(), hay + 10);
+  EXPECT_EQ(proc->call("strstr", {P(hay), P(str("missing"))}).as_ptr(), 0u);
+  EXPECT_EQ(proc->call("strstr", {P(hay), P(str(""))}).as_ptr(), hay);
+}
+
+TEST_F(StringFixture, StrspnAndStrcspn) {
+  EXPECT_EQ(proc->call("strspn", {P(str("123abc")), P(str("0123456789"))}).as_int(), 3);
+  EXPECT_EQ(proc->call("strcspn", {P(str("abc123")), P(str("0123456789"))}).as_int(), 3);
+  EXPECT_EQ(proc->call("strspn", {P(str("abc")), P(str("xyz"))}).as_int(), 0);
+}
+
+TEST_F(StringFixture, StrpbrkFindsAnyOfSet) {
+  const mem::Addr s = str("abcdef");
+  EXPECT_EQ(proc->call("strpbrk", {P(s), P(str("fd"))}).as_ptr(), s + 3);
+  EXPECT_EQ(proc->call("strpbrk", {P(s), P(str("xyz"))}).as_ptr(), 0u);
+}
+
+TEST_F(StringFixture, StrdupAllocatesIndependentCopy) {
+  const mem::Addr orig = str("dup me");
+  const mem::Addr copy = proc->call("strdup", {P(orig)}).as_ptr();
+  ASSERT_NE(copy, 0u);
+  ASSERT_NE(copy, orig);
+  EXPECT_EQ(mem().read_cstring(copy), "dup me");
+  EXPECT_TRUE(proc->machine().heap().is_live(copy));
+}
+
+TEST_F(StringFixture, StrtokTokenizesAcrossCalls) {
+  const mem::Addr s = str("a,b;c");
+  const mem::Addr delim = str(",;");
+  const auto t1 = proc->call("strtok", {P(s), P(delim)});
+  const auto t2 = proc->call("strtok", {P(0), P(delim)});
+  const auto t3 = proc->call("strtok", {P(0), P(delim)});
+  const auto t4 = proc->call("strtok", {P(0), P(delim)});
+  EXPECT_EQ(mem().read_cstring(t1.as_ptr()), "a");
+  EXPECT_EQ(mem().read_cstring(t2.as_ptr()), "b");
+  EXPECT_EQ(mem().read_cstring(t3.as_ptr()), "c");
+  EXPECT_EQ(t4.as_ptr(), 0u);
+}
+
+TEST_F(StringFixture, StrtokSkipsLeadingDelimiters) {
+  const auto tok = proc->call("strtok", {P(str(";;x")), P(str(";"))});
+  EXPECT_EQ(mem().read_cstring(tok.as_ptr()), "x");
+}
+
+TEST_F(StringFixture, StrtokNullFirstCallCrashes) {
+  // The hidden cursor starts at 0; strtok(NULL, d) before any strtok(s, d)
+  // dereferences it — the classic stateful-API failure.
+  EXPECT_THROW(proc->call("strtok", {P(0), P(str(","))}), AccessFault);
+}
+
+TEST_F(StringFixture, StrerrorDescribesKnownAndUnknown) {
+  const auto p1 = proc->call("strerror", {I(simlib::kEINVAL)});
+  EXPECT_EQ(mem().read_cstring(p1.as_ptr()), "Invalid argument");
+  const auto p2 = proc->call("strerror", {I(99999)});
+  EXPECT_EQ(mem().read_cstring(p2.as_ptr()).rfind("Unknown error", 0), 0u);
+  // Static buffer: second call overwrites the first's text.
+  EXPECT_EQ(p1.as_ptr(), p2.as_ptr());
+}
+
+TEST_F(StringFixture, StrcollMatchesStrcmpInCLocale) {
+  EXPECT_EQ(proc->call("strcoll", {P(str("a")), P(str("b"))}).as_int(),
+            proc->call("strcmp", {P(str("a")), P(str("b"))}).as_int());
+}
+
+TEST_F(StringFixture, UnterminatedBufferFaultsScanningFunctions) {
+  const mem::Addr unterm = buf(32);
+  for (int i = 0; i < 32; ++i) mem().store8(unterm + i, 'A');
+  EXPECT_THROW(proc->call("strlen", {P(unterm)}), AccessFault);
+  EXPECT_THROW(proc->call("strchr", {P(unterm), I('z')}), AccessFault);
+  const mem::Addr dest = buf(512);
+  EXPECT_THROW(proc->call("strcpy", {P(dest), P(unterm)}), AccessFault);
+}
+
+TEST_F(StringFixture, WildAndIntPointersCrash) {
+  EXPECT_THROW(proc->call("strlen", {P(mem::AddressSpace::wild_pointer())}), AccessFault);
+  EXPECT_THROW(proc->call("strcmp", {P(1), P(str("x"))}), AccessFault);
+}
+
+// Every string function must consume machine steps (the hang oracle's
+// currency) proportional to the work done.
+TEST_F(StringFixture, CallsConsumeSteps) {
+  const std::uint64_t before = proc->machine().steps();
+  proc->call("strlen", {P(str("0123456789"))});
+  EXPECT_GE(proc->machine().steps() - before, 10u);
+}
+
+using NullCrashCase = const char*;
+class NullCrashTest : public StringFixture,
+                      public ::testing::WithParamInterface<NullCrashCase> {};
+
+// Property: every string function whose man page says NONNULL 1 crashes
+// when arg1 is NULL — the non-robustness the wrappers must contain.
+TEST_P(NullCrashTest, NullFirstArgCrashes) {
+  const std::string fn = GetParam();
+  std::vector<simlib::SimValue> args{P(0)};
+  // Supply valid remaining args per arity.
+  const simlib::Symbol* symbol = testbed::libsimc().find(fn);
+  ASSERT_NE(symbol, nullptr);
+  if (symbol->declaration.find(", const char *") != std::string::npos ||
+      symbol->declaration.find("char *src") != std::string::npos) {
+    args.push_back(P(str("x")));
+  } else if (symbol->declaration.find("int c") != std::string::npos) {
+    args.push_back(I('x'));
+  }
+  if (symbol->declaration.find("size_t n") != std::string::npos) args.push_back(I(1));
+  EXPECT_THROW(proc->call(fn, args), AccessFault) << fn;
+}
+
+INSTANTIATE_TEST_SUITE_P(StringFamily, NullCrashTest,
+                         ::testing::Values("strlen", "strcpy", "strcat", "strcmp", "strchr",
+                                           "strrchr", "strstr", "strdup", "strspn", "strcspn",
+                                           "strpbrk", "strncpy", "strncmp", "strncat"),
+                         [](const auto& info) { return std::string(info.param); });
+
+}  // namespace
+}  // namespace healers

@@ -1,0 +1,121 @@
+// Unit tests for the simulated call stack: frame layout (return address
+// above the locals), local allocation, corruption detection on pop, and
+// frame lookup for the libsafe-style bounds checks.
+#include <gtest/gtest.h>
+
+#include "memmodel/stack.hpp"
+
+namespace healers::mem {
+namespace {
+
+struct StackFixture : ::testing::Test {
+  AddressSpace space;
+  Stack stack{space, 4096};
+};
+
+TEST_F(StackFixture, PushStoresReturnAddressInMemory) {
+  const Frame& frame = stack.push("f", 64, 0xabcd);
+  EXPECT_EQ(space.load64(frame.ret_slot), 0xabcdu);
+  EXPECT_EQ(frame.saved_ret, 0xabcdu);
+  EXPECT_EQ(stack.depth(), 1u);
+}
+
+TEST_F(StackFixture, ReturnSlotSitsAboveLocals) {
+  const Frame& frame = stack.push("f", 64, 1);
+  const Addr buf = stack.alloc_local(32);
+  EXPECT_LT(buf, frame.ret_slot);
+  EXPECT_EQ(frame.ret_slot, frame.base + frame.size - 8);
+  // Writing forward from the buffer reaches the return slot — the layout
+  // stack smashing depends on.
+  EXPECT_GT(frame.ret_slot, buf);
+  EXPECT_LE(frame.ret_slot - buf, frame.size);
+}
+
+TEST_F(StackFixture, FramesGrowDownward) {
+  const Frame f1 = stack.push("outer", 32, 1);
+  const Frame f2 = stack.push("inner", 32, 2);
+  EXPECT_LT(f2.base, f1.base);
+}
+
+TEST_F(StackFixture, LocalsAllocateLowestFirst) {
+  stack.push("f", 64, 1);
+  const Addr a = stack.alloc_local(8);
+  const Addr b = stack.alloc_local(8);
+  EXPECT_GT(b, a);
+}
+
+TEST_F(StackFixture, LocalsExhaustionThrows) {
+  stack.push("f", 32, 1);
+  (void)stack.alloc_local(32);
+  EXPECT_THROW((void)stack.alloc_local(32), std::logic_error);
+}
+
+TEST_F(StackFixture, CleanPopReturnsUncorrupted) {
+  stack.push("f", 16, 0x1111);
+  const auto popped = stack.pop();
+  EXPECT_FALSE(popped.corrupted());
+  EXPECT_EQ(popped.stored_ret, 0x1111u);
+  EXPECT_EQ(stack.depth(), 0u);
+}
+
+TEST_F(StackFixture, OverwrittenReturnAddressDetectedOnPop) {
+  const Frame& frame = stack.push("f", 16, 0x1111);
+  space.store64(frame.ret_slot, 0x4242424242424242ULL);
+  const auto popped = stack.pop();
+  EXPECT_TRUE(popped.corrupted());
+  EXPECT_EQ(popped.stored_ret, 0x4242424242424242ULL);
+  EXPECT_EQ(popped.saved_ret, 0x1111u);
+}
+
+TEST_F(StackFixture, PopEmptyThrows) {
+  EXPECT_THROW(stack.pop(), std::logic_error);
+}
+
+TEST_F(StackFixture, PopRestoresStackPointerForReuse) {
+  const Frame f1 = stack.push("a", 64, 1);
+  stack.pop();
+  const Frame f2 = stack.push("b", 64, 2);
+  EXPECT_EQ(f1.base, f2.base);
+}
+
+TEST_F(StackFixture, StackOverflowFaults) {
+  for (int i = 0; i < 50; ++i) {
+    try {
+      stack.push("deep", 256, 1);
+    } catch (const AccessFault& fault) {
+      EXPECT_EQ(fault.kind(), FaultKind::kSegv);
+      EXPECT_NE(std::string(fault.what()).find("stack overflow"), std::string::npos);
+      return;
+    }
+  }
+  FAIL() << "expected stack overflow";
+}
+
+TEST_F(StackFixture, FrameOfFindsInnermostContainingFrame) {
+  stack.push("outer", 64, 1);
+  const Addr outer_local = stack.alloc_local(16);
+  stack.push("inner", 64, 2);
+  const Addr inner_local = stack.alloc_local(16);
+  ASSERT_NE(stack.frame_of(outer_local), nullptr);
+  EXPECT_EQ(stack.frame_of(outer_local)->function, "outer");
+  EXPECT_EQ(stack.frame_of(inner_local)->function, "inner");
+  EXPECT_EQ(stack.frame_of(0x1), nullptr);
+}
+
+TEST_F(StackFixture, FramesAccessorExposesAllLiveFrames) {
+  stack.push("a", 16, 1);
+  stack.push("b", 16, 2);
+  ASSERT_EQ(stack.frames().size(), 2u);
+  EXPECT_EQ(stack.frames()[0].function, "a");
+  EXPECT_EQ(stack.frames()[1].function, "b");
+}
+
+TEST_F(StackFixture, CurrentReflectsTopFrame) {
+  EXPECT_EQ(stack.current(), nullptr);
+  stack.push("f", 16, 1);
+  ASSERT_NE(stack.current(), nullptr);
+  EXPECT_EQ(stack.current()->function, "f");
+}
+
+}  // namespace
+}  // namespace healers::mem

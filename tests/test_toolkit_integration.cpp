@@ -1,0 +1,194 @@
+// Integration tests through the Toolkit facade: the paper's demos end to
+// end — library listing and declaration files (§3.1), application
+// inspection (§3.2), campaign -> wrapper -> protected process (§2.2/2.3),
+// wrapper source emission, and cross-module flows (profile XML through the
+// collector from a wrapped executable).
+#include <gtest/gtest.h>
+
+#include "attacks/attacks.hpp"
+#include "core/toolkit.hpp"
+#include "profile/collector.hpp"
+#include "profile/report.hpp"
+#include "testbed.hpp"
+
+namespace healers::core {
+namespace {
+
+using testbed::I;
+using testbed::P;
+
+struct ToolkitFixture : ::testing::Test {
+  Toolkit toolkit;
+  injector::InjectorConfig config;
+
+  ToolkitFixture() {
+    config.seed = 21;
+    config.variants = 1;
+  }
+};
+
+TEST_F(ToolkitFixture, ListsStockLibraries) {
+  const auto sonames = toolkit.list_libraries();
+  ASSERT_EQ(sonames.size(), 3u);
+  EXPECT_EQ(sonames[0], "libsimc.so.1");
+  EXPECT_NE(toolkit.library("libsimio.so.1"), nullptr);
+}
+
+TEST_F(ToolkitFixture, ListFunctionsMatchesLibrary) {
+  const auto functions = toolkit.list_functions("libsimc.so.1");
+  ASSERT_TRUE(functions.ok());
+  EXPECT_EQ(functions.value().size(), testbed::libsimc().size());
+  EXPECT_FALSE(toolkit.list_functions("libnope.so").ok());
+}
+
+TEST_F(ToolkitFixture, DeclarationXmlDescribesEveryPrototype) {
+  const auto doc = toolkit.declaration_xml("libsimio.so.1");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value().children_named("function").size(), testbed::libsimio().size());
+  // Every prototype in the document matches the library's declaration.
+  for (const xml::Node* fn : doc.value().children_named("function")) {
+    const simlib::Symbol* symbol = testbed::libsimio().find(*fn->attr("name"));
+    ASSERT_NE(symbol, nullptr);
+    EXPECT_EQ(fn->child("prototype")->text(), symbol->declaration);
+  }
+  // And it parses back as XML.
+  EXPECT_TRUE(xml::parse(xml::serialize(doc.value())).ok());
+}
+
+TEST_F(ToolkitFixture, InstallCustomLibraryAndWrapIt) {
+  simlib::SharedLibrary custom("libcustom.so.9", "0.1");
+  simlib::Symbol symbol;
+  symbol.name = "triple";
+  symbol.declaration = "int triple(int x);";
+  symbol.manpage = "NAME\n  triple - x*3\nSYNOPSIS\n  int triple(int x);\nNOTES\n";
+  symbol.fn = [](simlib::CallContext& ctx) {
+    return simlib::SimValue::integer(ctx.arg_int(0) * 3);
+  };
+  custom.add(std::move(symbol));
+  toolkit.install_library(std::move(custom));
+
+  EXPECT_EQ(toolkit.list_libraries().size(), 4u);
+  auto wrapper = toolkit.profiling_wrapper("libcustom.so.9");
+  ASSERT_TRUE(wrapper.ok());
+
+  linker::Executable exe;
+  exe.name = "custom-user";
+  exe.needed = {"libcustom.so.9"};
+  exe.undefined = {"triple"};
+  auto proc = toolkit.spawn(exe, {wrapper.value()});
+  EXPECT_EQ(proc->call("triple", {I(7)}).as_int(), 21);
+  EXPECT_EQ(wrapper.value()->stats()->total_calls(), 1u);
+}
+
+TEST_F(ToolkitFixture, FullPipelineCampaignWrapperProtection) {
+  const auto campaign = toolkit.derive_robust_api("libsimc.so.1", config);
+  ASSERT_TRUE(campaign.ok());
+  EXPECT_GT(campaign.value().total_failures(), 0u);
+
+  auto wrapper = toolkit.robustness_wrapper("libsimc.so.1", campaign.value());
+  ASSERT_TRUE(wrapper.ok());
+
+  linker::Executable buggy;
+  buggy.name = "buggy";
+  buggy.needed = {"libsimc.so.1"};
+  buggy.undefined = {"strlen"};
+  buggy.entry = [](linker::Process& p) {
+    return static_cast<int>(p.call("strlen", {P(0)}).as_int());
+  };
+
+  const auto unprotected = toolkit.spawn(buggy)->run(buggy.entry);
+  EXPECT_TRUE(unprotected.robustness_failure());
+
+  const auto protected_run = toolkit.spawn(buggy, {wrapper.value()})->run(buggy.entry);
+  EXPECT_FALSE(protected_run.robustness_failure());
+  EXPECT_EQ(protected_run.exit_code, -1);  // contained error return
+}
+
+TEST_F(ToolkitFixture, MathLibraryNeedsNoContainment) {
+  const auto campaign = toolkit.derive_robust_api("libsimm.so.1", config);
+  ASSERT_TRUE(campaign.ok());
+  EXPECT_EQ(campaign.value().total_failures(), 0u);
+  EXPECT_EQ(campaign.value().functions_with_failures(), 0u);
+}
+
+TEST_F(ToolkitFixture, WrapperSourceForCustomFeatureSet) {
+  gen::WrapperBuilder builder("custom-mix");
+  builder.add(gen::prototype_gen()).add(gen::call_counter_gen()).add(gen::caller_gen());
+  const auto source = toolkit.wrapper_source("libsimm.so.1", builder);
+  ASSERT_TRUE(source.ok());
+  EXPECT_NE(source.value().find("custom-mix"), std::string::npos);
+  EXPECT_NE(source.value().find("double sin(double a1)"), std::string::npos);
+  EXPECT_NE(source.value().find("++call_counter_num_calls["), std::string::npos);
+}
+
+TEST_F(ToolkitFixture, WrappedExecutableProfileReachesCollector) {
+  auto wrapper = toolkit.profiling_wrapper("libsimc.so.1").value();
+  linker::Executable app;
+  app.name = "pipeline-app";
+  app.needed = {"libsimc.so.1"};
+  app.undefined = {"strlen", "wctrans"};
+  app.entry = [](linker::Process& p) {
+    p.call("strlen", {P(p.rodata_cstring("abcdef"))});
+    p.call("wctrans", {P(p.rodata_cstring("nope"))});  // EINVAL
+    return 0;
+  };
+  toolkit.spawn(app, {wrapper})->run(app.entry);
+
+  const auto report = profile::build_report(app.name, wrapper->name(), *wrapper->stats());
+  profile::CollectorServer server;
+  ASSERT_TRUE(server.ingest(xml::serialize(profile::to_xml(report))).ok());
+  const auto agg = server.aggregate();
+  EXPECT_EQ(agg.at("strlen").calls, 1u);
+  EXPECT_EQ(agg.at("wctrans").errno_counts.at(simlib::kEINVAL), 1u);
+}
+
+TEST_F(ToolkitFixture, RobustnessAndSecurityStackForOneProcess) {
+  const auto campaign = toolkit.derive_robust_api("libsimc.so.1", config).value();
+  auto robustness = toolkit.robustness_wrapper("libsimc.so.1", campaign).value();
+  auto security = toolkit.security_wrapper("libsimc.so.1").value();
+
+  linker::Executable app;
+  app.name = "belt-and-braces";
+  app.needed = {"libsimc.so.1"};
+  app.undefined = {"malloc", "free", "strlen", "strcpy"};
+  app.entry = [](linker::Process& p) {
+    // A contained API failure...
+    p.call("strlen", {P(0)});
+    // ...and a normal heap round trip under canaries.
+    const mem::Addr q = p.call("malloc", {I(32)}).as_ptr();
+    p.call("strcpy", {P(q), P(p.rodata_cstring("fits"))});
+    p.call("free", {P(q)});
+    return 0;
+  };
+  const auto outcome = toolkit.spawn(app, {robustness, security})->run(app.entry);
+  EXPECT_EQ(outcome.kind, linker::CallOutcome::Kind::kExit);
+  EXPECT_EQ(outcome.exit_code, 0);
+  EXPECT_EQ(robustness->stats()->total_contained(), 1u);
+}
+
+TEST_F(ToolkitFixture, SpawnKeepsLibrariesBorrowedFromToolkit) {
+  linker::Executable app;
+  app.name = "borrower";
+  app.needed = {"libsimm.so.1"};
+  app.undefined = {"sqrt"};
+  auto proc = toolkit.spawn(app);
+  EXPECT_DOUBLE_EQ(proc->call("sqrt", {testbed::F(16.0)}).as_double(), 4.0);
+}
+
+TEST_F(ToolkitFixture, CampaignFromStoredXmlDrivesWrapperGeneration) {
+  // The offline story: run the campaign, ship the XML, regenerate the
+  // wrapper later from the parsed document.
+  const auto campaign = toolkit.derive_robust_api("libsimc.so.1", config).value();
+  const std::string doc = xml::serialize(campaign.to_xml());
+  const auto reloaded = injector::CampaignResult::from_xml(xml::parse(doc).value());
+  ASSERT_TRUE(reloaded.ok());
+  auto wrapper = toolkit.robustness_wrapper("libsimc.so.1", reloaded.value());
+  ASSERT_TRUE(wrapper.ok());
+
+  auto proc = testbed::make_process();
+  proc->preload(wrapper.value());
+  EXPECT_FALSE(proc->supervised_call("strlen", {P(0)}).robustness_failure());
+}
+
+}  // namespace
+}  // namespace healers::core

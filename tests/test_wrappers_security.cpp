@@ -1,0 +1,199 @@
+// Tests for the security wrapper: canary planting and verification across
+// the allocation entry points, overflow detection at the first wrapped call
+// and at free/realloc, the calloc overflow fix, and the stack guard's
+// prefix bound check and postfix integrity sweep.
+#include <gtest/gtest.h>
+
+#include "testbed.hpp"
+#include "wrappers/wrappers.hpp"
+
+namespace healers::wrappers {
+namespace {
+
+using linker::CallOutcome;
+using testbed::I;
+using testbed::P;
+
+struct SecurityFixture : ::testing::Test {
+  std::unique_ptr<linker::Process> proc = testbed::make_process();
+  std::shared_ptr<gen::ComposedWrapper> wrapper =
+      make_security_wrapper(testbed::libsimc()).value();
+
+  void SetUp() override { proc->preload(wrapper); }
+
+  mem::Addr str(const std::string& text) { return proc->alloc_cstring(text); }
+  mem::Addr wmalloc(std::uint64_t size) {
+    return proc->call("malloc", {I(static_cast<std::int64_t>(size))}).as_ptr();
+  }
+};
+
+TEST_F(SecurityFixture, MallocStillUsableAndRequestedSizeWritable) {
+  const mem::Addr p = wmalloc(64);
+  ASSERT_NE(p, 0u);
+  for (int i = 0; i < 64; ++i) proc->machine().mem().store8(p + i, 0x7F);
+  EXPECT_NO_THROW(proc->call("free", {P(p)}));
+}
+
+TEST_F(SecurityFixture, OverflowDetectedAtFree) {
+  const mem::Addr p = wmalloc(32);
+  // Overflow past the requested 32 bytes — clobbers the wrapper's canary
+  // (direct store: no wrapped call sees it until free).
+  for (int i = 0; i < 40; ++i) proc->machine().mem().store8(p + i, 'X');
+  try {
+    proc->call("free", {P(p)});
+    FAIL() << "expected SimAbort";
+  } catch (const SimAbort& abort_) {
+    EXPECT_NE(std::string(abort_.reason()).find("heap smashing"), std::string::npos);
+  }
+}
+
+TEST_F(SecurityFixture, OverflowDetectedAtNextWrappedCallTouchingTheBlock) {
+  const mem::Addr p = wmalloc(16);
+  // strcpy through the wrapper overflows the block: the postfix canary
+  // check on the destination argument fires immediately.
+  const auto outcome =
+      proc->supervised_call("strcpy", {P(p), P(str("definitely longer than sixteen"))});
+  EXPECT_EQ(outcome.kind, CallOutcome::Kind::kAbort);
+  EXPECT_NE(outcome.detail.find("security wrapper"), std::string::npos);
+}
+
+TEST_F(SecurityFixture, ExactFitWriteDoesNotTripCanary) {
+  const mem::Addr p = wmalloc(8);
+  proc->call("strcpy", {P(p), P(str("1234567"))});  // 7 + NUL = 8, canary intact
+  EXPECT_NO_THROW(proc->call("free", {P(p)}));
+}
+
+TEST_F(SecurityFixture, ReallocVerifiesOldBlockAndReplantsCanary) {
+  const mem::Addr p = wmalloc(16);
+  const mem::Addr q = proc->call("realloc", {P(p), I(64)}).as_ptr();
+  ASSERT_NE(q, 0u);
+  for (int i = 0; i < 64; ++i) proc->machine().mem().store8(q + i, 1);
+  EXPECT_NO_THROW(proc->call("free", {P(q)}));
+
+  const mem::Addr r = wmalloc(16);
+  proc->machine().mem().store8(r + 16, 0xFF);  // clobber canary
+  EXPECT_THROW(proc->call("realloc", {P(r), I(64)}), SimAbort);
+}
+
+TEST_F(SecurityFixture, ReallocZeroUntracksBlock) {
+  const mem::Addr p = wmalloc(16);
+  EXPECT_EQ(proc->call("realloc", {P(p), I(0)}).as_ptr(), 0u);
+  // Reuse of the address by the base allocator must not inherit tracking
+  // side effects: allocate again and free cleanly.
+  const mem::Addr q = wmalloc(16);
+  EXPECT_NO_THROW(proc->call("free", {P(q)}));
+}
+
+TEST_F(SecurityFixture, CallocOverflowBugFixedFromOutside) {
+  proc->machine().set_err(0);
+  const auto half = static_cast<std::int64_t>((~std::uint64_t{0} / 2) + 1);
+  EXPECT_EQ(proc->call("calloc", {I(half), I(2)}).as_ptr(), 0u);
+  EXPECT_EQ(proc->machine().err(), simlib::kENOMEM);
+}
+
+TEST_F(SecurityFixture, CallocStillZeroesAndPlantsCanary) {
+  const mem::Addr p = proc->call("calloc", {I(4), I(8)}).as_ptr();
+  ASSERT_NE(p, 0u);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(proc->machine().mem().load8(p + i), 0u);
+  proc->machine().mem().store8(p + 32, 9);  // smash canary
+  EXPECT_THROW(proc->call("free", {P(p)}), SimAbort);
+}
+
+TEST_F(SecurityFixture, MallocSizeOverflowContained) {
+  proc->machine().set_err(0);
+  EXPECT_EQ(proc->call("malloc", {I(-1)}).as_ptr(), 0u);  // SIZE_MAX + canary wraps
+  EXPECT_EQ(proc->machine().err(), simlib::kENOMEM);
+}
+
+TEST_F(SecurityFixture, UntrackedAllocationsPassThrough) {
+  // Allocations made before the wrapper existed (here: via the raw heap)
+  // free normally — the wrapper only verifies what it tracked.
+  const mem::Addr raw = proc->machine().heap().malloc(32);
+  EXPECT_NO_THROW(proc->call("free", {P(raw)}));
+}
+
+TEST_F(SecurityFixture, MemcpyOverflowIntoNeighbourDetected) {
+  const mem::Addr a = wmalloc(16);
+  (void)wmalloc(16);
+  const mem::Addr payload = proc->scratch(64);
+  const auto outcome = proc->supervised_call("memcpy", {P(a), P(payload), I(48)});
+  EXPECT_EQ(outcome.kind, CallOutcome::Kind::kAbort);
+}
+
+// --- stack guard ------------------------------------------------------------
+
+TEST_F(SecurityFixture, StackSmashBlockedBeforeWrite) {
+  mem::Machine& m = proc->machine();
+  const mem::Frame& frame = m.stack().push("handler", 32, m.register_code("ret"));
+  const mem::Addr buf = m.stack().alloc_local(32);
+  const std::uint64_t room = frame.ret_slot - buf;
+  const std::string payload(room + 4, 'A');
+  const mem::Addr input = proc->scratch(payload.size() + 8);
+  m.mem().write_cstring(input, payload);
+  try {
+    proc->call("strcpy", {P(buf), P(input)});
+    FAIL() << "expected SimAbort";
+  } catch (const SimAbort& abort_) {
+    EXPECT_NE(std::string(abort_.reason()).find("stack smashing attempt"), std::string::npos);
+  }
+  // The return address was never touched.
+  EXPECT_EQ(m.mem().load64(frame.ret_slot), frame.saved_ret);
+}
+
+TEST_F(SecurityFixture, StackWriteWithinBoundsAllowed) {
+  mem::Machine& m = proc->machine();
+  m.stack().push("handler", 32, m.register_code("ret"));
+  const mem::Addr buf = m.stack().alloc_local(32);
+  proc->call("strcpy", {P(buf), P(str("fits easily"))});
+  EXPECT_FALSE(m.stack().pop().corrupted());
+}
+
+TEST_F(SecurityFixture, PostfixSweepCatchesUnpredictableSmash) {
+  // memset's size annotation is arg(3) — evaluable, but aim the write at a
+  // buffer NOT in a stack frame while a frame's ret slot is corrupted by
+  // other means: the postfix sweep still notices.
+  mem::Machine& m = proc->machine();
+  const mem::Frame& frame = m.stack().push("handler", 32, m.register_code("ret"));
+  m.mem().store64(frame.ret_slot, 0x4141414141414141ULL);
+  const mem::Addr unrelated = proc->scratch(16);
+  const auto outcome = proc->supervised_call("memset", {P(unrelated), I(0), I(16)});
+  EXPECT_EQ(outcome.kind, CallOutcome::Kind::kAbort);
+  EXPECT_NE(outcome.detail.find("stack smashing detected"), std::string::npos);
+}
+
+TEST_F(SecurityFixture, HeapWritesDoNotTriggerStackGuard) {
+  const mem::Addr p = wmalloc(64);
+  EXPECT_NO_THROW(proc->call("strcpy", {P(p), P(str("heap write"))}));
+}
+
+TEST(SecurityWrapperIsolation, OneWrapperPerProcessStateIsIndependent) {
+  // Two processes with two wrappers: canaries of one never interfere with
+  // the other (fresh HeapGuardState per factory call).
+  auto proc1 = testbed::make_process("p1");
+  auto proc2 = testbed::make_process("p2");
+  proc1->preload(make_security_wrapper(testbed::libsimc()).value());
+  proc2->preload(make_security_wrapper(testbed::libsimc()).value());
+  const mem::Addr a = proc1->call("malloc", {I(32)}).as_ptr();
+  const mem::Addr b = proc2->call("malloc", {I(32)}).as_ptr();
+  EXPECT_NO_THROW(proc1->call("free", {P(a)}));
+  EXPECT_NO_THROW(proc2->call("free", {P(b)}));
+}
+
+TEST(SecurityWrapperSource, EmitsCanaryAndStackGuardCalls) {
+  gen::WrapperBuilder builder("security-src");
+  builder.add(gen::prototype_gen())
+      .add(heap_canary_gen())
+      .add(stack_guard_gen())
+      .add(gen::caller_gen());
+  const auto source = builder.emit_library_source(testbed::libsimc());
+  ASSERT_TRUE(source.ok());
+  EXPECT_NE(source.value().find("a1 += CANARY_SIZE;"), std::string::npos);
+  EXPECT_NE(source.value().find("healers_canary_verify(a1);"), std::string::npos);
+  EXPECT_NE(source.value().find("healers_stack_bound_check(a1, cstrlen(2)+1);"),
+            std::string::npos);
+  EXPECT_NE(source.value().find("healers_stack_integrity_sweep();"), std::string::npos);
+  EXPECT_NE(source.value().find("errno = ENOMEM"), std::string::npos);  // calloc fix
+}
+
+}  // namespace
+}  // namespace healers::wrappers

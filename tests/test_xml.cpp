@@ -1,0 +1,175 @@
+// Unit tests for the XML infrastructure: node operations, escaping,
+// serialization shape, strict parsing, and serialize/parse round trips.
+#include <gtest/gtest.h>
+
+#include "xml/xml.hpp"
+
+namespace healers::xml {
+namespace {
+
+TEST(XmlNode, AttributesPreserveInsertionOrderAndOverwrite) {
+  Node node("n");
+  node.set_attr("b", "2");
+  node.set_attr("a", "1");
+  node.set_attr("b", "3");  // overwrite keeps position
+  ASSERT_EQ(node.attrs().size(), 2u);
+  EXPECT_EQ(node.attrs()[0].first, "b");
+  EXPECT_EQ(node.attrs()[0].second, "3");
+  EXPECT_EQ(node.attrs()[1].first, "a");
+}
+
+TEST(XmlNode, AttrLookupReturnsNullWhenMissing) {
+  Node node("n");
+  EXPECT_EQ(node.attr("missing"), nullptr);
+  node.set_attr("k", "v");
+  ASSERT_NE(node.attr("k"), nullptr);
+  EXPECT_EQ(*node.attr("k"), "v");
+}
+
+TEST(XmlNode, AttrIntParsesAndFallsBack) {
+  Node node("n");
+  node.set_attr("good", "42");
+  node.set_attr("neg", "-7");
+  node.set_attr("bad", "4x2");
+  EXPECT_EQ(node.attr_int("good", 0), 42);
+  EXPECT_EQ(node.attr_int("neg", 0), -7);
+  EXPECT_EQ(node.attr_int("bad", 5), 5);
+  EXPECT_EQ(node.attr_int("missing", 9), 9);
+}
+
+TEST(XmlNode, ChildLookupByName) {
+  Node node("root");
+  node.add_child("a");
+  node.add_child("b");
+  node.add_child("a");
+  EXPECT_NE(node.child("a"), nullptr);
+  EXPECT_EQ(node.child("zzz"), nullptr);
+  EXPECT_EQ(node.children_named("a").size(), 2u);
+  EXPECT_EQ(node.children_named("b").size(), 1u);
+}
+
+TEST(XmlEscape, EscapesAllFiveEntities) {
+  EXPECT_EQ(escape("a&b<c>d\"e'f"), "a&amp;b&lt;c&gt;d&quot;e&apos;f");
+  EXPECT_EQ(escape("plain"), "plain");
+}
+
+TEST(XmlSerialize, EmptyElementSelfCloses) {
+  Node node("empty");
+  node.set_attr("k", "v");
+  EXPECT_EQ(serialize_fragment(node), "<empty k=\"v\"/>\n");
+}
+
+TEST(XmlSerialize, TextOnlyElementStaysOneLine) {
+  Node node("t");
+  node.set_text("hello");
+  EXPECT_EQ(serialize_fragment(node), "<t>hello</t>\n");
+}
+
+TEST(XmlSerialize, NestedIndentation) {
+  Node root("a");
+  root.add_child("b").add_text_child("c", "x");
+  const std::string out = serialize_fragment(root);
+  EXPECT_EQ(out, "<a>\n  <b>\n    <c>x</c>\n  </b>\n</a>\n");
+}
+
+TEST(XmlSerialize, DocumentHasDeclarationHeader) {
+  Node root("doc");
+  EXPECT_EQ(serialize(root).rfind("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n", 0), 0u);
+}
+
+TEST(XmlParse, SimpleDocument) {
+  auto result = parse("<root a=\"1\"><child>text</child></root>");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().name(), "root");
+  EXPECT_EQ(result.value().attr_int("a", 0), 1);
+  ASSERT_NE(result.value().child("child"), nullptr);
+  EXPECT_EQ(result.value().child("child")->text(), "text");
+}
+
+TEST(XmlParse, SelfClosingAndSingleQuotes) {
+  auto result = parse("<r><leaf k='v'/></r>");
+  ASSERT_TRUE(result.ok());
+  ASSERT_NE(result.value().child("leaf"), nullptr);
+  EXPECT_EQ(*result.value().child("leaf")->attr("k"), "v");
+}
+
+TEST(XmlParse, SkipsPrologAndComments) {
+  auto result = parse("<?xml version=\"1.0\"?>\n<!-- hi -->\n<r><!-- inner -->ok</r>\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().text(), "ok");
+}
+
+TEST(XmlParse, DecodesEntitiesInTextAndAttributes) {
+  auto result = parse("<r k=\"&lt;&amp;&gt;\">&quot;x&apos;</r>");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result.value().attr("k"), "<&>");
+  EXPECT_EQ(result.value().text(), "\"x'");
+}
+
+TEST(XmlParse, RejectsMismatchedCloseTag) {
+  auto result = parse("<a><b></a></b>");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message.find("mismatched"), std::string::npos);
+}
+
+TEST(XmlParse, RejectsUnterminatedDocument) {
+  EXPECT_FALSE(parse("<a><b>").ok());
+  EXPECT_FALSE(parse("<a attr=\"x").ok());
+}
+
+TEST(XmlParse, RejectsTrailingContent) {
+  EXPECT_FALSE(parse("<a/><b/>").ok());
+}
+
+TEST(XmlParse, RejectsUnknownEntity) {
+  EXPECT_FALSE(parse("<a>&bogus;</a>").ok());
+}
+
+TEST(XmlParse, ErrorsCarryLinePosition) {
+  auto result = parse("<a>\n<b>\n</c>\n</a>");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message.find("line 3"), std::string::npos);
+}
+
+TEST(XmlRoundTrip, SerializedTreeParsesBackIdentically) {
+  Node root("campaign");
+  root.set_attr("library", "libsimc.so.1");
+  root.set_attr("note", "a<b & c>\"d\"");
+  Node& spec = root.add_child("robust-spec");
+  spec.set_attr("function", "strcpy");
+  spec.add_text_child("prototype", "char *strcpy(char *dest, const char *src);");
+  spec.add_child("arg").set_attr("index", "1");
+
+  const std::string doc = serialize(root);
+  auto reparsed = parse(doc);
+  ASSERT_TRUE(reparsed.ok());
+  // Round trip is byte-stable at the second generation.
+  EXPECT_EQ(serialize(reparsed.value()), doc);
+  EXPECT_EQ(*reparsed.value().attr("note"), "a<b & c>\"d\"");
+}
+
+TEST(XmlRoundTrip, DeepNesting) {
+  Node root("l0");
+  Node* cur = &root;
+  for (int i = 1; i < 20; ++i) cur = &cur->add_child("l" + std::to_string(i));
+  cur->set_text("bottom");
+  auto reparsed = parse(serialize(root));
+  ASSERT_TRUE(reparsed.ok());
+  const Node* walk = &reparsed.value();
+  for (int i = 1; i < 20; ++i) {
+    walk = walk->child("l" + std::to_string(i));
+    ASSERT_NE(walk, nullptr) << "level " << i;
+  }
+  EXPECT_EQ(walk->text(), "bottom");
+}
+
+TEST(XmlResult, BadAccessThrows) {
+  Result<Node> bad = Error("nope");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_THROW((void)bad.value(), BadResultAccess);
+  Result<Node> good = Node("n");
+  EXPECT_THROW((void)good.error(), BadResultAccess);
+}
+
+}  // namespace
+}  // namespace healers::xml

@@ -1,0 +1,44 @@
+// Shared test scaffolding: a process pre-loaded with the stock libraries
+// plus terse call helpers, so library-behaviour tests read like the C they
+// model. Shared static library instances keep per-test cost down (libraries
+// are immutable; processes are per-test).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "linker/process.hpp"
+#include "simlib/cerrno.hpp"
+#include "simlib/library.hpp"
+
+namespace healers::testbed {
+
+inline const simlib::SharedLibrary& libsimc() {
+  static const simlib::SharedLibrary lib = simlib::build_libsimc();
+  return lib;
+}
+inline const simlib::SharedLibrary& libsimio() {
+  static const simlib::SharedLibrary lib = simlib::build_libsimio();
+  return lib;
+}
+inline const simlib::SharedLibrary& libsimm() {
+  static const simlib::SharedLibrary lib = simlib::build_libsimm();
+  return lib;
+}
+
+// A process with all three stock libraries loaded.
+inline std::unique_ptr<linker::Process> make_process(const std::string& name = "test") {
+  auto process = std::make_unique<linker::Process>(name);
+  process->load_library(&libsimc());
+  process->load_library(&libsimio());
+  process->load_library(&libsimm());
+  return process;
+}
+
+// Terse call helpers.
+inline simlib::SimValue I(std::int64_t v) { return simlib::SimValue::integer(v); }
+inline simlib::SimValue P(mem::Addr v) { return simlib::SimValue::ptr(v); }
+inline simlib::SimValue F(double v) { return simlib::SimValue::fp(v); }
+
+}  // namespace healers::testbed

@@ -1,0 +1,254 @@
+// The `healers` command-line driver — the scriptable face of the toolkit
+// (the paper drove the same operations through a web UI, Figs 4/5).
+//
+//   healers list-libs
+//   healers list-functions <soname>
+//   healers decls <soname> [-o decls.xml]
+//   healers derive <soname> [--seed N] [--variants N] [-o campaign.xml]
+//   healers report <campaign.xml>
+//   healers gen-source <soname> --type profiling|robustness|security|testing
+//                      [--campaign campaign.xml] [-o wrapper.c]
+//   healers inspect demo-heap|demo-stack
+//   healers demo attacks
+//
+// derive→(ship XML)→gen-source is the paper's offline pipeline: campaigns
+// run where the library lives; wrapper generation can happen anywhere the
+// spec file reaches.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "attacks/attacks.hpp"
+#include "core/toolkit.hpp"
+#include "wrappers/wrappers.hpp"
+
+using namespace healers;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: healers <command> [args]\n"
+               "  list-libs\n"
+               "  list-functions <soname>\n"
+               "  decls <soname> [-o file]\n"
+               "  derive <soname> [--seed N] [--variants N] [-o file]\n"
+               "  report <campaign.xml>\n"
+               "  gen-source <soname> --type profiling|robustness|security|testing\n"
+               "             [--campaign file] [-o file]\n"
+               "  inspect demo-heap|demo-stack\n"
+               "  demo attacks\n");
+  return 2;
+}
+
+int fail(const std::string& message) {
+  std::fprintf(stderr, "healers: %s\n", message.c_str());
+  return 1;
+}
+
+// Writes to the -o target, or stdout when none was given.
+int emit(const std::string& text, const std::string& out_path) {
+  if (out_path.empty()) {
+    std::fputs(text.c_str(), stdout);
+    return 0;
+  }
+  std::ofstream out(out_path, std::ios::binary);
+  if (!out) return fail("cannot write " + out_path);
+  out << text;
+  std::printf("wrote %zu bytes to %s\n", text.size(), out_path.c_str());
+  return 0;
+}
+
+Result<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Error("cannot read " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+struct Options {
+  std::vector<std::string> positional;
+  std::string out_path;
+  std::string type;
+  std::string campaign_path;
+  std::uint64_t seed = 2003;
+  int variants = 1;
+};
+
+Result<Options> parse_options(int argc, char** argv) {
+  Options options;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&i, argc, argv, &arg]() -> Result<std::string> {
+      if (i + 1 >= argc) return Error("missing value for " + arg);
+      return std::string(argv[++i]);
+    };
+    if (arg == "-o") {
+      auto value = next();
+      if (!value.ok()) return value.error();
+      options.out_path = value.value();
+    } else if (arg == "--type") {
+      auto value = next();
+      if (!value.ok()) return value.error();
+      options.type = value.value();
+    } else if (arg == "--campaign") {
+      auto value = next();
+      if (!value.ok()) return value.error();
+      options.campaign_path = value.value();
+    } else if (arg == "--seed") {
+      auto value = next();
+      if (!value.ok()) return value.error();
+      options.seed = std::stoull(value.value());
+    } else if (arg == "--variants") {
+      auto value = next();
+      if (!value.ok()) return value.error();
+      options.variants = std::stoi(value.value());
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Error("unknown option " + arg);
+    } else {
+      options.positional.push_back(arg);
+    }
+  }
+  return options;
+}
+
+Result<injector::CampaignResult> load_campaign(const std::string& path) {
+  auto text = read_file(path);
+  if (!text.ok()) return text.error();
+  auto doc = xml::parse(text.value());
+  if (!doc.ok()) return Error(path + ": " + doc.error().message);
+  return injector::CampaignResult::from_xml(doc.value());
+}
+
+int cmd_list_libs(const core::Toolkit& toolkit) {
+  for (const std::string& soname : toolkit.list_libraries()) {
+    const auto functions = toolkit.list_functions(soname);
+    std::printf("%-16s %zu functions\n", soname.c_str(), functions.value().size());
+  }
+  return 0;
+}
+
+int cmd_list_functions(const core::Toolkit& toolkit, const Options& options) {
+  if (options.positional.empty()) return usage();
+  const auto functions = toolkit.list_functions(options.positional[0]);
+  if (!functions.ok()) return fail(functions.error().message);
+  for (const std::string& name : functions.value()) std::printf("%s\n", name.c_str());
+  return 0;
+}
+
+int cmd_decls(const core::Toolkit& toolkit, const Options& options) {
+  if (options.positional.empty()) return usage();
+  const auto doc = toolkit.declaration_xml(options.positional[0]);
+  if (!doc.ok()) return fail(doc.error().message);
+  return emit(xml::serialize(doc.value()), options.out_path);
+}
+
+int cmd_derive(const core::Toolkit& toolkit, const Options& options) {
+  if (options.positional.empty()) return usage();
+  injector::InjectorConfig config;
+  config.seed = options.seed;
+  config.variants = options.variants;
+  const auto campaign = toolkit.derive_robust_api(options.positional[0], config);
+  if (!campaign.ok()) return fail(campaign.error().message);
+  std::fprintf(stderr, "%llu probes, %llu failures in %zu functions\n",
+               static_cast<unsigned long long>(campaign.value().total_probes()),
+               static_cast<unsigned long long>(campaign.value().total_failures()),
+               campaign.value().functions_with_failures());
+  return emit(xml::serialize(campaign.value().to_xml()), options.out_path);
+}
+
+int cmd_report(const Options& options) {
+  if (options.positional.empty()) return usage();
+  auto campaign = load_campaign(options.positional[0]);
+  if (!campaign.ok()) return fail(campaign.error().message);
+  std::fputs(campaign.value().to_table().c_str(), stdout);
+  return 0;
+}
+
+int cmd_gen_source(const core::Toolkit& toolkit, const Options& options) {
+  if (options.positional.empty() || options.type.empty()) return usage();
+  const std::string& soname = options.positional[0];
+
+  gen::WrapperBuilder builder(options.type + "-wrapper");
+  injector::CampaignResult campaign;
+  const injector::CampaignResult* campaign_ptr = nullptr;
+  if (options.type == "profiling") {
+    for (const auto& g : wrappers::fig3_generators()) builder.add(g);
+  } else if (options.type == "robustness") {
+    if (options.campaign_path.empty()) {
+      return fail("gen-source --type robustness requires --campaign <file>");
+    }
+    auto loaded = load_campaign(options.campaign_path);
+    if (!loaded.ok()) return fail(loaded.error().message);
+    campaign = std::move(loaded).take();
+    campaign_ptr = &campaign;
+    builder.add(gen::prototype_gen())
+        .add(wrappers::arg_check_gen())
+        .add(gen::call_counter_gen())
+        .add(gen::caller_gen());
+  } else if (options.type == "security") {
+    builder.add(gen::prototype_gen())
+        .add(wrappers::heap_canary_gen())
+        .add(wrappers::stack_guard_gen())
+        .add(gen::caller_gen());
+  } else if (options.type == "testing") {
+    builder.add(gen::prototype_gen())
+        .add(wrappers::error_injection_gen(0.1, options.seed))
+        .add(gen::call_counter_gen())
+        .add(gen::caller_gen());
+  } else {
+    return fail("unknown wrapper type: " + options.type);
+  }
+
+  const auto source = toolkit.wrapper_source(soname, builder, campaign_ptr);
+  if (!source.ok()) return fail(source.error().message);
+  return emit(source.value(), options.out_path);
+}
+
+int cmd_inspect(const core::Toolkit& toolkit, const Options& options) {
+  if (options.positional.empty()) return usage();
+  linker::Executable exe;
+  if (options.positional[0] == "demo-heap") {
+    exe = attacks::heap_victim_executable();
+  } else if (options.positional[0] == "demo-stack") {
+    exe = attacks::stack_victim_executable();
+  } else {
+    return fail("unknown executable: " + options.positional[0] +
+                " (try demo-heap or demo-stack)");
+  }
+  std::fputs(toolkit.inspect(exe).to_text().c_str(), stdout);
+  return 0;
+}
+
+int cmd_demo(const core::Toolkit& toolkit, const Options& options) {
+  if (options.positional.empty() || options.positional[0] != "attacks") return usage();
+  const auto plain = attacks::run_heap_smash_attack(toolkit.catalog(), {});
+  std::printf("unprotected heap attack:\n%s\n", plain.narrative.c_str());
+  const auto guarded = attacks::run_heap_smash_attack(
+      toolkit.catalog(), {toolkit.security_wrapper("libsimc.so.1").value()});
+  std::printf("with security wrapper:\n%s", guarded.narrative.c_str());
+  return plain.hijack_succeeded && guarded.blocked_by_wrapper ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  auto options = parse_options(argc, argv);
+  if (!options.ok()) return fail(options.error().message);
+
+  core::Toolkit toolkit;
+  if (command == "list-libs") return cmd_list_libs(toolkit);
+  if (command == "list-functions") return cmd_list_functions(toolkit, options.value());
+  if (command == "decls") return cmd_decls(toolkit, options.value());
+  if (command == "derive") return cmd_derive(toolkit, options.value());
+  if (command == "report") return cmd_report(options.value());
+  if (command == "gen-source") return cmd_gen_source(toolkit, options.value());
+  if (command == "inspect") return cmd_inspect(toolkit, options.value());
+  if (command == "demo") return cmd_demo(toolkit, options.value());
+  return usage();
+}
