@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c2_hardening.dir/bench_c2_hardening.cpp.o"
+  "CMakeFiles/bench_c2_hardening.dir/bench_c2_hardening.cpp.o.d"
+  "bench_c2_hardening"
+  "bench_c2_hardening.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c2_hardening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_robust_api.dir/bench_fig2_robust_api.cpp.o"
+  "CMakeFiles/bench_fig2_robust_api.dir/bench_fig2_robust_api.cpp.o.d"
+  "bench_fig2_robust_api"
+  "bench_fig2_robust_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_robust_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

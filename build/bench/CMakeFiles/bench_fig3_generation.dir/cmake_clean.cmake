@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_generation.dir/bench_fig3_generation.cpp.o"
+  "CMakeFiles/bench_fig3_generation.dir/bench_fig3_generation.cpp.o.d"
+  "bench_fig3_generation"
+  "bench_fig3_generation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_generation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_inspection.dir/bench_fig4_inspection.cpp.o"
+  "CMakeFiles/bench_fig4_inspection.dir/bench_fig4_inspection.cpp.o.d"
+  "bench_fig4_inspection"
+  "bench_fig4_inspection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_inspection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_profiling.dir/bench_fig5_profiling.cpp.o"
+  "CMakeFiles/bench_fig5_profiling.dir/bench_fig5_profiling.cpp.o.d"
+  "bench_fig5_profiling"
+  "bench_fig5_profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

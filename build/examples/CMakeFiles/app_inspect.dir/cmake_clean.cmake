@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_inspect.dir/app_inspect.cpp.o"
+  "CMakeFiles/app_inspect.dir/app_inspect.cpp.o.d"
+  "app_inspect"
+  "app_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/architecture_demo.dir/architecture_demo.cpp.o"
+  "CMakeFiles/architecture_demo.dir/architecture_demo.cpp.o.d"
+  "architecture_demo"
+  "architecture_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/architecture_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/error_injection_demo.dir/error_injection_demo.cpp.o"
+  "CMakeFiles/error_injection_demo.dir/error_injection_demo.cpp.o.d"
+  "error_injection_demo"
+  "error_injection_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/error_injection_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

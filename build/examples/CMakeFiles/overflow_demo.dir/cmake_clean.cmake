@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overflow_demo.dir/overflow_demo.cpp.o"
+  "CMakeFiles/overflow_demo.dir/overflow_demo.cpp.o.d"
+  "overflow_demo"
+  "overflow_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overflow_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

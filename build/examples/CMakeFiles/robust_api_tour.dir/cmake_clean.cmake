@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robust_api_tour.dir/robust_api_tour.cpp.o"
+  "CMakeFiles/robust_api_tour.dir/robust_api_tour.cpp.o.d"
+  "robust_api_tour"
+  "robust_api_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robust_api_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/healers_attacks.dir/attacks.cpp.o"
+  "CMakeFiles/healers_attacks.dir/attacks.cpp.o.d"
+  "libhealers_attacks.a"
+  "libhealers_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/healers_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/healers_core.dir/toolkit.cpp.o"
+  "CMakeFiles/healers_core.dir/toolkit.cpp.o.d"
+  "libhealers_core.a"
+  "libhealers_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/healers_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

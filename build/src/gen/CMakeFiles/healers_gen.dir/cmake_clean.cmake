@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/healers_gen.dir/composer.cpp.o"
+  "CMakeFiles/healers_gen.dir/composer.cpp.o.d"
+  "CMakeFiles/healers_gen.dir/stats.cpp.o"
+  "CMakeFiles/healers_gen.dir/stats.cpp.o.d"
+  "CMakeFiles/healers_gen.dir/stdgens.cpp.o"
+  "CMakeFiles/healers_gen.dir/stdgens.cpp.o.d"
+  "libhealers_gen.a"
+  "libhealers_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/healers_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

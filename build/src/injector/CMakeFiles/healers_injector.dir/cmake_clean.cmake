@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/healers_injector.dir/injector.cpp.o"
+  "CMakeFiles/healers_injector.dir/injector.cpp.o.d"
+  "CMakeFiles/healers_injector.dir/robust_spec.cpp.o"
+  "CMakeFiles/healers_injector.dir/robust_spec.cpp.o.d"
+  "libhealers_injector.a"
+  "libhealers_injector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/healers_injector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

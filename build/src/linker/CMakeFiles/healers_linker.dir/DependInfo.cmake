@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linker/executable.cpp" "src/linker/CMakeFiles/healers_linker.dir/executable.cpp.o" "gcc" "src/linker/CMakeFiles/healers_linker.dir/executable.cpp.o.d"
+  "/root/repo/src/linker/process.cpp" "src/linker/CMakeFiles/healers_linker.dir/process.cpp.o" "gcc" "src/linker/CMakeFiles/healers_linker.dir/process.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simlib/CMakeFiles/healers_simlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/memmodel/CMakeFiles/healers_memmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/healers_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

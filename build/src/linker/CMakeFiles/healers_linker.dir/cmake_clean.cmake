@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/healers_linker.dir/executable.cpp.o"
+  "CMakeFiles/healers_linker.dir/executable.cpp.o.d"
+  "CMakeFiles/healers_linker.dir/process.cpp.o"
+  "CMakeFiles/healers_linker.dir/process.cpp.o.d"
+  "libhealers_linker.a"
+  "libhealers_linker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/healers_linker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhealers_linker.a"
+)

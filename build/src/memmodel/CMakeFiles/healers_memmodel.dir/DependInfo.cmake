@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memmodel/addr_space.cpp" "src/memmodel/CMakeFiles/healers_memmodel.dir/addr_space.cpp.o" "gcc" "src/memmodel/CMakeFiles/healers_memmodel.dir/addr_space.cpp.o.d"
+  "/root/repo/src/memmodel/heap.cpp" "src/memmodel/CMakeFiles/healers_memmodel.dir/heap.cpp.o" "gcc" "src/memmodel/CMakeFiles/healers_memmodel.dir/heap.cpp.o.d"
+  "/root/repo/src/memmodel/machine.cpp" "src/memmodel/CMakeFiles/healers_memmodel.dir/machine.cpp.o" "gcc" "src/memmodel/CMakeFiles/healers_memmodel.dir/machine.cpp.o.d"
+  "/root/repo/src/memmodel/stack.cpp" "src/memmodel/CMakeFiles/healers_memmodel.dir/stack.cpp.o" "gcc" "src/memmodel/CMakeFiles/healers_memmodel.dir/stack.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/healers_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

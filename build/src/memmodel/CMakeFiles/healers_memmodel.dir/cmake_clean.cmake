@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/healers_memmodel.dir/addr_space.cpp.o"
+  "CMakeFiles/healers_memmodel.dir/addr_space.cpp.o.d"
+  "CMakeFiles/healers_memmodel.dir/heap.cpp.o"
+  "CMakeFiles/healers_memmodel.dir/heap.cpp.o.d"
+  "CMakeFiles/healers_memmodel.dir/machine.cpp.o"
+  "CMakeFiles/healers_memmodel.dir/machine.cpp.o.d"
+  "CMakeFiles/healers_memmodel.dir/stack.cpp.o"
+  "CMakeFiles/healers_memmodel.dir/stack.cpp.o.d"
+  "libhealers_memmodel.a"
+  "libhealers_memmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/healers_memmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

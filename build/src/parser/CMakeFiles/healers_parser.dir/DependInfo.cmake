@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/parser/ctypes.cpp" "src/parser/CMakeFiles/healers_parser.dir/ctypes.cpp.o" "gcc" "src/parser/CMakeFiles/healers_parser.dir/ctypes.cpp.o.d"
+  "/root/repo/src/parser/header_parser.cpp" "src/parser/CMakeFiles/healers_parser.dir/header_parser.cpp.o" "gcc" "src/parser/CMakeFiles/healers_parser.dir/header_parser.cpp.o.d"
+  "/root/repo/src/parser/manpage.cpp" "src/parser/CMakeFiles/healers_parser.dir/manpage.cpp.o" "gcc" "src/parser/CMakeFiles/healers_parser.dir/manpage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/memmodel/CMakeFiles/healers_memmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/healers_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/healers_parser.dir/ctypes.cpp.o"
+  "CMakeFiles/healers_parser.dir/ctypes.cpp.o.d"
+  "CMakeFiles/healers_parser.dir/header_parser.cpp.o"
+  "CMakeFiles/healers_parser.dir/header_parser.cpp.o.d"
+  "CMakeFiles/healers_parser.dir/manpage.cpp.o"
+  "CMakeFiles/healers_parser.dir/manpage.cpp.o.d"
+  "libhealers_parser.a"
+  "libhealers_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/healers_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/healers_profile.dir/collector.cpp.o"
+  "CMakeFiles/healers_profile.dir/collector.cpp.o.d"
+  "CMakeFiles/healers_profile.dir/report.cpp.o"
+  "CMakeFiles/healers_profile.dir/report.cpp.o.d"
+  "libhealers_profile.a"
+  "libhealers_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/healers_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simlib/builders.cpp" "src/simlib/CMakeFiles/healers_simlib.dir/builders.cpp.o" "gcc" "src/simlib/CMakeFiles/healers_simlib.dir/builders.cpp.o.d"
+  "/root/repo/src/simlib/cerrno.cpp" "src/simlib/CMakeFiles/healers_simlib.dir/cerrno.cpp.o" "gcc" "src/simlib/CMakeFiles/healers_simlib.dir/cerrno.cpp.o.d"
+  "/root/repo/src/simlib/funcs_conv.cpp" "src/simlib/CMakeFiles/healers_simlib.dir/funcs_conv.cpp.o" "gcc" "src/simlib/CMakeFiles/healers_simlib.dir/funcs_conv.cpp.o.d"
+  "/root/repo/src/simlib/funcs_ctype.cpp" "src/simlib/CMakeFiles/healers_simlib.dir/funcs_ctype.cpp.o" "gcc" "src/simlib/CMakeFiles/healers_simlib.dir/funcs_ctype.cpp.o.d"
+  "/root/repo/src/simlib/funcs_math.cpp" "src/simlib/CMakeFiles/healers_simlib.dir/funcs_math.cpp.o" "gcc" "src/simlib/CMakeFiles/healers_simlib.dir/funcs_math.cpp.o.d"
+  "/root/repo/src/simlib/funcs_memory.cpp" "src/simlib/CMakeFiles/healers_simlib.dir/funcs_memory.cpp.o" "gcc" "src/simlib/CMakeFiles/healers_simlib.dir/funcs_memory.cpp.o.d"
+  "/root/repo/src/simlib/funcs_misc.cpp" "src/simlib/CMakeFiles/healers_simlib.dir/funcs_misc.cpp.o" "gcc" "src/simlib/CMakeFiles/healers_simlib.dir/funcs_misc.cpp.o.d"
+  "/root/repo/src/simlib/funcs_sort.cpp" "src/simlib/CMakeFiles/healers_simlib.dir/funcs_sort.cpp.o" "gcc" "src/simlib/CMakeFiles/healers_simlib.dir/funcs_sort.cpp.o.d"
+  "/root/repo/src/simlib/funcs_stdio.cpp" "src/simlib/CMakeFiles/healers_simlib.dir/funcs_stdio.cpp.o" "gcc" "src/simlib/CMakeFiles/healers_simlib.dir/funcs_stdio.cpp.o.d"
+  "/root/repo/src/simlib/funcs_string.cpp" "src/simlib/CMakeFiles/healers_simlib.dir/funcs_string.cpp.o" "gcc" "src/simlib/CMakeFiles/healers_simlib.dir/funcs_string.cpp.o.d"
+  "/root/repo/src/simlib/helpers.cpp" "src/simlib/CMakeFiles/healers_simlib.dir/helpers.cpp.o" "gcc" "src/simlib/CMakeFiles/healers_simlib.dir/helpers.cpp.o.d"
+  "/root/repo/src/simlib/library.cpp" "src/simlib/CMakeFiles/healers_simlib.dir/library.cpp.o" "gcc" "src/simlib/CMakeFiles/healers_simlib.dir/library.cpp.o.d"
+  "/root/repo/src/simlib/libstate.cpp" "src/simlib/CMakeFiles/healers_simlib.dir/libstate.cpp.o" "gcc" "src/simlib/CMakeFiles/healers_simlib.dir/libstate.cpp.o.d"
+  "/root/repo/src/simlib/value.cpp" "src/simlib/CMakeFiles/healers_simlib.dir/value.cpp.o" "gcc" "src/simlib/CMakeFiles/healers_simlib.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/memmodel/CMakeFiles/healers_memmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/healers_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

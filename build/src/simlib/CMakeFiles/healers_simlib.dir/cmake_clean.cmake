@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/healers_simlib.dir/builders.cpp.o"
+  "CMakeFiles/healers_simlib.dir/builders.cpp.o.d"
+  "CMakeFiles/healers_simlib.dir/cerrno.cpp.o"
+  "CMakeFiles/healers_simlib.dir/cerrno.cpp.o.d"
+  "CMakeFiles/healers_simlib.dir/funcs_conv.cpp.o"
+  "CMakeFiles/healers_simlib.dir/funcs_conv.cpp.o.d"
+  "CMakeFiles/healers_simlib.dir/funcs_ctype.cpp.o"
+  "CMakeFiles/healers_simlib.dir/funcs_ctype.cpp.o.d"
+  "CMakeFiles/healers_simlib.dir/funcs_math.cpp.o"
+  "CMakeFiles/healers_simlib.dir/funcs_math.cpp.o.d"
+  "CMakeFiles/healers_simlib.dir/funcs_memory.cpp.o"
+  "CMakeFiles/healers_simlib.dir/funcs_memory.cpp.o.d"
+  "CMakeFiles/healers_simlib.dir/funcs_misc.cpp.o"
+  "CMakeFiles/healers_simlib.dir/funcs_misc.cpp.o.d"
+  "CMakeFiles/healers_simlib.dir/funcs_sort.cpp.o"
+  "CMakeFiles/healers_simlib.dir/funcs_sort.cpp.o.d"
+  "CMakeFiles/healers_simlib.dir/funcs_stdio.cpp.o"
+  "CMakeFiles/healers_simlib.dir/funcs_stdio.cpp.o.d"
+  "CMakeFiles/healers_simlib.dir/funcs_string.cpp.o"
+  "CMakeFiles/healers_simlib.dir/funcs_string.cpp.o.d"
+  "CMakeFiles/healers_simlib.dir/helpers.cpp.o"
+  "CMakeFiles/healers_simlib.dir/helpers.cpp.o.d"
+  "CMakeFiles/healers_simlib.dir/library.cpp.o"
+  "CMakeFiles/healers_simlib.dir/library.cpp.o.d"
+  "CMakeFiles/healers_simlib.dir/libstate.cpp.o"
+  "CMakeFiles/healers_simlib.dir/libstate.cpp.o.d"
+  "CMakeFiles/healers_simlib.dir/value.cpp.o"
+  "CMakeFiles/healers_simlib.dir/value.cpp.o.d"
+  "libhealers_simlib.a"
+  "libhealers_simlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/healers_simlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/healers_support.dir/faults.cpp.o"
+  "CMakeFiles/healers_support.dir/faults.cpp.o.d"
+  "CMakeFiles/healers_support.dir/rng.cpp.o"
+  "CMakeFiles/healers_support.dir/rng.cpp.o.d"
+  "libhealers_support.a"
+  "libhealers_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/healers_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/healers_typelattice.dir/testtype.cpp.o"
+  "CMakeFiles/healers_typelattice.dir/testtype.cpp.o.d"
+  "libhealers_typelattice.a"
+  "libhealers_typelattice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/healers_typelattice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

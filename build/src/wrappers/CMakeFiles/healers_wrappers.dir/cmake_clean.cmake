@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/healers_wrappers.dir/argcheck.cpp.o"
+  "CMakeFiles/healers_wrappers.dir/argcheck.cpp.o.d"
+  "CMakeFiles/healers_wrappers.dir/errorinject.cpp.o"
+  "CMakeFiles/healers_wrappers.dir/errorinject.cpp.o.d"
+  "CMakeFiles/healers_wrappers.dir/factories.cpp.o"
+  "CMakeFiles/healers_wrappers.dir/factories.cpp.o.d"
+  "CMakeFiles/healers_wrappers.dir/heapguard.cpp.o"
+  "CMakeFiles/healers_wrappers.dir/heapguard.cpp.o.d"
+  "CMakeFiles/healers_wrappers.dir/stackguard.cpp.o"
+  "CMakeFiles/healers_wrappers.dir/stackguard.cpp.o.d"
+  "libhealers_wrappers.a"
+  "libhealers_wrappers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/healers_wrappers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

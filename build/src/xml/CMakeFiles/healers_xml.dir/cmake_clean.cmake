@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/healers_xml.dir/xml.cpp.o"
+  "CMakeFiles/healers_xml.dir/xml.cpp.o.d"
+  "libhealers_xml.a"
+  "libhealers_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/healers_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_addr_space.dir/test_addr_space.cpp.o"
+  "CMakeFiles/test_addr_space.dir/test_addr_space.cpp.o.d"
+  "test_addr_space"
+  "test_addr_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_addr_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

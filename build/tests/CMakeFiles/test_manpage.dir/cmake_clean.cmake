@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_manpage.dir/test_manpage.cpp.o"
+  "CMakeFiles/test_manpage.dir/test_manpage.cpp.o.d"
+  "test_manpage"
+  "test_manpage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_manpage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

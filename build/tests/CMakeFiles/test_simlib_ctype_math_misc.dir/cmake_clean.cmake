@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simlib_ctype_math_misc.dir/test_simlib_ctype_math_misc.cpp.o"
+  "CMakeFiles/test_simlib_ctype_math_misc.dir/test_simlib_ctype_math_misc.cpp.o.d"
+  "test_simlib_ctype_math_misc"
+  "test_simlib_ctype_math_misc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simlib_ctype_math_misc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simlib_extras.dir/test_simlib_extras.cpp.o"
+  "CMakeFiles/test_simlib_extras.dir/test_simlib_extras.cpp.o.d"
+  "test_simlib_extras"
+  "test_simlib_extras.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simlib_extras.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

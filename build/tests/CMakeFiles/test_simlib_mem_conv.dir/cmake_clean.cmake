@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simlib_mem_conv.dir/test_simlib_mem_conv.cpp.o"
+  "CMakeFiles/test_simlib_mem_conv.dir/test_simlib_mem_conv.cpp.o.d"
+  "test_simlib_mem_conv"
+  "test_simlib_mem_conv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simlib_mem_conv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

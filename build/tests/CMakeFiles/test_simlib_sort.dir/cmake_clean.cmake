@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simlib_sort.dir/test_simlib_sort.cpp.o"
+  "CMakeFiles/test_simlib_sort.dir/test_simlib_sort.cpp.o.d"
+  "test_simlib_sort"
+  "test_simlib_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simlib_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simlib_stdio.dir/test_simlib_stdio.cpp.o"
+  "CMakeFiles/test_simlib_stdio.dir/test_simlib_stdio.cpp.o.d"
+  "test_simlib_stdio"
+  "test_simlib_stdio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simlib_stdio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simlib_string.dir/test_simlib_string.cpp.o"
+  "CMakeFiles/test_simlib_string.dir/test_simlib_string.cpp.o.d"
+  "test_simlib_string"
+  "test_simlib_string.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simlib_string.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

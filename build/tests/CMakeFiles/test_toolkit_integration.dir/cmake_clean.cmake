@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_toolkit_integration.dir/test_toolkit_integration.cpp.o"
+  "CMakeFiles/test_toolkit_integration.dir/test_toolkit_integration.cpp.o.d"
+  "test_toolkit_integration"
+  "test_toolkit_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_toolkit_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

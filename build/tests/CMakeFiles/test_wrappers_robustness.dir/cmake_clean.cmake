@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wrappers_robustness.dir/test_wrappers_robustness.cpp.o"
+  "CMakeFiles/test_wrappers_robustness.dir/test_wrappers_robustness.cpp.o.d"
+  "test_wrappers_robustness"
+  "test_wrappers_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wrappers_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

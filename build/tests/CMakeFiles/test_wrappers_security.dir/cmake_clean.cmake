@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wrappers_security.dir/test_wrappers_security.cpp.o"
+  "CMakeFiles/test_wrappers_security.dir/test_wrappers_security.cpp.o.d"
+  "test_wrappers_security"
+  "test_wrappers_security.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wrappers_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

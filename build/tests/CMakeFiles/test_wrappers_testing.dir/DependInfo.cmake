@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_wrappers_testing.cpp" "tests/CMakeFiles/test_wrappers_testing.dir/test_wrappers_testing.cpp.o" "gcc" "tests/CMakeFiles/test_wrappers_testing.dir/test_wrappers_testing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/healers_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/attacks/CMakeFiles/healers_attacks.dir/DependInfo.cmake"
+  "/root/repo/build/src/wrappers/CMakeFiles/healers_wrappers.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/healers_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/injector/CMakeFiles/healers_injector.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/healers_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/typelattice/CMakeFiles/healers_typelattice.dir/DependInfo.cmake"
+  "/root/repo/build/src/linker/CMakeFiles/healers_linker.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/healers_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/simlib/CMakeFiles/healers_simlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/memmodel/CMakeFiles/healers_memmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/healers_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/healers_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wrappers_testing.dir/test_wrappers_testing.cpp.o"
+  "CMakeFiles/test_wrappers_testing.dir/test_wrappers_testing.cpp.o.d"
+  "test_wrappers_testing"
+  "test_wrappers_testing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wrappers_testing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

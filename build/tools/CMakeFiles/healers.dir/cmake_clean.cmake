@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/healers.dir/healers_cli.cpp.o"
+  "CMakeFiles/healers.dir/healers_cli.cpp.o.d"
+  "healers"
+  "healers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/healers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
