@@ -1,0 +1,19 @@
+#!/bin/sh
+# Runs the Fig 2 campaign-engine benchmark and writes its google-benchmark
+# JSON to BENCH_fig2.json at the repo root (checked in so engine-throughput
+# regressions show up in review).
+#
+# Usage: bench/run_benches.sh [build-dir]   (default: build)
+set -eu
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$root/build}"
+
+cmake --build "$build" -j --target bench_fig2_robust_api
+
+"$build/bench/bench_fig2_robust_api" \
+  --benchmark_out="$root/BENCH_fig2.json" \
+  --benchmark_out_format=json \
+  --benchmark_min_time=0.2
+
+echo "wrote $root/BENCH_fig2.json"

@@ -55,8 +55,20 @@ Result<injector::CampaignResult> Toolkit::derive_robust_api(
     const std::string& soname, injector::InjectorConfig config) const {
   const simlib::SharedLibrary* lib = catalog_.find(soname);
   if (lib == nullptr) return Error("no such library: " + soname);
+  const CampaignKey key{soname,         lib->fingerprint(),       config.seed,
+                        config.variants, config.probe_step_budget, config.testbed_heap,
+                        config.testbed_stack};
+  {
+    std::lock_guard lock(cache_mutex_);
+    const auto it = campaign_cache_.find(key);
+    if (it != campaign_cache_.end()) return it->second;
+  }
   injector::FaultInjector injector(catalog_, config);
-  return injector.run_campaign(*lib);
+  auto campaign = injector.run_campaign(*lib);
+  probes_executed_.fetch_add(injector.probes_executed(), std::memory_order_relaxed);
+  if (!campaign.ok()) return campaign;  // failures are not cached
+  std::lock_guard lock(cache_mutex_);
+  return campaign_cache_.insert_or_assign(key, std::move(campaign).take()).first->second;
 }
 
 linker::LinkMap Toolkit::inspect(const linker::Executable& exe) const {

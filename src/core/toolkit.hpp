@@ -13,8 +13,13 @@
 // borrows them, so keep the Toolkit alive while processes run.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "gen/composer.hpp"
@@ -41,8 +46,21 @@ class Toolkit {
   // The XML declaration file: every function's parsed prototype.
   [[nodiscard]] Result<xml::Node> declaration_xml(const std::string& soname) const;
   // Fault-injection campaign deriving the library's robust API (Fig 2).
+  //
+  // Memoized: results are cached per (soname, library fingerprint, and the
+  // config fields campaign output depends on — seed, variants, step budget,
+  // testbed sizes). `jobs` and `snapshot_reset` are deliberately NOT part of
+  // the key: the engine guarantees bit-identical results for any value of
+  // either, so all of them share one cache slot. A repeated derive therefore
+  // runs zero probes (observable via probes_executed()).
   [[nodiscard]] Result<injector::CampaignResult> derive_robust_api(
       const std::string& soname, injector::InjectorConfig config = {}) const;
+
+  // Probes executed by all campaigns this toolkit has run; cache hits add
+  // nothing. The handle for cache-effectiveness tests and benches.
+  [[nodiscard]] std::uint64_t probes_executed() const noexcept {
+    return probes_executed_.load(std::memory_order_relaxed);
+  }
 
   // --- demo §3.2: application-centric --------------------------------------
   [[nodiscard]] linker::LinkMap inspect(const linker::Executable& exe) const;
@@ -73,8 +91,22 @@ class Toolkit {
   }
 
  private:
+  // Everything a campaign's output is a function of, minus the library
+  // content itself (covered by the fingerprint).
+  using CampaignKey = std::tuple<std::string,    // soname
+                                 std::uint64_t,  // SharedLibrary::fingerprint()
+                                 std::uint64_t,  // seed
+                                 int,            // variants
+                                 std::uint64_t,  // probe_step_budget
+                                 std::uint64_t,  // testbed_heap
+                                 std::uint64_t>; // testbed_stack
+
   std::vector<std::unique_ptr<simlib::SharedLibrary>> owned_;
   linker::LibraryCatalog catalog_;
+
+  mutable std::mutex cache_mutex_;
+  mutable std::map<CampaignKey, injector::CampaignResult> campaign_cache_;
+  mutable std::atomic<std::uint64_t> probes_executed_{0};
 };
 
 }  // namespace healers::core

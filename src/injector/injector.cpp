@@ -1,58 +1,270 @@
 #include "injector/injector.hpp"
 
 #include <algorithm>
+#include <optional>
+#include <utility>
 
-#include "parser/manpage.hpp"
+#include "support/rng.hpp"
+#include "support/thread_pool.hpp"
 
 namespace healers::injector {
 
 using lattice::TestTypeId;
 using linker::CallOutcome;
 
-FaultInjector::FaultInjector(const linker::LibraryCatalog& catalog, InjectorConfig config)
-    : catalog_(catalog), config_(config), rng_(config.seed) {}
+namespace {
 
-linker::CallOutcome FaultInjector::run_probe(const simlib::SharedLibrary& lib,
-                                             const parser::ManPage& page,
-                                             std::size_t inject_index_0based, TestTypeId id,
-                                             std::size_t case_index, bool& case_existed) {
-  // One probe = one fresh process, as the paper forked one child per probe.
+// splitmix64 finalizer: full-avalanche mixing for probe-seed derivation.
+[[nodiscard]] std::uint64_t mix64(std::uint64_t z) noexcept {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+[[nodiscard]] std::uint64_t fnv1a(const std::string& text) noexcept {
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (const unsigned char c : text) {
+    hash ^= c;
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+// The per-probe seed: a pure function of the campaign seed and the probe
+// coordinate. Every probe owns an independent Rng derived from this, so the
+// values it fabricates cannot depend on which worker ran it, in what order,
+// or how many probes ran before it — the root of the engine's determinism.
+[[nodiscard]] std::uint64_t probe_seed(std::uint64_t seed, std::uint64_t fn_hash, std::size_t arg,
+                                       TestTypeId id, std::size_t case_index) noexcept {
+  std::uint64_t h = mix64(seed ^ fn_hash);
+  h = mix64(h ^ (static_cast<std::uint64_t>(arg) << 40) ^
+            (static_cast<std::uint64_t>(id) << 20) ^ static_cast<std::uint64_t>(case_index));
+  return h;
+}
+
+}  // namespace
+
+// A worker's private probe environment: one fully loaded process plus the
+// snapshot of its pristine post-load state (when snapshot_reset is on).
+struct FaultInjector::Testbed {
+  Testbed(std::string name, mem::MachineConfig config) : process(std::move(name), config) {}
+
+  linker::Process process;
+  std::optional<linker::Process::Snapshot> snapshot;
+};
+
+FaultInjector::FaultInjector(const linker::LibraryCatalog& catalog, InjectorConfig config)
+    : catalog_(catalog), config_(config) {}
+
+FaultInjector::~FaultInjector() = default;
+
+const FaultInjector::PageEntry& FaultInjector::page_for(const simlib::SharedLibrary& lib,
+                                                        const simlib::Symbol& symbol) {
+  std::lock_guard lock(pages_mutex_);
+  auto [it, inserted] = pages_.try_emplace(lib.soname() + ':' + symbol.name);
+  if (inserted) {
+    auto parsed = parser::parse_manpage(symbol.manpage);
+    if (parsed.ok()) {
+      it->second.ok = true;
+      it->second.page = std::move(parsed).take();
+    } else {
+      it->second.error = parsed.error().message;
+    }
+  }
+  return it->second;
+}
+
+std::unique_ptr<FaultInjector::Testbed> FaultInjector::make_testbed(bool take_snapshot) const {
   mem::MachineConfig machine_config;
   machine_config.heap_size = config_.testbed_heap;
   machine_config.stack_size = config_.testbed_stack;
   machine_config.step_budget = config_.probe_step_budget;
-  linker::Process process("probe:" + page.proto.name, machine_config);
+  auto bed = std::make_unique<Testbed>("probe-testbed", machine_config);
   // Testbed environment: pending console input so stdin-consuming functions
   // (gets) do real work during probes.
-  process.state().stdin_content = "a line of console input for the probe\n";
+  bed->process.state().stdin_content = "a line of console input for the probe\n";
   for (const std::string& soname : catalog_.sonames()) {
-    process.load_library(catalog_.find(soname));
+    bed->process.load_library(catalog_.find(soname));
   }
+  if (take_snapshot) bed->snapshot = bed->process.snapshot();
+  return bed;
+}
+
+CallOutcome FaultInjector::run_probe(std::unique_ptr<Testbed>& bed,
+                                     const simlib::SharedLibrary& lib, const ProbeTask& task,
+                                     std::size_t case_index, std::int64_t* injected_int) {
+  // One probe = one pristine process, as the paper forked one child per
+  // probe. snapshot_reset rewinds the worker's testbed to its post-load
+  // state — bit-identical to a fresh build, because the restore also rewinds
+  // the address-space allocation cursor — instead of rebuilding from scratch.
+  if (config_.snapshot_reset) {
+    if (bed == nullptr) {
+      bed = make_testbed(true);
+    } else {
+      bed->process.restore(*bed->snapshot);
+    }
+  } else {
+    bed = make_testbed(false);
+  }
+  linker::Process& process = bed->process;
+  const parser::ManPage& page = *task.page;
+
+  CallOutcome not_run;
+  not_run.kind = CallOutcome::Kind::kNotRun;
   if (!lib.defines(page.proto.name)) {
     // Caller verified; belt and braces.
-    case_existed = false;
-    return CallOutcome{};
+    not_run.detail = "symbol " + page.proto.name + " not defined";
+    return not_run;
   }
 
-  lattice::ValueFactory factory(process, rng_);
-  const std::vector<lattice::TestCase> cases = factory.cases_of(id, config_.variants);
+  Rng rng(probe_seed(config_.seed, task.fn_hash, task.arg_index, task.id, case_index));
+  lattice::ValueFactory factory(process, rng);
+  const std::vector<lattice::TestCase> cases = factory.cases_of(task.id, config_.variants);
   if (case_index >= cases.size()) {
-    case_existed = false;
-    return CallOutcome{};
+    not_run.detail = "no test case " + std::to_string(case_index);
+    return not_run;
   }
-  case_existed = true;
 
   std::vector<simlib::SimValue> args;
   args.reserve(page.proto.params.size());
   for (std::size_t j = 0; j < page.proto.params.size(); ++j) {
-    if (j == inject_index_0based) {
+    if (j == task.arg_index) {
       args.push_back(cases[case_index].value);
     } else {
       args.push_back(factory.safe_value(page, static_cast<int>(j) + 1));
     }
   }
-  ++probes_executed_;
+  if (injected_int != nullptr) *injected_int = cases[case_index].value.as_int();
+  probes_executed_.fetch_add(1, std::memory_order_relaxed);
   return process.supervised_call(page.proto.name, std::move(args));
+}
+
+FaultInjector::TaskOutput FaultInjector::run_task(std::unique_ptr<Testbed>& bed,
+                                                  const simlib::SharedLibrary& lib,
+                                                  const ProbeTask& task) {
+  TaskOutput out;
+  out.verdict.id = task.id;
+  const bool integral =
+      task.page->proto.params[task.arg_index].type.classify() == parser::TypeClass::kIntegral;
+  for (std::size_t case_index = 0;; ++case_index) {
+    std::int64_t injected = 0;
+    const CallOutcome outcome =
+        run_probe(bed, lib, task, case_index, integral ? &injected : nullptr);
+    if (outcome.kind == CallOutcome::Kind::kNotRun) break;
+    ++out.verdict.probes;
+    if (integral) out.int_values.push_back(injected);
+    if (outcome.robustness_failure()) {
+      ++out.verdict.failures;
+      switch (outcome.kind) {
+        case CallOutcome::Kind::kCrash:
+        case CallOutcome::Kind::kHijack:
+          ++out.verdict.crashes;
+          break;
+        case CallOutcome::Kind::kHang:
+          ++out.verdict.hangs;
+          break;
+        case CallOutcome::Kind::kAbort:
+          ++out.verdict.aborts;
+          break;
+        default:
+          break;
+      }
+      if (out.verdict.first_failure.empty()) out.verdict.first_failure = outcome.detail;
+    }
+  }
+  return out;
+}
+
+std::vector<FaultInjector::TaskOutput> FaultInjector::execute(const simlib::SharedLibrary& lib,
+                                                              const std::vector<ProbeTask>& tasks) {
+  const unsigned jobs = config_.jobs <= 0 ? support::ThreadPool::hardware_workers()
+                                          : static_cast<unsigned>(config_.jobs);
+  std::vector<TaskOutput> outputs(tasks.size());
+  if (jobs <= 1) {
+    // Sequential: one testbed, no pool, no locking.
+    std::unique_ptr<Testbed> bed;
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      outputs[i] = run_task(bed, lib, tasks[i]);
+    }
+    return outputs;
+  }
+  if (pool_ == nullptr || pool_->workers() != jobs) {
+    pool_ = std::make_unique<support::ThreadPool>(jobs);
+  }
+  std::vector<std::unique_ptr<Testbed>> beds(jobs);  // lazily built, one per worker
+  std::vector<support::ThreadPool::Task> pool_tasks;
+  pool_tasks.reserve(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    pool_tasks.push_back([this, &lib, &tasks, &outputs, &beds, i](unsigned worker) {
+      outputs[i] = run_task(beds[worker], lib, tasks[i]);
+    });
+  }
+  pool_->run(std::move(pool_tasks));
+  return outputs;
+}
+
+std::vector<RobustSpec> FaultInjector::build_specs(
+    const simlib::SharedLibrary& lib,
+    const std::vector<std::pair<const simlib::Symbol*, const parser::ManPage*>>& functions) {
+  // Phase 1: enumerate every probe coordinate up front, in canonical order.
+  std::vector<RobustSpec> specs;
+  specs.reserve(functions.size());
+  std::vector<ProbeTask> tasks;
+  for (std::size_t s = 0; s < functions.size(); ++s) {
+    const auto& [symbol, page] = functions[s];
+    RobustSpec spec;
+    spec.function = page->proto.name;
+    spec.library = lib.soname();
+    spec.declaration = symbol->declaration;
+    spec.skipped_noreturn = page->noreturn;
+    specs.push_back(std::move(spec));
+    if (page->noreturn) continue;
+    const std::uint64_t fn_hash = fnv1a(page->proto.name);
+    for (std::size_t i = 0; i < page->proto.params.size(); ++i) {
+      for (const TestTypeId id : lattice::test_types_for(page->proto.params[i].type.classify())) {
+        tasks.push_back(ProbeTask{page, fn_hash, s, i, id});
+      }
+    }
+  }
+
+  // Phase 2: fan out.
+  const std::vector<TaskOutput> outputs = execute(lib, tasks);
+
+  // Phase 3: reduce in exactly the enumeration order — which worker ran a
+  // task cannot influence where its verdict lands or how counters fold.
+  std::size_t t = 0;
+  for (std::size_t s = 0; s < functions.size(); ++s) {
+    const parser::ManPage* page = functions[s].second;
+    RobustSpec& spec = specs[s];
+    if (page->noreturn) continue;
+    for (std::size_t i = 0; i < page->proto.params.size(); ++i) {
+      ArgSpec arg;
+      arg.index = static_cast<int>(i) + 1;
+      arg.ctype = page->proto.params[i].type.to_string();
+      arg.cls = page->proto.params[i].type.classify();
+      for (const TestTypeId id : lattice::test_types_for(arg.cls)) {
+        (void)id;
+        const TaskOutput& out = outputs[t++];
+        spec.total_probes += out.verdict.probes;
+        spec.total_failures += out.verdict.failures;
+        spec.crashes += out.verdict.crashes;
+        spec.hangs += out.verdict.hangs;
+        spec.aborts += out.verdict.aborts;
+        // The integral probe values that passed: the weakest safe range is
+        // derived from them when the annotation gives no domain. These are
+        // the values actually injected, recorded by the task itself.
+        if (arg.cls == parser::TypeClass::kIntegral && out.verdict.failures == 0) {
+          arg.passing_int_values.insert(arg.passing_int_values.end(), out.int_values.begin(),
+                                        out.int_values.end());
+        }
+        arg.verdicts.push_back(out.verdict);
+      }
+      arg.checks = derive_checks(arg, page->arg(arg.index));
+      spec.args.push_back(std::move(arg));
+    }
+  }
+  return specs;
 }
 
 DerivedChecks derive_checks(const ArgSpec& arg, const parser::ArgAnnotation* note) {
@@ -118,84 +330,12 @@ Result<RobustSpec> FaultInjector::probe_function(const simlib::SharedLibrary& li
   if (symbol == nullptr) {
     return Error("probe_function: " + lib.soname() + " does not define " + name);
   }
-  auto page_result = parser::parse_manpage(symbol->manpage);
-  if (!page_result.ok()) {
-    return Error("probe_function: man page of " + name + ": " + page_result.error().message);
+  const PageEntry& entry = page_for(lib, *symbol);
+  if (!entry.ok) {
+    return Error("probe_function: man page of " + name + ": " + entry.error);
   }
-  const parser::ManPage page = std::move(page_result).take();
-
-  RobustSpec spec;
-  spec.function = name;
-  spec.library = lib.soname();
-  spec.declaration = symbol->declaration;
-
-  if (page.noreturn) {
-    spec.skipped_noreturn = true;
-    return spec;
-  }
-
-  for (std::size_t i = 0; i < page.proto.params.size(); ++i) {
-    ArgSpec arg;
-    arg.index = static_cast<int>(i) + 1;
-    arg.ctype = page.proto.params[i].type.to_string();
-    arg.cls = page.proto.params[i].type.classify();
-
-    for (const TestTypeId id : lattice::test_types_for(arg.cls)) {
-      TypeVerdict verdict;
-      verdict.id = id;
-      for (std::size_t case_index = 0;; ++case_index) {
-        bool case_existed = false;
-        const CallOutcome outcome = run_probe(lib, page, i, id, case_index, case_existed);
-        if (!case_existed) break;
-        ++verdict.probes;
-        ++spec.total_probes;
-        if (outcome.robustness_failure()) {
-          ++verdict.failures;
-          ++spec.total_failures;
-          switch (outcome.kind) {
-            case CallOutcome::Kind::kCrash:
-            case CallOutcome::Kind::kHijack:
-              ++verdict.crashes;
-              ++spec.crashes;
-              break;
-            case CallOutcome::Kind::kHang:
-              ++verdict.hangs;
-              ++spec.hangs;
-              break;
-            case CallOutcome::Kind::kAbort:
-              ++verdict.aborts;
-              ++spec.aborts;
-              break;
-            default:
-              break;
-          }
-          if (verdict.first_failure.empty()) verdict.first_failure = outcome.detail;
-        }
-      }
-      arg.verdicts.push_back(std::move(verdict));
-    }
-
-    // Collect the integral probe values that passed: the weakest safe range
-    // is derived from them when the annotation gives no domain. Integral
-    // test cases are process-independent, so one scratch factory suffices.
-    if (arg.cls == parser::TypeClass::kIntegral) {
-      arg.passing_int_values.clear();
-      linker::Process scratch_proc("values:" + name);
-      Rng scratch_rng(config_.seed);
-      lattice::ValueFactory factory(scratch_proc, scratch_rng);
-      for (const TypeVerdict& v : arg.verdicts) {
-        if (v.failures > 0) continue;
-        for (const lattice::TestCase& test : factory.cases_of(v.id, config_.variants)) {
-          arg.passing_int_values.push_back(test.value.as_int());
-        }
-      }
-    }
-
-    arg.checks = derive_checks(arg, page.arg(arg.index));
-    spec.args.push_back(std::move(arg));
-  }
-
-  return spec;
+  std::vector<RobustSpec> specs = build_specs(lib, {{symbol, &entry.page}});
+  return std::move(specs.front());
 }
 
 Result<CampaignResult> FaultInjector::run_campaign(
@@ -203,12 +343,22 @@ Result<CampaignResult> FaultInjector::run_campaign(
   CampaignResult result;
   result.library = lib.soname();
   result.seed = config_.seed;
+  // Prescan: parse (and memoize) every man page before fanning out, so parse
+  // failures surface deterministically and workers never touch the cache.
+  std::vector<std::pair<const simlib::Symbol*, const parser::ManPage*>> functions;
   for (const std::string& name : lib.names()) {
     if (progress) progress(name);
-    auto spec = probe_function(lib, name);
-    if (!spec.ok()) return spec.error();
-    result.specs.push_back(std::move(spec).take());
+    const simlib::Symbol* symbol = lib.find(name);
+    if (symbol == nullptr) {
+      return Error("probe_function: " + lib.soname() + " does not define " + name);
+    }
+    const PageEntry& entry = page_for(lib, *symbol);
+    if (!entry.ok) {
+      return Error("probe_function: man page of " + name + ": " + entry.error);
+    }
+    functions.emplace_back(symbol, &entry.page);
   }
+  result.specs = build_specs(lib, functions);
   return result;
 }
 

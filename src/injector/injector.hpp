@@ -1,21 +1,46 @@
-// The automated fault-injection driver (paper §2.2, Fig 2).
+// The automated fault-injection campaign engine (paper §2.2, Fig 2).
 //
 // For each function in a library the driver parses its man page (prototype
-// + semantic hints), then probes every argument with every test type of its
-// class: each probe runs in a FRESH simulated process (the analogue of the
-// paper's one-child-per-probe driver) with the remaining arguments held at
-// their safest values, under a reduced step budget (the watchdog timeout).
-// Outcomes are reaped into TypeVerdicts and folded into DerivedChecks —
-// the robust API the wrapper generator consumes.
+// + semantic hints, memoized per campaign), then probes every argument with
+// every test type of its class: each probe runs in a FRESH simulated process
+// (the analogue of the paper's one-child-per-probe driver) with the
+// remaining arguments held at their safest values, under a reduced step
+// budget (the watchdog timeout). Outcomes are reaped into TypeVerdicts and
+// folded into DerivedChecks — the robust API the wrapper generator consumes.
+//
+// The paper notes every probe is an independent child process, i.e. the
+// campaign is embarrassingly parallel. This engine exploits that:
+//
+//   1. all probe coordinates (function, argument, test type) are enumerated
+//      up front in canonical order,
+//   2. they fan out over a small work-stealing thread pool (config.jobs),
+//   3. each worker owns ONE fully loaded testbed process and, instead of
+//      rebuilding it per probe, restores a snapshot of the post-load state
+//      between probes (config.snapshot_reset; see linker::Process::snapshot).
+//
+// Determinism guarantee: results are bit-identical for every jobs value and
+// either reset mode. Each probe seeds its own Rng from
+// mix(seed, hash(function), arg, test type, case) — no shared mutable RNG —
+// and verdicts are reduced in canonical probe-coordinate order after the
+// fan-out, so scheduling cannot influence a single byte of the output.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 
 #include "injector/robust_spec.hpp"
 #include "linker/executable.hpp"
+#include "parser/manpage.hpp"
 #include "support/result.hpp"
+
+namespace healers::support {
+class ThreadPool;
+}
 
 namespace healers::injector {
 
@@ -25,6 +50,11 @@ struct InjectorConfig {
   std::uint64_t probe_step_budget = 2'000'000;  // watchdog per probe
   std::uint64_t testbed_heap = 256 << 10;
   std::uint64_t testbed_stack = 64 << 10;
+  // Campaign-engine knobs. Neither affects results (see the determinism
+  // guarantee above) — only how fast the campaign runs.
+  int jobs = 1;                // worker threads; 0 = hardware concurrency
+  bool snapshot_reset = true;  // restore a per-worker snapshot between probes
+                               // (false: rebuild a fresh process per probe)
 };
 
 class FaultInjector {
@@ -32,6 +62,10 @@ class FaultInjector {
   // The catalog supplies the testbed environment: every probe process loads
   // all catalog libraries so safe values (e.g. a live FILE*) can be built.
   FaultInjector(const linker::LibraryCatalog& catalog, InjectorConfig config = {});
+  ~FaultInjector();
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
 
   // Probes one function of `lib`. Fails when the man page cannot be parsed
   // or the symbol does not exist.
@@ -40,25 +74,73 @@ class FaultInjector {
 
   // Probes every function in the library (Fig 2's full pipeline). Functions
   // marked NORETURN are recorded but not probed. `progress`, when set, is
-  // called with each function name before probing.
+  // called with each function name (in order) as the campaign is enumerated.
   [[nodiscard]] Result<CampaignResult> run_campaign(
       const simlib::SharedLibrary& lib,
       const std::function<void(const std::string&)>& progress = {});
 
   // Probes actually executed so far (across calls) — for throughput benches.
-  [[nodiscard]] std::uint64_t probes_executed() const noexcept { return probes_executed_; }
+  // Relaxed atomic: workers bump it concurrently during a campaign.
+  [[nodiscard]] std::uint64_t probes_executed() const noexcept {
+    return probes_executed_.load(std::memory_order_relaxed);
+  }
 
  private:
-  [[nodiscard]] linker::CallOutcome run_probe(const simlib::SharedLibrary& lib,
-                                              const parser::ManPage& page,
-                                              std::size_t inject_index_0based,
-                                              lattice::TestTypeId id, std::size_t case_index,
-                                              bool& case_existed);
+  // A memoized man page: parsed once per (library, function) per injector,
+  // not once per probe_function call.
+  struct PageEntry {
+    bool ok = false;
+    parser::ManPage page;
+    std::string error;
+  };
+  // One probe coordinate at (function, argument, test-type) granularity; the
+  // test cases of the type are enumerated inside the task.
+  struct ProbeTask {
+    const parser::ManPage* page = nullptr;
+    std::uint64_t fn_hash = 0;
+    std::size_t spec_index = 0;
+    std::size_t arg_index = 0;  // 0-based
+    lattice::TestTypeId id = lattice::TestTypeId::kNull;
+  };
+  struct TaskOutput {
+    TypeVerdict verdict;
+    // Injected values of integral probes, in case order — the raw material
+    // for range derivation when every case of the type passed.
+    std::vector<std::int64_t> int_values;
+  };
+  struct Testbed;
+
+  const PageEntry& page_for(const simlib::SharedLibrary& lib, const simlib::Symbol& symbol);
+
+  [[nodiscard]] std::unique_ptr<Testbed> make_testbed(bool take_snapshot) const;
+
+  // One probe = one process reset + one supervised call. Returns a kNotRun
+  // outcome (never folded into statistics) when case_index has no test case
+  // or the symbol vanished.
+  [[nodiscard]] linker::CallOutcome run_probe(std::unique_ptr<Testbed>& bed,
+                                              const simlib::SharedLibrary& lib,
+                                              const ProbeTask& task, std::size_t case_index,
+                                              std::int64_t* injected_int);
+  [[nodiscard]] TaskOutput run_task(std::unique_ptr<Testbed>& bed,
+                                    const simlib::SharedLibrary& lib, const ProbeTask& task);
+  // Fans the tasks out over the pool (inline when jobs == 1) and returns
+  // outputs indexed like `tasks` — the canonical reduction order.
+  [[nodiscard]] std::vector<TaskOutput> execute(const simlib::SharedLibrary& lib,
+                                                const std::vector<ProbeTask>& tasks);
+  // Builds the specs for `pages` (one per function, campaign order) by
+  // enumerating coordinates, executing, and reducing canonically.
+  [[nodiscard]] std::vector<RobustSpec> build_specs(
+      const simlib::SharedLibrary& lib,
+      const std::vector<std::pair<const simlib::Symbol*, const parser::ManPage*>>& functions);
 
   const linker::LibraryCatalog& catalog_;
   InjectorConfig config_;
-  Rng rng_;
-  std::uint64_t probes_executed_ = 0;
+  std::atomic<std::uint64_t> probes_executed_{0};
+
+  std::mutex pages_mutex_;
+  std::map<std::string, PageEntry> pages_;  // node-stable; keyed soname:function
+
+  std::unique_ptr<support::ThreadPool> pool_;  // created on first parallel run
 };
 
 // Derives the wrapper-enforceable checks from an argument's verdicts (and

@@ -18,6 +18,8 @@ std::string CallOutcome::to_string() const {
       return "exit " + std::to_string(exit_code);
     case Kind::kHijack:
       return "HIJACKED: " + detail;
+    case Kind::kNotRun:
+      return "not run: " + detail;
   }
   return "?";
 }
@@ -144,6 +146,27 @@ mem::Addr Process::scratch(std::uint64_t size, mem::Perm perm, const std::string
 
 mem::Addr Process::rodata_cstring(const std::string& text) {
   return machine_.intern_string(text);
+}
+
+Process::Snapshot Process::snapshot() {
+  Snapshot snap;
+  snap.machine = machine_.snapshot();
+  snap.state = state_.snapshot();
+  snap.calls_dispatched = calls_dispatched_;
+  snap.library_count = libraries_.size();
+  snap.preload_count = preloads_.size();
+  return snap;
+}
+
+void Process::restore(const Snapshot& snap) {
+  if (libraries_.size() < snap.library_count || preloads_.size() < snap.preload_count) {
+    throw std::logic_error("Process::restore: load set shrank since snapshot");
+  }
+  libraries_.resize(snap.library_count);
+  preloads_.resize(snap.preload_count);
+  machine_.restore(snap.machine);
+  state_.restore(snap.state);
+  calls_dispatched_ = snap.calls_dispatched;
 }
 
 mem::Addr Process::register_callback(const std::string& name, simlib::CFunction fn) {

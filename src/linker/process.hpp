@@ -34,6 +34,8 @@ struct CallOutcome {
     kAbort,     // SimAbort (library- or wrapper-initiated termination)
     kExit,      // orderly exit() (status in `exit_code`)
     kHijack,    // control flow left the program (successful exploit)
+    kNotRun,    // the probe never executed (no such test case / symbol gone);
+                // must never be folded into verdict statistics
   };
 
   Kind kind = Kind::kReturned;
@@ -106,6 +108,23 @@ class Process {
 
   // Number of calls dispatched through this process (all symbols).
   [[nodiscard]] std::uint64_t calls_dispatched() const noexcept { return calls_dispatched_; }
+
+  // --- snapshot / restore ---
+  // Captures machine + C-runtime state after the testbed is fully loaded;
+  // restore() rewinds both, giving the fault injector a fresh process
+  // without reconstructing and reloading it. The loaded-library and preload
+  // lists are NOT part of the snapshot: a restore requires the same load
+  // set that was present at snapshot time (checked).
+  struct Snapshot {
+    mem::Machine::Snapshot machine;
+    simlib::LibState state;
+    std::uint64_t calls_dispatched = 0;
+    std::size_t library_count = 0;
+    std::size_t preload_count = 0;
+  };
+  [[nodiscard]] Snapshot snapshot();
+  // Throws std::logic_error when the load set changed since the snapshot.
+  void restore(const Snapshot& snap);
 
  private:
   simlib::SimValue dispatch(const std::string& symbol, simlib::CallContext& ctx,

@@ -1,5 +1,6 @@
 #include "memmodel/addr_space.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <stdexcept>
 
@@ -107,6 +108,7 @@ std::uint8_t AddressSpace::load8(Addr addr) const {
 
 void AddressSpace::store8(Addr addr, std::uint8_t value) {
   Region& region = checked_mut(addr, 1, Perm::kWrite);
+  region.mark_dirty(addr - region.base, 1);
   region.bytes[addr - region.base] = std::byte{value};
 }
 
@@ -122,6 +124,7 @@ std::uint64_t AddressSpace::load64(Addr addr) const {
 
 void AddressSpace::store64(Addr addr, std::uint64_t value) {
   Region& region = checked_mut(addr, 8, Perm::kWrite);
+  region.mark_dirty(addr - region.base, 8);
   const std::size_t off = addr - region.base;
   for (std::size_t i = 0; i < 8; ++i) {
     region.bytes[off + i] = std::byte{static_cast<std::uint8_t>(value >> (8 * i))};
@@ -139,6 +142,7 @@ std::vector<std::byte> AddressSpace::read_bytes(Addr addr, std::uint64_t len) co
 void AddressSpace::write_bytes(Addr addr, const std::byte* data, std::uint64_t len) {
   if (len == 0) return;
   Region& region = checked_mut(addr, len, Perm::kWrite);
+  region.mark_dirty(addr - region.base, len);
   std::memcpy(region.bytes.data() + (addr - region.base), data, len);
 }
 
@@ -162,6 +166,45 @@ void AddressSpace::write_cstring(Addr addr, std::string_view text) {
 void AddressSpace::check(Addr addr, std::uint64_t len, Perm want) const {
   if (len == 0) return;
   (void)checked(addr, len, want);
+}
+
+AddressSpace::Snapshot AddressSpace::snapshot() {
+  Snapshot snap;
+  snap.regions.reserve(regions_.size());
+  for (auto& [base, region] : regions_) {
+    region.mark_clean();
+    snap.regions.push_back(region);  // already clean, bytes copied
+  }
+  snap.next_base = next_base_;
+  return snap;
+}
+
+void AddressSpace::restore(const Snapshot& snap) {
+  // Both sequences are sorted by base: merge-walk them, unmapping regions
+  // absent from the snapshot and copying back only dirty byte ranges.
+  auto live = regions_.begin();
+  for (const Region& saved : snap.regions) {
+    while (live != regions_.end() && live->first < saved.base) {
+      live = regions_.erase(live);  // mapped after the snapshot
+    }
+    if (live == regions_.end() || live->first != saved.base) {
+      // Unmapped since the snapshot: bring the saved copy back whole.
+      live = regions_.emplace_hint(live, saved.base, saved);
+      ++live;
+      continue;
+    }
+    Region& region = live->second;
+    region.perm = saved.perm;
+    if (region.dirty()) {
+      const std::uint64_t lo = region.dirty_lo;
+      const std::uint64_t hi = std::min<std::uint64_t>(region.dirty_hi, region.size);
+      std::memcpy(region.bytes.data() + lo, saved.bytes.data() + lo, hi - lo);
+      region.mark_clean();
+    }
+    ++live;
+  }
+  while (live != regions_.end()) live = regions_.erase(live);
+  next_base_ = snap.next_base;
 }
 
 bool AddressSpace::accessible(Addr addr, std::uint64_t len, Perm want) const noexcept {

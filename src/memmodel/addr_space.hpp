@@ -53,11 +53,25 @@ struct Region {
   RegionKind kind = RegionKind::kScratch;
   std::string label;
   std::vector<std::byte> bytes;
+  // Half-open byte range written since the last snapshot()/restore(); lets a
+  // restore copy back only what a probe actually touched. Clean when
+  // dirty_lo >= dirty_hi.
+  std::uint64_t dirty_lo = ~std::uint64_t{0};
+  std::uint64_t dirty_hi = 0;
 
   [[nodiscard]] bool contains(Addr addr) const noexcept {
     return addr >= base && addr - base < size;
   }
   [[nodiscard]] Addr end() const noexcept { return base + size; }
+  [[nodiscard]] bool dirty() const noexcept { return dirty_lo < dirty_hi; }
+  void mark_dirty(std::uint64_t off, std::uint64_t len) noexcept {
+    if (off < dirty_lo) dirty_lo = off;
+    if (off + len > dirty_hi) dirty_hi = off + len;
+  }
+  void mark_clean() noexcept {
+    dirty_lo = ~std::uint64_t{0};
+    dirty_hi = 0;
+  }
 };
 
 class AddressSpace {
@@ -113,6 +127,19 @@ class AddressSpace {
 
   // An address guaranteed unmapped forever (wild-pointer test value).
   [[nodiscard]] static constexpr Addr wild_pointer() noexcept { return 0xdeadbeef000ULL; }
+
+  // --- snapshot / restore (the fault injector's process-reset primitive) ---
+  // A snapshot captures every region (metadata + bytes) and the bump
+  // allocator cursor. Taking a snapshot resets the dirty tracking, so a
+  // space supports ONE active snapshot at a time: restore() copies back only
+  // the byte ranges written since that snapshot (or since the last restore),
+  // unmaps regions mapped after it, and remaps regions unmapped since.
+  struct Snapshot {
+    std::vector<Region> regions;  // sorted by base
+    Addr next_base = 0;
+  };
+  [[nodiscard]] Snapshot snapshot();
+  void restore(const Snapshot& snap);
 
  private:
   // Throws AccessFault unless [addr, addr+len) lies in one region with perm.

@@ -86,6 +86,21 @@ class Heap {
   // True iff `user` is the user address of a live (in-use) chunk.
   [[nodiscard]] bool is_live(Addr user) const noexcept;
 
+  // Allocator bookkeeping snapshot. The chunk headers and free list live in
+  // simulated memory, so a heap restore only makes sense together with an
+  // AddressSpace restore covering the arena (Machine::restore does both).
+  struct Snapshot {
+    HeapStats stats;
+    bool safe_unlink = false;
+  };
+  [[nodiscard]] Snapshot snapshot() const {
+    return Snapshot{stats_, safe_unlink_};
+  }
+  void restore(const Snapshot& snap) noexcept {
+    stats_ = snap.stats;
+    safe_unlink_ = snap.safe_unlink;
+  }
+
   [[nodiscard]] const HeapStats& stats() const noexcept { return stats_; }
   [[nodiscard]] Addr arena_base() const noexcept { return arena_base_; }
   [[nodiscard]] std::uint64_t arena_size() const noexcept { return arena_size_; }

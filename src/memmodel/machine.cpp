@@ -45,8 +45,10 @@ Addr Machine::intern_string(const std::string& text) {
   }
   const Addr addr = rodata_base_ + rodata_used_;
   // rodata is mapped read-only; write through the region directly (this is
-  // the loader populating the segment, not simulated program code).
+  // the loader populating the segment, not simulated program code). Mark the
+  // bytes dirty by hand since the store API is bypassed.
   Region* region = space_.find(addr);
+  region->mark_dirty(addr - region->base, need);
   for (std::size_t i = 0; i < text.size(); ++i) {
     region->bytes[addr - region->base + i] = std::byte{static_cast<std::uint8_t>(text[i])};
   }
@@ -103,6 +105,46 @@ std::string Machine::call_through_got(const std::string& name) {
   }
   throw ControlFlowHijack("indirect call through GOT slot '" + name + "' jumped to 0x" +
                           std::to_string(target) + " (not program code)");
+}
+
+Machine::Snapshot Machine::snapshot() {
+  Snapshot snap;
+  snap.space = space_.snapshot();
+  snap.heap = heap_->snapshot();
+  snap.stack = stack_->snapshot();
+  snap.config = config_;
+  snap.steps = steps_;
+  snap.cycles = cycles_;
+  snap.err = errno_;
+  snap.rodata_used = rodata_used_;
+  snap.interned = interned_;
+  snap.text_next = text_next_;
+  snap.code_by_name = code_by_name_;
+  snap.name_by_code = name_by_code_;
+  snap.got_next = got_next_;
+  snap.got_slots = got_slots_;
+  return snap;
+}
+
+void Machine::restore(const Snapshot& snap) {
+  space_.restore(snap.space);
+  heap_->restore(snap.heap);
+  stack_->restore(snap.stack);
+  config_ = snap.config;
+  steps_ = snap.steps;
+  cycles_ = snap.cycles;
+  errno_ = snap.err;
+  rodata_used_ = snap.rodata_used;
+  text_next_ = snap.text_next;
+  got_next_ = snap.got_next;
+  // The loader tables only ever grow (no API removes an entry), so an equal
+  // size means an identical table — skip the copy on the hot reset path.
+  if (interned_.size() != snap.interned.size()) interned_ = snap.interned;
+  if (code_by_name_.size() != snap.code_by_name.size()) {
+    code_by_name_ = snap.code_by_name;
+    name_by_code_ = snap.name_by_code;
+  }
+  if (got_slots_.size() != snap.got_slots.size()) got_slots_ = snap.got_slots;
 }
 
 }  // namespace healers::mem

@@ -90,6 +90,31 @@ class Machine {
   // ControlFlowHijack when the slot was overwritten with a non-code value.
   std::string call_through_got(const std::string& name);
 
+  // --- snapshot / restore --------------------------------------------------
+  // Captures the whole machine: address-space contents, heap/stack
+  // bookkeeping, step/cycle/errno cells, and the rodata/text/GOT loader
+  // tables. restore() rewinds to exactly that state; the fault injector uses
+  // it to reset a fully-loaded testbed between probes instead of rebuilding
+  // the process. One active snapshot per machine (see AddressSpace).
+  struct Snapshot {
+    AddressSpace::Snapshot space;
+    Heap::Snapshot heap;
+    Stack::Snapshot stack;
+    MachineConfig config;
+    std::uint64_t steps = 0;
+    std::uint64_t cycles = 0;
+    int err = 0;
+    std::uint64_t rodata_used = 0;
+    std::unordered_map<std::string, Addr> interned;
+    std::uint64_t text_next = 0;
+    std::unordered_map<std::string, Addr> code_by_name;
+    std::unordered_map<Addr, std::string> name_by_code;
+    std::uint64_t got_next = 0;
+    std::unordered_map<std::string, Addr> got_slots;
+  };
+  [[nodiscard]] Snapshot snapshot();
+  void restore(const Snapshot& snap);
+
  private:
   MachineConfig config_;
   AddressSpace space_;

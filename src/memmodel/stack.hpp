@@ -69,6 +69,18 @@ class Stack {
   // wrapper to bound writes through stack pointers.
   [[nodiscard]] const Frame* frame_of(Addr addr) const noexcept;
 
+  // Frame bookkeeping snapshot; stack bytes themselves live in the address
+  // space (Machine::restore pairs the two).
+  struct Snapshot {
+    std::vector<Frame> frames;
+    Addr sp = 0;
+  };
+  [[nodiscard]] Snapshot snapshot() const { return Snapshot{frames_, sp_}; }
+  void restore(const Snapshot& snap) {
+    frames_ = snap.frames;
+    sp_ = snap.sp;
+  }
+
   [[nodiscard]] Addr region_base() const noexcept { return region_base_; }
   [[nodiscard]] std::uint64_t region_size() const noexcept { return region_size_; }
 

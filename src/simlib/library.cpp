@@ -23,6 +23,26 @@ std::vector<std::string> SharedLibrary::names() const {
   return out;
 }
 
+std::uint64_t SharedLibrary::fingerprint() const noexcept {
+  std::uint64_t hash = 1469598103934665603ULL;
+  const auto fold = [&hash](const std::string& text) {
+    for (const unsigned char c : text) {
+      hash ^= c;
+      hash *= 1099511628211ULL;
+    }
+    hash ^= 0xff;  // field separator: "ab"+"c" and "a"+"bc" hash differently
+    hash *= 1099511628211ULL;
+  };
+  fold(soname_);
+  fold(version_);
+  for (const auto& [name, symbol] : symbols_) {
+    fold(name);
+    fold(symbol.declaration);
+    fold(symbol.manpage);
+  }
+  return hash;
+}
+
 std::string SharedLibrary::header_text() const {
   std::string out = "/* " + soname_ + " " + version_ + " */\n";
   for (const auto& [_, symbol] : symbols_) {

@@ -12,6 +12,7 @@
 // headers and man pages.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -49,6 +50,12 @@ class SharedLibrary {
 
   // Concatenated declarations, parseable as a C header by src/parser.
   [[nodiscard]] std::string header_text() const;
+
+  // Content fingerprint (FNV-1a over soname, version, and every symbol's
+  // name, declaration and man page). Campaign results are a pure function
+  // of the library content it hashes — the toolkit keys its derive cache on
+  // it so an updated library never serves stale specs.
+  [[nodiscard]] std::uint64_t fingerprint() const noexcept;
 
  private:
   std::string soname_;

@@ -1,8 +1,9 @@
 // Per-process state of the simulated C runtime: the in-memory filesystem and
 // open-file table behind the stdio subset, strtok's hidden cursor, the
 // rand() state, and the environment block. One LibState lives in each
-// simulated process (linker::Process); the fault injector snapshots nothing
-// here — it simply builds a fresh process per probe.
+// simulated process (linker::Process); the fault injector's campaign engine
+// snapshots it (together with the machine) to reset a testbed between
+// probes.
 #pragma once
 
 #include <cstdint>
@@ -92,6 +93,13 @@ class LibState {
   // Allocates (or reuses) an open-file slot; nullopt when kMaxOpenFiles
   // streams are already open (fopen then fails with EMFILE).
   std::optional<std::size_t> allocate_slot();
+
+  // --- snapshot / restore ---
+  // The whole C-runtime state is value-copyable; a snapshot is simply a
+  // copy, and restore assigns it back (simulated addresses stay valid
+  // because Machine::restore rewinds the address space in lockstep).
+  [[nodiscard]] LibState snapshot() const { return *this; }
+  void restore(const LibState& snap) { *this = snap; }
 };
 
 }  // namespace healers::simlib

@@ -1,0 +1,98 @@
+#include "support/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace healers::support {
+
+ThreadPool::ThreadPool(unsigned workers) {
+  workers = std::max(1u, workers);
+  deques_.resize(workers);
+  threads_.reserve(workers - 1);
+  for (unsigned i = 1; i < workers; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& thread : threads_) thread.join();
+}
+
+unsigned ThreadPool::hardware_workers() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+bool ThreadPool::run_one(unsigned self) {
+  Task task;
+  {
+    std::lock_guard lock(mutex_);
+    std::deque<Task>& own = deques_[self];
+    if (!own.empty()) {
+      task = std::move(own.front());
+      own.pop_front();
+    } else {
+      // Steal from the back of a sibling — the opposite end from the owner's
+      // pops, so long runs of tasks migrate in chunks, not one by one.
+      const unsigned count = workers();
+      for (unsigned offset = 1; offset < count && !task; ++offset) {
+        std::deque<Task>& victim = deques_[(self + offset) % count];
+        if (victim.empty()) continue;
+        task = std::move(victim.back());
+        victim.pop_back();
+      }
+    }
+    if (!task) return false;
+  }
+  task(self);
+  {
+    std::lock_guard lock(mutex_);
+    --unfinished_;
+    if (unfinished_ == 0) wake_.notify_all();
+  }
+  return true;
+}
+
+void ThreadPool::worker_loop(unsigned self) {
+  for (;;) {
+    {
+      std::unique_lock lock(mutex_);
+      wake_.wait(lock, [this] {
+        if (stop_) return true;
+        for (const auto& deque : deques_) {
+          if (!deque.empty()) return true;
+        }
+        return false;
+      });
+      if (stop_) return;
+    }
+    while (run_one(self)) {
+    }
+  }
+}
+
+void ThreadPool::run(std::vector<Task> tasks) {
+  if (tasks.empty()) return;
+  if (threads_.empty()) {
+    // Single-worker pool: pure inline execution, no locking.
+    for (Task& task : tasks) task(0);
+    return;
+  }
+  {
+    std::lock_guard lock(mutex_);
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      deques_[i % deques_.size()].push_back(std::move(tasks[i]));
+    }
+    unfinished_ += tasks.size();
+  }
+  wake_.notify_all();
+  while (run_one(0)) {
+  }
+  std::unique_lock lock(mutex_);
+  wake_.wait(lock, [this] { return unfinished_ == 0; });
+}
+
+}  // namespace healers::support

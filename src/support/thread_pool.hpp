@@ -1,0 +1,61 @@
+// Small work-stealing thread pool for the fault-injection campaign engine.
+//
+// A pool of W workers owns W deques. Worker 0 is the CALLING thread: a pool
+// of one spawns no threads at all and run() degenerates to an inline loop,
+// so sequential configurations pay nothing for the abstraction. Each task
+// receives the index of the worker executing it, which callers use to bind
+// per-worker state (the injector's per-worker testbed processes).
+//
+// Scheduling: run() deals tasks round-robin across the deques; a worker pops
+// from the front of its own deque and, when empty, steals from the back of a
+// sibling's. Probe tasks vary in cost by an order of magnitude (one test
+// case vs. a dozen), so stealing — not static partitioning — is what keeps
+// the workers busy to the end of a campaign.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace healers::support {
+
+class ThreadPool {
+ public:
+  // A task, handed the index (0-based, < workers()) of its executing worker.
+  using Task = std::function<void(unsigned)>;
+
+  // `workers` >= 1, including the calling thread; spawns workers-1 threads.
+  explicit ThreadPool(unsigned workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned workers() const noexcept { return static_cast<unsigned>(deques_.size()); }
+
+  // Runs every task to completion before returning; the calling thread
+  // participates as worker 0. Not reentrant.
+  void run(std::vector<Task> tasks);
+
+  // Hardware concurrency, never 0.
+  [[nodiscard]] static unsigned hardware_workers();
+
+ private:
+  // Pops own front, else steals a sibling's back. False when nothing runnable.
+  bool run_one(unsigned self);
+  void worker_loop(unsigned self);
+
+  std::vector<std::deque<Task>> deques_;  // one per worker, guarded by mutex_
+  std::vector<std::thread> threads_;
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::size_t unfinished_ = 0;  // tasks dealt but not yet completed
+  bool stop_ = false;
+};
+
+}  // namespace healers::support

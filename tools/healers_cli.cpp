@@ -4,7 +4,7 @@
 //   healers list-libs
 //   healers list-functions <soname>
 //   healers decls <soname> [-o decls.xml]
-//   healers derive <soname> [--seed N] [--variants N] [-o campaign.xml]
+//   healers derive <soname> [--seed N] [--variants N] [--jobs N] [-o campaign.xml]
 //   healers report <campaign.xml>
 //   healers gen-source <soname> --type profiling|robustness|security|testing
 //                      [--campaign campaign.xml] [-o wrapper.c]
@@ -34,7 +34,9 @@ int usage() {
                "  list-libs\n"
                "  list-functions <soname>\n"
                "  decls <soname> [-o file]\n"
-               "  derive <soname> [--seed N] [--variants N] [-o file]\n"
+               "  derive <soname> [--seed N] [--variants N] [--jobs N] [-o file]\n"
+               "         (--jobs N probes on N worker threads, 0 = all cores;\n"
+               "          results are identical for every N)\n"
                "  report <campaign.xml>\n"
                "  gen-source <soname> --type profiling|robustness|security|testing\n"
                "             [--campaign file] [-o file]\n"
@@ -76,6 +78,7 @@ struct Options {
   std::string campaign_path;
   std::uint64_t seed = 2003;
   int variants = 1;
+  int jobs = 1;
 };
 
 Result<Options> parse_options(int argc, char** argv) {
@@ -106,6 +109,10 @@ Result<Options> parse_options(int argc, char** argv) {
       auto value = next();
       if (!value.ok()) return value.error();
       options.variants = std::stoi(value.value());
+    } else if (arg == "--jobs") {
+      auto value = next();
+      if (!value.ok()) return value.error();
+      options.jobs = std::stoi(value.value());
     } else if (!arg.empty() && arg[0] == '-') {
       return Error("unknown option " + arg);
     } else {
@@ -151,6 +158,7 @@ int cmd_derive(const core::Toolkit& toolkit, const Options& options) {
   injector::InjectorConfig config;
   config.seed = options.seed;
   config.variants = options.variants;
+  config.jobs = options.jobs;
   const auto campaign = toolkit.derive_robust_api(options.positional[0], config);
   if (!campaign.ok()) return fail(campaign.error().message);
   std::fprintf(stderr, "%llu probes, %llu failures in %zu functions\n",
