@@ -1,0 +1,177 @@
+// Experiment F6 — fleet telemetry ingest (ROADMAP: sharding, batching).
+//
+// Regenerates: a fleet of >= 8 simulated hosts emitting >= 10k profile
+// documents (mixed XML / binary wire encoding), ingested by the sharded
+// FleetCollector — then benchmarks ingest throughput (docs/sec) across
+// shard/worker configurations and the XML-vs-binary encode/decode cost.
+//
+// Expected shape: binary encode/decode is several times cheaper than the
+// XML round-trip (no parser), ingest scales with workers until decode cost
+// is amortized, and the rendered summary is identical for every config.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/toolkit.hpp"
+#include "fleet/collector.hpp"
+#include "fleet/simulator.hpp"
+#include "fleet/wire.hpp"
+#include "profile/report.hpp"
+#include "xml/xml.hpp"
+
+using namespace healers;
+
+namespace {
+
+constexpr unsigned kHosts = 8;
+constexpr unsigned kDocsPerHost = 1280;  // 8 x 1280 = 10240 documents
+
+const core::Toolkit& toolkit() {
+  static const core::Toolkit instance;
+  return instance;
+}
+
+// The shared fleet corpus: generated once, reused by every benchmark.
+const std::vector<std::string>& documents() {
+  static const std::vector<std::string> docs = [] {
+    fleet::SimulatorConfig config;
+    config.hosts = kHosts;
+    config.docs_per_host = kDocsPerHost;
+    config.jobs = 0;
+    return fleet::FleetSimulator(toolkit(), config).run();
+  }();
+  return docs;
+}
+
+// The corpus decoded, and re-encoded as all-XML / all-binary variants.
+const std::vector<profile::ProfileReport>& reports() {
+  static const std::vector<profile::ProfileReport> reps = [] {
+    std::vector<profile::ProfileReport> out;
+    out.reserve(documents().size());
+    for (const auto& doc : documents()) out.push_back(fleet::decode_document(doc).value());
+    return out;
+  }();
+  return reps;
+}
+
+const std::vector<std::string>& xml_documents() {
+  static const std::vector<std::string> docs = [] {
+    std::vector<std::string> out;
+    out.reserve(reports().size());
+    for (const auto& rep : reports()) out.push_back(xml::serialize(profile::to_xml(rep)));
+    return out;
+  }();
+  return docs;
+}
+
+const std::vector<std::string>& binary_documents() {
+  static const std::vector<std::string> docs = [] {
+    std::vector<std::string> out;
+    out.reserve(reports().size());
+    for (const auto& rep : reports()) out.push_back(fleet::encode_binary(rep));
+    return out;
+  }();
+  return docs;
+}
+
+std::size_t total_bytes(const std::vector<std::string>& docs) {
+  std::size_t bytes = 0;
+  for (const auto& doc : docs) bytes += doc.size();
+  return bytes;
+}
+
+void print_headline() {
+  std::printf("==== F6: fleet telemetry ingest ====\n\n");
+  const auto& docs = documents();
+  std::printf("fleet: %u hosts, %zu documents (%zu XML bytes vs %zu binary bytes)\n", kHosts,
+              docs.size(), total_bytes(xml_documents()), total_bytes(binary_documents()));
+  fleet::CollectorConfig config;
+  config.shards = 8;
+  config.workers = 0;
+  fleet::FleetCollector collector(config);
+  for (const auto& doc : docs) collector.submit(doc);
+  collector.flush();
+  std::printf("%s\n", collector.render_summary().c_str());
+}
+
+void BM_FleetIngest(benchmark::State& state) {
+  const auto& docs = documents();
+  fleet::CollectorConfig config;
+  config.shards = static_cast<unsigned>(state.range(0));
+  config.workers = static_cast<unsigned>(state.range(1));
+  config.queue_capacity = docs.size();  // throughput run: no shedding
+  for (auto _ : state) {
+    fleet::FleetCollector collector(config);
+    for (const auto& doc : docs) collector.submit(doc);
+    collector.flush();
+    benchmark::DoNotOptimize(collector.aggregated());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(docs.size()));
+  state.counters["documents"] = static_cast<double>(docs.size());
+  state.counters["hosts"] = kHosts;
+}
+
+void BM_EncodeXml(benchmark::State& state) {
+  for (auto _ : state) {
+    for (const auto& rep : reports()) {
+      benchmark::DoNotOptimize(xml::serialize(profile::to_xml(rep)).size());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(reports().size()));
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(total_bytes(xml_documents())));
+}
+
+void BM_EncodeBinary(benchmark::State& state) {
+  for (auto _ : state) {
+    for (const auto& rep : reports()) {
+      benchmark::DoNotOptimize(fleet::encode_binary(rep).size());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(reports().size()));
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(total_bytes(binary_documents())));
+}
+
+void BM_DecodeXml(benchmark::State& state) {
+  for (auto _ : state) {
+    for (const auto& doc : xml_documents()) {
+      benchmark::DoNotOptimize(fleet::decode_document(doc).ok());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(xml_documents().size()));
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(total_bytes(xml_documents())));
+}
+
+void BM_DecodeBinary(benchmark::State& state) {
+  for (auto _ : state) {
+    for (const auto& doc : binary_documents()) {
+      benchmark::DoNotOptimize(fleet::decode_document(doc).ok());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(binary_documents().size()));
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(total_bytes(binary_documents())));
+}
+
+}  // namespace
+
+BENCHMARK(BM_FleetIngest)
+    ->Unit(benchmark::kMillisecond)
+    ->Args({1, 1})
+    ->Args({4, 1})
+    ->Args({4, 4})
+    ->Args({8, 0});  // 0 = all cores
+BENCHMARK(BM_EncodeXml)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EncodeBinary)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DecodeXml)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DecodeBinary)->Unit(benchmark::kMillisecond);
+
+int main(int argc, char** argv) {
+  print_headline();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

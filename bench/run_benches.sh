@@ -1,15 +1,16 @@
-#!/bin/sh
-# Runs the Fig 2 campaign-engine benchmark and writes its google-benchmark
-# JSON to BENCH_fig2.json at the repo root (checked in so engine-throughput
-# regressions show up in review).
+#!/usr/bin/env bash
+# Runs the checked-in-JSON benchmarks and refreshes their outputs at the
+# repo root (committed so throughput regressions show up in review):
+#   BENCH_fig2.json  campaign-engine throughput (Fig 2)
+#   BENCH_f6.json    fleet telemetry ingest (docs/sec, XML vs binary codec)
 #
 # Usage: bench/run_benches.sh [build-dir]   (default: build)
-set -eu
+set -euo pipefail
 
 root="$(cd "$(dirname "$0")/.." && pwd)"
 build="${1:-$root/build}"
 
-cmake --build "$build" -j --target bench_fig2_robust_api
+cmake --build "$build" -j --target bench_fig2_robust_api bench_f6_fleet_ingest
 
 "$build/bench/bench_fig2_robust_api" \
   --benchmark_out="$root/BENCH_fig2.json" \
@@ -17,3 +18,10 @@ cmake --build "$build" -j --target bench_fig2_robust_api
   --benchmark_min_time=0.2
 
 echo "wrote $root/BENCH_fig2.json"
+
+"$build/bench/bench_f6_fleet_ingest" \
+  --benchmark_out="$root/BENCH_f6.json" \
+  --benchmark_out_format=json \
+  --benchmark_min_time=0.2
+
+echo "wrote $root/BENCH_f6.json"

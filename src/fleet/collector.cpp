@@ -1,0 +1,189 @@
+#include "fleet/collector.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <utility>
+
+#include "fleet/wire.hpp"
+#include "simlib/cerrno.hpp"
+#include "support/thread_pool.hpp"
+
+namespace healers::fleet {
+
+std::uint64_t fnv1a(std::string_view text) noexcept {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+FleetCollector::FleetCollector(CollectorConfig config) : config_(config) {
+  if (config_.shards == 0) config_.shards = 1;
+  if (config_.batch_size == 0) config_.batch_size = 1;
+  if (config_.queue_capacity == 0) config_.queue_capacity = 1;
+  for (unsigned i = 0; i < config_.shards; ++i) {
+    ingest_.push_back(std::make_unique<IngestShard>());
+    agg_.push_back(std::make_unique<AggShard>());
+  }
+}
+
+bool FleetCollector::submit(std::string payload) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t shard =
+      next_shard_.fetch_add(1, std::memory_order_relaxed) % ingest_.size();
+  IngestShard& target = *ingest_[shard];
+  std::lock_guard lock(target.mutex);
+  if (target.queue.size() >= config_.queue_capacity) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    if (config_.policy == OverflowPolicy::kDropNewest) return false;
+    target.queue.pop_front();  // kDropOldest: shed the head, admit the tail
+  }
+  target.queue.push_back(std::move(payload));
+  return true;
+}
+
+void FleetCollector::fold(const profile::ProfileReport& report) {
+  // One sketch sample per document; shard by process so merge order never
+  // depends on queue placement.
+  {
+    AggShard& shard = *agg_[fnv1a(report.process) % agg_.size()];
+    std::lock_guard lock(shard.mutex);
+    shard.sketch.add(report.total_cycles());
+  }
+  for (const profile::FunctionProfile& fn : report.functions) {
+    AggShard& shard = *agg_[fnv1a(fn.symbol) % agg_.size()];
+    std::lock_guard lock(shard.mutex);
+    profile::FunctionProfile& total = shard.functions[fn.symbol];
+    total.symbol = fn.symbol;
+    total.calls += fn.calls;
+    total.cycles += fn.cycles;
+    total.contained += fn.contained;
+    for (const auto& [err, count] : fn.errno_counts) total.errno_counts[err] += count;
+  }
+  for (const auto& [err, count] : report.global_errnos) {
+    AggShard& shard = *agg_[static_cast<std::uint64_t>(err) % agg_.size()];
+    std::lock_guard lock(shard.mutex);
+    shard.global_errnos[err] += count;
+  }
+  aggregated_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FleetCollector::flush() {
+  // Claim everything queued right now; later submits wait for the next flush.
+  std::vector<std::string> claimed;
+  for (auto& shard : ingest_) {
+    std::lock_guard lock(shard->mutex);
+    while (!shard->queue.empty()) {
+      claimed.push_back(std::move(shard->queue.front()));
+      shard->queue.pop_front();
+    }
+  }
+  if (claimed.empty()) return;
+
+  // One decode task per batch; the totals are commutative, so tasks fold
+  // directly into the aggregation shards under their mutexes.
+  std::vector<support::ThreadPool::Task> tasks;
+  const std::size_t batches =
+      (claimed.size() + config_.batch_size - 1) / config_.batch_size;
+  tasks.reserve(batches);
+  for (std::size_t b = 0; b < batches; ++b) {
+    const std::size_t begin = b * config_.batch_size;
+    const std::size_t end = std::min(claimed.size(), begin + config_.batch_size);
+    tasks.push_back([this, &claimed, begin, end](unsigned /*worker*/) {
+      for (std::size_t i = begin; i < end; ++i) {
+        auto report = decode_document(claimed[i]);
+        if (!report.ok()) {
+          malformed_.fetch_add(1, std::memory_order_relaxed);
+          std::lock_guard lock(error_mutex_);
+          if (first_error_.empty()) first_error_ = report.error().message;
+          continue;
+        }
+        fold(report.value());
+      }
+    });
+  }
+  const unsigned workers =
+      config_.workers == 0 ? support::ThreadPool::hardware_workers() : config_.workers;
+  support::ThreadPool pool(workers);
+  pool.run(std::move(tasks));
+}
+
+std::uint64_t FleetCollector::pending() const {
+  std::uint64_t n = 0;
+  for (const auto& shard : ingest_) {
+    std::lock_guard lock(shard->mutex);
+    n += shard->queue.size();
+  }
+  return n;
+}
+
+std::string FleetCollector::first_error() const {
+  std::lock_guard lock(error_mutex_);
+  return first_error_;
+}
+
+FleetSnapshot FleetCollector::snapshot() const {
+  FleetSnapshot snap;
+  snap.submitted = submitted();
+  snap.aggregated = aggregated();
+  snap.malformed = malformed();
+  snap.dropped = dropped();
+  snap.pending = pending();
+  CycleSketch merged;
+  for (const auto& shard : agg_) {
+    std::lock_guard lock(shard->mutex);
+    merged.merge(shard->sketch);
+    for (const auto& [symbol, fn] : shard->functions) {
+      profile::FunctionProfile& total = snap.functions[symbol];
+      total.symbol = symbol;
+      total.calls += fn.calls;
+      total.cycles += fn.cycles;
+      total.contained += fn.contained;
+      for (const auto& [err, count] : fn.errno_counts) total.errno_counts[err] += count;
+    }
+    for (const auto& [err, count] : shard->global_errnos) snap.global_errnos[err] += count;
+  }
+  snap.cycles_p50 = merged.quantile(0.50);
+  snap.cycles_p95 = merged.quantile(0.95);
+  snap.cycles_p99 = merged.quantile(0.99);
+  return snap;
+}
+
+std::string FleetSnapshot::render() const {
+  std::ostringstream out;
+  out << "fleet summary\n";
+  out << "  documents: " << aggregated << " aggregated, " << malformed << " malformed, "
+      << dropped << " dropped, " << pending << " pending (" << submitted << " submitted)\n";
+  std::uint64_t calls = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t contained = 0;
+  for (const auto& [_, fn] : functions) {
+    calls += fn.calls;
+    errors += fn.errors();
+    contained += fn.contained;
+  }
+  out << "  functions: " << functions.size() << " distinct, " << calls << " calls, " << errors
+      << " errors, " << contained << " contained\n";
+  out << "  exec cycles per document: p50=" << cycles_p50 << " p95=" << cycles_p95
+      << " p99=" << cycles_p99 << "\n";
+  for (const auto& [symbol, fn] : functions) {
+    out << "    " << std::left << std::setw(12) << symbol << std::right << std::setw(10)
+        << fn.calls << " calls" << std::setw(12) << fn.cycles << " cycles";
+    if (fn.errors() > 0) out << ", " << fn.errors() << " errors";
+    if (fn.contained > 0) out << ", " << fn.contained << " contained";
+    out << "\n";
+  }
+  if (!global_errnos.empty()) {
+    out << "  errno distribution:\n";
+    for (const auto& [err, count] : global_errnos) {
+      out << "    " << std::left << std::setw(8) << simlib::errno_name(err) << std::right
+          << std::setw(8) << count << "\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace healers::fleet

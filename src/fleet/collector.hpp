@@ -1,0 +1,126 @@
+// Fleet-scale collection service (ROADMAP: sharding, batching, async).
+//
+// profile::CollectorServer is the paper's single-process server; this is the
+// service you would actually deploy in front of a fleet:
+//
+//   producers --submit()--> per-shard bounded MPSC queues   (backpressure)
+//                 flush():  batched decode on support::ThreadPool
+//                           fold into aggregation shards    (by symbol hash)
+//   snapshot(): merge shards -> totals + quantile sketch -> summary
+//
+// Invariants:
+//   * No silent loss. Every submitted payload is exactly one of: aggregated,
+//     counted malformed, counted dropped, or still pending in a queue —
+//     submitted() == aggregated() + malformed() + dropped() + pending().
+//   * Deterministic aggregation. Totals and sketch buckets are commutative
+//     sums, so snapshot()/render_summary() are byte-identical for any shard
+//     count and any flush worker count over the same document set (the fleet
+//     analogue of the campaign engine's jobs-independence guarantee).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fleet/sketch.hpp"
+#include "profile/report.hpp"
+
+namespace healers::fleet {
+
+// What submit() does when the target queue is full. Both policies COUNT the
+// victim in dropped(); there is no silently-blocking mode because draining
+// is explicit (flush()) and blocking producers would deadlock them.
+enum class OverflowPolicy : std::uint8_t {
+  kDropNewest,  // reject the incoming payload
+  kDropOldest,  // evict the oldest queued payload, accept the incoming one
+};
+
+struct CollectorConfig {
+  unsigned shards = 4;              // ingest queues AND aggregation shards
+  std::size_t queue_capacity = 4096;  // per ingest shard
+  std::size_t batch_size = 64;        // payloads per decode task
+  unsigned workers = 1;               // flush decode workers, 0 = all cores
+  OverflowPolicy policy = OverflowPolicy::kDropNewest;
+};
+
+// A merged, immutable view of the collector at one instant.
+struct FleetSnapshot {
+  std::uint64_t submitted = 0;
+  std::uint64_t aggregated = 0;  // documents folded into the totals
+  std::uint64_t malformed = 0;   // documents rejected by the decoders
+  std::uint64_t dropped = 0;     // documents shed by the overflow policy
+  std::uint64_t pending = 0;     // still queued (flush not yet run)
+  std::map<std::string, profile::FunctionProfile> functions;
+  std::map<int, std::uint64_t> global_errnos;
+  std::uint64_t cycles_p50 = 0;  // exec cycles per document
+  std::uint64_t cycles_p95 = 0;
+  std::uint64_t cycles_p99 = 0;
+
+  // Deterministic rendering (the byte-identical-across-configs surface).
+  [[nodiscard]] std::string render() const;
+};
+
+class FleetCollector {
+ public:
+  explicit FleetCollector(CollectorConfig config = {});
+
+  // Enqueues one encoded document (XML or binary; not decoded here).
+  // Thread-safe. Returns false when the overflow policy shed a payload
+  // (the shed document is counted in dropped() either way).
+  bool submit(std::string payload);
+
+  // Decodes and aggregates everything queued, in batches on a thread pool
+  // of config.workers workers. Not thread-safe against itself; submit()
+  // during a flush is safe (late arrivals stay queued for the next flush).
+  void flush();
+
+  [[nodiscard]] std::uint64_t submitted() const noexcept { return submitted_.load(); }
+  [[nodiscard]] std::uint64_t aggregated() const noexcept { return aggregated_.load(); }
+  [[nodiscard]] std::uint64_t malformed() const noexcept { return malformed_.load(); }
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_.load(); }
+  [[nodiscard]] std::uint64_t pending() const;
+  [[nodiscard]] unsigned shards() const noexcept { return static_cast<unsigned>(ingest_.size()); }
+  // First decode error seen since construction ("" when none) — the
+  // diagnostic handle for the malformed() counter.
+  [[nodiscard]] std::string first_error() const;
+
+  [[nodiscard]] FleetSnapshot snapshot() const;
+  [[nodiscard]] std::string render_summary() const { return snapshot().render(); }
+
+ private:
+  struct IngestShard {
+    std::mutex mutex;
+    std::deque<std::string> queue;
+  };
+  struct AggShard {
+    mutable std::mutex mutex;
+    std::map<std::string, profile::FunctionProfile> functions;
+    std::map<int, std::uint64_t> global_errnos;
+    CycleSketch sketch;  // one sample per document: its total exec cycles
+  };
+
+  void fold(const profile::ProfileReport& report);
+
+  CollectorConfig config_;
+  std::vector<std::unique_ptr<IngestShard>> ingest_;
+  std::vector<std::unique_ptr<AggShard>> agg_;
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> aggregated_{0};
+  std::atomic<std::uint64_t> malformed_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> next_shard_{0};  // round-robin producer cursor
+  mutable std::mutex error_mutex_;
+  std::string first_error_;
+};
+
+// FNV-1a — the stable function-name -> aggregation-shard hash. Exposed so
+// tests can assert the placement rule.
+[[nodiscard]] std::uint64_t fnv1a(std::string_view text) noexcept;
+
+}  // namespace healers::fleet

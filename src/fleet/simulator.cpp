@@ -1,0 +1,164 @@
+#include "fleet/simulator.hpp"
+
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "fleet/wire.hpp"
+#include "linker/process.hpp"
+#include "profile/report.hpp"
+#include "support/rng.hpp"
+#include "support/thread_pool.hpp"
+#include "wrappers/wrappers.hpp"
+#include "xml/xml.hpp"
+
+namespace healers::fleet {
+namespace {
+
+// Per-run profile = counter delta over the run. The wrapper's stats are
+// cumulative across a host's app runs (one wrapper per host, as one
+// preloaded wrapper library serves every process on a machine), so each
+// document subtracts the previous run's snapshot. All counters are
+// monotone, which makes the delta exact.
+profile::ProfileReport delta_report(const profile::ProfileReport& cur,
+                                    const profile::ProfileReport& prev) {
+  profile::ProfileReport out;
+  out.process = cur.process;
+  out.wrapper = cur.wrapper;
+  for (const profile::FunctionProfile& fn : cur.functions) {
+    const profile::FunctionProfile* base = prev.function(fn.symbol);
+    profile::FunctionProfile d;
+    d.symbol = fn.symbol;
+    d.calls = fn.calls - (base != nullptr ? base->calls : 0);
+    d.cycles = fn.cycles - (base != nullptr ? base->cycles : 0);
+    d.contained = fn.contained - (base != nullptr ? base->contained : 0);
+    for (const auto& [err, count] : fn.errno_counts) {
+      std::uint64_t before = 0;
+      if (base != nullptr) {
+        const auto it = base->errno_counts.find(err);
+        if (it != base->errno_counts.end()) before = it->second;
+      }
+      if (count > before) d.errno_counts[err] = count - before;
+    }
+    if (d.calls != 0 || d.cycles != 0 || d.contained != 0 || !d.errno_counts.empty()) {
+      out.functions.push_back(std::move(d));
+    }
+  }
+  for (const auto& [err, count] : cur.global_errnos) {
+    std::uint64_t before = 0;
+    const auto it = prev.global_errnos.find(err);
+    if (it != prev.global_errnos.end()) before = it->second;
+    if (count > before) out.global_errnos[err] = count - before;
+  }
+  return out;
+}
+
+const char* const kWords[] = {"alpha", "beta", "gamma", "delta", "epsilon", "omega"};
+
+// One simulated app run: a small seeded workload over libsimc, all calls
+// valid (the fleet's steady state), with shape 2 exercising error paths so
+// the fleet errno histogram is non-trivial.
+void run_app(linker::Process& proc, Rng& rng) {
+  using simlib::SimValue;
+  const auto word = [&rng] { return kWords[rng.below(std::size(kWords))]; };
+  const int shape = static_cast<int>(rng.below(3));
+  const int iters = 1 + static_cast<int>(rng.below(4));
+  const mem::Addr dest = proc.scratch(64, mem::Perm::kReadWrite, "copybuf");
+  for (int i = 0; i < iters; ++i) {
+    switch (shape) {
+      case 0: {  // measure/scan/classify
+        const mem::Addr w = proc.rodata_cstring(word());
+        proc.call("strlen", {SimValue::ptr(w)});
+        proc.call("strchr", {SimValue::ptr(w), SimValue::integer('a')});
+        proc.call("toupper", {SimValue::integer('a' + static_cast<int>(rng.below(26)))});
+        break;
+      }
+      case 1: {  // copy/convert
+        proc.call("strcpy", {SimValue::ptr(dest), SimValue::ptr(proc.rodata_cstring(word()))});
+        proc.call("strlen", {SimValue::ptr(dest)});
+        proc.call("atoi",
+                  {SimValue::ptr(proc.rodata_cstring(std::to_string(rng.below(10000))))});
+        break;
+      }
+      default: {  // error paths: wctrans("bogus") fails with EINVAL
+        proc.machine().set_err(0);
+        proc.call("wctrans", {SimValue::ptr(proc.rodata_cstring("bogus"))});
+        proc.call("strlen", {SimValue::ptr(proc.rodata_cstring(word()))});
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+FleetSimulator::FleetSimulator(const core::Toolkit& toolkit, SimulatorConfig config)
+    : toolkit_(toolkit), config_(config) {
+  if (config_.hosts == 0) config_.hosts = 1;
+  if (config_.docs_per_host == 0) config_.docs_per_host = 1;
+}
+
+std::string FleetSimulator::process_name(unsigned host, unsigned doc) {
+  std::ostringstream name;
+  name << "host" << std::setfill('0') << std::setw(2) << host << "/app" << std::setw(3) << doc;
+  return name.str();
+}
+
+void FleetSimulator::run_host(unsigned host, std::vector<std::string>& out) const {
+  const simlib::SharedLibrary* lib = toolkit_.library("libsimc.so.1");
+  if (lib == nullptr) throw std::logic_error("fleet: toolkit has no libsimc.so.1");
+  auto wrapper = wrappers::make_profiling_wrapper(*lib).value();
+  profile::ProfileReport prev;
+  for (unsigned d = 0; d < config_.docs_per_host; ++d) {
+    const std::string name = process_name(host, d);
+    linker::Process proc(name);
+    proc.load_library(lib);
+    proc.preload(wrapper);
+    Rng rng(config_.seed * 0x9e3779b97f4a7c15ULL ^ (host * 0xc2b2ae3d27d4eb4fULL) ^
+            (d * 0x165667b19e3779f9ULL));
+    run_app(proc, rng);
+    profile::ProfileReport cur =
+        profile::build_report(name, wrapper->name(), *wrapper->stats());
+    const profile::ProfileReport doc_report = delta_report(cur, prev);
+    prev = std::move(cur);
+    const bool binary = config_.encoding == SimulatorConfig::Encoding::kBinary ||
+                        (config_.encoding == SimulatorConfig::Encoding::kMixed &&
+                         (host + d) % 2 == 1);
+    out.push_back(binary ? encode_binary(doc_report)
+                         : xml::serialize(profile::to_xml(doc_report)));
+  }
+}
+
+std::vector<std::string> FleetSimulator::run() const {
+  std::vector<std::vector<std::string>> per_host(config_.hosts);
+  std::vector<std::string> errors(config_.hosts);  // reaped per host: a throw
+                                                   // on a pool thread would
+                                                   // terminate the process
+  const unsigned jobs =
+      config_.jobs == 0 ? support::ThreadPool::hardware_workers() : config_.jobs;
+  std::vector<support::ThreadPool::Task> tasks;
+  tasks.reserve(config_.hosts);
+  for (unsigned host = 0; host < config_.hosts; ++host) {
+    tasks.push_back([this, host, &per_host, &errors](unsigned /*worker*/) {
+      try {
+        run_host(host, per_host[host]);
+      } catch (const std::exception& e) {
+        errors[host] = e.what();
+      }
+    });
+  }
+  support::ThreadPool pool(jobs);
+  pool.run(std::move(tasks));
+  for (const std::string& error : errors) {
+    if (!error.empty()) throw std::runtime_error("fleet simulator: " + error);
+  }
+  std::vector<std::string> documents;
+  documents.reserve(static_cast<std::size_t>(config_.hosts) * config_.docs_per_host);
+  for (auto& docs : per_host) {
+    for (auto& doc : docs) documents.push_back(std::move(doc));
+  }
+  return documents;
+}
+
+}  // namespace healers::fleet

@@ -1,0 +1,38 @@
+#include "fleet/sketch.hpp"
+
+#include <bit>
+#include <cmath>
+
+namespace healers::fleet {
+
+int CycleSketch::bucket_index(std::uint64_t value) noexcept {
+  if (value < kSubBuckets) return static_cast<int>(value);
+  // Leading-bit group: shift so the top kSubBits+1 bits remain; the low
+  // kSubBits of that select the linear sub-bucket within the group.
+  const int shift = std::bit_width(value) - 1 - kSubBits;
+  const auto sub = static_cast<int>((value >> shift) & (kSubBuckets - 1));
+  return (shift + 1) * kSubBuckets + sub;
+}
+
+std::uint64_t CycleSketch::bucket_floor(int index) noexcept {
+  if (index < kSubBuckets) return static_cast<std::uint64_t>(index);
+  const int shift = index / kSubBuckets - 1;
+  const auto sub = static_cast<std::uint64_t>(index % kSubBuckets);
+  return (static_cast<std::uint64_t>(kSubBuckets) + sub) << shift;
+}
+
+std::uint64_t CycleSketch::quantile(double q) const {
+  if (total_ == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  auto rank = static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(total_)));
+  if (rank == 0) rank = 1;
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBucketCount; ++i) {
+    seen += counts_[static_cast<std::size_t>(i)];
+    if (seen >= rank) return bucket_floor(i);
+  }
+  return bucket_floor(kBucketCount - 1);  // unreachable: total_ > 0
+}
+
+}  // namespace healers::fleet

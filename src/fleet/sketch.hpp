@@ -1,0 +1,54 @@
+// Streaming quantile sketch for exec-cycle percentiles (p50/p95/p99).
+//
+// Fleet aggregation must be DETERMINISTIC: the rendered summary has to be
+// byte-identical for any shard count or worker count (mirroring the campaign
+// engine's jobs-independence guarantee). Sample-based sketches (GK, t-digest)
+// depend on insertion order, so we use an HdrHistogram-style bucketed
+// histogram instead: values map to log-scaled buckets computed with pure
+// integer arithmetic (bit_width + top kSubBits mantissa bits, <= ~3% relative
+// error), and both add() and merge() are plain counter additions —
+// commutative and associative, so any partitioning of the input produces the
+// same bucket vector and therefore the same quantiles.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace healers::fleet {
+
+class CycleSketch {
+ public:
+  // Sub-bucket resolution: 2^kSubBits linear buckets per power of two.
+  static constexpr int kSubBits = 5;
+  static constexpr int kSubBuckets = 1 << kSubBits;
+  // Indices: values < kSubBuckets map 1:1; above that, one group of
+  // kSubBuckets buckets per additional leading-bit position.
+  static constexpr int kBucketCount = (64 - kSubBits + 1) * kSubBuckets;
+
+  CycleSketch() : counts_(kBucketCount, 0) {}
+
+  void add(std::uint64_t value, std::uint64_t weight = 1) {
+    counts_[static_cast<std::size_t>(bucket_index(value))] += weight;
+    total_ += weight;
+  }
+
+  void merge(const CycleSketch& other) {
+    for (int i = 0; i < kBucketCount; ++i) counts_[static_cast<std::size_t>(i)] += other.counts_[static_cast<std::size_t>(i)];
+    total_ += other.total_;
+  }
+
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+  // Value at quantile q in [0, 1]: the lower bound of the bucket holding the
+  // rank-ceil(q * total) sample. 0 when the sketch is empty.
+  [[nodiscard]] std::uint64_t quantile(double q) const;
+
+  [[nodiscard]] static int bucket_index(std::uint64_t value) noexcept;
+  [[nodiscard]] static std::uint64_t bucket_floor(int index) noexcept;
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace healers::fleet

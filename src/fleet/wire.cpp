@@ -1,0 +1,170 @@
+#include "fleet/wire.hpp"
+
+#include <cstdint>
+#include <limits>
+
+#include "xml/xml.hpp"
+
+namespace healers::fleet {
+namespace {
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<char>((v >> shift) & 0xffU));
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<char>((v >> shift) & 0xffU));
+  }
+}
+
+void put_str(std::string& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.append(s);
+}
+
+// Bounds-checked read cursor over a binary payload. Every read either
+// succeeds completely or marks the cursor failed; callers check ok() once.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view data) : data_(data) {}
+
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  [[nodiscard]] bool at_end() const noexcept { return pos_ == data_.size(); }
+
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    if (!take(4)) return 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(static_cast<unsigned char>(data_[pos_ - 4 + i])) << (8 * i);
+    }
+    return v;
+  }
+
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    if (!take(8)) return 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(static_cast<unsigned char>(data_[pos_ - 8 + i])) << (8 * i);
+    }
+    return v;
+  }
+
+  std::string str() {
+    const std::uint32_t len = u32();
+    if (!take(len)) return {};
+    return std::string(data_.substr(pos_ - len, len));
+  }
+
+ private:
+  bool take(std::size_t n) {
+    if (!ok_ || data_.size() - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    pos_ += n;
+    return true;
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace
+
+std::string encode_binary(const profile::ProfileReport& report) {
+  std::string out;
+  out.append(kBinaryMagic);
+  put_str(out, report.process);
+  put_str(out, report.wrapper);
+  put_u32(out, static_cast<std::uint32_t>(report.functions.size()));
+  for (const profile::FunctionProfile& fn : report.functions) {
+    put_str(out, fn.symbol);
+    put_u64(out, fn.calls);
+    put_u64(out, fn.cycles);
+    put_u64(out, fn.contained);
+    put_u32(out, static_cast<std::uint32_t>(fn.errno_counts.size()));
+    for (const auto& [err, count] : fn.errno_counts) {
+      put_u32(out, static_cast<std::uint32_t>(err));
+      put_u64(out, count);
+    }
+  }
+  put_u32(out, static_cast<std::uint32_t>(report.global_errnos.size()));
+  for (const auto& [err, count] : report.global_errnos) {
+    put_u32(out, static_cast<std::uint32_t>(err));
+    put_u64(out, count);
+  }
+  return out;
+}
+
+Result<profile::ProfileReport> decode_binary(std::string_view payload) {
+  if (!is_binary_document(payload)) return Error("binary document: bad magic");
+  Cursor cur(payload.substr(kBinaryMagic.size()));
+  profile::ProfileReport report;
+  report.process = cur.str();
+  report.wrapper = cur.str();
+  const std::uint32_t nfunctions = cur.u32();
+  // Cheap sanity bound before reserving: every function costs >= 32 bytes.
+  if (!cur.ok() || nfunctions > payload.size()) {
+    return Error("binary document: truncated header");
+  }
+  report.functions.reserve(nfunctions);
+  for (std::uint32_t i = 0; i < nfunctions && cur.ok(); ++i) {
+    profile::FunctionProfile fn;
+    fn.symbol = cur.str();
+    fn.calls = cur.u64();
+    fn.cycles = cur.u64();
+    fn.contained = cur.u64();
+    const std::uint32_t nerrnos = cur.u32();
+    for (std::uint32_t e = 0; e < nerrnos && cur.ok(); ++e) {
+      const int err = static_cast<std::int32_t>(cur.u32());
+      fn.errno_counts[err] += cur.u64();
+    }
+    report.functions.push_back(std::move(fn));
+  }
+  const std::uint32_t nglobal = cur.u32();
+  for (std::uint32_t e = 0; e < nglobal && cur.ok(); ++e) {
+    const int err = static_cast<std::int32_t>(cur.u32());
+    report.global_errnos[err] += cur.u64();
+  }
+  if (!cur.ok()) return Error("binary document: truncated");
+  if (!cur.at_end()) return Error("binary document: trailing bytes");
+  return report;
+}
+
+Result<profile::ProfileReport> decode_document(std::string_view payload) {
+  if (is_binary_document(payload)) return decode_binary(payload);
+  auto parsed = xml::parse(payload);
+  if (!parsed.ok()) return Error("xml document: " + parsed.error().message);
+  return profile::from_xml(parsed.value());
+}
+
+bool is_binary_document(std::string_view payload) noexcept {
+  return payload.substr(0, kBinaryMagic.size()) == kBinaryMagic;
+}
+
+std::string frame_stream(const std::vector<std::string>& documents) {
+  std::string out;
+  out.append(kStreamMagic);
+  put_u32(out, static_cast<std::uint32_t>(documents.size()));
+  for (const std::string& doc : documents) put_str(out, doc);
+  return out;
+}
+
+Result<std::vector<std::string>> unframe_stream(std::string_view stream) {
+  if (stream.substr(0, kStreamMagic.size()) != kStreamMagic) {
+    return Error("document stream: bad header");
+  }
+  Cursor cur(stream.substr(kStreamMagic.size()));
+  const std::uint32_t count = cur.u32();
+  std::vector<std::string> documents;
+  for (std::uint32_t i = 0; i < count && cur.ok(); ++i) documents.push_back(cur.str());
+  if (!cur.ok()) return Error("document stream: truncated");
+  if (!cur.at_end()) return Error("document stream: trailing bytes");
+  return documents;
+}
+
+}  // namespace healers::fleet

@@ -1,0 +1,54 @@
+// Fleet wire formats (ROADMAP: "heavy traffic from millions of users").
+//
+// The paper ships profile documents as self-describing XML (§2.3). At fleet
+// scale the XML round-trip dominates ingest cost, so producers may instead
+// emit a compact length-prefixed binary encoding of the SAME ProfileReport:
+//
+//   "HFB1"                                magic, 4 bytes
+//   str process, str wrapper              str = u32 length + bytes
+//   u32 nfunctions, per function:
+//     str symbol, u64 calls, u64 cycles, u64 contained,
+//     u32 nerrnos, per errno: i32 errno, u64 count
+//   u32 nglobal, per errno: i32 errno, u64 count
+//
+// All integers are little-endian and fixed-width. decode_document() accepts
+// either format (binary by magic, XML otherwise) so a collector can serve a
+// mixed fleet during a rollout. Both decoders are strict: truncated or
+// malformed payloads produce an error Result, never a partial report.
+//
+// A *document stream* is the on-disk/on-wire batch form: a "HFDS1\n" header
+// followed by u32-length-prefixed document payloads (each payload is one
+// XML or binary document).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "profile/report.hpp"
+#include "support/result.hpp"
+
+namespace healers::fleet {
+
+// Magic prefix of a binary profile document.
+inline constexpr std::string_view kBinaryMagic = "HFB1";
+// Header of a framed document stream.
+inline constexpr std::string_view kStreamMagic = "HFDS1\n";
+
+// Report -> compact binary document.
+[[nodiscard]] std::string encode_binary(const profile::ProfileReport& report);
+
+// Strict binary decoder (payload must start with kBinaryMagic).
+[[nodiscard]] Result<profile::ProfileReport> decode_binary(std::string_view payload);
+
+// Format-sniffing decoder: binary by magic, otherwise parsed as XML.
+[[nodiscard]] Result<profile::ProfileReport> decode_document(std::string_view payload);
+
+// True when the payload carries the binary magic.
+[[nodiscard]] bool is_binary_document(std::string_view payload) noexcept;
+
+// Batch framing: documents -> one stream blob, and back.
+[[nodiscard]] std::string frame_stream(const std::vector<std::string>& documents);
+[[nodiscard]] Result<std::vector<std::string>> unframe_stream(std::string_view stream);
+
+}  // namespace healers::fleet

@@ -16,6 +16,16 @@ Status CollectorServer::ingest(const std::string& xml_document) {
     return Status::failure("collector: not a profile document: " + report.error().message);
   }
   reports_.push_back(std::move(report).take());
+  // Fold into the incremental totals only after every failure path is past:
+  // a rejected document must leave the server untouched.
+  for (const FunctionProfile& fn : reports_.back().functions) {
+    FunctionProfile& agg = totals_[fn.symbol];
+    agg.symbol = fn.symbol;
+    agg.calls += fn.calls;
+    agg.cycles += fn.cycles;
+    agg.contained += fn.contained;
+    for (const auto& [err, count] : fn.errno_counts) agg.errno_counts[err] += count;
+  }
   return Status::success();
 }
 
@@ -27,7 +37,7 @@ std::vector<const ProfileReport*> CollectorServer::reports_for(const std::string
   return out;
 }
 
-std::map<std::string, FunctionProfile> CollectorServer::aggregate() const {
+std::map<std::string, FunctionProfile> CollectorServer::aggregate_rescan() const {
   std::map<std::string, FunctionProfile> out;
   for (const ProfileReport& report : reports_) {
     for (const FunctionProfile& fn : report.functions) {
@@ -45,7 +55,7 @@ std::map<std::string, FunctionProfile> CollectorServer::aggregate() const {
 std::string CollectorServer::render_summary() const {
   std::ostringstream out;
   out << "collector: " << reports_.size() << " document(s)\n";
-  const auto agg = aggregate();
+  const auto& agg = aggregate();
   std::uint64_t calls = 0;
   std::uint64_t errors = 0;
   for (const auto& [_, fn] : agg) {

@@ -27,14 +27,23 @@ class CollectorServer {
 
   // Cross-process aggregation: per-function totals over every stored
   // document — the server-side view of "what does the whole fleet call and
-  // where do its errors come from".
-  [[nodiscard]] std::map<std::string, FunctionProfile> aggregate() const;
+  // where do its errors come from". Totals are maintained incrementally by
+  // ingest(), so this is O(functions), independent of document count.
+  [[nodiscard]] const std::map<std::string, FunctionProfile>& aggregate() const noexcept {
+    return totals_;
+  }
+
+  // Recomputes the same totals by rescanning every stored document — the
+  // O(documents) verification path for the incremental totals (tested to
+  // agree with aggregate()).
+  [[nodiscard]] std::map<std::string, FunctionProfile> aggregate_rescan() const;
 
   // Fleet-wide summary rendering.
   [[nodiscard]] std::string render_summary() const;
 
  private:
   std::vector<ProfileReport> reports_;
+  std::map<std::string, FunctionProfile> totals_;  // updated per ingest()
 };
 
 }  // namespace healers::profile

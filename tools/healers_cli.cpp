@@ -10,18 +10,29 @@
 //                      [--campaign campaign.xml] [-o wrapper.c]
 //   healers inspect demo-heap|demo-stack
 //   healers demo attacks
+//   healers fleet simulate [--hosts N] [--docs N] [--seed N] [--jobs N]
+//                          [--encoding xml|binary|mixed] -o fleet.docs
+//   healers fleet ingest <fleet.docs> [--shards N] [--jobs N] [--capacity N]
+//   healers fleet report <fleet.docs> [--shards N] [--jobs N]
 //
 // derive→(ship XML)→gen-source is the paper's offline pipeline: campaigns
 // run where the library lives; wrapper generation can happen anywhere the
-// spec file reaches.
+// spec file reaches. fleet simulate→ingest/report is the §2.3 collection
+// story at fleet scale: hosts emit profile documents (XML or the compact
+// binary wire format), the sharded collector aggregates them.
+#include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "attacks/attacks.hpp"
 #include "core/toolkit.hpp"
+#include "fleet/collector.hpp"
+#include "fleet/simulator.hpp"
+#include "fleet/wire.hpp"
 #include "wrappers/wrappers.hpp"
 
 using namespace healers;
@@ -41,7 +52,11 @@ int usage() {
                "  gen-source <soname> --type profiling|robustness|security|testing\n"
                "             [--campaign file] [-o file]\n"
                "  inspect demo-heap|demo-stack\n"
-               "  demo attacks\n");
+               "  demo attacks\n"
+               "  fleet simulate [--hosts N] [--docs N] [--seed N] [--jobs N]\n"
+               "                 [--encoding xml|binary|mixed] [-o file]\n"
+               "  fleet ingest <file> [--shards N] [--jobs N] [--capacity N]\n"
+               "  fleet report <file> [--shards N] [--jobs N]\n");
   return 2;
 }
 
@@ -79,6 +94,11 @@ struct Options {
   std::uint64_t seed = 2003;
   int variants = 1;
   int jobs = 1;
+  int hosts = 8;
+  int docs = 8;
+  int shards = 4;
+  int capacity = 4096;
+  std::string encoding = "mixed";
 };
 
 Result<Options> parse_options(int argc, char** argv) {
@@ -113,6 +133,26 @@ Result<Options> parse_options(int argc, char** argv) {
       auto value = next();
       if (!value.ok()) return value.error();
       options.jobs = std::stoi(value.value());
+    } else if (arg == "--hosts") {
+      auto value = next();
+      if (!value.ok()) return value.error();
+      options.hosts = std::stoi(value.value());
+    } else if (arg == "--docs") {
+      auto value = next();
+      if (!value.ok()) return value.error();
+      options.docs = std::stoi(value.value());
+    } else if (arg == "--shards") {
+      auto value = next();
+      if (!value.ok()) return value.error();
+      options.shards = std::stoi(value.value());
+    } else if (arg == "--capacity") {
+      auto value = next();
+      if (!value.ok()) return value.error();
+      options.capacity = std::stoi(value.value());
+    } else if (arg == "--encoding") {
+      auto value = next();
+      if (!value.ok()) return value.error();
+      options.encoding = value.value();
     } else if (!arg.empty() && arg[0] == '-') {
       return Error("unknown option " + arg);
     } else {
@@ -231,6 +271,83 @@ int cmd_inspect(const core::Toolkit& toolkit, const Options& options) {
   return 0;
 }
 
+Result<fleet::SimulatorConfig> simulator_config(const Options& options) {
+  fleet::SimulatorConfig config;
+  config.hosts = static_cast<unsigned>(options.hosts);
+  config.docs_per_host = static_cast<unsigned>(options.docs);
+  config.seed = options.seed;
+  config.jobs = static_cast<unsigned>(options.jobs);
+  if (options.encoding == "xml") {
+    config.encoding = fleet::SimulatorConfig::Encoding::kXml;
+  } else if (options.encoding == "binary") {
+    config.encoding = fleet::SimulatorConfig::Encoding::kBinary;
+  } else if (options.encoding == "mixed") {
+    config.encoding = fleet::SimulatorConfig::Encoding::kMixed;
+  } else {
+    return Error("unknown encoding: " + options.encoding + " (xml|binary|mixed)");
+  }
+  return config;
+}
+
+// Reads a framed document stream and runs it through a fleet collector.
+// (unique_ptr: the collector owns mutexes/atomics and cannot move.)
+Result<std::unique_ptr<fleet::FleetCollector>> collect_stream(const std::string& path,
+                                                              const Options& options) {
+  auto text = read_file(path);
+  if (!text.ok()) return text.error();
+  auto documents = fleet::unframe_stream(text.value());
+  if (!documents.ok()) return Error(path + ": " + documents.error().message);
+  fleet::CollectorConfig config;
+  config.shards = static_cast<unsigned>(options.shards);
+  config.workers = static_cast<unsigned>(options.jobs);
+  config.queue_capacity = static_cast<std::size_t>(options.capacity);
+  auto collector = std::make_unique<fleet::FleetCollector>(config);
+  for (std::string& doc : documents.value()) collector->submit(std::move(doc));
+  collector->flush();
+  return collector;
+}
+
+int cmd_fleet(const core::Toolkit& toolkit, const Options& options) {
+  if (options.positional.empty()) return usage();
+  const std::string& sub = options.positional[0];
+
+  if (sub == "simulate") {
+    auto config = simulator_config(options);
+    if (!config.ok()) return fail(config.error().message);
+    const fleet::FleetSimulator simulator(toolkit, config.value());
+    const auto documents = simulator.run();
+    std::fprintf(stderr, "%d host(s), %zu document(s)\n", options.hosts, documents.size());
+    return emit(fleet::frame_stream(documents), options.out_path);
+  }
+
+  if (sub == "ingest" || sub == "report") {
+    if (options.positional.size() < 2) return usage();
+    const auto start = std::chrono::steady_clock::now();
+    auto collector = collect_stream(options.positional[1], options);
+    if (!collector.ok()) return fail(collector.error().message);
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    const fleet::FleetCollector& server = *collector.value();
+    if (sub == "ingest") {
+      std::printf("ingested %llu/%llu document(s) on %u shard(s): %llu malformed, "
+                  "%llu dropped (%.0f docs/sec)\n",
+                  static_cast<unsigned long long>(server.aggregated()),
+                  static_cast<unsigned long long>(server.submitted()), server.shards(),
+                  static_cast<unsigned long long>(server.malformed()),
+                  static_cast<unsigned long long>(server.dropped()),
+                  seconds > 0 ? static_cast<double>(server.submitted()) / seconds : 0.0);
+      if (server.malformed() > 0) {
+        std::fprintf(stderr, "first decode error: %s\n", server.first_error().c_str());
+      }
+      return server.malformed() == 0 ? 0 : 1;
+    }
+    std::fputs(server.render_summary().c_str(), stdout);
+    return 0;
+  }
+
+  return usage();
+}
+
 int cmd_demo(const core::Toolkit& toolkit, const Options& options) {
   if (options.positional.empty() || options.positional[0] != "attacks") return usage();
   const auto plain = attacks::run_heap_smash_attack(toolkit.catalog(), {});
@@ -258,5 +375,6 @@ int main(int argc, char** argv) {
   if (command == "gen-source") return cmd_gen_source(toolkit, options.value());
   if (command == "inspect") return cmd_inspect(toolkit, options.value());
   if (command == "demo") return cmd_demo(toolkit, options.value());
+  if (command == "fleet") return cmd_fleet(toolkit, options.value());
   return usage();
 }
