@@ -3,14 +3,43 @@
 # repo root (committed so throughput regressions show up in review):
 #   BENCH_fig2.json  campaign-engine throughput (Fig 2)
 #   BENCH_f6.json    fleet telemetry ingest (docs/sec, XML vs binary codec)
+#   BENCH_c1.json    per-call wrapper overhead (Table C1)
 #
-# Usage: bench/run_benches.sh [build-dir]   (default: build)
+# Benchmarks are only meaningful from an optimized, assertion-free build, so
+# this script builds and uses the `release` preset (-O2 -DNDEBUG) by default
+# and refuses Debug build trees.
+#
+# Note: the "library_build_type" field in the emitted JSON context is
+# google-benchmark reporting how the *system libbenchmark* was packaged —
+# it is not the build type of this repo's code (see CMakeCache check below).
+#
+# Usage: bench/run_benches.sh [build-dir]   (default: build-release via the
+#        release preset; pass an explicit tree to override)
 set -euo pipefail
 
 root="$(cd "$(dirname "$0")/.." && pwd)"
-build="${1:-$root/build}"
 
-cmake --build "$build" -j --target bench_fig2_robust_api bench_f6_fleet_ingest
+if [[ $# -ge 1 ]]; then
+  build="$1"
+else
+  build="$root/build-release"
+  cmake --preset release -S "$root" >/dev/null
+fi
+
+# Refuse debug trees, warn on anything that is not a true Release build:
+# timings from -O0 or assert-laden binaries are not comparable.
+build_type="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$build/CMakeCache.txt" 2>/dev/null || true)"
+if [[ "$build_type" == "Debug" || "$build_type" == "" ]]; then
+  echo "error: '$build' is a ${build_type:-unconfigured} tree; benchmarks need the" >&2
+  echo "       release preset (cmake --preset release). Refusing to run." >&2
+  exit 1
+fi
+if [[ "$build_type" != "Release" ]]; then
+  echo "warning: '$build' is a $build_type tree, not Release; timings will be" >&2
+  echo "         pessimistic. Prefer: bench/run_benches.sh (uses the release preset)" >&2
+fi
+
+cmake --build "$build" -j --target bench_fig2_robust_api bench_f6_fleet_ingest bench_c1_overhead
 
 "$build/bench/bench_fig2_robust_api" \
   --benchmark_out="$root/BENCH_fig2.json" \
@@ -25,3 +54,15 @@ echo "wrote $root/BENCH_fig2.json"
   --benchmark_min_time=0.2
 
 echo "wrote $root/BENCH_f6.json"
+
+# The overhead rows are ~100 ns differences between ~100 ns calls, so they
+# need more smoothing than the throughput benches: longer runs, and medians
+# over repetitions so one noisy interval cannot skew a committed number.
+"$build/bench/bench_c1_overhead" \
+  --benchmark_out="$root/BENCH_c1.json" \
+  --benchmark_out_format=json \
+  --benchmark_min_time=0.5 \
+  --benchmark_repetitions=3 \
+  --benchmark_report_aggregates_only=true
+
+echo "wrote $root/BENCH_c1.json"

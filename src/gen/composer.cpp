@@ -38,8 +38,25 @@ simlib::SimValue ComposedWrapper::call(const std::string& symbol, simlib::CallCo
                                        const linker::NextFn& next) {
   auto it = entries_.find(symbol);
   if (it == entries_.end()) return next(ctx);  // not wrapped: pass through
-  Entry& entry = it->second;
+  return run_entry(it->second, ctx, next);
+}
 
+const void* ComposedWrapper::symbol_handle(const std::string& symbol) const {
+  const auto it = entries_.find(symbol);
+  return it == entries_.end() ? nullptr : static_cast<const void*>(&it->second);
+}
+
+simlib::SimValue ComposedWrapper::call_with_handle(const void* handle,
+                                                   const std::string& /*symbol*/,
+                                                   simlib::CallContext& ctx,
+                                                   const linker::NextFn& next) {
+  // The handle came from symbol_handle on this wrapper; entries_ only grows
+  // (wrap_function), and std::map nodes never move, so the Entry is live.
+  return run_entry(*const_cast<Entry*>(static_cast<const Entry*>(handle)), ctx, next);
+}
+
+simlib::SimValue ComposedWrapper::run_entry(Entry& entry, simlib::CallContext& ctx,
+                                            const linker::NextFn& next) {
   // Prefixes in generator order; a short-circuit is the generated early
   // return (fault containment) — call and postfixes are skipped. Each
   // fragment executed charges the virtual cycle clock, as the generated
@@ -48,7 +65,7 @@ simlib::SimValue ComposedWrapper::call(const std::string& symbol, simlib::CallCo
   constexpr std::uint64_t kFragmentCycles = 3;
   for (const RuntimeHookPtr& hook : entry.hooks) {
     ctx.machine.add_cycles(kFragmentCycles);
-    if (std::optional<simlib::SimValue> contained = hook->prefix(ctx)) {
+    if (const simlib::SimValue* contained = hook->prefix(ctx)) {
       return *contained;
     }
   }

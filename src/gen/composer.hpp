@@ -34,6 +34,13 @@ class ComposedWrapper : public linker::Interposition {
   simlib::SimValue call(const std::string& symbol, simlib::CallContext& ctx,
                         const linker::NextFn& next) override;
 
+  // Dispatch fast path: the handle is the symbol's Entry (map nodes are
+  // stable), so the per-call entries_.find disappears from interposed calls.
+  [[nodiscard]] const void* symbol_handle(const std::string& symbol) const override;
+  simlib::SimValue call_with_handle(const void* handle, const std::string& symbol,
+                                    simlib::CallContext& ctx,
+                                    const linker::NextFn& next) override;
+
   [[nodiscard]] const std::shared_ptr<WrapperStats>& stats() const noexcept { return stats_; }
   [[nodiscard]] std::size_t wrapped_count() const noexcept { return entries_.size(); }
   [[nodiscard]] std::vector<std::string> wrapped_symbols() const;
@@ -43,6 +50,9 @@ class ComposedWrapper : public linker::Interposition {
     int function_id = 0;
     std::vector<RuntimeHookPtr> hooks;
   };
+
+  simlib::SimValue run_entry(Entry& entry, simlib::CallContext& ctx,
+                             const linker::NextFn& next);
 
   std::string name_;
   std::shared_ptr<WrapperStats> stats_;

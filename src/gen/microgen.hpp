@@ -37,15 +37,17 @@ struct GenContext {
 };
 
 // Runtime behaviour contributed by one micro-generator for one function.
-// prefix() may short-circuit: returning a value skips the base call, all
+// prefix() may short-circuit: returning non-null skips the base call, all
 // remaining prefixes, and all postfixes — the fault-containment "return an
 // error instead of crashing" path (generated C would `return err;` there).
+// The pointee must outlive the call (hooks return the address of a member);
+// a pointer return keeps optional<SimValue> copies off the per-call hot path.
 class RuntimeHook {
  public:
   virtual ~RuntimeHook() = default;
-  virtual std::optional<simlib::SimValue> prefix(simlib::CallContext& ctx) {
+  virtual const simlib::SimValue* prefix(simlib::CallContext& ctx) {
     (void)ctx;
-    return std::nullopt;
+    return nullptr;
   }
   virtual void postfix(simlib::CallContext& ctx, simlib::SimValue& ret) {
     (void)ctx;

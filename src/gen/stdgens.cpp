@@ -88,19 +88,20 @@ class CallerGen : public MicroGenerator {
 
 class ExectimeHook : public RuntimeHook {
  public:
-  ExectimeHook(WrapperStats& stats, int fid) : stats_(stats), fid_(fid) {}
+  // The FunctionStats node is resolved once here (register_function has
+  // already run, and std::map nodes never move), not per call.
+  ExectimeHook(WrapperStats& stats, int fid) : fn_(stats.function(fid)) {}
 
-  std::optional<SimValue> prefix(CallContext& ctx) override {
+  const SimValue* prefix(CallContext& ctx) override {
     start_ = ctx.machine.rdtsc();
-    return std::nullopt;
+    return nullptr;
   }
   void postfix(CallContext& ctx, SimValue&) override {
-    stats_.function(fid_).cycles += ctx.machine.rdtsc() - start_;
+    fn_.cycles += ctx.machine.rdtsc() - start_;
   }
 
  private:
-  WrapperStats& stats_;
-  int fid_;
+  FunctionStats& fn_;
   std::uint64_t start_ = 0;
 };
 
@@ -128,18 +129,18 @@ class ExectimeGen : public MicroGenerator {
 class ErrnoHook : public RuntimeHook {
  public:
   ErrnoHook(WrapperStats& stats, int fid, bool per_function)
-      : stats_(stats), fid_(fid), per_function_(per_function) {}
+      : stats_(stats), fn_(stats.function(fid)), per_function_(per_function) {}
 
-  std::optional<SimValue> prefix(CallContext& ctx) override {
+  const SimValue* prefix(CallContext& ctx) override {
     saved_ = ctx.machine.err();
-    return std::nullopt;
+    return nullptr;
   }
   void postfix(CallContext& ctx, SimValue&) override {
     const int err = ctx.machine.err();
     if (err == saved_) return;
     if (per_function_) {
       const int bucket = (err < 0 || err >= simlib::kMaxErrno) ? simlib::kMaxErrno : err;
-      ++stats_.function(fid_).errno_counts[bucket];
+      ++fn_.errno_counts[bucket];
     } else {
       stats_.count_global_errno(err);
     }
@@ -147,7 +148,7 @@ class ErrnoHook : public RuntimeHook {
 
  private:
   WrapperStats& stats_;
-  int fid_;
+  FunctionStats& fn_;
   bool per_function_;
   int saved_ = 0;
 };
@@ -199,16 +200,15 @@ class FuncErrorsGen : public MicroGenerator {
 
 class CallCounterHook : public RuntimeHook {
  public:
-  CallCounterHook(WrapperStats& stats, int fid) : stats_(stats), fid_(fid) {}
+  CallCounterHook(WrapperStats& stats, int fid) : fn_(stats.function(fid)) {}
 
-  std::optional<SimValue> prefix(CallContext&) override {
-    ++stats_.function(fid_).calls;
-    return std::nullopt;
+  const SimValue* prefix(CallContext&) override {
+    ++fn_.calls;
+    return nullptr;
   }
 
  private:
-  WrapperStats& stats_;
-  int fid_;
+  FunctionStats& fn_;
 };
 
 class CallCounterGen : public MicroGenerator {
@@ -232,11 +232,11 @@ class LogCallHook : public RuntimeHook {
   LogCallHook(WrapperStats& stats, std::string symbol)
       : stats_(stats), symbol_(std::move(symbol)) {}
 
-  std::optional<SimValue> prefix(CallContext& ctx) override {
+  const SimValue* prefix(CallContext& ctx) override {
     record_ = TraceRecord{};
     record_.symbol = symbol_;
     for (const SimValue& arg : ctx.args) record_.args.push_back(arg.to_string());
-    return std::nullopt;
+    return nullptr;
   }
   void postfix(CallContext&, SimValue& ret) override {
     record_.outcome = ret.to_string();

@@ -7,9 +7,9 @@
 // simulated analogue of dlsym(RTLD_NEXT).
 #pragma once
 
-#include <functional>
 #include <memory>
 #include <string>
+#include <type_traits>
 
 #include "simlib/value.hpp"
 
@@ -17,7 +17,29 @@ namespace healers::linker {
 
 // Invokes the next layer in the interposition chain with (possibly modified)
 // arguments; ultimately the base library function.
-using NextFn = std::function<simlib::SimValue(simlib::CallContext&)>;
+//
+// Non-owning callable reference (function_ref): the dispatch loop builds one
+// per layer on the stack of the calling frame, so — unlike std::function —
+// there is no allocation or ownership bookkeeping on the per-call hot path.
+// The referenced callable must outlive the call; every constructor use in
+// this codebase references a named local of the dispatching frame.
+class NextFn {
+ public:
+  template <typename F,
+            std::enable_if_t<!std::is_same_v<std::remove_cvref_t<F>, NextFn>, int> = 0>
+  // NOLINTNEXTLINE(google-explicit-constructor): drop-in for std::function
+  NextFn(F&& callable) noexcept
+      : env_(const_cast<void*>(static_cast<const void*>(std::addressof(callable)))),
+        fn_([](void* env, simlib::CallContext& ctx) -> simlib::SimValue {
+          return (*static_cast<std::remove_reference_t<F>*>(env))(ctx);
+        }) {}
+
+  simlib::SimValue operator()(simlib::CallContext& ctx) const { return fn_(env_, ctx); }
+
+ private:
+  void* env_;
+  simlib::SimValue (*fn_)(void*, simlib::CallContext&);
+};
 
 class Interposition {
  public:
@@ -37,6 +59,25 @@ class Interposition {
   // terminates the process (the security wrapper's response to an attack).
   virtual simlib::SimValue call(const std::string& symbol, simlib::CallContext& ctx,
                                 const NextFn& next) = 0;
+
+  // --- dispatch fast path ---
+  // The linker resolves each symbol against each wrapper once, caches the
+  // returned handle in its dispatch plan, and passes it back on every call —
+  // so a wrapper can locate its per-symbol state without a lookup per call.
+  // nullptr means "not wrapped here" (the layer is skipped entirely). The
+  // handle must stay valid until the wrapper is destroyed; a wrapper that
+  // gains symbols after being preloaded will not be seen by already-built
+  // plans, so wrappers must be fully composed before dispatch begins (every
+  // factory in this repo does so).
+  [[nodiscard]] virtual const void* symbol_handle(const std::string& symbol) const {
+    return wraps(symbol) ? static_cast<const void*>(this) : nullptr;
+  }
+  // Handle-based call. The default forwards to call(), so interpositions
+  // that don't override symbol_handle keep their exact semantics.
+  virtual simlib::SimValue call_with_handle(const void* /*handle*/, const std::string& symbol,
+                                            simlib::CallContext& ctx, const NextFn& next) {
+    return call(symbol, ctx, next);
+  }
 };
 
 using InterpositionPtr = std::shared_ptr<Interposition>;

@@ -35,11 +35,13 @@ void Process::load_library(const simlib::SharedLibrary* lib) {
   for (const std::string& symbol : lib->names()) {
     machine_.define_got_slot(symbol);
   }
+  plans_.clear();  // new definitions may change symbol resolution
 }
 
 void Process::preload(InterpositionPtr wrapper) {
   if (wrapper == nullptr) throw std::invalid_argument("Process::preload: null wrapper");
   preloads_.push_back(std::move(wrapper));
+  plans_.clear();  // the new layer must appear in every affected chain
 }
 
 const simlib::Symbol* Process::resolve(const std::string& symbol) const {
@@ -49,24 +51,43 @@ const simlib::Symbol* Process::resolve(const std::string& symbol) const {
   return nullptr;
 }
 
-simlib::SimValue Process::dispatch(const std::string& symbol, simlib::CallContext& ctx,
-                                   std::size_t layer) {
-  // Find the next preloaded wrapper (at or after `layer`) that wraps this
-  // symbol; when none remain, call the base library function.
-  for (std::size_t i = layer; i < preloads_.size(); ++i) {
-    if (!preloads_[i]->wraps(symbol)) continue;
-    const NextFn next = [this, &symbol, i](simlib::CallContext& inner) {
-      return dispatch(symbol, inner, i + 1);
-    };
-    return preloads_[i]->call(symbol, ctx, next);
+const Process::DispatchPlan& Process::plan_for(const std::string& symbol) {
+  const auto it = plans_.find(symbol);
+  if (it != plans_.end()) return it->second;
+  DispatchPlan plan;
+  for (const InterpositionPtr& wrapper : preloads_) {
+    if (const void* handle = wrapper->symbol_handle(symbol)) {
+      plan.steps.push_back({wrapper.get(), handle});
+    }
   }
-  const simlib::Symbol* base = resolve(symbol);
-  if (base == nullptr) {
-    // Unresolved at call time: the loader would have refused to start; for a
-    // running process this is the closest analogue of a PLT failure.
-    throw AccessFault(FaultKind::kSegv, 0, "unresolved symbol " + symbol);
+  plan.base = resolve(symbol);
+  return plans_.emplace(symbol, std::move(plan)).first->second;
+}
+
+simlib::SimValue Process::run_plan(const DispatchPlan& plan, std::size_t layer,
+                                   const std::string& symbol, simlib::CallContext& ctx) {
+  if (layer == plan.steps.size()) {
+    if (plan.base == nullptr) {
+      // Unresolved at call time: the loader would have refused to start; for
+      // a running process this is the closest analogue of a PLT failure.
+      throw AccessFault(FaultKind::kSegv, 0, "unresolved symbol " + symbol);
+    }
+    return plan.base->fn(ctx);
   }
-  return base->fn(ctx);
+  // `frame` is the named local NextFn references; it lives for the whole
+  // wrapper call, satisfying the function_ref lifetime contract.
+  struct Frame {
+    Process* proc;
+    const DispatchPlan* plan;
+    const std::string* symbol;
+    std::size_t next_layer;
+    simlib::SimValue operator()(simlib::CallContext& inner) const {
+      return proc->run_plan(*plan, next_layer, *symbol, inner);
+    }
+  } frame{this, &plan, &symbol, layer + 1};
+  const NextFn next = frame;
+  const DispatchStep& step = plan.steps[layer];
+  return step.wrapper->call_with_handle(step.handle, symbol, ctx, next);
 }
 
 simlib::SimValue Process::call(const std::string& symbol, std::vector<simlib::SimValue> args) {
@@ -79,7 +100,7 @@ simlib::SimValue Process::call(const std::string& symbol, std::vector<simlib::Si
       machine_.has_got_slot(symbol) ? machine_.call_through_got(symbol) : symbol;
   ++calls_dispatched_;
   simlib::CallContext ctx{machine_, state_, std::move(args)};
-  return dispatch(target, ctx, 0);
+  return run_plan(plan_for(target), 0, target, ctx);
 }
 
 CallOutcome Process::supervised_call(const std::string& symbol,
@@ -164,6 +185,7 @@ void Process::restore(const Snapshot& snap) {
   }
   libraries_.resize(snap.library_count);
   preloads_.resize(snap.preload_count);
+  plans_.clear();  // plans may reference wrappers/symbols dropped by the resize
   machine_.restore(snap.machine);
   state_.restore(snap.state);
   calls_dispatched_ = snap.calls_dispatched;

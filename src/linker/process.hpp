@@ -15,6 +15,7 @@
 
 #include <functional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "linker/interpose.hpp"
@@ -127,14 +128,30 @@ class Process {
   void restore(const Snapshot& snap);
 
  private:
-  simlib::SimValue dispatch(const std::string& symbol, simlib::CallContext& ctx,
-                            std::size_t layer);
+  // Per-symbol dispatch plan: which preloaded wrappers interpose on the
+  // symbol (with each wrapper's pre-resolved handle) and the base library
+  // function. Built lazily on first call and cached, so the hot path walks
+  // a flat array instead of querying every layer's wraps() per call.
+  // Invalidated whenever the load set changes (load_library / preload /
+  // restore).
+  struct DispatchStep {
+    Interposition* wrapper = nullptr;
+    const void* handle = nullptr;
+  };
+  struct DispatchPlan {
+    std::vector<DispatchStep> steps;
+    const simlib::Symbol* base = nullptr;
+  };
+  const DispatchPlan& plan_for(const std::string& symbol);
+  simlib::SimValue run_plan(const DispatchPlan& plan, std::size_t layer,
+                            const std::string& symbol, simlib::CallContext& ctx);
 
   std::string name_;
   mem::Machine machine_;
   simlib::LibState state_;
   std::vector<const simlib::SharedLibrary*> libraries_;
   std::vector<InterpositionPtr> preloads_;
+  std::unordered_map<std::string, DispatchPlan> plans_;
   std::uint64_t calls_dispatched_ = 0;
 };
 

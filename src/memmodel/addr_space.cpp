@@ -1,6 +1,7 @@
 #include "memmodel/addr_space.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cstring>
 #include <stdexcept>
 
@@ -52,6 +53,7 @@ Region& AddressSpace::map_at(Addr base, std::uint64_t size, Perm perm, RegionKin
   region.bytes.assign(size, std::byte{0});
   auto [it, inserted] = regions_.emplace(base, std::move(region));
   (void)inserted;
+  cache_flush();
   return it->second;
 }
 
@@ -59,13 +61,43 @@ void AddressSpace::unmap(Addr base) {
   if (regions_.erase(base) == 0) {
     throw std::invalid_argument("AddressSpace::unmap: no region at base");
   }
+  cache_flush();
+}
+
+Region* AddressSpace::cache_lookup(Addr addr) const noexcept {
+  if (last_hit_ != nullptr && last_hit_->contains(addr)) {
+    ++cache_hits_;
+    return last_hit_;
+  }
+  const Addr page = addr >> kCachePageBits;
+  const CacheWay& way = ways_[page & (kCacheWays - 1)];
+  if (way.page == page && way.region->contains(addr)) {
+    ++cache_hits_;
+    last_hit_ = way.region;
+    return way.region;
+  }
+  ++cache_misses_;
+  return nullptr;
+}
+
+void AddressSpace::cache_fill(Addr addr, Region* region) const noexcept {
+  last_hit_ = region;
+  const Addr page = addr >> kCachePageBits;
+  ways_[page & (kCacheWays - 1)] = CacheWay{page, region};
 }
 
 const Region* AddressSpace::find(Addr addr) const noexcept {
+  if (cache_enabled_) {
+    if (Region* cached = cache_lookup(addr)) return cached;
+  }
   auto it = regions_.upper_bound(addr);
   if (it == regions_.begin()) return nullptr;
   const Region& region = std::prev(it)->second;
-  return region.contains(addr) ? &region : nullptr;
+  if (!region.contains(addr)) return nullptr;
+  // The cache stores non-const pointers (it backs both overloads); regions_
+  // is owned by this object, so shedding const here is sound.
+  if (cache_enabled_) cache_fill(addr, const_cast<Region*>(&region));
+  return &region;
 }
 
 Region* AddressSpace::find(Addr addr) noexcept {
@@ -78,6 +110,7 @@ void AddressSpace::protect(Addr base, Perm perm) {
     throw std::invalid_argument("AddressSpace::protect: no region at base");
   }
   it->second.perm = perm;
+  cache_flush();
 }
 
 const Region& AddressSpace::checked(Addr addr, std::uint64_t len, Perm want) const {
@@ -114,20 +147,31 @@ void AddressSpace::store8(Addr addr, std::uint8_t value) {
 
 std::uint64_t AddressSpace::load64(Addr addr) const {
   const Region& region = checked(addr, 8, Perm::kRead);
-  std::uint64_t value = 0;
   const std::size_t off = addr - region.base;
-  for (int i = 7; i >= 0; --i) {
-    value = (value << 8) | std::to_integer<std::uint64_t>(region.bytes[off + static_cast<std::size_t>(i)]);
+  if constexpr (std::endian::native == std::endian::little) {
+    std::uint64_t value;
+    std::memcpy(&value, region.bytes.data() + off, 8);
+    return value;
+  } else {
+    std::uint64_t value = 0;
+    for (int i = 7; i >= 0; --i) {
+      value = (value << 8) |
+              std::to_integer<std::uint64_t>(region.bytes[off + static_cast<std::size_t>(i)]);
+    }
+    return value;
   }
-  return value;
 }
 
 void AddressSpace::store64(Addr addr, std::uint64_t value) {
   Region& region = checked_mut(addr, 8, Perm::kWrite);
   region.mark_dirty(addr - region.base, 8);
   const std::size_t off = addr - region.base;
-  for (std::size_t i = 0; i < 8; ++i) {
-    region.bytes[off + i] = std::byte{static_cast<std::uint8_t>(value >> (8 * i))};
+  if constexpr (std::endian::native == std::endian::little) {
+    std::memcpy(region.bytes.data() + off, &value, 8);
+  } else {
+    for (std::size_t i = 0; i < 8; ++i) {
+      region.bytes[off + i] = std::byte{static_cast<std::uint8_t>(value >> (8 * i))};
+    }
   }
 }
 
@@ -146,12 +190,76 @@ void AddressSpace::write_bytes(Addr addr, const std::byte* data, std::uint64_t l
   std::memcpy(region.bytes.data() + (addr - region.base), data, len);
 }
 
+const std::byte* AddressSpace::span(Addr addr, std::uint64_t len, Perm want) const {
+  const Region& region = checked(addr, len, want);
+  return region.bytes.data() + (addr - region.base);
+}
+
+std::byte* AddressSpace::mutable_span(Addr addr, std::uint64_t len) {
+  Region& region = checked_mut(addr, len, Perm::kWrite);
+  region.mark_dirty(addr - region.base, len);
+  return region.bytes.data() + (addr - region.base);
+}
+
+std::uint64_t AddressSpace::span_extent(Addr addr, Perm want) const noexcept {
+  const Region* region = find(addr);
+  if (region == nullptr || !allows(region->perm, want)) return 0;
+  return region->size - (addr - region->base);
+}
+
+std::uint64_t AddressSpace::span_extent_back(Addr addr, Perm want) const noexcept {
+  const Region* region = find(addr);
+  if (region == nullptr || !allows(region->perm, want)) return 0;
+  return addr - region->base + 1;
+}
+
+AddressSpace::TerminatorScan AddressSpace::scan_terminator(Addr addr,
+                                                           std::uint64_t cap) const noexcept {
+  // Per-region chunks: abutting regions (map_at permits them) are scanned
+  // straight through, exactly as a per-byte load8 loop would walk them.
+  std::uint64_t scanned = 0;
+  while (scanned < cap) {
+    const Addr cursor = addr + scanned;
+    const Region* region = find(cursor);
+    if (region == nullptr || !allows(region->perm, Perm::kRead)) {
+      return {false, scanned};
+    }
+    const std::uint64_t chunk =
+        std::min<std::uint64_t>(region->end() - cursor, cap - scanned);
+    const void* hit = std::memchr(region->bytes.data() + (cursor - region->base), 0,
+                                  static_cast<std::size_t>(chunk));
+    if (hit != nullptr) {
+      const auto off = static_cast<const std::byte*>(hit) -
+                       (region->bytes.data() + (cursor - region->base));
+      return {true, scanned + static_cast<std::uint64_t>(off)};
+    }
+    scanned += chunk;
+  }
+  return {false, scanned};
+}
+
 std::string AddressSpace::read_cstring(Addr addr, std::uint64_t max_len) const {
-  std::string out;
-  for (std::uint64_t i = 0; i < max_len; ++i) {
-    const std::uint8_t byte = load8(addr + i);
-    if (byte == 0) return out;
-    out += static_cast<char>(byte);
+  const TerminatorScan scan = scan_terminator(addr, max_len);
+  if (scan.found) {
+    std::string out;
+    out.resize(static_cast<std::size_t>(scan.scanned));
+    // The scan proved [addr, addr+scanned) readable; gather per-region chunks
+    // (the run may cross abutting regions).
+    std::uint64_t copied = 0;
+    while (copied < scan.scanned) {
+      const Addr cursor = addr + copied;
+      const Region* region = find(cursor);
+      const std::uint64_t chunk =
+          std::min<std::uint64_t>(region->end() - cursor, scan.scanned - copied);
+      std::memcpy(out.data() + copied, region->bytes.data() + (cursor - region->base), chunk);
+      copied += chunk;
+    }
+    return out;
+  }
+  if (scan.scanned < max_len) {
+    // The scan left readable memory: replay the faulting byte access so the
+    // fault kind/address/detail match the reference per-byte loop exactly.
+    (void)load8(addr + scan.scanned);
   }
   throw AccessFault(FaultKind::kSegv, addr + max_len,
                     "unterminated string scan exceeded " + std::to_string(max_len) + " bytes");
@@ -205,6 +313,7 @@ void AddressSpace::restore(const Snapshot& snap) {
   }
   while (live != regions_.end()) live = regions_.erase(live);
   next_base_ = snap.next_base;
+  cache_flush();
 }
 
 bool AddressSpace::accessible(Addr addr, std::uint64_t len, Perm want) const noexcept {

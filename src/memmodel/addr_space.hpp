@@ -11,6 +11,16 @@
 // neighbouring mapping. The heap is deliberately a *single* region (see
 // heap.hpp): overflow between allocations must corrupt silently, as it does
 // on a real chunked allocator.
+//
+// Fast path (DESIGN.md, "memory fast path"): region lookup goes through a
+// small direct-mapped cache (a simulated TLB: a last-hit slot plus a few
+// ways keyed by address page) in front of the std::map, and the span API
+// below exposes whole accessible runs after a single boundary+permission
+// check so hot consumers do not pay one map walk per byte. The cache is an
+// invisible optimisation: it is flushed on every layout or permission
+// mutation (map/map_at/unmap/protect/restore) and can be disabled entirely
+// (set_region_cache_enabled) with no observable difference — tests enforce
+// this.
 #pragma once
 
 #include <cstddef>
@@ -111,6 +121,42 @@ class AddressSpace {
   [[nodiscard]] std::vector<std::byte> read_bytes(Addr addr, std::uint64_t len) const;
   void write_bytes(Addr addr, const std::byte* data, std::uint64_t len);
 
+  // --- span fast path -------------------------------------------------------
+  // One boundary+permission check for a whole run, then a raw pointer into
+  // the region's backing bytes. Pointers are valid only until the next
+  // layout mutation (map/map_at/unmap/restore) — consume them immediately.
+
+  // Pointer to exactly [addr, addr+len); throws AccessFault like check()
+  // when the run is unmapped, under-privileged, or crosses a region end.
+  // len must be > 0.
+  [[nodiscard]] const std::byte* span(Addr addr, std::uint64_t len, Perm want) const;
+
+  // Writable pointer to [addr, addr+len); the whole run is marked dirty up
+  // front (batched mark_dirty — a superset of what the caller may actually
+  // write, which restore() copies back harmlessly). len must be > 0.
+  [[nodiscard]] std::byte* mutable_span(Addr addr, std::uint64_t len);
+
+  // Longest run accessible with `want` starting at addr (0 when addr itself
+  // is not accessible). Bounded by the containing region; callers that must
+  // mirror byte-at-a-time semantics across abutting regions re-query at the
+  // returned boundary.
+  [[nodiscard]] std::uint64_t span_extent(Addr addr, Perm want) const noexcept;
+
+  // Longest run accessible with `want` ENDING at addr inclusive (for
+  // backward copies): bytes [addr-r+1, addr].
+  [[nodiscard]] std::uint64_t span_extent_back(Addr addr, Perm want) const noexcept;
+
+  // memchr-based NUL scan from addr over readable memory (crossing abutting
+  // regions exactly as a per-byte scan would), capped at `cap` bytes.
+  // found  -> scanned = offset of the NUL.
+  // !found -> scanned = readable bytes consumed; addr+scanned is the first
+  //           unreadable byte unless scanned == cap (cap exhausted).
+  struct TerminatorScan {
+    bool found = false;
+    std::uint64_t scanned = 0;
+  };
+  [[nodiscard]] TerminatorScan scan_terminator(Addr addr, std::uint64_t cap) const noexcept;
+
   // Reads a NUL-terminated string starting at addr, faulting if the scan
   // leaves mapped readable memory before a NUL. max_len bounds the scan so a
   // missing terminator in a huge region surfaces as a hang upstream.
@@ -127,6 +173,19 @@ class AddressSpace {
 
   // An address guaranteed unmapped forever (wild-pointer test value).
   [[nodiscard]] static constexpr Addr wild_pointer() noexcept { return 0xdeadbeef000ULL; }
+
+  // --- region cache controls ------------------------------------------------
+  // The cache only changes lookup cost, never results; disabling it is the
+  // reference behaviour the golden-tick tests compare against. Hit/miss
+  // counters let benches and tests observe that the fast path is actually
+  // taken.
+  void set_region_cache_enabled(bool enabled) noexcept {
+    cache_enabled_ = enabled;
+    cache_flush();
+  }
+  [[nodiscard]] bool region_cache_enabled() const noexcept { return cache_enabled_; }
+  [[nodiscard]] std::uint64_t region_cache_hits() const noexcept { return cache_hits_; }
+  [[nodiscard]] std::uint64_t region_cache_misses() const noexcept { return cache_misses_; }
 
   // --- snapshot / restore (the fault injector's process-reset primitive) ---
   // A snapshot captures every region (metadata + bytes) and the bump
@@ -146,8 +205,37 @@ class AddressSpace {
   const Region& checked(Addr addr, std::uint64_t len, Perm want) const;
   Region& checked_mut(Addr addr, std::uint64_t len, Perm want);
 
+  // --- region cache (sim-TLB) ----------------------------------------------
+  // Direct-mapped ways keyed by address page plus a last-hit slot. Entries
+  // hold raw Region pointers (std::map nodes are stable until erased), so
+  // every operation that can erase or re-create a node flushes the cache.
+  // Negative lookups are never cached: a miss in a guard gap stays a miss.
+  static constexpr unsigned kCachePageBits = 12;
+  static constexpr unsigned kCacheWays = 8;  // power of two
+
+  struct CacheWay {
+    Addr page = ~Addr{0};
+    Region* region = nullptr;
+  };
+
+  [[nodiscard]] Region* cache_lookup(Addr addr) const noexcept;
+  void cache_fill(Addr addr, Region* region) const noexcept;
+  void cache_flush() const noexcept {
+    last_hit_ = nullptr;
+    for (CacheWay& way : ways_) way = CacheWay{};
+  }
+
   std::map<Addr, Region> regions_;  // keyed by base
   Addr next_base_;
+
+  bool cache_enabled_ = true;
+  // NOTE: the cache makes logically-const lookups write these fields, so a
+  // single AddressSpace must not be read from multiple threads. Every
+  // existing user (one machine per testbed worker) already satisfies this.
+  mutable Region* last_hit_ = nullptr;
+  mutable CacheWay ways_[kCacheWays];
+  mutable std::uint64_t cache_hits_ = 0;
+  mutable std::uint64_t cache_misses_ = 0;
 };
 
 }  // namespace healers::mem

@@ -50,6 +50,15 @@ class Machine {
   // Consumes `n` steps of work; throws SimHang when the budget is exceeded.
   // Each step also advances the virtual cycle clock.
   void tick(std::uint64_t n = 1);
+  // How many of `n` per-unit {tick(); work} iterations would complete before
+  // the budget hangs. Bulk loops tick and commit this many units, then issue
+  // one more tick() to raise SimHang at exactly the step the reference
+  // per-byte loop would have (DESIGN.md, tick-equivalence argument).
+  [[nodiscard]] std::uint64_t budget_units(std::uint64_t n) const noexcept {
+    const std::uint64_t budget = config_.step_budget;
+    const std::uint64_t left = budget > steps_ ? budget - steps_ : 0;
+    return n < left ? n : left;
+  }
   [[nodiscard]] std::uint64_t steps() const noexcept { return steps_; }
   [[nodiscard]] std::uint64_t step_budget() const noexcept { return config_.step_budget; }
   void set_step_budget(std::uint64_t budget) noexcept { config_.step_budget = budget; }

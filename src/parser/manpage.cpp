@@ -70,10 +70,10 @@ SizeExpr SizeExpr::sum_of(std::vector<SizeExpr> terms) {
 
 std::optional<std::uint64_t> safe_cstrlen(const mem::AddressSpace& space, mem::Addr addr,
                                           std::uint64_t cap) {
-  for (std::uint64_t i = 0; i < cap; ++i) {
-    if (!space.accessible(addr + i, 1, mem::Perm::kRead)) return std::nullopt;
-    if (space.load8(addr + i) == 0) return i;
-  }
+  // memchr-backed region scan; stops at the first unreadable byte or at cap,
+  // both of which mean "no safely measurable string here".
+  const mem::AddressSpace::TerminatorScan scan = space.scan_terminator(addr, cap);
+  if (scan.found) return scan.scanned;
   return std::nullopt;
 }
 

@@ -1,0 +1,355 @@
+// Bulk memory primitives for the simulated C library.
+//
+// Each helper is a drop-in replacement for a reference per-byte loop of the
+// shape {tick(); access...} and must be OBSERVABLY IDENTICAL to it: same
+// step/cycle totals, same fault kind/address/detail at the same step, same
+// partial side effects when the step budget hangs mid-loop (DESIGN.md,
+// "memory fast path"). The equivalence argument, used throughout:
+//
+//   n iterations of {tick; work} either all complete (tick(n), n units of
+//   work) or hang after m = Machine::budget_units(n) complete iterations —
+//   so commit m units of work, tick(m) (reaching the budget exactly), then
+//   one more tick() raises SimHang at step budget+1, just like iteration
+//   m+1 of the reference loop. Faults are replayed literally: charge the one
+//   tick the reference loop spends before the bad access, then perform the
+//   original load8/store8 so the AccessFault carries the identical address
+//   and detail text.
+//
+// All helpers walk per-region chunks via span_extent, so runs crossing
+// abutting regions (map_at permits them) behave exactly like a per-byte
+// scan: the walk continues across the seam and faults only where a byte
+// access would.
+#pragma once
+
+#include <algorithm>
+#include <cstring>
+
+#include "memmodel/machine.hpp"
+
+namespace healers::simlib::bulk {
+
+using mem::Addr;
+using mem::Perm;
+
+// Ticks `done` completed units, then raises the hang the reference loop
+// would have raised while starting unit done+1.
+inline void settle(mem::Machine& m, std::uint64_t done, std::uint64_t want) {
+  if (done != 0) m.tick(done);
+  if (done < want) m.tick();  // throws SimHang at step budget+1
+}
+
+// The reference loop ticks, then the byte access throws: hang wins over
+// fault at the same byte, and the fault carries the per-byte address/detail.
+inline void replay_load(mem::Machine& m, Addr addr) {
+  m.tick();
+  (void)m.mem().load8(addr);
+}
+
+// strlen core: length of the NUL-terminated string at `s`, ticking once per
+// scanned byte including the terminator.
+inline std::uint64_t scan_len(mem::Machine& m, Addr s) {
+  mem::AddressSpace& as = m.mem();
+  std::uint64_t n = 0;
+  while (true) {
+    const std::uint64_t extent = as.span_extent(s + n, Perm::kRead);
+    if (extent == 0) {
+      replay_load(m, s + n);  // throws; the scan left readable memory
+      continue;
+    }
+    const std::byte* p = as.span(s + n, extent, Perm::kRead);
+    const void* hit = std::memchr(p, 0, extent);
+    const auto k = hit != nullptr
+                       ? static_cast<std::uint64_t>(static_cast<const std::byte*>(hit) - p)
+                       : extent;
+    const std::uint64_t want = hit != nullptr ? k + 1 : extent;
+    settle(m, m.budget_units(want), want);
+    if (hit != nullptr) return n + k;
+    n += extent;
+  }
+}
+
+// strnlen core: like scan_len but never looks past `cap` bytes.
+inline std::uint64_t scan_len_bounded(mem::Machine& m, Addr s, std::uint64_t cap) {
+  mem::AddressSpace& as = m.mem();
+  std::uint64_t n = 0;
+  while (n < cap) {
+    const std::uint64_t extent = as.span_extent(s + n, Perm::kRead);
+    if (extent == 0) {
+      replay_load(m, s + n);
+      continue;
+    }
+    const std::uint64_t c = std::min(extent, cap - n);
+    const std::byte* p = as.span(s + n, c, Perm::kRead);
+    const void* hit = std::memchr(p, 0, c);
+    const auto k = hit != nullptr
+                       ? static_cast<std::uint64_t>(static_cast<const std::byte*>(hit) - p)
+                       : c;
+    const std::uint64_t want = hit != nullptr ? k + 1 : c;
+    settle(m, m.budget_units(want), want);
+    if (hit != nullptr) return n + k;
+    n += c;
+  }
+  return cap;
+}
+
+// memcpy core: forward byte copy of n bytes, one tick per byte, with the
+// reference's (lack of) overlap handling: a forward-overlapping copy
+// (src < dest < src+n) self-replicates with period dest-src, because chunks
+// are capped at that gap and each chunk re-reads what earlier chunks wrote.
+// dest <= src overlap is handled by per-chunk memmove (reads win, as in the
+// byte loop).
+inline void copy_forward(mem::Machine& m, Addr dest, Addr src, std::uint64_t n) {
+  mem::AddressSpace& as = m.mem();
+  const std::uint64_t gap = dest > src ? dest - src : 0;
+  std::uint64_t i = 0;
+  while (i < n) {
+    std::uint64_t c = std::min(as.span_extent(src + i, Perm::kRead),
+                               as.span_extent(dest + i, Perm::kWrite));
+    c = std::min(c, n - i);
+    if (gap != 0) c = std::min(c, gap);
+    if (c == 0) {
+      m.tick();
+      const std::uint8_t byte = as.load8(src + i);  // faults when src ran out
+      as.store8(dest + i, byte);                    // otherwise dest must
+      ++i;
+      continue;
+    }
+    const std::uint64_t w = m.budget_units(c);
+    if (w != 0) {
+      std::memmove(as.mutable_span(dest + i, w), as.span(src + i, w, Perm::kRead), w);
+    }
+    settle(m, w, c);
+    i += c;
+  }
+}
+
+// memmove backward core (dest > src): copies n bytes from the top down,
+// one tick per byte. Reads always see original bytes (writes land above
+// every remaining read), so per-chunk memmove of the original content is
+// exact.
+inline void copy_backward(mem::Machine& m, Addr dest, Addr src, std::uint64_t n) {
+  mem::AddressSpace& as = m.mem();
+  std::uint64_t done = 0;
+  while (done < n) {
+    const Addr rs = src + (n - done) - 1;  // highest uncopied source byte
+    const Addr rd = dest + (n - done) - 1;
+    std::uint64_t c = std::min(as.span_extent_back(rs, Perm::kRead),
+                               as.span_extent_back(rd, Perm::kWrite));
+    c = std::min(c, n - done);
+    if (c == 0) {
+      m.tick();
+      const std::uint8_t byte = as.load8(rs);
+      as.store8(rd, byte);
+      ++done;
+      continue;
+    }
+    const std::uint64_t w = m.budget_units(c);
+    if (w != 0) {
+      std::memmove(as.mutable_span(rd - w + 1, w), as.span(rs - w + 1, w, Perm::kRead), w);
+    }
+    settle(m, w, c);
+    done += c;
+  }
+}
+
+// memset core: n bytes of `value`, one tick per byte.
+inline void fill(mem::Machine& m, Addr dest, std::uint8_t value, std::uint64_t n) {
+  mem::AddressSpace& as = m.mem();
+  std::uint64_t i = 0;
+  while (i < n) {
+    const std::uint64_t c = std::min(as.span_extent(dest + i, Perm::kWrite), n - i);
+    if (c == 0) {
+      m.tick();
+      as.store8(dest + i, value);  // throws the exact write fault
+      ++i;
+      continue;
+    }
+    const std::uint64_t w = m.budget_units(c);
+    if (w != 0) std::memset(as.mutable_span(dest + i, w), value, w);
+    settle(m, w, c);
+    i += c;
+  }
+}
+
+// sprintf/fread/fgets core: writes n host-side bytes into simulated memory,
+// one tick per byte. When `cursor` is non-null it is advanced once per
+// committed byte BEFORE any fault or hang escapes, matching reference loops
+// that consume their host source before the faulting store (fgets advances
+// file.pos, gets advances stdin_pos).
+inline void store_host(mem::Machine& m, Addr dest, const char* src, std::uint64_t n,
+                       std::uint64_t* cursor = nullptr) {
+  mem::AddressSpace& as = m.mem();
+  std::uint64_t i = 0;
+  while (i < n) {
+    const std::uint64_t c = std::min(as.span_extent(dest + i, Perm::kWrite), n - i);
+    if (c == 0) {
+      m.tick();
+      if (cursor != nullptr) ++*cursor;
+      as.store8(dest + i, static_cast<std::uint8_t>(src[i]));  // throws the write fault
+      ++i;
+      continue;
+    }
+    const std::uint64_t w = m.budget_units(c);
+    if (w != 0) std::memcpy(as.mutable_span(dest + i, w), src + i, w);
+    if (cursor != nullptr) *cursor += w;
+    settle(m, w, c);
+    i += c;
+  }
+}
+
+// strcpy core: copies bytes through the terminator inclusive, one tick per
+// byte. Returns the number of bytes copied minus the NUL (the string
+// length). Overlap semantics match copy_forward.
+inline std::uint64_t copy_cstr(mem::Machine& m, Addr dest, Addr src) {
+  mem::AddressSpace& as = m.mem();
+  const std::uint64_t gap = dest > src ? dest - src : 0;
+  std::uint64_t i = 0;
+  while (true) {
+    std::uint64_t c = std::min(as.span_extent(src + i, Perm::kRead),
+                               as.span_extent(dest + i, Perm::kWrite));
+    if (gap != 0) c = std::min(c, gap);
+    if (c == 0) {
+      m.tick();
+      const std::uint8_t byte = as.load8(src + i);
+      as.store8(dest + i, byte);
+      if (byte == 0) return i;  // unreachable: a zero extent cannot store
+      ++i;
+      continue;
+    }
+    const std::byte* sp = as.span(src + i, c, Perm::kRead);
+    const void* hit = std::memchr(sp, 0, c);
+    const auto k = hit != nullptr
+                       ? static_cast<std::uint64_t>(static_cast<const std::byte*>(hit) - sp)
+                       : c;
+    const std::uint64_t want = hit != nullptr ? k + 1 : c;
+    const std::uint64_t w = m.budget_units(want);
+    if (w != 0) std::memmove(as.mutable_span(dest + i, w), sp, w);
+    settle(m, w, want);
+    if (hit != nullptr) return i + k;
+    i += c;
+  }
+}
+
+// strncpy copy phase: copies until the terminator (inclusive) or `cap`
+// bytes, whichever first; returns bytes consumed (the reference loop's final
+// i). The caller zero-fills the remainder with fill().
+inline std::uint64_t copy_cstr_bounded(mem::Machine& m, Addr dest, Addr src, std::uint64_t cap) {
+  mem::AddressSpace& as = m.mem();
+  const std::uint64_t gap = dest > src ? dest - src : 0;
+  std::uint64_t i = 0;
+  while (i < cap) {
+    std::uint64_t c = std::min(as.span_extent(src + i, Perm::kRead),
+                               as.span_extent(dest + i, Perm::kWrite));
+    c = std::min(c, cap - i);
+    if (gap != 0) c = std::min(c, gap);
+    if (c == 0) {
+      m.tick();
+      const std::uint8_t byte = as.load8(src + i);
+      as.store8(dest + i, byte);
+      ++i;
+      if (byte == 0) return i;  // unreachable, as in copy_cstr
+      continue;
+    }
+    const std::byte* sp = as.span(src + i, c, Perm::kRead);
+    const void* hit = std::memchr(sp, 0, c);
+    const auto k = hit != nullptr
+                       ? static_cast<std::uint64_t>(static_cast<const std::byte*>(hit) - sp)
+                       : c;
+    const std::uint64_t want = hit != nullptr ? k + 1 : c;
+    const std::uint64_t w = m.budget_units(want);
+    if (w != 0) std::memmove(as.mutable_span(dest + i, w), sp, w);
+    settle(m, w, want);
+    i += want;
+    if (hit != nullptr) return i;
+  }
+  return cap;
+}
+
+// strcmp/strncmp/memcmp/strcasecmp core. Walks both streams one tick per
+// compared position; a difference ends the walk with -1/1 (checked before
+// the terminator, as in the reference loops), a NUL in both ends it with 0
+// when stop_at_nul is set. `cap` bounds the walk (SIZE_MAX-ish for the
+// unbounded variants).
+inline std::int64_t compare(mem::Machine& m, Addr a, Addr b, std::uint64_t cap,
+                            bool stop_at_nul, bool fold_case) {
+  mem::AddressSpace& as = m.mem();
+  const auto lower = [](std::uint8_t byte) {
+    return byte >= 'A' && byte <= 'Z' ? static_cast<std::uint8_t>(byte + 32) : byte;
+  };
+  std::uint64_t i = 0;
+  while (i < cap) {
+    std::uint64_t c = std::min(as.span_extent(a + i, Perm::kRead),
+                               as.span_extent(b + i, Perm::kRead));
+    c = std::min(c, cap - i);
+    if (c == 0) {
+      m.tick();
+      (void)as.load8(a + i);  // one of the two streams must fault here
+      (void)as.load8(b + i);
+      ++i;
+      continue;
+    }
+    const std::byte* pa = as.span(a + i, c, Perm::kRead);
+    const std::byte* pb = as.span(b + i, c, Perm::kRead);
+    // First position where the walk ends inside this chunk, if any.
+    std::uint64_t diff_at = c;
+    if (fold_case) {
+      for (std::uint64_t k = 0; k < c; ++k) {
+        if (lower(std::to_integer<std::uint8_t>(pa[k])) !=
+            lower(std::to_integer<std::uint8_t>(pb[k]))) {
+          diff_at = k;
+          break;
+        }
+      }
+    } else if (std::memcmp(pa, pb, c) != 0) {
+      diff_at = static_cast<std::uint64_t>(std::mismatch(pa, pa + c, pb).first - pa);
+    }
+    if (stop_at_nul) {
+      // A shared NUL strictly before the first difference ends the walk
+      // with equality (the reference checks the difference first).
+      const void* nul = std::memchr(pa, 0, static_cast<std::size_t>(std::min(diff_at, c)));
+      if (nul != nullptr) {
+        const auto k = static_cast<std::uint64_t>(static_cast<const std::byte*>(nul) - pa);
+        settle(m, m.budget_units(k + 1), k + 1);
+        return 0;
+      }
+    }
+    if (diff_at < c) {
+      settle(m, m.budget_units(diff_at + 1), diff_at + 1);
+      const std::uint8_t ca = fold_case ? lower(std::to_integer<std::uint8_t>(pa[diff_at]))
+                                        : std::to_integer<std::uint8_t>(pa[diff_at]);
+      const std::uint8_t cb = fold_case ? lower(std::to_integer<std::uint8_t>(pb[diff_at]))
+                                        : std::to_integer<std::uint8_t>(pb[diff_at]);
+      return ca < cb ? -1 : 1;
+    }
+    settle(m, m.budget_units(c), c);
+    i += c;
+  }
+  return 0;
+}
+
+// memchr core: offset of the first `target` within `cap` bytes, or `cap`
+// when absent; one tick per examined byte.
+inline std::uint64_t find_byte(mem::Machine& m, Addr s, std::uint8_t target, std::uint64_t cap) {
+  mem::AddressSpace& as = m.mem();
+  std::uint64_t i = 0;
+  while (i < cap) {
+    const std::uint64_t extent = as.span_extent(s + i, Perm::kRead);
+    if (extent == 0) {
+      replay_load(m, s + i);
+      continue;
+    }
+    const std::uint64_t c = std::min(extent, cap - i);
+    const std::byte* p = as.span(s + i, c, Perm::kRead);
+    const void* hit = std::memchr(p, static_cast<int>(target), c);
+    if (hit != nullptr) {
+      const auto k = static_cast<std::uint64_t>(static_cast<const std::byte*>(hit) - p);
+      settle(m, m.budget_units(k + 1), k + 1);
+      return i + k;
+    }
+    settle(m, m.budget_units(c), c);
+    i += c;
+  }
+  return cap;
+}
+
+}  // namespace healers::simlib::bulk

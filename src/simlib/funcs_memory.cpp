@@ -1,6 +1,7 @@
 // Memory family: mem* block operations and the allocation entry points that
 // forward to the simulated chunked heap. calloc keeps the historical
 // multiplication-overflow bug (CVE-2002-0391 era): nmemb*size wraps silently.
+#include "simlib/bulk.hpp"
 #include "simlib/cerrno.hpp"
 #include "simlib/funcs.hpp"
 #include "simlib/libstate.hpp"
@@ -11,76 +12,45 @@ namespace {
 
 using detail::make_symbol;
 using mem::Addr;
-using mem::AddressSpace;
 
 SimValue fn_memcpy(CallContext& ctx) {
-  AddressSpace& as = ctx.machine.mem();
   const Addr dest = ctx.arg_ptr(0);
-  const Addr src = ctx.arg_ptr(1);
-  const std::uint64_t n = ctx.arg_size(2);
-  // Forward byte copy, no overlap handling (memcpy's historical laxity).
-  for (std::uint64_t i = 0; i < n; ++i) {
-    ctx.machine.tick();
-    as.store8(dest + i, as.load8(src + i));
-  }
+  // Forward byte copy, no overlap handling (memcpy's historical laxity):
+  // copy_forward self-replicates on forward overlap just like the byte loop.
+  bulk::copy_forward(ctx.machine, dest, ctx.arg_ptr(1), ctx.arg_size(2));
   return SimValue::ptr(dest);
 }
 
 SimValue fn_memmove(CallContext& ctx) {
-  AddressSpace& as = ctx.machine.mem();
   const Addr dest = ctx.arg_ptr(0);
   const Addr src = ctx.arg_ptr(1);
   const std::uint64_t n = ctx.arg_size(2);
   if (dest <= src) {
-    for (std::uint64_t i = 0; i < n; ++i) {
-      ctx.machine.tick();
-      as.store8(dest + i, as.load8(src + i));
-    }
+    bulk::copy_forward(ctx.machine, dest, src, n);
   } else {
-    for (std::uint64_t i = n; i > 0; --i) {
-      ctx.machine.tick();
-      as.store8(dest + i - 1, as.load8(src + i - 1));
-    }
+    bulk::copy_backward(ctx.machine, dest, src, n);
   }
   return SimValue::ptr(dest);
 }
 
 SimValue fn_memset(CallContext& ctx) {
-  AddressSpace& as = ctx.machine.mem();
   const Addr dest = ctx.arg_ptr(0);
-  const auto value = static_cast<std::uint8_t>(ctx.arg_int(1));
-  const std::uint64_t n = ctx.arg_size(2);
-  for (std::uint64_t i = 0; i < n; ++i) {
-    ctx.machine.tick();
-    as.store8(dest + i, value);
-  }
+  bulk::fill(ctx.machine, dest, static_cast<std::uint8_t>(ctx.arg_int(1)), ctx.arg_size(2));
   return SimValue::ptr(dest);
 }
 
 SimValue fn_memcmp(CallContext& ctx) {
-  AddressSpace& as = ctx.machine.mem();
-  const Addr a = ctx.arg_ptr(0);
-  const Addr b = ctx.arg_ptr(1);
-  const std::uint64_t n = ctx.arg_size(2);
-  for (std::uint64_t i = 0; i < n; ++i) {
-    ctx.machine.tick();
-    const int ca = as.load8(a + i);
-    const int cb = as.load8(b + i);
-    if (ca != cb) return SimValue::integer(ca < cb ? -1 : 1);
-  }
-  return SimValue::integer(0);
+  return SimValue::integer(bulk::compare(ctx.machine, ctx.arg_ptr(0), ctx.arg_ptr(1),
+                                         ctx.arg_size(2), /*stop_at_nul=*/false,
+                                         /*fold_case=*/false));
 }
 
 SimValue fn_memchr(CallContext& ctx) {
-  AddressSpace& as = ctx.machine.mem();
   const Addr s = ctx.arg_ptr(0);
-  const auto target = static_cast<std::uint8_t>(ctx.arg_int(1));
   const std::uint64_t n = ctx.arg_size(2);
-  for (std::uint64_t i = 0; i < n; ++i) {
-    ctx.machine.tick();
-    if (as.load8(s + i) == target) return SimValue::ptr(s + i);
-  }
-  return SimValue::null();
+  const std::uint64_t k =
+      bulk::find_byte(ctx.machine, s, static_cast<std::uint8_t>(ctx.arg_int(1)), n);
+  return k < n ? SimValue::ptr(s + k) : SimValue::null();
 }
 
 SimValue fn_malloc(CallContext& ctx) {
@@ -106,11 +76,7 @@ SimValue fn_calloc(CallContext& ctx) {
     ctx.machine.set_err(kENOMEM);
     return SimValue::null();
   }
-  AddressSpace& as = ctx.machine.mem();
-  for (std::uint64_t i = 0; i < total; ++i) {
-    ctx.machine.tick();
-    as.store8(p + i, 0);
-  }
+  bulk::fill(ctx.machine, p, 0, total);
   return SimValue::ptr(p);
 }
 

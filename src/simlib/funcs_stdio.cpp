@@ -6,7 +6,9 @@
 // after fclose) likewise "crashes" — both are behaviours the robustness
 // wrapper must contain by tracking streams it saw fopen return.
 #include <algorithm>
+#include <cstring>
 
+#include "simlib/bulk.hpp"
 #include "simlib/cerrno.hpp"
 #include "simlib/funcs.hpp"
 #include "simlib/libstate.hpp"
@@ -106,7 +108,6 @@ SimValue fn_fclose(CallContext& ctx) {
 }
 
 SimValue fn_fread(CallContext& ctx) {
-  AddressSpace& as = ctx.machine.mem();
   const Addr buf = ctx.arg_ptr(0);
   const std::uint64_t size = ctx.arg_size(1);
   const std::uint64_t nmemb = ctx.arg_size(2);
@@ -123,10 +124,9 @@ SimValue fn_fread(CallContext& ctx) {
   std::uint64_t done = 0;
   for (; done < nmemb; ++done) {
     if (file.pos + size > data->size()) break;
-    for (std::uint64_t i = 0; i < size; ++i) {
-      ctx.machine.tick();
-      as.store8(buf + done * size + i, static_cast<std::uint8_t>((*data)[file.pos + i]));
-    }
+    // file.pos only advances once the whole member landed, so a mid-member
+    // fault leaves the stream position untouched, as in the byte loop.
+    bulk::store_host(ctx.machine, buf + done * size, data->data() + file.pos, size);
     file.pos += size;
   }
   if (done < nmemb) file.eof = true;
@@ -148,13 +148,31 @@ SimValue fn_fwrite(CallContext& ctx) {
     ctx.machine.set_err(kEIO);
     return SimValue::integer(0);
   }
+  // Chunk within each member rather than over a size*nmemb product: the
+  // product wraps for fuzzed huge size/nmemb pairs, which must keep walking
+  // (and faulting) like the reference nested loops. file.pos advances per
+  // committed byte, and the load faults before the stream is touched.
   for (std::uint64_t m = 0; m < nmemb; ++m) {
-    for (std::uint64_t i = 0; i < size; ++i) {
-      ctx.machine.tick();
-      const char byte = static_cast<char>(as.load8(buf + m * size + i));
-      if (file.pos >= data->size()) data->resize(file.pos + 1);
-      (*data)[file.pos] = byte;
-      ++file.pos;
+    const Addr base = buf + m * size;
+    std::uint64_t i = 0;
+    while (i < size) {
+      const std::uint64_t c =
+          std::min(as.span_extent(base + i, mem::Perm::kRead), size - i);
+      if (c == 0) {
+        ctx.machine.tick();
+        (void)as.load8(base + i);  // throws the read fault
+        ++i;
+        continue;
+      }
+      const std::uint64_t w = ctx.machine.budget_units(c);
+      if (w != 0) {
+        const std::byte* p = as.span(base + i, w, mem::Perm::kRead);
+        if (file.pos + w > data->size()) data->resize(file.pos + w);
+        std::memcpy(&(*data)[file.pos], p, w);
+        file.pos += w;
+      }
+      bulk::settle(ctx.machine, w, c);
+      i += c;
     }
   }
   return SimValue::integer(static_cast<std::int64_t>(nmemb));
@@ -174,15 +192,17 @@ SimValue fn_fgets(CallContext& ctx) {
     file.eof = true;
     return SimValue::null();
   }
-  std::int64_t written = 0;
-  while (written < n - 1 && file.pos < data->size()) {
-    ctx.machine.tick();
-    const char byte = (*data)[file.pos++];
-    as.store8(buf + static_cast<std::uint64_t>(written), static_cast<std::uint8_t>(byte));
-    ++written;
-    if (byte == '\n') break;
-  }
-  as.store8(buf + static_cast<std::uint64_t>(written), 0);
+  // Stop at newline (stored), buffer capacity, or end of data — whichever
+  // first. file.pos advances per consumed byte before the store, so a
+  // faulting store still leaves the byte consumed, as in the byte loop.
+  const std::uint64_t limit =
+      std::min<std::uint64_t>(static_cast<std::uint64_t>(n - 1), data->size() - file.pos);
+  const char* src = data->data() + file.pos;
+  const void* nl = std::memchr(src, '\n', limit);
+  const std::uint64_t want =
+      nl != nullptr ? static_cast<std::uint64_t>(static_cast<const char*>(nl) - src) + 1 : limit;
+  bulk::store_host(ctx.machine, buf, src, want, &file.pos);
+  as.store8(buf + want, 0);  // unticked, as in the reference epilogue
   return SimValue::ptr(buf);
 }
 
@@ -199,12 +219,31 @@ SimValue fn_fputs(CallContext& ctx) {
     ctx.machine.set_err(kEIO);
     return SimValue::integer(-1);
   }
-  for (std::uint64_t i = 0;; ++i) {
-    ctx.machine.tick();
-    const std::uint8_t byte = as.load8(s + i);
-    if (byte == 0) break;
-    if (file.pos >= data->size()) data->resize(file.pos + 1);
-    (*data)[file.pos++] = static_cast<char>(byte);
+  // Chunked scan-and-append: the terminator iteration ticks but writes
+  // nothing, so only min(w, k) data bytes land before a hang.
+  std::uint64_t i = 0;
+  while (true) {
+    const std::uint64_t extent = as.span_extent(s + i, mem::Perm::kRead);
+    if (extent == 0) {
+      bulk::replay_load(ctx.machine, s + i);
+      continue;
+    }
+    const std::byte* p = as.span(s + i, extent, mem::Perm::kRead);
+    const void* hit = std::memchr(p, 0, extent);
+    const auto k = hit != nullptr
+                       ? static_cast<std::uint64_t>(static_cast<const std::byte*>(hit) - p)
+                       : extent;
+    const std::uint64_t want = hit != nullptr ? k + 1 : extent;
+    const std::uint64_t w = ctx.machine.budget_units(want);
+    const std::uint64_t bytes = std::min(w, k);
+    if (bytes != 0) {
+      if (file.pos + bytes > data->size()) data->resize(file.pos + bytes);
+      std::memcpy(&(*data)[file.pos], p, bytes);
+      file.pos += bytes;
+    }
+    bulk::settle(ctx.machine, w, want);
+    if (hit != nullptr) break;
+    i += extent;
   }
   return SimValue::integer(1);
 }
@@ -302,11 +341,8 @@ SimValue fn_sprintf(CallContext& ctx) {
   std::string out;
   detail::format_into(ctx, ctx.arg_ptr(1), 2, out);
   // Unbounded write: the classic overflow vector.
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    ctx.machine.tick();
-    as.store8(dest + i, static_cast<std::uint8_t>(out[i]));
-  }
-  as.store8(dest + out.size(), 0);
+  bulk::store_host(ctx.machine, dest, out.data(), out.size());
+  as.store8(dest + out.size(), 0);  // unticked, as in the reference epilogue
   return SimValue::integer(static_cast<std::int64_t>(out.size()));
 }
 
@@ -318,11 +354,8 @@ SimValue fn_snprintf(CallContext& ctx) {
   detail::format_into(ctx, ctx.arg_ptr(2), 3, out);
   if (cap > 0) {
     const std::uint64_t n = std::min<std::uint64_t>(out.size(), cap - 1);
-    for (std::uint64_t i = 0; i < n; ++i) {
-      ctx.machine.tick();
-      as.store8(dest + i, static_cast<std::uint8_t>(out[i]));
-    }
-    as.store8(dest + n, 0);
+    bulk::store_host(ctx.machine, dest, out.data(), n);
+    as.store8(dest + n, 0);  // unticked, as in the reference epilogue
   }
   return SimValue::integer(static_cast<std::int64_t>(out.size()));
 }
@@ -334,15 +367,18 @@ SimValue fn_gets(CallContext& ctx) {
   const Addr dest = ctx.arg_ptr(0);
   simlib::LibState& st = ctx.state;
   if (st.stdin_pos >= st.stdin_content.size()) return SimValue::null();  // EOF
-  std::uint64_t written = 0;
-  while (st.stdin_pos < st.stdin_content.size()) {
-    ctx.machine.tick();
-    const char byte = st.stdin_content[st.stdin_pos++];
-    if (byte == '\n') break;
-    as.store8(dest + written, static_cast<std::uint8_t>(byte));
-    ++written;
+  // The newline is consumed (one tick, stdin_pos advances) but never stored.
+  const std::uint64_t avail = st.stdin_content.size() - st.stdin_pos;
+  const char* src = st.stdin_content.data() + st.stdin_pos;
+  const void* nl = std::memchr(src, '\n', avail);
+  const std::uint64_t stored =
+      nl != nullptr ? static_cast<std::uint64_t>(static_cast<const char*>(nl) - src) : avail;
+  bulk::store_host(ctx.machine, dest, src, stored, &st.stdin_pos);
+  if (nl != nullptr) {
+    ctx.machine.tick();  // the newline iteration: may hang before consuming
+    ++st.stdin_pos;
   }
-  as.store8(dest + written, 0);
+  as.store8(dest + stored, 0);  // unticked, as in the reference epilogue
   return SimValue::ptr(dest);
 }
 
@@ -356,11 +392,24 @@ SimValue fn_getchar(CallContext& ctx) {
 SimValue fn_puts(CallContext& ctx) {
   AddressSpace& as = ctx.machine.mem();
   const Addr s = ctx.arg_ptr(0);
-  for (std::uint64_t i = 0;; ++i) {
-    ctx.machine.tick();
-    const std::uint8_t byte = as.load8(s + i);
-    if (byte == 0) break;
-    ctx.state.stdout_capture += static_cast<char>(byte);
+  std::uint64_t i = 0;
+  while (true) {
+    const std::uint64_t extent = as.span_extent(s + i, mem::Perm::kRead);
+    if (extent == 0) {
+      bulk::replay_load(ctx.machine, s + i);
+      continue;
+    }
+    const std::byte* p = as.span(s + i, extent, mem::Perm::kRead);
+    const void* hit = std::memchr(p, 0, extent);
+    const auto k = hit != nullptr
+                       ? static_cast<std::uint64_t>(static_cast<const std::byte*>(hit) - p)
+                       : extent;
+    const std::uint64_t want = hit != nullptr ? k + 1 : extent;
+    const std::uint64_t w = ctx.machine.budget_units(want);
+    ctx.state.stdout_capture.append(reinterpret_cast<const char*>(p), std::min(w, k));
+    bulk::settle(ctx.machine, w, want);
+    if (hit != nullptr) break;
+    i += extent;
   }
   ctx.state.stdout_capture += '\n';
   return SimValue::integer(1);

@@ -5,6 +5,9 @@
 // and scans run until a terminator or a fault. Each processed byte costs one
 // machine tick so that unterminated scans over huge mappings surface as
 // hangs (the driver-timeout outcome).
+#include <cstring>
+
+#include "simlib/bulk.hpp"
 #include "simlib/cerrno.hpp"
 #include "simlib/funcs.hpp"
 #include "simlib/libstate.hpp"
@@ -17,15 +20,9 @@ using detail::make_symbol;
 using mem::Addr;
 using mem::AddressSpace;
 
-// strlen core: scan until NUL, ticking per byte.
+// strlen core: scan until NUL, ticking per byte (bulked, oracle-identical).
 std::uint64_t scan_len(CallContext& ctx, Addr s) {
-  AddressSpace& as = ctx.machine.mem();
-  std::uint64_t n = 0;
-  while (true) {
-    ctx.machine.tick();
-    if (as.load8(s + n) == 0) return n;
-    ++n;
-  }
+  return bulk::scan_len(ctx.machine, s);
 }
 
 SimValue fn_strlen(CallContext& ctx) {
@@ -33,51 +30,24 @@ SimValue fn_strlen(CallContext& ctx) {
 }
 
 SimValue fn_strcpy(CallContext& ctx) {
-  AddressSpace& as = ctx.machine.mem();
   const Addr dest = ctx.arg_ptr(0);
-  const Addr src = ctx.arg_ptr(1);
-  for (std::uint64_t i = 0;; ++i) {
-    ctx.machine.tick();
-    const std::uint8_t byte = as.load8(src + i);
-    as.store8(dest + i, byte);
-    if (byte == 0) break;
-  }
+  bulk::copy_cstr(ctx.machine, dest, ctx.arg_ptr(1));
   return SimValue::ptr(dest);
 }
 
 SimValue fn_strncpy(CallContext& ctx) {
-  AddressSpace& as = ctx.machine.mem();
   const Addr dest = ctx.arg_ptr(0);
-  const Addr src = ctx.arg_ptr(1);
   const std::uint64_t n = ctx.arg_size(2);
-  std::uint64_t i = 0;
-  for (; i < n; ++i) {
-    ctx.machine.tick();
-    const std::uint8_t byte = as.load8(src + i);
-    as.store8(dest + i, byte);
-    if (byte == 0) {
-      ++i;
-      break;
-    }
-  }
-  for (; i < n; ++i) {  // spec-faithful zero fill to exactly n bytes
-    ctx.machine.tick();
-    as.store8(dest + i, 0);
-  }
+  // Copy through the terminator, then the spec-faithful zero fill to n.
+  const std::uint64_t copied = bulk::copy_cstr_bounded(ctx.machine, dest, ctx.arg_ptr(1), n);
+  bulk::fill(ctx.machine, dest + copied, 0, n - copied);
   return SimValue::ptr(dest);
 }
 
 SimValue fn_strcat(CallContext& ctx) {
-  AddressSpace& as = ctx.machine.mem();
   const Addr dest = ctx.arg_ptr(0);
-  const Addr src = ctx.arg_ptr(1);
   const std::uint64_t base = scan_len(ctx, dest);
-  for (std::uint64_t i = 0;; ++i) {
-    ctx.machine.tick();
-    const std::uint8_t byte = as.load8(src + i);
-    as.store8(dest + base + i, byte);
-    if (byte == 0) break;
-  }
+  bulk::copy_cstr(ctx.machine, dest + base, ctx.arg_ptr(1));
   return SimValue::ptr(dest);
 }
 
@@ -99,42 +69,47 @@ SimValue fn_strncat(CallContext& ctx) {
 }
 
 SimValue fn_strcmp(CallContext& ctx) {
-  AddressSpace& as = ctx.machine.mem();
-  const Addr a = ctx.arg_ptr(0);
-  const Addr b = ctx.arg_ptr(1);
-  for (std::uint64_t i = 0;; ++i) {
-    ctx.machine.tick();
-    const int ca = as.load8(a + i);
-    const int cb = as.load8(b + i);
-    if (ca != cb) return SimValue::integer(ca < cb ? -1 : 1);
-    if (ca == 0) return SimValue::integer(0);
-  }
+  return SimValue::integer(bulk::compare(ctx.machine, ctx.arg_ptr(0), ctx.arg_ptr(1),
+                                         ~std::uint64_t{0}, /*stop_at_nul=*/true,
+                                         /*fold_case=*/false));
 }
 
 SimValue fn_strncmp(CallContext& ctx) {
-  AddressSpace& as = ctx.machine.mem();
-  const Addr a = ctx.arg_ptr(0);
-  const Addr b = ctx.arg_ptr(1);
-  const std::uint64_t n = ctx.arg_size(2);
-  for (std::uint64_t i = 0; i < n; ++i) {
-    ctx.machine.tick();
-    const int ca = as.load8(a + i);
-    const int cb = as.load8(b + i);
-    if (ca != cb) return SimValue::integer(ca < cb ? -1 : 1);
-    if (ca == 0) break;
-  }
-  return SimValue::integer(0);
+  return SimValue::integer(bulk::compare(ctx.machine, ctx.arg_ptr(0), ctx.arg_ptr(1),
+                                         ctx.arg_size(2), /*stop_at_nul=*/true,
+                                         /*fold_case=*/false));
 }
 
 SimValue fn_strchr(CallContext& ctx) {
   AddressSpace& as = ctx.machine.mem();
   const Addr s = ctx.arg_ptr(0);
   const auto target = static_cast<std::uint8_t>(ctx.arg_int(1));
-  for (std::uint64_t i = 0;; ++i) {
-    ctx.machine.tick();
-    const std::uint8_t byte = as.load8(s + i);
-    if (byte == target) return SimValue::ptr(s + i);
-    if (byte == 0) return SimValue::null();
+  std::uint64_t i = 0;
+  while (true) {
+    const std::uint64_t extent = as.span_extent(s + i, mem::Perm::kRead);
+    if (extent == 0) {
+      bulk::replay_load(ctx.machine, s + i);
+      continue;
+    }
+    const std::byte* p = as.span(s + i, extent, mem::Perm::kRead);
+    const void* ht = std::memchr(p, target, extent);
+    const void* h0 = std::memchr(p, 0, extent);
+    const auto off = [p](const void* hit, std::uint64_t none) {
+      return hit != nullptr
+                 ? static_cast<std::uint64_t>(static_cast<const std::byte*>(hit) - p)
+                 : none;
+    };
+    const std::uint64_t kt = off(ht, extent);
+    const std::uint64_t k0 = off(h0, extent);
+    const std::uint64_t k = std::min(kt, k0);
+    if (k < extent) {
+      bulk::settle(ctx.machine, ctx.machine.budget_units(k + 1), k + 1);
+      // The reference checks the target before the terminator, so a NUL
+      // target matches the terminator itself.
+      return kt <= k0 ? SimValue::ptr(s + i + k) : SimValue::null();
+    }
+    bulk::settle(ctx.machine, ctx.machine.budget_units(extent), extent);
+    i += extent;
   }
 }
 
@@ -144,14 +119,30 @@ SimValue fn_strrchr(CallContext& ctx) {
   const auto target = static_cast<std::uint8_t>(ctx.arg_int(1));
   Addr found = 0;
   bool any = false;
-  for (std::uint64_t i = 0;; ++i) {
-    ctx.machine.tick();
-    const std::uint8_t byte = as.load8(s + i);
-    if (byte == target) {
-      found = s + i;
-      any = true;
+  std::uint64_t i = 0;
+  while (true) {
+    const std::uint64_t extent = as.span_extent(s + i, mem::Perm::kRead);
+    if (extent == 0) {
+      bulk::replay_load(ctx.machine, s + i);
+      continue;
     }
-    if (byte == 0) break;
+    const std::byte* p = as.span(s + i, extent, mem::Perm::kRead);
+    const void* h0 = std::memchr(p, 0, extent);
+    // The terminator byte is examined too (a NUL target matches it).
+    const std::uint64_t limit =
+        h0 != nullptr
+            ? static_cast<std::uint64_t>(static_cast<const std::byte*>(h0) - p) + 1
+            : extent;
+    for (std::uint64_t k = limit; k > 0; --k) {
+      if (std::to_integer<std::uint8_t>(p[k - 1]) == target) {
+        found = s + i + k - 1;
+        any = true;
+        break;
+      }
+    }
+    bulk::settle(ctx.machine, ctx.machine.budget_units(limit), limit);
+    if (h0 != nullptr) break;
+    i += extent;
   }
   return any ? SimValue::ptr(found) : SimValue::null();
 }
@@ -221,7 +212,6 @@ SimValue fn_strpbrk(CallContext& ctx) {
 }
 
 SimValue fn_strdup(CallContext& ctx) {
-  AddressSpace& as = ctx.machine.mem();
   const Addr s = ctx.arg_ptr(0);
   const std::uint64_t len = scan_len(ctx, s);
   const Addr copy = ctx.machine.heap().malloc(len + 1);
@@ -229,10 +219,7 @@ SimValue fn_strdup(CallContext& ctx) {
     ctx.machine.set_err(kENOMEM);
     return SimValue::null();
   }
-  for (std::uint64_t i = 0; i <= len; ++i) {
-    ctx.machine.tick();
-    as.store8(copy + i, as.load8(s + i));
-  }
+  bulk::copy_forward(ctx.machine, copy, s, len + 1);
   return SimValue::ptr(copy);
 }
 
@@ -302,48 +289,20 @@ SimValue fn_strcoll(CallContext& ctx) {
 }
 
 SimValue fn_strnlen(CallContext& ctx) {
-  AddressSpace& as = ctx.machine.mem();
-  const Addr s = ctx.arg_ptr(0);
-  const std::uint64_t maxlen = ctx.arg_size(1);
-  std::uint64_t n = 0;
-  while (n < maxlen) {
-    ctx.machine.tick();
-    if (as.load8(s + n) == 0) break;
-    ++n;
-  }
-  return SimValue::integer(static_cast<std::int64_t>(n));
-}
-
-std::uint8_t lower_byte(std::uint8_t byte) {
-  return byte >= 'A' && byte <= 'Z' ? static_cast<std::uint8_t>(byte + 32) : byte;
+  return SimValue::integer(static_cast<std::int64_t>(
+      bulk::scan_len_bounded(ctx.machine, ctx.arg_ptr(0), ctx.arg_size(1))));
 }
 
 SimValue fn_strcasecmp(CallContext& ctx) {
-  AddressSpace& as = ctx.machine.mem();
-  const Addr a = ctx.arg_ptr(0);
-  const Addr b = ctx.arg_ptr(1);
-  for (std::uint64_t i = 0;; ++i) {
-    ctx.machine.tick();
-    const int ca = lower_byte(as.load8(a + i));
-    const int cb = lower_byte(as.load8(b + i));
-    if (ca != cb) return SimValue::integer(ca < cb ? -1 : 1);
-    if (ca == 0) return SimValue::integer(0);
-  }
+  return SimValue::integer(bulk::compare(ctx.machine, ctx.arg_ptr(0), ctx.arg_ptr(1),
+                                         ~std::uint64_t{0}, /*stop_at_nul=*/true,
+                                         /*fold_case=*/true));
 }
 
 SimValue fn_strncasecmp(CallContext& ctx) {
-  AddressSpace& as = ctx.machine.mem();
-  const Addr a = ctx.arg_ptr(0);
-  const Addr b = ctx.arg_ptr(1);
-  const std::uint64_t n = ctx.arg_size(2);
-  for (std::uint64_t i = 0; i < n; ++i) {
-    ctx.machine.tick();
-    const int ca = lower_byte(as.load8(a + i));
-    const int cb = lower_byte(as.load8(b + i));
-    if (ca != cb) return SimValue::integer(ca < cb ? -1 : 1);
-    if (ca == 0) break;
-  }
-  return SimValue::integer(0);
+  return SimValue::integer(bulk::compare(ctx.machine, ctx.arg_ptr(0), ctx.arg_ptr(1),
+                                         ctx.arg_size(2), /*stop_at_nul=*/true,
+                                         /*fold_case=*/true));
 }
 
 // The reentrant tokenizer: cursor kept in *saveptr instead of hidden state.

@@ -1,5 +1,7 @@
 #include <cctype>
+#include <cstring>
 
+#include "simlib/bulk.hpp"
 #include "simlib/cerrno.hpp"
 #include "simlib/funcs.hpp"
 #include "simlib/libstate.hpp"
@@ -57,13 +59,38 @@ void format_into(CallContext& ctx, mem::Addr fmt, std::size_t first_vararg, std:
   mem::AddressSpace& as = ctx.machine.mem();
   std::size_t arg = first_vararg;
   for (mem::Addr p = fmt;; ++p) {
-    ctx.machine.tick();
-    const char c = static_cast<char>(as.load8(p));
-    if (c == '\0') return;
-    if (c != '%') {
-      out += c;
-      continue;
+    // Literal run: copy bytes up to the next '%' or terminator in per-region
+    // chunks, one tick per byte including the byte that ends the run. `out`
+    // is host-local and discarded when a fault or hang escapes, so partial
+    // appends before a hang are unobservable.
+    bool done = false;
+    while (true) {
+      const std::uint64_t extent = as.span_extent(p, mem::Perm::kRead);
+      if (extent == 0) {
+        bulk::replay_load(ctx.machine, p);
+        continue;
+      }
+      const std::byte* sp = as.span(p, extent, mem::Perm::kRead);
+      const void* h0 = std::memchr(sp, 0, extent);
+      const void* hp = std::memchr(sp, '%', extent);
+      const std::uint64_t k0 =
+          h0 != nullptr ? static_cast<std::uint64_t>(static_cast<const std::byte*>(h0) - sp)
+                        : extent;
+      const std::uint64_t kp =
+          hp != nullptr ? static_cast<std::uint64_t>(static_cast<const std::byte*>(hp) - sp)
+                        : extent;
+      const std::uint64_t k = std::min(k0, kp);
+      const std::uint64_t want = k < extent ? k + 1 : extent;
+      out.append(reinterpret_cast<const char*>(sp), k);
+      bulk::settle(ctx.machine, ctx.machine.budget_units(want), want);
+      if (k < extent) {
+        done = k0 <= kp;  // terminator wins a tie (it can't: distinct bytes)
+        p += k;           // leave p on the '%' for the parse below
+        break;
+      }
+      p += extent;
     }
+    if (done) return;
     // Parse %[0][width][l]conv — the subset HEALERS workloads use.
     ++p;
     ctx.machine.tick();
@@ -120,11 +147,24 @@ void format_into(CallContext& ctx, mem::Addr fmt, std::size_t first_vararg, std:
         // Faithfully fragile: chase the pointer with no NULL check. Each
         // character costs a tick; an unterminated argument ends in a fault.
         const mem::Addr s = ctx.args.at(arg++).as_ptr();
-        for (mem::Addr q = s;; ++q) {
-          ctx.machine.tick();
-          const std::uint8_t byte = as.load8(q);
-          if (byte == 0) break;
-          piece += static_cast<char>(byte);
+        mem::Addr q = s;
+        while (true) {
+          const std::uint64_t extent = as.span_extent(q, mem::Perm::kRead);
+          if (extent == 0) {
+            bulk::replay_load(ctx.machine, q);
+            continue;
+          }
+          const std::byte* sp = as.span(q, extent, mem::Perm::kRead);
+          const void* hit = std::memchr(sp, 0, extent);
+          const auto k =
+              hit != nullptr
+                  ? static_cast<std::uint64_t>(static_cast<const std::byte*>(hit) - sp)
+                  : extent;
+          piece.append(reinterpret_cast<const char*>(sp), k);
+          bulk::settle(ctx.machine, ctx.machine.budget_units(hit != nullptr ? k + 1 : extent),
+                       hit != nullptr ? k + 1 : extent);
+          if (hit != nullptr) break;
+          q += extent;
         }
         break;
       }

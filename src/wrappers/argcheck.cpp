@@ -8,6 +8,7 @@
 // failures (crashes, hangs, aborts)" (paper §2.1).
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "gen/microgen.hpp"
 #include "gen/stats.hpp"
@@ -122,14 +123,32 @@ std::optional<std::uint64_t> safe_formatted_length(CallContext& ctx, int fmt_ind
   const mem::Addr fmt = ctx.args.at(static_cast<std::size_t>(fmt_index_1based) - 1).as_ptr();
   std::size_t vararg = static_cast<std::size_t>(fmt_index_1based);  // varargs follow the format
   std::uint64_t length = 0;
-  for (mem::Addr p = fmt;; ++p) {
-    if (!space.accessible(p, 1, mem::Perm::kRead)) return std::nullopt;
-    const char c = static_cast<char>(space.load8(p));
-    if (c == '\0') return length;
-    if (c != '%') {
-      ++length;
-      continue;
+  mem::Addr p = fmt;
+  for (;;) {
+    // Literal run: count bytes up to the next '%' or terminator per readable
+    // span — the wrapper's own non-faulting (and untimed) pre-pass.
+    char c = '\0';
+    for (;;) {
+      const std::uint64_t extent = space.span_extent(p, mem::Perm::kRead);
+      if (extent == 0) return std::nullopt;
+      const std::byte* sp = space.span(p, extent, mem::Perm::kRead);
+      const void* h0 = std::memchr(sp, 0, extent);
+      const void* hp = std::memchr(sp, '%', extent);
+      const std::uint64_t k0 =
+          h0 != nullptr ? static_cast<std::uint64_t>(static_cast<const std::byte*>(h0) - sp)
+                        : extent;
+      const std::uint64_t kp =
+          hp != nullptr ? static_cast<std::uint64_t>(static_cast<const std::byte*>(hp) - sp)
+                        : extent;
+      const std::uint64_t k = std::min(k0, kp);
+      length += k;
+      p += k;
+      if (k < extent) {
+        c = static_cast<char>(sp[k]);
+        break;
+      }
     }
+    if (c == '\0') return length;
     ++p;
     if (!space.accessible(p, 1, mem::Perm::kRead)) return std::nullopt;
     char conv = static_cast<char>(space.load8(p));
@@ -194,6 +213,7 @@ std::optional<std::uint64_t> safe_formatted_length(CallContext& ctx, int fmt_ind
         piece = 2;  // emitted verbatim: '%' + conv
     }
     length += std::max<std::uint64_t>(piece, static_cast<std::uint64_t>(width));
+    ++p;  // past the conversion character
   }
 }
 
@@ -284,7 +304,7 @@ class ArgCheckHook : public gen::RuntimeHook {
         error_(error_value(ctx.proto)),
         checks_(compile_checks(ctx, source)) {}
 
-  std::optional<SimValue> prefix(CallContext& ctx) override {
+  const SimValue* prefix(CallContext& ctx) override {
     for (const CompiledArg& arg : checks_) {
       if (static_cast<std::size_t>(arg.index_0based) >= ctx.args.size()) continue;
       if (!arg.any()) continue;
@@ -297,10 +317,10 @@ class ArgCheckHook : public gen::RuntimeHook {
       if (!check_arg(arg, ctx)) {
         ctx.machine.set_err(simlib::kEINVAL);
         ++stats_.function(fid_).contained;
-        return error_;
+        return &error_;
       }
     }
-    return std::nullopt;
+    return nullptr;
   }
 
  private:

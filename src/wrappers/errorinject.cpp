@@ -53,15 +53,15 @@ class ErrorInjectHook : public gen::RuntimeHook {
     }
   }
 
-  std::optional<SimValue> prefix(CallContext& ctx) override {
+  const SimValue* prefix(CallContext& ctx) override {
     // Only functions with a documented failure mode are injectable: an
     // error return from a function that cannot fail would be a lie the
     // application could never have seen in production.
-    if (errno_to_set_ == 0) return std::nullopt;
-    if (!rng_->chance(rate_)) return std::nullopt;
+    if (errno_to_set_ == 0) return nullptr;
+    if (!rng_->chance(rate_)) return nullptr;
     ctx.machine.set_err(errno_to_set_);
     ++stats_.function(fid_).contained;  // reuse the counter: injected calls
-    return error_;
+    return &error_;
   }
 
  private:

@@ -70,63 +70,72 @@ namespace {
 
 class HeapGuardHook : public gen::RuntimeHook {
  public:
-  HeapGuardHook(std::shared_ptr<HeapGuardState> state, std::string symbol)
-      : state_(std::move(state)), symbol_(std::move(symbol)) {}
+  // The allocator role is fixed per wrapped symbol, so classify once at
+  // composition instead of string-comparing on every call.
+  enum class Fn : std::uint8_t { kMalloc, kCalloc, kRealloc, kFree, kOther };
 
-  std::optional<SimValue> prefix(CallContext& ctx) override {
-    if (symbol_ == "malloc") {
+  HeapGuardHook(std::shared_ptr<HeapGuardState> state, std::string symbol)
+      : state_(std::move(state)), symbol_(std::move(symbol)) {
+    if (symbol_ == "malloc") fn_ = Fn::kMalloc;
+    else if (symbol_ == "calloc") fn_ = Fn::kCalloc;
+    else if (symbol_ == "realloc") fn_ = Fn::kRealloc;
+    else if (symbol_ == "free") fn_ = Fn::kFree;
+  }
+
+  const SimValue* prefix(CallContext& ctx) override {
+    if (fn_ == Fn::kMalloc) {
       requested_ = ctx.args.at(0).as_uint();
       if (requested_ + kCanarySize < requested_) {  // size overflow
         ctx.machine.set_err(simlib::kENOMEM);
-        return SimValue::null();
+        return &contained_;
       }
       ctx.args[0] = SimValue::integer(static_cast<std::int64_t>(requested_ + kCanarySize));
-      return std::nullopt;
+      return nullptr;
     }
-    if (symbol_ == "calloc") {
+    if (fn_ == Fn::kCalloc) {
       const std::uint64_t nmemb = ctx.args.at(0).as_uint();
       const std::uint64_t size = ctx.args.at(1).as_uint();
       // Fix the historical multiplication-overflow bug from the outside.
       if (size != 0 && nmemb > ~std::uint64_t{0} / size) {
         ctx.machine.set_err(simlib::kENOMEM);
-        return SimValue::null();
+        return &contained_;
       }
       requested_ = nmemb * size;
       if (requested_ + kCanarySize < requested_) {
         ctx.machine.set_err(simlib::kENOMEM);
-        return SimValue::null();
+        return &contained_;
       }
       ctx.args[0] = SimValue::integer(1);
       ctx.args[1] = SimValue::integer(static_cast<std::int64_t>(requested_ + kCanarySize));
-      return std::nullopt;
+      return nullptr;
     }
-    if (symbol_ == "realloc") {
+    if (fn_ == Fn::kRealloc) {
       const mem::Addr old = ctx.args.at(0).as_ptr();
       if (old != 0) state_->verify(ctx, old, "realloc");
       requested_ = ctx.args.at(1).as_uint();
       if (requested_ != 0) {
         if (requested_ + kCanarySize < requested_) {
           ctx.machine.set_err(simlib::kENOMEM);
-          return SimValue::null();
+          return &contained_;
         }
         ctx.args[1] = SimValue::integer(static_cast<std::int64_t>(requested_ + kCanarySize));
       }
-      return std::nullopt;
+      return nullptr;
     }
-    if (symbol_ == "free") {
+    if (fn_ == Fn::kFree) {
       const mem::Addr p = ctx.args.at(0).as_ptr();
       if (p != 0) state_->verify(ctx, p, "free");
-      return std::nullopt;
+      return nullptr;
     }
-    return std::nullopt;
+    return nullptr;
   }
 
   void postfix(CallContext& ctx, SimValue& ret) override {
-    if (symbol_ == "malloc" || symbol_ == "calloc") {
+    if (fn_ == Fn::kMalloc || fn_ == Fn::kCalloc) {
       if (ret.as_ptr() != 0) state_->plant(ctx, ret.as_ptr(), requested_);
       return;
     }
-    if (symbol_ == "realloc") {
+    if (fn_ == Fn::kRealloc) {
       const mem::Addr old = ctx.args.at(0).as_ptr();
       if (requested_ == 0) {  // realloc(p, 0) freed
         if (old != 0) state_->allocations.erase(old);
@@ -138,7 +147,7 @@ class HeapGuardHook : public gen::RuntimeHook {
       }
       return;
     }
-    if (symbol_ == "free") {
+    if (fn_ == Fn::kFree) {
       const mem::Addr p = ctx.args.at(0).as_ptr();
       if (p != 0) state_->allocations.erase(p);
       return;
@@ -157,6 +166,8 @@ class HeapGuardHook : public gen::RuntimeHook {
  private:
   std::shared_ptr<HeapGuardState> state_;
   std::string symbol_;
+  Fn fn_ = Fn::kOther;
+  SimValue contained_ = SimValue::null();  // storage behind a containment return
   std::uint64_t requested_ = 0;
 };
 

@@ -38,7 +38,7 @@ class StackGuardHook : public gen::RuntimeHook {
     }
   }
 
-  std::optional<SimValue> prefix(CallContext& ctx) override {
+  const SimValue* prefix(CallContext& ctx) override {
     const mem::Stack& stack = ctx.machine.stack();
     for (const auto& [index, size_expr] : write_args_) {
       const mem::Addr dest = ctx.args.at(index).as_ptr();
@@ -56,7 +56,7 @@ class StackGuardHook : public gen::RuntimeHook {
                        " bytes before the return address)");
       }
     }
-    return std::nullopt;
+    return nullptr;
   }
 
   void postfix(CallContext& ctx, SimValue&) override {

@@ -168,6 +168,125 @@ TEST(AddressSpace, ZeroSizeMapRejected) {
   EXPECT_THROW(space.map(0, Perm::kRead, RegionKind::kScratch, "z"), std::invalid_argument);
 }
 
+TEST(AddressSpace, Load64StraddlingRegionEndFaults) {
+  AddressSpace space;
+  space.map_at(0x200000, 12, Perm::kReadWrite, RegionKind::kScratch, "r");
+  // A 64-bit access is one checked range op: bytes [5, 13) run past the
+  // 12-byte region, so the whole access faults with the range-fault address
+  // (the region end), not the first out-of-bounds byte.
+  EXPECT_EQ(space.load64(0x200000 + 4), 0u);  // [4, 12) fits exactly
+  try {
+    (void)space.load64(0x200000 + 5);
+    FAIL() << "expected AccessFault";
+  } catch (const AccessFault& fault) {
+    EXPECT_EQ(fault.kind(), FaultKind::kSegv);
+    EXPECT_EQ(fault.address(), 0x200000u + 12u);
+    EXPECT_NE(fault.detail().find("runs past region"), std::string::npos);
+  }
+  // A straddling store64 faults before writing anything.
+  EXPECT_THROW(space.store64(0x200000 + 5, ~std::uint64_t{0}), AccessFault);
+  for (std::uint64_t i = 0; i < 12; ++i) EXPECT_EQ(space.load8(0x200000 + i), 0u);
+}
+
+TEST(AddressSpace, Load64AcrossAbuttingRegionsFaults) {
+  AddressSpace space;
+  space.map_at(0x300000, 16, Perm::kReadWrite, RegionKind::kScratch, "lo");
+  space.map_at(0x300010, 16, Perm::kReadWrite, RegionKind::kScratch, "hi");
+  // Ranged accesses must lie within ONE region even when the next one abuts
+  // (only the per-byte walkers cross seams).
+  EXPECT_EQ(space.load64(0x300000 + 8), 0u);
+  EXPECT_EQ(space.load64(0x300010), 0u);
+  EXPECT_THROW((void)space.load64(0x300000 + 12), AccessFault);
+}
+
+TEST(AddressSpace, SpanExposesRunAfterOneCheck) {
+  AddressSpace space;
+  const Region& region = space.map(32, Perm::kReadWrite, RegionKind::kScratch, "r");
+  space.write_cstring(region.base, "span me");
+  const std::byte* p = space.span(region.base, 8, Perm::kRead);
+  EXPECT_EQ(static_cast<char>(p[0]), 's');
+  EXPECT_EQ(static_cast<char>(p[6]), 'e');
+  EXPECT_EQ(std::to_integer<std::uint8_t>(p[7]), 0u);
+  // span faults exactly like check(): boundary crossing and permissions.
+  EXPECT_THROW((void)space.span(region.base + 30, 4, Perm::kRead), AccessFault);
+  const Region& ro = space.map(16, Perm::kRead, RegionKind::kRodata, "ro");
+  EXPECT_THROW((void)space.span(ro.base, 1, Perm::kWrite), AccessFault);
+  EXPECT_NO_THROW((void)space.span(ro.base, 16, Perm::kRead));
+}
+
+TEST(AddressSpace, MutableSpanMarksWholeRunDirty) {
+  AddressSpace space;
+  const Region& region = space.map(64, Perm::kReadWrite, RegionKind::kScratch, "r");
+  (void)space.snapshot();  // resets dirty tracking
+  EXPECT_FALSE(space.find(region.base)->dirty());
+  std::byte* p = space.mutable_span(region.base + 8, 16);
+  p[0] = std::byte{42};
+  const Region* after = space.find(region.base);
+  EXPECT_TRUE(after->dirty());
+  EXPECT_LE(after->dirty_lo, 8u);
+  EXPECT_GE(after->dirty_hi, 24u);
+}
+
+TEST(AddressSpace, SpanExtentMeasuresAccessibleRuns) {
+  AddressSpace space;
+  const Region& rw = space.map(48, Perm::kReadWrite, RegionKind::kScratch, "rw");
+  EXPECT_EQ(space.span_extent(rw.base, Perm::kRead), 48u);
+  EXPECT_EQ(space.span_extent(rw.base + 40, Perm::kWrite), 8u);
+  EXPECT_EQ(space.span_extent(rw.end(), Perm::kRead), 0u);       // guard gap
+  EXPECT_EQ(space.span_extent(0, Perm::kRead), 0u);              // null page
+  const Region& ro = space.map(16, Perm::kRead, RegionKind::kRodata, "ro");
+  EXPECT_EQ(space.span_extent(ro.base, Perm::kRead), 16u);
+  EXPECT_EQ(space.span_extent(ro.base, Perm::kWrite), 0u);
+  // Backward extents end at the given address inclusive.
+  EXPECT_EQ(space.span_extent_back(rw.base + 10, Perm::kRead), 11u);
+  EXPECT_EQ(space.span_extent_back(rw.base, Perm::kRead), 1u);
+  EXPECT_EQ(space.span_extent_back(ro.base + 5, Perm::kWrite), 0u);
+}
+
+TEST(AddressSpace, ScanTerminatorFindsNulAcrossAbuttingRegions) {
+  AddressSpace space;
+  space.map_at(0x400000, 8, Perm::kReadWrite, RegionKind::kScratch, "lo");
+  space.map_at(0x400008, 8, Perm::kReadWrite, RegionKind::kScratch, "hi");
+  for (std::uint64_t i = 0; i < 11; ++i) space.store8(0x400000 + i, 'x');
+  // NUL at offset 11, past the seam between the abutting regions.
+  const auto scan = space.scan_terminator(0x400000, 64);
+  EXPECT_TRUE(scan.found);
+  EXPECT_EQ(scan.scanned, 11u);
+  // Cap exhaustion before the NUL.
+  const auto capped = space.scan_terminator(0x400000, 5);
+  EXPECT_FALSE(capped.found);
+  EXPECT_EQ(capped.scanned, 5u);
+  // Unterminated run: scanned stops at the first unreadable byte.
+  space.unmap(0x400008);
+  for (std::uint64_t i = 0; i < 8; ++i) space.store8(0x400000 + i, 'x');
+  const auto cut = space.scan_terminator(0x400000, 64);
+  EXPECT_FALSE(cut.found);
+  EXPECT_EQ(cut.scanned, 8u);
+}
+
+TEST(AddressSpace, RegionCacheCountsHitsAndSurvivesInvalidation) {
+  AddressSpace space;
+  ASSERT_TRUE(space.region_cache_enabled());
+  const Region& region = space.map(64, Perm::kReadWrite, RegionKind::kScratch, "r");
+  const Addr base = region.base;
+  (void)space.load8(base);  // warms the cache
+  const std::uint64_t hits_before = space.region_cache_hits();
+  for (int i = 0; i < 16; ++i) (void)space.load8(base + static_cast<std::uint64_t>(i));
+  EXPECT_GE(space.region_cache_hits(), hits_before + 16);
+  // Layout mutations flush: the stale entry must not resurface after unmap.
+  space.unmap(base);
+  EXPECT_THROW((void)space.load8(base), AccessFault);
+  // Disabling the cache freezes the counters and keeps results identical.
+  const Region& other = space.map(64, Perm::kReadWrite, RegionKind::kScratch, "o");
+  space.store8(other.base, 7);
+  space.set_region_cache_enabled(false);
+  const std::uint64_t hits = space.region_cache_hits();
+  const std::uint64_t misses = space.region_cache_misses();
+  EXPECT_EQ(space.load8(other.base), 7u);
+  EXPECT_EQ(space.region_cache_hits(), hits);
+  EXPECT_EQ(space.region_cache_misses(), misses);
+}
+
 TEST(PermAllows, BitSemantics) {
   EXPECT_TRUE(allows(Perm::kReadWrite, Perm::kRead));
   EXPECT_TRUE(allows(Perm::kReadWrite, Perm::kWrite));

@@ -194,9 +194,10 @@ class ShortCircuitGen : public MicroGenerator {
     class Hook : public RuntimeHook {
      public:
       explicit Hook(std::vector<std::string>& log) : log_(log) {}
-      std::optional<simlib::SimValue> prefix(simlib::CallContext&) override {
+      const simlib::SimValue* prefix(simlib::CallContext&) override {
         log_.push_back("short");
-        return simlib::SimValue::integer(-42);
+        contained_ = simlib::SimValue::integer(-42);
+        return &contained_;
       }
       void postfix(simlib::CallContext&, simlib::SimValue&) override {
         log_.push_back("short-postfix(should not run)");
@@ -204,6 +205,7 @@ class ShortCircuitGen : public MicroGenerator {
 
      private:
       std::vector<std::string>& log_;
+      simlib::SimValue contained_ = simlib::SimValue::integer(0);
     };
     return std::make_unique<Hook>(log_);
   }
