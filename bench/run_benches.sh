@@ -66,3 +66,33 @@ echo "wrote $root/BENCH_f6.json"
   --benchmark_report_aggregates_only=true
 
 echo "wrote $root/BENCH_c1.json"
+
+# Every BENCH_*.json at the repo root must be one this script owns: a stray
+# name (a typo'd output path, a bench renamed without its artifact) would sit
+# in review forever looking like a tracked result nobody regenerates.
+known_json=("BENCH_fig2.json" "BENCH_f6.json" "BENCH_c1.json")
+unknown=0
+for artifact in "$root"/BENCH_*.json; do
+  [[ -e "$artifact" ]] || continue
+  name="$(basename "$artifact")"
+  ok=0
+  for k in "${known_json[@]}"; do [[ "$name" == "$k" ]] && ok=1; done
+  if [[ "$ok" == 0 ]]; then
+    echo "error: unknown benchmark artifact '$name' at the repo root;" >&2
+    echo "       add it to known_json in bench/run_benches.sh or delete it." >&2
+    unknown=1
+  fi
+done
+[[ "$unknown" == 0 ]] || exit 1
+
+# Be explicit about coverage: the figure/demo benches regenerate paper
+# numbers on demand but have no committed JSON, so they are NOT run here.
+ran=("bench_fig2_robust_api" "bench_f6_fleet_ingest" "bench_c1_overhead")
+echo "skipped (no committed JSON; run from $build/bench/ by hand):"
+for src in "$root"/bench/bench_*.cpp; do
+  name="$(basename "$src" .cpp)"
+  ok=0
+  for r in "${ran[@]}"; do [[ "$name" == "$r" ]] && ok=1; done
+  [[ "$ok" == 0 ]] && echo "  $name"
+done
+exit 0

@@ -132,10 +132,12 @@ int stack_victim_main(Process& p, std::string& log) {
 AttackResult run_attack(const linker::Executable& exe, const linker::LibraryCatalog& catalog,
                         std::vector<linker::InterpositionPtr> preloads,
                         int (*main_fn)(Process&, std::string&),
-                        bool hardened_allocator = false) {
+                        bool hardened_allocator = false,
+                        simlib::CallObserver* observer = nullptr) {
   AttackResult result;
   auto process = linker::spawn(exe, catalog, std::move(preloads));
   process->machine().heap().set_safe_unlink(hardened_allocator);
+  process->set_observer(observer);
   result.outcome = process->run(
       [&result, main_fn](Process& p) { return main_fn(p, result.narrative); });
   result.hijack_succeeded = result.outcome.kind == CallOutcome::Kind::kHijack;
@@ -173,14 +175,16 @@ linker::Executable stack_victim_executable() {
 
 AttackResult run_heap_smash_attack(const linker::LibraryCatalog& catalog,
                                    std::vector<linker::InterpositionPtr> preloads,
-                                   bool hardened_allocator) {
+                                   bool hardened_allocator, simlib::CallObserver* observer) {
   return run_attack(heap_victim_executable(), catalog, std::move(preloads), heap_victim_main,
-                    hardened_allocator);
+                    hardened_allocator, observer);
 }
 
 AttackResult run_stack_smash_attack(const linker::LibraryCatalog& catalog,
-                                    std::vector<linker::InterpositionPtr> preloads) {
-  return run_attack(stack_victim_executable(), catalog, std::move(preloads), stack_victim_main);
+                                    std::vector<linker::InterpositionPtr> preloads,
+                                    simlib::CallObserver* observer) {
+  return run_attack(stack_victim_executable(), catalog, std::move(preloads), stack_victim_main,
+                    false, observer);
 }
 
 }  // namespace healers::attacks

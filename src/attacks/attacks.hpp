@@ -28,6 +28,10 @@
 
 #include "linker/executable.hpp"
 
+namespace healers::simlib {
+class CallObserver;
+}
+
 namespace healers::attacks {
 
 struct AttackResult {
@@ -40,12 +44,18 @@ struct AttackResult {
 // `hardened_allocator` enables the simulated heap's post-2004 safe-unlink
 // check in the victim process — the allocator-side mitigation the ablation
 // bench compares against the paper's wrapper-side defence.
+//
+// `observer` (optional) attaches an incident flight recorder to the victim
+// process before the attack runs, so the wrapper's detection — or the
+// unprotected crash — produces a crash dossier (`healers dossier`).
 [[nodiscard]] AttackResult run_heap_smash_attack(const linker::LibraryCatalog& catalog,
                                                  std::vector<linker::InterpositionPtr> preloads,
-                                                 bool hardened_allocator = false);
+                                                 bool hardened_allocator = false,
+                                                 simlib::CallObserver* observer = nullptr);
 
 [[nodiscard]] AttackResult run_stack_smash_attack(const linker::LibraryCatalog& catalog,
-                                                  std::vector<linker::InterpositionPtr> preloads);
+                                                  std::vector<linker::InterpositionPtr> preloads,
+                                                  simlib::CallObserver* observer = nullptr);
 
 // The victim executables themselves, exposed for the Fig 4 inspection demo
 // (they have realistic DT_NEEDED / undefined-symbol lists).

@@ -6,8 +6,11 @@
 #include <utility>
 
 #include "fleet/wire.hpp"
+#include "incident/dossier.hpp"
 #include "simlib/cerrno.hpp"
+#include "simlib/observer.hpp"
 #include "support/thread_pool.hpp"
+#include "xml/xml.hpp"
 
 namespace healers::fleet {
 
@@ -71,6 +74,16 @@ void FleetCollector::fold(const profile::ProfileReport& report) {
   aggregated_.fetch_add(1, std::memory_order_relaxed);
 }
 
+void FleetCollector::fold_dossier(const incident::Dossier& dossier) {
+  const std::string key = simlib::to_string(dossier.detector) + " " + dossier.symbol;
+  {
+    AggShard& shard = *agg_[fnv1a(key) % agg_.size()];
+    std::lock_guard lock(shard.mutex);
+    ++shard.dossiers[key];
+  }
+  aggregated_.fetch_add(1, std::memory_order_relaxed);
+}
+
 void FleetCollector::flush() {
   // Claim everything queued right now; later submits wait for the next flush.
   std::vector<std::string> claimed;
@@ -93,12 +106,50 @@ void FleetCollector::flush() {
     const std::size_t begin = b * config_.batch_size;
     const std::size_t end = std::min(claimed.size(), begin + config_.batch_size);
     tasks.push_back([this, &claimed, begin, end](unsigned /*worker*/) {
+      const auto reject = [this](const std::string& message) {
+        malformed_.fetch_add(1, std::memory_order_relaxed);
+        std::lock_guard lock(error_mutex_);
+        if (first_error_.empty()) first_error_ = message;
+      };
       for (std::size_t i = begin; i < end; ++i) {
-        auto report = decode_document(claimed[i]);
+        const std::string& payload = claimed[i];
+        // Dossiers and profiles share the pipe; sniff binary documents by
+        // magic and XML documents by root element (parsed once).
+        if (is_dossier_binary(payload)) {
+          auto dossier = decode_dossier_binary(payload);
+          if (!dossier.ok()) {
+            reject(dossier.error().message);
+            continue;
+          }
+          fold_dossier(dossier.value());
+          continue;
+        }
+        if (is_binary_document(payload)) {
+          auto report = decode_binary(payload);
+          if (!report.ok()) {
+            reject(report.error().message);
+            continue;
+          }
+          fold(report.value());
+          continue;
+        }
+        auto parsed = xml::parse(payload);
+        if (!parsed.ok()) {
+          reject("xml document: " + parsed.error().message);
+          continue;
+        }
+        if (parsed.value().name() == "dossier") {
+          auto dossier = incident::from_xml(parsed.value());
+          if (!dossier.ok()) {
+            reject(dossier.error().message);
+            continue;
+          }
+          fold_dossier(dossier.value());
+          continue;
+        }
+        auto report = profile::from_xml(parsed.value());
         if (!report.ok()) {
-          malformed_.fetch_add(1, std::memory_order_relaxed);
-          std::lock_guard lock(error_mutex_);
-          if (first_error_.empty()) first_error_ = report.error().message;
+          reject(report.error().message);
           continue;
         }
         fold(report.value());
@@ -145,6 +196,7 @@ FleetSnapshot FleetCollector::snapshot() const {
       for (const auto& [err, count] : fn.errno_counts) total.errno_counts[err] += count;
     }
     for (const auto& [err, count] : shard->global_errnos) snap.global_errnos[err] += count;
+    for (const auto& [key, count] : shard->dossiers) snap.dossiers[key] += count;
   }
   snap.cycles_p50 = merged.quantile(0.50);
   snap.cycles_p95 = merged.quantile(0.95);
@@ -181,6 +233,15 @@ std::string FleetSnapshot::render() const {
     for (const auto& [err, count] : global_errnos) {
       out << "    " << std::left << std::setw(8) << simlib::errno_name(err) << std::right
           << std::setw(8) << count << "\n";
+    }
+  }
+  if (!dossiers.empty()) {
+    std::uint64_t total = 0;
+    for (const auto& [_, count] : dossiers) total += count;
+    out << "  incident dossiers: " << total << "\n";
+    for (const auto& [key, count] : dossiers) {
+      out << "    " << std::left << std::setw(24) << key << std::right << std::setw(8) << count
+          << "\n";
     }
   }
   return out.str();

@@ -31,6 +31,10 @@
 #include "fleet/sketch.hpp"
 #include "profile/report.hpp"
 
+namespace healers::incident {
+struct Dossier;
+}
+
 namespace healers::fleet {
 
 // What submit() does when the target queue is full. Both policies COUNT the
@@ -58,6 +62,10 @@ struct FleetSnapshot {
   std::uint64_t pending = 0;     // still queued (flush not yet run)
   std::map<std::string, profile::FunctionProfile> functions;
   std::map<int, std::uint64_t> global_errnos;
+  // Crash-dossier documents folded per "<detector> <symbol>" key. Commutative
+  // counts, like everything else here, so the summary stays byte-identical
+  // across shard and worker counts.
+  std::map<std::string, std::uint64_t> dossiers;
   std::uint64_t cycles_p50 = 0;  // exec cycles per document
   std::uint64_t cycles_p95 = 0;
   std::uint64_t cycles_p99 = 0;
@@ -102,10 +110,12 @@ class FleetCollector {
     mutable std::mutex mutex;
     std::map<std::string, profile::FunctionProfile> functions;
     std::map<int, std::uint64_t> global_errnos;
+    std::map<std::string, std::uint64_t> dossiers;  // "<detector> <symbol>" -> docs
     CycleSketch sketch;  // one sample per document: its total exec cycles
   };
 
   void fold(const profile::ProfileReport& report);
+  void fold_dossier(const incident::Dossier& dossier);
 
   CollectorConfig config_;
   std::vector<std::unique_ptr<IngestShard>> ingest_;

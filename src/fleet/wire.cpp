@@ -146,6 +146,120 @@ bool is_binary_document(std::string_view payload) noexcept {
   return payload.substr(0, kBinaryMagic.size()) == kBinaryMagic;
 }
 
+std::string encode_dossier_binary(const incident::Dossier& dossier) {
+  std::string out;
+  out.append(kDossierMagic);
+  put_str(out, dossier.process);
+  put_u32(out, static_cast<std::uint32_t>(dossier.detector));
+  put_str(out, dossier.symbol);
+  put_str(out, dossier.detail);
+  put_u64(out, dossier.seq);
+  put_u64(out, dossier.tick);
+  put_u64(out, dossier.cycles);
+  put_u64(out, dossier.fault_addr);
+  put_u32(out, static_cast<std::uint32_t>(dossier.args.size()));
+  for (const std::string& arg : dossier.args) put_str(out, arg);
+  put_u32(out, static_cast<std::uint32_t>(dossier.trace.size()));
+  for (const incident::TraceEntry& entry : dossier.trace) {
+    put_u64(out, entry.seq);
+    put_u64(out, entry.tick);
+    put_u64(out, entry.cycles);
+    put_u64(out, entry.arg_digest);
+    put_u32(out, entry.argc);
+    put_str(out, entry.symbol);
+  }
+  put_str(out, dossier.heap_note);
+  put_u32(out, static_cast<std::uint32_t>(dossier.heap.size()));
+  for (const incident::ChunkState& chunk : dossier.heap) {
+    put_u64(out, chunk.header);
+    put_u64(out, chunk.user);
+    put_u64(out, chunk.size);
+    put_u32(out, (chunk.in_use ? 1U : 0U) | (chunk.suspect ? 2U : 0U));
+  }
+  put_u32(out, static_cast<std::uint32_t>(dossier.regions.size()));
+  for (const incident::RegionState& region : dossier.regions) {
+    put_u64(out, region.base);
+    put_u64(out, region.size);
+    put_u32(out, region.perm);
+    put_u32(out, region.suspect ? 1U : 0U);
+    put_str(out, region.kind);
+    put_str(out, region.label);
+  }
+  return out;
+}
+
+Result<incident::Dossier> decode_dossier_binary(std::string_view payload) {
+  if (!is_dossier_binary(payload)) return Error("binary dossier: bad magic");
+  Cursor cur(payload.substr(kDossierMagic.size()));
+  incident::Dossier dossier;
+  dossier.process = cur.str();
+  const std::uint32_t detector = cur.u32();
+  if (!cur.ok() || detector > static_cast<std::uint32_t>(simlib::DetectionKind::kErrorInject)) {
+    return Error("binary dossier: bad detector");
+  }
+  dossier.detector = static_cast<simlib::DetectionKind>(detector);
+  dossier.symbol = cur.str();
+  dossier.detail = cur.str();
+  dossier.seq = cur.u64();
+  dossier.tick = cur.u64();
+  dossier.cycles = cur.u64();
+  dossier.fault_addr = cur.u64();
+  const std::uint32_t nargs = cur.u32();
+  if (!cur.ok() || nargs > payload.size()) return Error("binary dossier: truncated header");
+  for (std::uint32_t i = 0; i < nargs && cur.ok(); ++i) dossier.args.push_back(cur.str());
+  const std::uint32_t ntrace = cur.u32();
+  if (!cur.ok() || ntrace > payload.size()) return Error("binary dossier: truncated trace");
+  for (std::uint32_t i = 0; i < ntrace && cur.ok(); ++i) {
+    incident::TraceEntry entry;
+    entry.seq = cur.u64();
+    entry.tick = cur.u64();
+    entry.cycles = cur.u64();
+    entry.arg_digest = cur.u64();
+    entry.argc = cur.u32();
+    entry.symbol = cur.str();
+    dossier.trace.push_back(std::move(entry));
+  }
+  dossier.heap_note = cur.str();
+  const std::uint32_t nchunks = cur.u32();
+  if (!cur.ok() || nchunks > payload.size()) return Error("binary dossier: truncated heap");
+  for (std::uint32_t i = 0; i < nchunks && cur.ok(); ++i) {
+    incident::ChunkState chunk;
+    chunk.header = cur.u64();
+    chunk.user = cur.u64();
+    chunk.size = cur.u64();
+    const std::uint32_t flags = cur.u32();
+    chunk.in_use = (flags & 1U) != 0;
+    chunk.suspect = (flags & 2U) != 0;
+    dossier.heap.push_back(chunk);
+  }
+  const std::uint32_t nregions = cur.u32();
+  if (!cur.ok() || nregions > payload.size()) return Error("binary dossier: truncated regions");
+  for (std::uint32_t i = 0; i < nregions && cur.ok(); ++i) {
+    incident::RegionState region;
+    region.base = cur.u64();
+    region.size = cur.u64();
+    region.perm = static_cast<std::uint8_t>(cur.u32());
+    region.suspect = (cur.u32() & 1U) != 0;
+    region.kind = cur.str();
+    region.label = cur.str();
+    dossier.regions.push_back(std::move(region));
+  }
+  if (!cur.ok()) return Error("binary dossier: truncated");
+  if (!cur.at_end()) return Error("binary dossier: trailing bytes");
+  return dossier;
+}
+
+Result<incident::Dossier> decode_dossier(std::string_view payload) {
+  if (is_dossier_binary(payload)) return decode_dossier_binary(payload);
+  auto parsed = xml::parse(payload);
+  if (!parsed.ok()) return Error("xml dossier: " + parsed.error().message);
+  return incident::from_xml(parsed.value());
+}
+
+bool is_dossier_binary(std::string_view payload) noexcept {
+  return payload.substr(0, kDossierMagic.size()) == kDossierMagic;
+}
+
 std::string frame_stream(const std::vector<std::string>& documents) {
   std::string out;
   out.append(kStreamMagic);

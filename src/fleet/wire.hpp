@@ -19,12 +19,28 @@
 // A *document stream* is the on-disk/on-wire batch form: a "HFDS1\n" header
 // followed by u32-length-prefixed document payloads (each payload is one
 // XML or binary document).
+//
+// Crash dossiers (ISSUE 4) travel the same pipe as profiles. Their binary
+// form is "HDB1" followed by the dossier fields in declaration order:
+//
+//   "HDB1"                                magic, 4 bytes
+//   str process, u32 detector, str symbol, str detail
+//   u64 seq, u64 tick, u64 cycles, u64 fault_addr
+//   u32 nargs, per arg: str rendered value
+//   u32 ntrace, per entry:
+//     u64 seq, u64 tick, u64 cycles, u64 digest, u32 argc, str symbol
+//   str heap_note, u32 nchunks, per chunk:
+//     u64 header, u64 user, u64 size, u32 flags (bit0 in_use, bit1 suspect)
+//   u32 nregions, per region:
+//     u64 base, u64 size, u32 perm, u32 flags (bit0 suspect), str kind,
+//     str label
 #pragma once
 
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "incident/dossier.hpp"
 #include "profile/report.hpp"
 #include "support/result.hpp"
 
@@ -32,6 +48,8 @@ namespace healers::fleet {
 
 // Magic prefix of a binary profile document.
 inline constexpr std::string_view kBinaryMagic = "HFB1";
+// Magic prefix of a binary crash-dossier document.
+inline constexpr std::string_view kDossierMagic = "HDB1";
 // Header of a framed document stream.
 inline constexpr std::string_view kStreamMagic = "HFDS1\n";
 
@@ -46,6 +64,20 @@ inline constexpr std::string_view kStreamMagic = "HFDS1\n";
 
 // True when the payload carries the binary magic.
 [[nodiscard]] bool is_binary_document(std::string_view payload) noexcept;
+
+// Dossier -> compact binary document (deterministic: identical dossiers
+// encode byte-identically).
+[[nodiscard]] std::string encode_dossier_binary(const incident::Dossier& dossier);
+
+// Strict binary dossier decoder (payload must start with kDossierMagic).
+[[nodiscard]] Result<incident::Dossier> decode_dossier_binary(std::string_view payload);
+
+// Format-sniffing dossier decoder: binary by magic, otherwise parsed as a
+// <dossier> XML document.
+[[nodiscard]] Result<incident::Dossier> decode_dossier(std::string_view payload);
+
+// True when the payload carries the binary dossier magic.
+[[nodiscard]] bool is_dossier_binary(std::string_view payload) noexcept;
 
 // Batch framing: documents -> one stream blob, and back.
 [[nodiscard]] std::string frame_stream(const std::vector<std::string>& documents);

@@ -1,0 +1,257 @@
+#include "incident/dossier.hpp"
+
+#include <array>
+
+namespace healers::incident {
+
+namespace {
+
+using simlib::DetectionKind;
+
+constexpr std::array<DetectionKind, 5> kAllKinds = {
+    DetectionKind::kArgCheck, DetectionKind::kHeapSmash, DetectionKind::kStackSmash,
+    DetectionKind::kAccessFault, DetectionKind::kErrorInject};
+
+Result<std::uint64_t> parse_u64(const xml::Node& node, std::string_view attr) {
+  const std::string* raw = node.attr(attr);
+  if (raw == nullptr) return Error("dossier: missing attribute " + std::string(attr));
+  try {
+    std::size_t used = 0;
+    const std::uint64_t value = std::stoull(*raw, &used, 0);  // accepts 0x... and decimal
+    if (used != raw->size()) return Error("dossier: malformed " + std::string(attr));
+    return value;
+  } catch (const std::exception&) {
+    return Error("dossier: malformed " + std::string(attr));
+  }
+}
+
+std::string attr_or_empty(const xml::Node& node, std::string_view key) {
+  const std::string* value = node.attr(key);
+  return value == nullptr ? std::string() : *value;
+}
+
+}  // namespace
+
+std::string hex_addr(std::uint64_t value) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  if (value == 0) return "0x0";
+  std::string out;
+  while (value != 0) {
+    out.insert(out.begin(), kDigits[value & 0xF]);
+    value >>= 4;
+  }
+  return "0x" + out;
+}
+
+bool operator==(const TraceEntry& a, const TraceEntry& b) {
+  return a.seq == b.seq && a.tick == b.tick && a.cycles == b.cycles &&
+         a.arg_digest == b.arg_digest && a.argc == b.argc && a.symbol == b.symbol;
+}
+
+bool operator==(const ChunkState& a, const ChunkState& b) {
+  return a.header == b.header && a.user == b.user && a.size == b.size &&
+         a.in_use == b.in_use && a.suspect == b.suspect;
+}
+
+bool operator==(const RegionState& a, const RegionState& b) {
+  return a.base == b.base && a.size == b.size && a.perm == b.perm && a.kind == b.kind &&
+         a.label == b.label && a.suspect == b.suspect;
+}
+
+bool Dossier::operator==(const Dossier& other) const {
+  return process == other.process && detector == other.detector && symbol == other.symbol &&
+         detail == other.detail && seq == other.seq && tick == other.tick &&
+         cycles == other.cycles && fault_addr == other.fault_addr && args == other.args &&
+         trace == other.trace && heap == other.heap && heap_note == other.heap_note &&
+         regions == other.regions;
+}
+
+Result<DetectionKind> detection_kind_from_name(const std::string& name) {
+  for (const DetectionKind kind : kAllKinds) {
+    if (simlib::to_string(kind) == name) return kind;
+  }
+  return Error("dossier: unknown detector '" + name + "'");
+}
+
+xml::Node Dossier::to_xml() const {
+  xml::Node root("dossier");
+  root.set_attr("process", process);
+  root.set_attr("detector", simlib::to_string(detector));
+  root.set_attr("symbol", symbol);
+  root.set_attr("seq", std::to_string(seq));
+  root.set_attr("tick", std::to_string(tick));
+  root.set_attr("cycles", std::to_string(cycles));
+  root.set_attr("fault_addr", hex_addr(fault_addr));
+  root.add_text_child("detail", detail);
+
+  xml::Node& call = root.add_child("call");
+  for (const std::string& arg : args) {
+    call.add_child("arg").set_attr("value", arg);
+  }
+
+  xml::Node& trace_node = root.add_child("trace");
+  for (const TraceEntry& entry : trace) {
+    xml::Node& row = trace_node.add_child("event");
+    row.set_attr("seq", std::to_string(entry.seq));
+    row.set_attr("symbol", entry.symbol);
+    row.set_attr("tick", std::to_string(entry.tick));
+    row.set_attr("cycles", std::to_string(entry.cycles));
+    row.set_attr("argc", std::to_string(entry.argc));
+    row.set_attr("digest", hex_addr(entry.arg_digest));
+  }
+
+  xml::Node& heap_node = root.add_child("heap");
+  if (!heap_note.empty()) heap_node.set_attr("note", heap_note);
+  for (const ChunkState& chunk : heap) {
+    xml::Node& row = heap_node.add_child("chunk");
+    row.set_attr("header", hex_addr(chunk.header));
+    row.set_attr("user", hex_addr(chunk.user));
+    row.set_attr("size", std::to_string(chunk.size));
+    row.set_attr("in_use", chunk.in_use ? "1" : "0");
+    if (chunk.suspect) row.set_attr("suspect", "1");
+  }
+
+  xml::Node& regions_node = root.add_child("regions");
+  for (const RegionState& region : regions) {
+    xml::Node& row = regions_node.add_child("region");
+    row.set_attr("base", hex_addr(region.base));
+    row.set_attr("size", std::to_string(region.size));
+    row.set_attr("perm", std::to_string(region.perm));
+    row.set_attr("kind", region.kind);
+    row.set_attr("label", region.label);
+    if (region.suspect) row.set_attr("suspect", "1");
+  }
+  return root;
+}
+
+Result<Dossier> from_xml(const xml::Node& node) {
+  if (node.name() != "dossier") return Error("dossier: root element is not <dossier>");
+  Dossier out;
+  out.process = attr_or_empty(node, "process");
+  auto kind = detection_kind_from_name(attr_or_empty(node, "detector"));
+  if (!kind.ok()) return kind.error();
+  out.detector = kind.value();
+  out.symbol = attr_or_empty(node, "symbol");
+  for (const auto& [field, target] :
+       std::initializer_list<std::pair<const char*, std::uint64_t*>>{
+           {"seq", &out.seq}, {"tick", &out.tick}, {"cycles", &out.cycles},
+           {"fault_addr", &out.fault_addr}}) {
+    auto value = parse_u64(node, field);
+    if (!value.ok()) return value.error();
+    *target = value.value();
+  }
+  if (const xml::Node* detail = node.child("detail")) out.detail = detail->text();
+
+  if (const xml::Node* call = node.child("call")) {
+    for (const xml::Node* arg : call->children_named("arg")) {
+      out.args.push_back(attr_or_empty(*arg, "value"));
+    }
+  }
+
+  if (const xml::Node* trace_node = node.child("trace")) {
+    for (const xml::Node* row : trace_node->children_named("event")) {
+      TraceEntry entry;
+      entry.symbol = attr_or_empty(*row, "symbol");
+      auto seq = parse_u64(*row, "seq");
+      auto tick = parse_u64(*row, "tick");
+      auto cycles = parse_u64(*row, "cycles");
+      auto argc = parse_u64(*row, "argc");
+      auto digest = parse_u64(*row, "digest");
+      for (const auto* field : {&seq, &tick, &cycles, &argc, &digest}) {
+        if (!field->ok()) return field->error();
+      }
+      entry.seq = seq.value();
+      entry.tick = tick.value();
+      entry.cycles = cycles.value();
+      entry.argc = static_cast<std::uint32_t>(argc.value());
+      entry.arg_digest = digest.value();
+      out.trace.push_back(std::move(entry));
+    }
+  }
+
+  if (const xml::Node* heap_node = node.child("heap")) {
+    out.heap_note = attr_or_empty(*heap_node, "note");
+    for (const xml::Node* row : heap_node->children_named("chunk")) {
+      ChunkState chunk;
+      auto header = parse_u64(*row, "header");
+      auto user = parse_u64(*row, "user");
+      auto size = parse_u64(*row, "size");
+      for (const auto* field : {&header, &user, &size}) {
+        if (!field->ok()) return field->error();
+      }
+      chunk.header = header.value();
+      chunk.user = user.value();
+      chunk.size = size.value();
+      chunk.in_use = row->attr_int("in_use", 0) != 0;
+      chunk.suspect = row->attr_int("suspect", 0) != 0;
+      out.heap.push_back(chunk);
+    }
+  }
+
+  if (const xml::Node* regions_node = node.child("regions")) {
+    for (const xml::Node* row : regions_node->children_named("region")) {
+      RegionState region;
+      auto base = parse_u64(*row, "base");
+      auto size = parse_u64(*row, "size");
+      auto perm = parse_u64(*row, "perm");
+      for (const auto* field : {&base, &size, &perm}) {
+        if (!field->ok()) return field->error();
+      }
+      region.base = base.value();
+      region.size = size.value();
+      region.perm = static_cast<std::uint8_t>(perm.value());
+      region.kind = attr_or_empty(*row, "kind");
+      region.label = attr_or_empty(*row, "label");
+      region.suspect = row->attr_int("suspect", 0) != 0;
+      out.regions.push_back(std::move(region));
+    }
+  }
+  return out;
+}
+
+std::string Dossier::to_text() const {
+  std::string out;
+  out += "=== crash dossier: " + simlib::to_string(detector) + " in " + symbol + " ===\n";
+  out += "process:     " + process + "\n";
+  out += "detail:      " + detail + "\n";
+  out += "at:          seq " + std::to_string(seq) + ", tick " + std::to_string(tick) +
+         ", cycle " + std::to_string(cycles) + "\n";
+  if (fault_addr != 0) out += "implicated:  " + hex_addr(fault_addr) + "\n";
+  if (!args.empty()) {
+    out += "call:        " + symbol + "(";
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += args[i];
+    }
+    out += ")\n";
+  }
+  if (!trace.empty()) {
+    out += "last " + std::to_string(trace.size()) + " wrapped calls (oldest first):\n";
+    for (const TraceEntry& entry : trace) {
+      out += "  #" + std::to_string(entry.seq) + "  " + entry.symbol + "/" +
+             std::to_string(entry.argc) + "  tick=" + std::to_string(entry.tick) +
+             "  digest=" + hex_addr(entry.arg_digest) + "\n";
+    }
+  }
+  if (!heap.empty() || !heap_note.empty()) {
+    out += "heap neighborhood:\n";
+    for (const ChunkState& chunk : heap) {
+      out += "  chunk @" + hex_addr(chunk.header) + " user=" + hex_addr(chunk.user) +
+             " size=" + std::to_string(chunk.size) + (chunk.in_use ? " in-use" : " free") +
+             (chunk.suspect ? "   <-- corrupted allocation" : "") + "\n";
+    }
+    if (!heap_note.empty()) out += "  ! " + heap_note + "\n";
+  }
+  if (!regions.empty()) {
+    out += "region map:\n";
+    for (const RegionState& region : regions) {
+      static constexpr const char* kPermNames[] = {"---", "r--", "-w-", "rw-"};
+      out += "  " + hex_addr(region.base) + " +" + std::to_string(region.size) + "  " +
+             kPermNames[region.perm & 3] + "  " + region.kind + "  " + region.label +
+             (region.suspect ? "   <-- fault here" : "") + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace healers::incident

@@ -1,0 +1,218 @@
+#include "incident/recorder.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+#include "memmodel/heap.hpp"
+#include "simlib/value.hpp"
+
+namespace healers::incident {
+
+namespace {
+
+// FNV-1a over the (kind, bits) pairs of a call's arguments. Stable across
+// runs and across processes: two identical call sequences digest identically,
+// which is what makes dossier byte-comparison meaningful.
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t fnv_byte(std::uint64_t hash, std::uint8_t byte) noexcept {
+  return (hash ^ byte) * kFnvPrime;
+}
+
+std::uint64_t fnv_u64(std::uint64_t hash, std::uint64_t value) noexcept {
+  for (int i = 0; i < 8; ++i) {
+    hash = fnv_byte(hash, static_cast<std::uint8_t>(value >> (i * 8)));
+  }
+  return hash;
+}
+
+std::uint64_t value_bits(const simlib::SimValue& value) noexcept {
+  switch (value.kind()) {
+    case simlib::SimValue::Kind::kInt:
+      return static_cast<std::uint64_t>(value.as_int());
+    case simlib::SimValue::Kind::kFloat:
+      return std::bit_cast<std::uint64_t>(value.as_double());
+    case simlib::SimValue::Kind::kPtr:
+      return value.as_ptr();
+  }
+  return 0;
+}
+
+std::uint64_t digest_args(const std::vector<simlib::SimValue>& args) noexcept {
+  std::uint64_t hash = kFnvOffset;
+  for (const simlib::SimValue& arg : args) {
+    hash = fnv_byte(hash, static_cast<std::uint8_t>(arg.kind()));
+    hash = fnv_u64(hash, value_bits(arg));
+  }
+  return hash;
+}
+
+std::string region_kind_name(mem::RegionKind kind) {
+  switch (kind) {
+    case mem::RegionKind::kHeapArena: return "heap";
+    case mem::RegionKind::kStack: return "stack";
+    case mem::RegionKind::kRodata: return "rodata";
+    case mem::RegionKind::kData: return "data";
+    case mem::RegionKind::kScratch: return "scratch";
+  }
+  return "?";
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(std::size_t capacity) {
+  ring_.resize(std::max<std::size_t>(capacity, 1));
+  dossiers_.reserve(kMaxDossiers);
+}
+
+void FlightRecorder::on_call(const std::string& symbol,
+                             const std::vector<simlib::SimValue>& args,
+                             const mem::Machine& machine) {
+  Slot& slot = ring_[next_seq_ % ring_.size()];
+  slot.seq = next_seq_++;
+  slot.tick = machine.steps();
+  slot.cycles = machine.rdtsc();
+  slot.digest = digest_args(args);
+  slot.argc = static_cast<std::uint32_t>(args.size());
+  const std::size_t len = std::min(symbol.size(), Slot::kSymbolBytes);
+  std::memcpy(slot.symbol, symbol.data(), len);
+  slot.symbol[len] = '\0';
+}
+
+void FlightRecorder::on_detection(simlib::CallContext& ctx, simlib::DetectionKind kind,
+                                  const std::string& symbol, const std::string& detail,
+                                  mem::Addr fault_addr) {
+  Dossier dossier = build_dossier(ctx.machine, kind, symbol, detail, fault_addr);
+  dossier.args.reserve(ctx.args.size());
+  for (const simlib::SimValue& arg : ctx.args) dossier.args.push_back(arg.to_string());
+  record(std::move(dossier));
+}
+
+void FlightRecorder::on_fault(const mem::Machine& machine, FaultKind kind, mem::Addr fault_addr,
+                              const std::string& detail) {
+  record(build_dossier(machine, simlib::DetectionKind::kAccessFault, last_symbol(),
+                       to_string(kind) + ": " + detail, fault_addr));
+}
+
+TraceEntry FlightRecorder::decode(const Slot& slot) const {
+  TraceEntry entry;
+  entry.seq = slot.seq;
+  entry.tick = slot.tick;
+  entry.cycles = slot.cycles;
+  entry.arg_digest = slot.digest;
+  entry.argc = slot.argc;
+  entry.symbol = slot.symbol;
+  return entry;
+}
+
+std::vector<TraceEntry> FlightRecorder::trace() const {
+  std::vector<TraceEntry> out;
+  const std::uint64_t count = std::min<std::uint64_t>(next_seq_, ring_.size());
+  out.reserve(count);
+  for (std::uint64_t i = next_seq_ - count; i < next_seq_; ++i) {
+    out.push_back(decode(ring_[i % ring_.size()]));
+  }
+  return out;
+}
+
+std::string FlightRecorder::last_symbol() const {
+  if (next_seq_ == 0) return "?";
+  return ring_[(next_seq_ - 1) % ring_.size()].symbol;
+}
+
+Dossier FlightRecorder::build_dossier(const mem::Machine& machine, simlib::DetectionKind kind,
+                                      const std::string& symbol, const std::string& detail,
+                                      mem::Addr fault_addr) const {
+  Dossier dossier;
+  dossier.process = process_;
+  dossier.detector = kind;
+  dossier.symbol = symbol;
+  dossier.detail = detail;
+  dossier.seq = next_seq_ == 0 ? 0 : next_seq_ - 1;
+  dossier.tick = machine.steps();
+  dossier.cycles = machine.rdtsc();
+  dossier.fault_addr = fault_addr;
+  dossier.trace = trace();
+
+  // Heap neighborhood. chunks() truncates the walk at the first corrupt
+  // header, so a smashed chain shows up as an explicit note rather than as a
+  // silently short list.
+  const std::vector<mem::ChunkInfo> chunks = machine.heap().chunks();
+  std::size_t suspect = chunks.size();
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    if (fault_addr >= chunks[i].header && fault_addr < chunks[i].header + chunks[i].size) {
+      suspect = i;
+      break;
+    }
+  }
+  std::size_t lo = 0;
+  std::size_t hi = chunks.size();
+  if (suspect < chunks.size()) {
+    lo = suspect >= 2 ? suspect - 2 : 0;
+    hi = std::min(chunks.size(), suspect + 3);
+  } else if (chunks.size() > 5) {
+    lo = chunks.size() - 5;  // no implicated chunk: show the newest end
+  }
+  for (std::size_t i = lo; i < hi; ++i) {
+    ChunkState state;
+    state.header = chunks[i].header;
+    state.user = chunks[i].user;
+    state.size = chunks[i].size;
+    state.in_use = chunks[i].in_use;
+    state.suspect = i == suspect;
+    dossier.heap.push_back(state);
+  }
+  if (!chunks.empty()) {
+    const mem::ChunkInfo& last = chunks.back();
+    const mem::Addr walk_end = last.header + last.size;
+    const mem::Addr arena_end = machine.heap().arena_base() + machine.heap().arena_size();
+    if (walk_end < arena_end) {
+      dossier.heap_note = "chunk chain truncated at " + hex_addr(walk_end) +
+                          " (corrupt header; arena ends at " + hex_addr(arena_end) + ")";
+    }
+  }
+
+  // Region map. Small enough to record whole; when an address is implicated
+  // and the map is large, narrow to its neighborhood.
+  const std::vector<const mem::Region*> map = machine.mem().region_map();
+  std::size_t region_suspect = map.size();
+  for (std::size_t i = 0; i < map.size(); ++i) {
+    if (map[i]->contains(fault_addr)) {
+      region_suspect = i;
+      break;
+    }
+  }
+  std::size_t rlo = 0;
+  std::size_t rhi = map.size();
+  if (region_suspect < map.size() && map.size() > 7) {
+    rlo = region_suspect >= 2 ? region_suspect - 2 : 0;
+    rhi = std::min(map.size(), region_suspect + 3);
+  }
+  for (std::size_t i = rlo; i < rhi; ++i) {
+    RegionState state;
+    state.base = map[i]->base;
+    state.size = map[i]->size;
+    state.perm = static_cast<std::uint8_t>(map[i]->perm);
+    state.kind = region_kind_name(map[i]->kind);
+    state.label = map[i]->label;
+    state.suspect = i == region_suspect;
+    dossier.regions.push_back(std::move(state));
+  }
+  return dossier;
+}
+
+void FlightRecorder::record(Dossier dossier) {
+  ++detections_;
+  if (dossiers_.size() < kMaxDossiers) dossiers_.push_back(std::move(dossier));
+}
+
+void FlightRecorder::clear() {
+  for (Slot& slot : ring_) slot = Slot{};
+  next_seq_ = 0;
+  detections_ = 0;
+  dossiers_.clear();
+}
+
+}  // namespace healers::incident

@@ -1,0 +1,92 @@
+// Incident flight recorder (ISSUE 4 tentpole).
+//
+// A FlightRecorder is the black box of one simulated process: a fixed-size
+// ring buffer of the most recent wrapped calls, fed by the linker's dispatch
+// loop through the simlib::CallObserver seam. Recording a call touches no
+// simulated state (no tick, no cycles, no allocation in the slot itself), so
+// the recorder is invisible to the golden-tick suite; host-side cost is a
+// bounded memcpy of the symbol plus an FNV-1a fold over the argument bits.
+//
+// When any detector fires — argcheck rejection, heap/stack canary mismatch,
+// an AccessFault reaped by the supervisor, or an errorinject trip — the
+// recorder snapshots a crash Dossier (dossier.hpp) from the still-warm
+// machine: offending call with decoded arguments, the last-N trace, the
+// heap-chunk neighborhood around the implicated address, and the region map.
+// Dossier storage is capped (kMaxDossiers) with a total-detections counter,
+// so a detector stuck in a loop cannot balloon the recorder.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "incident/dossier.hpp"
+#include "simlib/observer.hpp"
+
+namespace healers::incident {
+
+class FlightRecorder final : public simlib::CallObserver {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 16;  // ring slots
+  static constexpr std::size_t kMaxDossiers = 16;      // stored snapshots
+
+  explicit FlightRecorder(std::size_t capacity = kDefaultCapacity);
+
+  // Name stamped into every dossier (normally the Process name).
+  void set_process_name(std::string name) { process_ = std::move(name); }
+  [[nodiscard]] const std::string& process_name() const noexcept { return process_; }
+
+  // --- CallObserver ---------------------------------------------------------
+  void on_call(const std::string& symbol, const std::vector<simlib::SimValue>& args,
+               const mem::Machine& machine) override;
+  void on_detection(simlib::CallContext& ctx, simlib::DetectionKind kind,
+                    const std::string& symbol, const std::string& detail,
+                    mem::Addr fault_addr) override;
+  void on_fault(const mem::Machine& machine, FaultKind kind, mem::Addr fault_addr,
+                const std::string& detail) override;
+
+  // --- inspection -----------------------------------------------------------
+  [[nodiscard]] std::size_t capacity() const noexcept { return ring_.size(); }
+  [[nodiscard]] std::uint64_t calls_seen() const noexcept { return next_seq_; }
+  // Total detections, including ones whose dossier was dropped by the cap.
+  [[nodiscard]] std::uint64_t detections() const noexcept { return detections_; }
+  [[nodiscard]] const std::vector<Dossier>& dossiers() const noexcept { return dossiers_; }
+
+  // Decoded ring contents, oldest first (at most capacity() entries).
+  [[nodiscard]] std::vector<TraceEntry> trace() const;
+
+  // Symbol of the most recently dispatched call ("?" before the first call);
+  // what an AccessFault dossier names as the offending symbol.
+  [[nodiscard]] std::string last_symbol() const;
+
+  // Forgets calls and dossiers (not the process name or capacity).
+  void clear();
+
+ private:
+  // One ring slot. Fixed layout, no owned allocations: feeding the ring on
+  // the dispatch fast path must not hit the host allocator.
+  struct Slot {
+    static constexpr std::size_t kSymbolBytes = 23;
+    std::uint64_t seq = 0;
+    std::uint64_t tick = 0;
+    std::uint64_t cycles = 0;
+    std::uint64_t digest = 0;
+    std::uint32_t argc = 0;
+    char symbol[kSymbolBytes + 1] = {};
+  };
+
+  [[nodiscard]] TraceEntry decode(const Slot& slot) const;
+  [[nodiscard]] Dossier build_dossier(const mem::Machine& machine, simlib::DetectionKind kind,
+                                      const std::string& symbol, const std::string& detail,
+                                      mem::Addr fault_addr) const;
+  void record(Dossier dossier);
+
+  std::string process_ = "?";
+  std::vector<Slot> ring_;
+  std::uint64_t next_seq_ = 0;  // == calls seen; slot index is seq % capacity
+  std::uint64_t detections_ = 0;
+  std::vector<Dossier> dossiers_;
+};
+
+}  // namespace healers::incident

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "simlib/observer.hpp"
+
 namespace healers::linker {
 
 std::string CallOutcome::to_string() const {
@@ -99,6 +101,10 @@ simlib::SimValue Process::call(const std::string& symbol, std::vector<simlib::Si
   const std::string target =
       machine_.has_got_slot(symbol) ? machine_.call_through_got(symbol) : symbol;
   ++calls_dispatched_;
+  // Flight-recorder feed: host-side bookkeeping only, so the branch is the
+  // entire fast-path cost when no recorder is attached (and the recorder
+  // never touches steps/cycles when one is — golden-tick enforced).
+  if (observer_ != nullptr) observer_->on_call(target, args, machine_);
   simlib::CallContext ctx{machine_, state_, std::move(args)};
   return run_plan(plan_for(target), 0, target, ctx);
 }
@@ -110,6 +116,9 @@ CallOutcome Process::supervised_call(const std::string& symbol,
     outcome.ret = call(symbol, std::move(args));
     outcome.kind = CallOutcome::Kind::kReturned;
   } catch (const AccessFault& fault) {
+    if (observer_ != nullptr) {
+      observer_->on_fault(machine_, fault.kind(), fault.address(), fault.detail());
+    }
     outcome.kind = CallOutcome::Kind::kCrash;
     outcome.signal = fault.kind();
     outcome.detail = fault.what();
@@ -135,6 +144,9 @@ CallOutcome Process::run(const std::function<int(Process&)>& program) {
     outcome.exit_code = program(*this);
     outcome.kind = CallOutcome::Kind::kExit;
   } catch (const AccessFault& fault) {
+    if (observer_ != nullptr) {
+      observer_->on_fault(machine_, fault.kind(), fault.address(), fault.detail());
+    }
     outcome.kind = CallOutcome::Kind::kCrash;
     outcome.signal = fault.kind();
     outcome.detail = fault.what();
@@ -188,6 +200,7 @@ void Process::restore(const Snapshot& snap) {
   plans_.clear();  // plans may reference wrappers/symbols dropped by the resize
   machine_.restore(snap.machine);
   state_.restore(snap.state);
+  state_.observer = observer_;  // the recorder survives testbed resets
   calls_dispatched_ = snap.calls_dispatched;
 }
 

@@ -60,6 +60,17 @@ class Process {
   [[nodiscard]] mem::Machine& machine() noexcept { return machine_; }
   [[nodiscard]] simlib::LibState& state() noexcept { return state_; }
 
+  // Attaches (or detaches, with nullptr) an incident flight recorder. The
+  // Process owns the authoritative pointer and mirrors it into
+  // LibState::observer for the wrapper detectors; restore() re-asserts it so
+  // a snapshot taken before the recorder was attached cannot detach it. The
+  // observer itself is not owned and must outlive the process.
+  void set_observer(simlib::CallObserver* observer) noexcept {
+    observer_ = observer;
+    state_.observer = observer;
+  }
+  [[nodiscard]] simlib::CallObserver* observer() const noexcept { return observer_; }
+
   // --- loading ---
   // Loads a shared library (non-owning; the library must outlive the
   // process). Resolution searches libraries in load order. Defines a GOT
@@ -153,6 +164,7 @@ class Process {
   std::vector<InterpositionPtr> preloads_;
   std::unordered_map<std::string, DispatchPlan> plans_;
   std::uint64_t calls_dispatched_ = 0;
+  simlib::CallObserver* observer_ = nullptr;
 };
 
 }  // namespace healers::linker

@@ -104,6 +104,13 @@ Region* AddressSpace::find(Addr addr) noexcept {
   return const_cast<Region*>(static_cast<const AddressSpace*>(this)->find(addr));
 }
 
+std::vector<const Region*> AddressSpace::region_map() const {
+  std::vector<const Region*> out;
+  out.reserve(regions_.size());
+  for (const auto& [base, region] : regions_) out.push_back(&region);
+  return out;
+}
+
 void AddressSpace::protect(Addr base, Perm perm) {
   auto it = regions_.find(base);
   if (it == regions_.end()) {

@@ -105,6 +105,12 @@ class AddressSpace {
 
   [[nodiscard]] std::size_t region_count() const noexcept { return regions_.size(); }
 
+  // Read-only view of every mapped region, sorted by base address — the
+  // "cat /proc/pid/maps" of the simulated process. Pointers are valid until
+  // the next layout mutation (map/map_at/unmap/restore); consumers (the
+  // incident dossier's region map, debug dumps) copy what they need.
+  [[nodiscard]] std::vector<const Region*> region_map() const;
+
   // Changes the permissions of an existing region (simulated mprotect).
   void protect(Addr base, Perm perm);
 

@@ -19,6 +19,7 @@ namespace healers::simlib {
 
 class SimValue;
 struct CallContext;
+class CallObserver;
 
 // Tiny in-memory filesystem. Paths are flat strings ("/etc/motd").
 class SimFileSystem {
@@ -89,6 +90,12 @@ class LibState {
   // Process::register_callback; library code calling through an address NOT
   // in this table is a jump into data (a crash).
   std::map<mem::Addr, std::function<SimValue(CallContext&)>> callbacks;
+
+  // Incident flight recorder hook (see simlib/observer.hpp). Not part of the
+  // logical C-runtime state: linker::Process owns the authoritative pointer
+  // and re-asserts it after every restore(), so snapshots taken before a
+  // recorder was attached cannot silently detach it.
+  CallObserver* observer = nullptr;
 
   // Allocates (or reuses) an open-file slot; nullopt when kMaxOpenFiles
   // streams are already open (fopen then fails with EMFILE).

@@ -1,0 +1,21 @@
+#include "simlib/observer.hpp"
+
+namespace healers::simlib {
+
+std::string to_string(DetectionKind kind) {
+  switch (kind) {
+    case DetectionKind::kArgCheck:
+      return "arg-check";
+    case DetectionKind::kHeapSmash:
+      return "heap-smash";
+    case DetectionKind::kStackSmash:
+      return "stack-smash";
+    case DetectionKind::kAccessFault:
+      return "access-fault";
+    case DetectionKind::kErrorInject:
+      return "error-inject";
+  }
+  return "?";
+}
+
+}  // namespace healers::simlib

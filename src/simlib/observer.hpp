@@ -1,0 +1,62 @@
+// Call/detection observer interface — the seam between the interposition
+// machinery and the incident flight recorder (src/incident/).
+//
+// The linker and the wrapper hooks sit *below* the incident layer in the
+// dependency graph, so they cannot name incident::FlightRecorder directly.
+// Instead each simulated process carries one optional CallObserver pointer
+// (LibState::observer, installed via linker::Process::set_observer); the
+// dispatch loop and the detectors feed it through this interface. A null
+// observer is the default and costs one predicted branch per call — the
+// recorder is strictly pay-for-what-you-use, like the wrappers themselves.
+//
+// Observers must never touch the simulated cost model: no tick(), no
+// add_cycles(). Recording is host-side bookkeeping; the golden-tick suite
+// asserts that enabling an observer leaves steps/cycles bit-identical.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "memmodel/machine.hpp"
+#include "support/faults.hpp"
+
+namespace healers::simlib {
+
+class SimValue;
+struct CallContext;
+
+// The detector families of the HEALERS wrapper stack. kAccessFault is the
+// "hardware" detector (the simulated SIGSEGV); the others are wrapper-side.
+enum class DetectionKind : std::uint8_t {
+  kArgCheck,     // robustness wrapper vetoed a call (EINVAL containment)
+  kHeapSmash,    // security wrapper: heap canary mismatch
+  kStackSmash,   // security wrapper: stack bound / return-address violation
+  kAccessFault,  // AccessFault surfaced through a wrapped call
+  kErrorInject,  // testing wrapper injected a documented failure
+};
+
+[[nodiscard]] std::string to_string(DetectionKind kind);
+
+class CallObserver {
+ public:
+  virtual ~CallObserver() = default;
+
+  // One wrapped call is about to dispatch. Called from the linker's call
+  // engine before any wrapper runs; `args` are the caller's original values.
+  virtual void on_call(const std::string& symbol, const std::vector<SimValue>& args,
+                       const mem::Machine& machine) = 0;
+
+  // A wrapper detector fired mid-call. `fault_addr` is the address the
+  // detection is about (clobbered allocation, rejected pointer, ...), 0 when
+  // no address is involved. The detector may still terminate the process
+  // (SimAbort) immediately after notifying.
+  virtual void on_detection(CallContext& ctx, DetectionKind kind, const std::string& symbol,
+                            const std::string& detail, mem::Addr fault_addr) = 0;
+
+  // An AccessFault escaped a call and is being reaped by the supervisor.
+  // The offending symbol is whatever on_call saw last.
+  virtual void on_fault(const mem::Machine& machine, FaultKind kind, mem::Addr fault_addr,
+                        const std::string& detail) = 0;
+};
+
+}  // namespace healers::simlib

@@ -14,6 +14,7 @@
 #include "gen/stats.hpp"
 #include "simlib/cerrno.hpp"
 #include "simlib/libstate.hpp"
+#include "simlib/observer.hpp"
 #include "wrappers/wrappers.hpp"
 
 namespace healers::wrappers {
@@ -316,7 +317,16 @@ class ArgCheckHook : public gen::RuntimeHook {
       }
       if (!check_arg(arg, ctx)) {
         ctx.machine.set_err(simlib::kEINVAL);
-        ++stats_.function(fid_).contained;
+        gen::FunctionStats& fstats = stats_.function(fid_);
+        ++fstats.contained;
+        if (ctx.state.observer != nullptr) {
+          const SimValue& bad = ctx.args.at(static_cast<std::size_t>(arg.index_0based));
+          ctx.state.observer->on_detection(
+              ctx, simlib::DetectionKind::kArgCheck, fstats.symbol,
+              "argument " + std::to_string(arg.index_0based + 1) +
+                  " rejected (call contained with EINVAL)",
+              arg.is_pointer ? bad.as_ptr() : 0);
+        }
         return &error_;
       }
     }

@@ -11,6 +11,8 @@
 #include "gen/microgen.hpp"
 #include "gen/stats.hpp"
 #include "simlib/cerrno.hpp"
+#include "simlib/libstate.hpp"
+#include "simlib/observer.hpp"
 #include "wrappers/wrappers.hpp"
 
 namespace healers::wrappers {
@@ -60,7 +62,15 @@ class ErrorInjectHook : public gen::RuntimeHook {
     if (errno_to_set_ == 0) return nullptr;
     if (!rng_->chance(rate_)) return nullptr;
     ctx.machine.set_err(errno_to_set_);
-    ++stats_.function(fid_).contained;  // reuse the counter: injected calls
+    gen::FunctionStats& fstats = stats_.function(fid_);
+    ++fstats.contained;  // reuse the counter: injected calls
+    if (ctx.state.observer != nullptr) {
+      ctx.state.observer->on_detection(
+          ctx, simlib::DetectionKind::kErrorInject, fstats.symbol,
+          "injected " + simlib::errno_name(errno_to_set_) + " (rate " +
+              std::to_string(rate_) + ")",
+          0);
+    }
     return &error_;
   }
 

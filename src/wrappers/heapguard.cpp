@@ -18,6 +18,8 @@
 #include "gen/microgen.hpp"
 #include "gen/stats.hpp"
 #include "simlib/cerrno.hpp"
+#include "simlib/libstate.hpp"
+#include "simlib/observer.hpp"
 #include "wrappers/wrappers.hpp"
 
 namespace healers::wrappers {
@@ -51,6 +53,12 @@ struct HeapGuardState {
     if (it == allocations.end()) return;
     const std::uint64_t stored = ctx.machine.mem().load64(user + it->second);
     if (stored != canary_for(user)) {
+      const std::string detail = "canary clobbered for allocation of " +
+                                 std::to_string(it->second) + " bytes";
+      if (ctx.state.observer != nullptr) {
+        ctx.state.observer->on_detection(ctx, simlib::DetectionKind::kHeapSmash, at, detail,
+                                         user);
+      }
       throw SimAbort("security wrapper: heap smashing detected at " + at +
                      " (canary clobbered for allocation 0x" + std::to_string(user) + ")");
     }

@@ -15,6 +15,8 @@
 #include "gen/microgen.hpp"
 #include "gen/stats.hpp"
 #include "parser/manpage.hpp"
+#include "simlib/libstate.hpp"
+#include "simlib/observer.hpp"
 #include "wrappers/wrappers.hpp"
 
 namespace healers::wrappers {
@@ -50,6 +52,14 @@ class StackGuardHook : public gen::RuntimeHook {
       if (!needed.has_value()) continue;  // postfix sweep still protects
       const std::uint64_t room = frame->ret_slot - dest;
       if (*needed > room) {
+        if (ctx.state.observer != nullptr) {
+          ctx.state.observer->on_detection(
+              ctx, simlib::DetectionKind::kStackSmash, symbol_,
+              "write of " + std::to_string(*needed) + " bytes into frame of " +
+                  frame->function + " with " + std::to_string(room) +
+                  " bytes before the return address",
+              dest);
+        }
         throw SimAbort("security wrapper: stack smashing attempt blocked in " + symbol_ +
                        " (write of " + std::to_string(*needed) + " bytes into frame of " +
                        frame->function + " with " + std::to_string(room) +
@@ -62,6 +72,11 @@ class StackGuardHook : public gen::RuntimeHook {
   void postfix(CallContext& ctx, SimValue&) override {
     for (const mem::Frame& frame : ctx.machine.stack().frames()) {
       if (ctx.machine.mem().load64(frame.ret_slot) != frame.saved_ret) {
+        if (ctx.state.observer != nullptr) {
+          ctx.state.observer->on_detection(
+              ctx, simlib::DetectionKind::kStackSmash, symbol_,
+              "return address of " + frame.function + " overwritten", frame.ret_slot);
+        }
         throw SimAbort("security wrapper: stack smashing detected after " + symbol_ +
                        " (return address of " + frame.function + " overwritten)");
       }

@@ -1,0 +1,76 @@
+#!/bin/sh
+# Documentation drift check, run as a CTest (`check_docs`):
+#
+#   1. docs/cli.md must cover the real CLI: every subcommand and every flag
+#      printed by `healers help` appears in the reference, and every
+#      `healers <subcommand>` the reference documents still exists.
+#   2. Every relative markdown link in the repo's *.md files resolves to a
+#      file that exists (external http(s) links and pure #anchors are not
+#      checked).
+#
+# Usage: tools/check_docs.sh <healers-binary> <repo-root>
+set -eu
+
+healers="${1:?usage: check_docs.sh <healers-binary> <repo-root>}"
+root="${2:?usage: check_docs.sh <healers-binary> <repo-root>}"
+cli_doc="$root/docs/cli.md"
+fail=0
+
+[ -f "$cli_doc" ] || { echo "check_docs: missing $cli_doc" >&2; exit 1; }
+
+help_text="$("$healers" help)"
+
+# --- 1a. every real subcommand and flag is documented -----------------------
+# Subcommands are the first word of each indented usage line; continuation
+# lines (deeper indentation or punctuation starts) don't introduce commands.
+commands="$(printf '%s\n' "$help_text" | sed -n 's/^  \([a-z][a-z-]*\).*/\1/p' | sort -u)"
+flags="$(printf '%s\n' "$help_text" | grep -o -- '--[a-z-]*' | sort -u)"
+
+for cmd in $commands; do
+  if ! grep -q "healers $cmd" "$cli_doc"; then
+    echo "check_docs: subcommand '$cmd' is in 'healers help' but not documented in docs/cli.md" >&2
+    fail=1
+  fi
+done
+for flag in $flags; do
+  if ! grep -q -- "$flag" "$cli_doc"; then
+    echo "check_docs: flag '$flag' is in 'healers help' but not documented in docs/cli.md" >&2
+    fail=1
+  fi
+done
+
+# --- 1b. no documented subcommand has rotted away ---------------------------
+# The reference marks each documented subcommand with a '### `healers <cmd>'
+# heading; each must still be a real command.
+doc_commands="$(sed -n 's/^### `healers \([a-z][a-z-]*\).*/\1/p' "$cli_doc" | sort -u)"
+for cmd in $doc_commands; do
+  if ! printf '%s\n' "$commands" | grep -qx "$cmd"; then
+    echo "check_docs: docs/cli.md documents 'healers $cmd' but 'healers help' does not list it" >&2
+    fail=1
+  fi
+done
+
+# --- 2. every relative markdown link resolves -------------------------------
+for md in "$root"/*.md "$root"/docs/*.md; do
+  [ -f "$md" ] || continue
+  dir="$(dirname "$md")"
+  # Extract ](target) link targets; one per line, tolerating several per line.
+  links="$(grep -o '](\([^)]*\))' "$md" | sed 's/^](\(.*\))$/\1/')" || continue
+  for link in $links; do
+    case "$link" in
+      http://*|https://*|\#*|mailto:*) continue ;;
+    esac
+    target="${link%%#*}"                # drop an in-file anchor
+    [ -n "$target" ] || continue
+    if [ ! -e "$dir/$target" ]; then
+      echo "check_docs: broken link '$link' in ${md#"$root"/}" >&2
+      fail=1
+    fi
+  done
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "check_docs: FAILED — docs drifted from the CLI or contain broken links" >&2
+  exit 1
+fi
+echo "check_docs: docs/cli.md matches 'healers help'; all markdown links resolve"

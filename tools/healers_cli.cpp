@@ -33,15 +33,17 @@
 #include "fleet/collector.hpp"
 #include "fleet/simulator.hpp"
 #include "fleet/wire.hpp"
+#include "incident/recorder.hpp"
 #include "wrappers/wrappers.hpp"
 
 using namespace healers;
 
 namespace {
 
-int usage() {
-  std::fprintf(stderr,
+void print_usage(std::FILE* out) {
+  std::fprintf(out,
                "usage: healers <command> [args]\n"
+               "  help\n"
                "  list-libs\n"
                "  list-functions <soname>\n"
                "  decls <soname> [-o file]\n"
@@ -53,10 +55,15 @@ int usage() {
                "             [--campaign file] [-o file]\n"
                "  inspect demo-heap|demo-stack\n"
                "  demo attacks\n"
+               "  dossier demo-heap|demo-stack [--format text|xml|binary] [-o file]\n"
                "  fleet simulate [--hosts N] [--docs N] [--seed N] [--jobs N]\n"
                "                 [--encoding xml|binary|mixed] [-o file]\n"
                "  fleet ingest <file> [--shards N] [--jobs N] [--capacity N]\n"
                "  fleet report <file> [--shards N] [--jobs N]\n");
+}
+
+int usage() {
+  print_usage(stderr);
   return 2;
 }
 
@@ -99,6 +106,7 @@ struct Options {
   int shards = 4;
   int capacity = 4096;
   std::string encoding = "mixed";
+  std::string format = "text";
 };
 
 Result<Options> parse_options(int argc, char** argv) {
@@ -153,6 +161,10 @@ Result<Options> parse_options(int argc, char** argv) {
       auto value = next();
       if (!value.ok()) return value.error();
       options.encoding = value.value();
+    } else if (arg == "--format") {
+      auto value = next();
+      if (!value.ok()) return value.error();
+      options.format = value.value();
     } else if (!arg.empty() && arg[0] == '-') {
       return Error("unknown option " + arg);
     } else {
@@ -348,6 +360,39 @@ int cmd_fleet(const core::Toolkit& toolkit, const Options& options) {
   return usage();
 }
 
+// Runs one of the §3.4 attack demos with the security wrapper AND an incident
+// flight recorder attached, then prints the captured crash dossier. The
+// dossier is derived purely from deterministic simulated state, so every
+// format is byte-identical across runs.
+int cmd_dossier(const core::Toolkit& toolkit, const Options& options) {
+  if (options.positional.empty()) return usage();
+  const std::string& scenario = options.positional[0];
+  auto wrapper = toolkit.security_wrapper("libsimc.so.1");
+  if (!wrapper.ok()) return fail(wrapper.error().message);
+  incident::FlightRecorder recorder;
+  attacks::AttackResult result;
+  if (scenario == "demo-heap") {
+    recorder.set_process_name("netd");
+    result = attacks::run_heap_smash_attack(toolkit.catalog(), {wrapper.value()},
+                                            /*hardened_allocator=*/false, &recorder);
+  } else if (scenario == "demo-stack") {
+    recorder.set_process_name("reqhandler");
+    result = attacks::run_stack_smash_attack(toolkit.catalog(), {wrapper.value()}, &recorder);
+  } else {
+    return fail("unknown scenario: " + scenario + " (try demo-heap or demo-stack)");
+  }
+  if (recorder.dossiers().empty()) {
+    return fail("no detector fired (" + result.outcome.to_string() + "); no dossier captured");
+  }
+  const incident::Dossier& dossier = recorder.dossiers().front();
+  if (options.format == "text") return emit(dossier.to_text(), options.out_path);
+  if (options.format == "xml") return emit(xml::serialize(dossier.to_xml()), options.out_path);
+  if (options.format == "binary") {
+    return emit(fleet::encode_dossier_binary(dossier), options.out_path);
+  }
+  return fail("unknown format: " + options.format + " (text|xml|binary)");
+}
+
 int cmd_demo(const core::Toolkit& toolkit, const Options& options) {
   if (options.positional.empty() || options.positional[0] != "attacks") return usage();
   const auto plain = attacks::run_heap_smash_attack(toolkit.catalog(), {});
@@ -363,6 +408,10 @@ int cmd_demo(const core::Toolkit& toolkit, const Options& options) {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
+  if (command == "help" || command == "--help" || command == "-h") {
+    print_usage(stdout);
+    return 0;
+  }
   auto options = parse_options(argc, argv);
   if (!options.ok()) return fail(options.error().message);
 
@@ -375,6 +424,7 @@ int main(int argc, char** argv) {
   if (command == "gen-source") return cmd_gen_source(toolkit, options.value());
   if (command == "inspect") return cmd_inspect(toolkit, options.value());
   if (command == "demo") return cmd_demo(toolkit, options.value());
+  if (command == "dossier") return cmd_dossier(toolkit, options.value());
   if (command == "fleet") return cmd_fleet(toolkit, options.value());
   return usage();
 }
