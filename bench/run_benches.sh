@@ -4,6 +4,8 @@
 #   BENCH_fig2.json  campaign-engine throughput (Fig 2)
 #   BENCH_f6.json    fleet telemetry ingest (docs/sec, XML vs binary codec)
 #   BENCH_c1.json    per-call wrapper overhead (Table C1)
+#   BENCH_s1.json    derivation service (requests/sec: cold vs warm vs
+#                    cache-file-warm)
 #
 # Benchmarks are only meaningful from an optimized, assertion-free build, so
 # this script builds and uses the `release` preset (-O2 -DNDEBUG) by default
@@ -39,7 +41,8 @@ if [[ "$build_type" != "Release" ]]; then
   echo "         pessimistic. Prefer: bench/run_benches.sh (uses the release preset)" >&2
 fi
 
-cmake --build "$build" -j --target bench_fig2_robust_api bench_f6_fleet_ingest bench_c1_overhead
+cmake --build "$build" -j --target bench_fig2_robust_api bench_f6_fleet_ingest bench_c1_overhead \
+  bench_s1_derive_service
 
 "$build/bench/bench_fig2_robust_api" \
   --benchmark_out="$root/BENCH_fig2.json" \
@@ -67,10 +70,17 @@ echo "wrote $root/BENCH_f6.json"
 
 echo "wrote $root/BENCH_c1.json"
 
+"$build/bench/bench_s1_derive_service" \
+  --benchmark_out="$root/BENCH_s1.json" \
+  --benchmark_out_format=json \
+  --benchmark_min_time=0.2
+
+echo "wrote $root/BENCH_s1.json"
+
 # Every BENCH_*.json at the repo root must be one this script owns: a stray
 # name (a typo'd output path, a bench renamed without its artifact) would sit
 # in review forever looking like a tracked result nobody regenerates.
-known_json=("BENCH_fig2.json" "BENCH_f6.json" "BENCH_c1.json")
+known_json=("BENCH_fig2.json" "BENCH_f6.json" "BENCH_c1.json" "BENCH_s1.json")
 unknown=0
 for artifact in "$root"/BENCH_*.json; do
   [[ -e "$artifact" ]] || continue
@@ -87,7 +97,7 @@ done
 
 # Be explicit about coverage: the figure/demo benches regenerate paper
 # numbers on demand but have no committed JSON, so they are NOT run here.
-ran=("bench_fig2_robust_api" "bench_f6_fleet_ingest" "bench_c1_overhead")
+ran=("bench_fig2_robust_api" "bench_f6_fleet_ingest" "bench_c1_overhead" "bench_s1_derive_service")
 echo "skipped (no committed JSON; run from $build/bench/ by hand):"
 for src in "$root"/bench/bench_*.cpp; do
   name="$(basename "$src" .cpp)"

@@ -58,17 +58,75 @@ Result<injector::CampaignResult> Toolkit::derive_robust_api(
   const CampaignKey key{soname,         lib->fingerprint(),       config.seed,
                         config.variants, config.probe_step_budget, config.testbed_heap,
                         config.testbed_stack};
+  std::shared_ptr<Inflight> flight;
+  bool leader = false;
   {
     std::lock_guard lock(cache_mutex_);
     const auto it = campaign_cache_.find(key);
     if (it != campaign_cache_.end()) return it->second;
+    auto [fit, inserted] = inflight_.try_emplace(key);
+    if (inserted) {
+      fit->second = std::make_shared<Inflight>();
+      leader = true;
+    }
+    flight = fit->second;
+  }
+  if (!leader) {
+    // Another thread is already running this exact campaign: wait for it and
+    // share its outcome instead of burning a second campaign's probes.
+    std::unique_lock lock(flight->mutex);
+    flight->done_cv.wait(lock, [&flight] { return flight->done; });
+    return flight->outcome;
   }
   injector::FaultInjector injector(catalog_, config);
   auto campaign = injector.run_campaign(*lib);
   probes_executed_.fetch_add(injector.probes_executed(), std::memory_order_relaxed);
-  if (!campaign.ok()) return campaign;  // failures are not cached
+  {
+    std::lock_guard lock(cache_mutex_);
+    if (campaign.ok()) campaign_cache_.insert_or_assign(key, campaign.value());
+    inflight_.erase(key);  // failures are not cached; a later call retries
+  }
+  {
+    std::lock_guard lock(flight->mutex);
+    flight->outcome = campaign;
+    flight->done = true;
+  }
+  flight->done_cv.notify_all();
+  return campaign;
+}
+
+std::vector<CachedCampaign> Toolkit::export_campaigns() const {
+  std::vector<CachedCampaign> out;
   std::lock_guard lock(cache_mutex_);
-  return campaign_cache_.insert_or_assign(key, std::move(campaign).take()).first->second;
+  out.reserve(campaign_cache_.size());
+  for (const auto& [key, result] : campaign_cache_) {
+    CachedCampaign entry;
+    entry.soname = std::get<0>(key);
+    entry.fingerprint = std::get<1>(key);
+    entry.seed = std::get<2>(key);
+    entry.variants = std::get<3>(key);
+    entry.probe_step_budget = std::get<4>(key);
+    entry.testbed_heap = std::get<5>(key);
+    entry.testbed_stack = std::get<6>(key);
+    entry.result = result;
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+std::size_t Toolkit::import_campaigns(std::vector<CachedCampaign> entries) const {
+  std::size_t admitted = 0;
+  for (CachedCampaign& entry : entries) {
+    const simlib::SharedLibrary* lib = catalog_.find(entry.soname);
+    if (lib == nullptr || lib->fingerprint() != entry.fingerprint) continue;
+    const CampaignKey key{entry.soname,      entry.fingerprint, entry.seed,
+                          entry.variants,    entry.probe_step_budget,
+                          entry.testbed_heap, entry.testbed_stack};
+    std::lock_guard lock(cache_mutex_);
+    campaign_cache_.insert_or_assign(key, std::move(entry.result));
+    ++admitted;
+  }
+  return admitted;
 }
 
 linker::LinkMap Toolkit::inspect(const linker::Executable& exe) const {

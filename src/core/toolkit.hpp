@@ -14,6 +14,7 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -31,6 +32,22 @@
 #include "xml/xml.hpp"
 
 namespace healers::core {
+
+// One memoized campaign with the full cache key spelled out — the portable
+// form of a derive-cache entry. The derivation server's persistent spec
+// cache serializes these, so a fresh process (or a fresh server) can answer
+// derive requests with zero probes. The fingerprint keeps entries honest:
+// an updated library hashes differently and simply never hits.
+struct CachedCampaign {
+  std::string soname;
+  std::uint64_t fingerprint = 0;
+  std::uint64_t seed = 0;
+  int variants = 0;
+  std::uint64_t probe_step_budget = 0;
+  std::uint64_t testbed_heap = 0;
+  std::uint64_t testbed_stack = 0;
+  injector::CampaignResult result;
+};
 
 class Toolkit {
  public:
@@ -53,6 +70,11 @@ class Toolkit {
   // the key: the engine guarantees bit-identical results for any value of
   // either, so all of them share one cache slot. A repeated derive therefore
   // runs zero probes (observable via probes_executed()).
+  //
+  // Single-flight: when M threads race on one key, exactly one runs the
+  // campaign; the others block on its completion and share the result, so
+  // probes_executed() rises by one campaign's worth no matter how many
+  // callers collide. Distinct keys still derive concurrently.
   [[nodiscard]] Result<injector::CampaignResult> derive_robust_api(
       const std::string& soname, injector::InjectorConfig config = {}) const;
 
@@ -61,6 +83,16 @@ class Toolkit {
   [[nodiscard]] std::uint64_t probes_executed() const noexcept {
     return probes_executed_.load(std::memory_order_relaxed);
   }
+
+  // --- persistent spec cache (derivation service) ---------------------------
+  // Every memoized campaign, with its key spelled out, in deterministic key
+  // order — the derivation server's spec cache serializes this.
+  [[nodiscard]] std::vector<CachedCampaign> export_campaigns() const;
+  // Preloads memoized campaigns (e.g. parsed from a cache file). Entries for
+  // libraries this toolkit does not have installed, or whose fingerprint no
+  // longer matches the installed library, are skipped — they could never hit.
+  // Returns the number of entries actually admitted.
+  std::size_t import_campaigns(std::vector<CachedCampaign> entries) const;
 
   // --- demo §3.2: application-centric --------------------------------------
   [[nodiscard]] linker::LinkMap inspect(const linker::Executable& exe) const;
@@ -101,11 +133,22 @@ class Toolkit {
                                  std::uint64_t,  // testbed_heap
                                  std::uint64_t>; // testbed_stack
 
+  // One in-flight campaign: the first thread to miss the cache runs it, any
+  // thread that arrives while it runs waits here and shares the outcome
+  // (including failures — they are not cached, so a later call retries).
+  struct Inflight {
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    bool done = false;
+    Result<injector::CampaignResult> outcome{Error("campaign in flight")};
+  };
+
   std::vector<std::unique_ptr<simlib::SharedLibrary>> owned_;
   linker::LibraryCatalog catalog_;
 
   mutable std::mutex cache_mutex_;
   mutable std::map<CampaignKey, injector::CampaignResult> campaign_cache_;
+  mutable std::map<CampaignKey, std::shared_ptr<Inflight>> inflight_;
   mutable std::atomic<std::uint64_t> probes_executed_{0};
 };
 

@@ -6,7 +6,8 @@
 #include "xml/xml.hpp"
 
 namespace healers::fleet {
-namespace {
+
+namespace codec {
 
 void put_u32(std::string& out, std::uint32_t v) {
   for (int shift = 0; shift < 32; shift += 8) {
@@ -20,60 +21,50 @@ void put_u64(std::string& out, std::uint64_t v) {
   }
 }
 
-void put_str(std::string& out, const std::string& s) {
+void put_str(std::string& out, std::string_view s) {
   put_u32(out, static_cast<std::uint32_t>(s.size()));
   out.append(s);
 }
 
-// Bounds-checked read cursor over a binary payload. Every read either
-// succeeds completely or marks the cursor failed; callers check ok() once.
-class Cursor {
- public:
-  explicit Cursor(std::string_view data) : data_(data) {}
-
-  [[nodiscard]] bool ok() const noexcept { return ok_; }
-  [[nodiscard]] bool at_end() const noexcept { return pos_ == data_.size(); }
-
-  std::uint32_t u32() {
-    std::uint32_t v = 0;
-    if (!take(4)) return 0;
-    for (int i = 0; i < 4; ++i) {
-      v |= static_cast<std::uint32_t>(static_cast<unsigned char>(data_[pos_ - 4 + i])) << (8 * i);
-    }
-    return v;
+std::uint32_t Cursor::u32() {
+  std::uint32_t v = 0;
+  if (!take(4)) return 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(data_[pos_ - 4 + i])) << (8 * i);
   }
+  return v;
+}
 
-  std::uint64_t u64() {
-    std::uint64_t v = 0;
-    if (!take(8)) return 0;
-    for (int i = 0; i < 8; ++i) {
-      v |= static_cast<std::uint64_t>(static_cast<unsigned char>(data_[pos_ - 8 + i])) << (8 * i);
-    }
-    return v;
+std::uint64_t Cursor::u64() {
+  std::uint64_t v = 0;
+  if (!take(8)) return 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(data_[pos_ - 8 + i])) << (8 * i);
   }
+  return v;
+}
 
-  std::string str() {
-    const std::uint32_t len = u32();
-    if (!take(len)) return {};
-    return std::string(data_.substr(pos_ - len, len));
+std::string Cursor::str() {
+  const std::uint32_t len = u32();
+  if (!take(len)) return {};
+  return std::string(data_.substr(pos_ - len, len));
+}
+
+bool Cursor::take(std::size_t n) {
+  if (!ok_ || data_.size() - pos_ < n) {
+    ok_ = false;
+    return false;
   }
+  pos_ += n;
+  return true;
+}
 
- private:
-  bool take(std::size_t n) {
-    if (!ok_ || data_.size() - pos_ < n) {
-      ok_ = false;
-      return false;
-    }
-    pos_ += n;
-    return true;
-  }
+}  // namespace codec
 
-  std::string_view data_;
-  std::size_t pos_ = 0;
-  bool ok_ = true;
-};
-
-}  // namespace
+using codec::Cursor;
+using codec::put_str;
+using codec::put_u32;
+using codec::put_u64;
 
 std::string encode_binary(const profile::ProfileReport& report) {
   std::string out;

@@ -36,6 +36,7 @@
 //     str label
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -45,6 +46,39 @@
 #include "support/result.hpp"
 
 namespace healers::fleet {
+
+// The primitive wire codec every HEALERS binary format is built from:
+// little-endian fixed-width integers and u32-length-prefixed strings. Public
+// so other subsystems (the derivation server's spec cache and request
+// protocol) frame their documents the same way the fleet formats do.
+namespace codec {
+
+void put_u32(std::string& out, std::uint32_t v);
+void put_u64(std::string& out, std::uint64_t v);
+void put_str(std::string& out, std::string_view s);
+
+// Bounds-checked read cursor over a binary payload. Every read either
+// succeeds completely or marks the cursor failed; callers check ok() once.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view data) : data_(data) {}
+
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  [[nodiscard]] bool at_end() const noexcept { return pos_ == data_.size(); }
+
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::string str();
+
+ private:
+  bool take(std::size_t n);
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace codec
 
 // Magic prefix of a binary profile document.
 inline constexpr std::string_view kBinaryMagic = "HFB1";

@@ -1,0 +1,232 @@
+#include "server/protocol.hpp"
+
+#include "fleet/wire.hpp"
+
+namespace healers::server {
+namespace {
+
+using fleet::codec::Cursor;
+using fleet::codec::put_str;
+using fleet::codec::put_u32;
+using fleet::codec::put_u64;
+
+bool is_request_binary(std::string_view payload) noexcept {
+  return payload.substr(0, kRequestMagic.size()) == kRequestMagic;
+}
+
+bool is_response_binary(std::string_view payload) noexcept {
+  return payload.substr(0, kResponseMagic.size()) == kResponseMagic;
+}
+
+}  // namespace
+
+std::string_view to_string(Endpoint endpoint) noexcept {
+  return endpoint == Endpoint::kDerive ? "derive" : "bundle";
+}
+
+std::string_view to_string(BundleKind kind) noexcept {
+  switch (kind) {
+    case BundleKind::kRobustness: return "robustness";
+    case BundleKind::kSecurity: return "security";
+    case BundleKind::kProfiling: return "profiling";
+  }
+  return "?";
+}
+
+std::string_view to_string(ResponseStatus status) noexcept {
+  switch (status) {
+    case ResponseStatus::kOk: return "ok";
+    case ResponseStatus::kError: return "error";
+    case ResponseStatus::kShed: return "shed";
+  }
+  return "?";
+}
+
+injector::InjectorConfig DeriveRequest::injector_config() const {
+  injector::InjectorConfig config;
+  config.seed = seed;
+  config.variants = variants;
+  config.probe_step_budget = probe_step_budget;
+  config.testbed_heap = testbed_heap;
+  config.testbed_stack = testbed_stack;
+  return config;
+}
+
+std::string DeriveRequest::canonical_key() const {
+  // The binary encoding already is a canonical, unambiguous image of every
+  // result-affecting field, so it doubles as the single-flight key.
+  std::string key;
+  put_u32(key, static_cast<std::uint32_t>(endpoint));
+  put_str(key, soname);
+  put_u64(key, seed);
+  put_u32(key, static_cast<std::uint32_t>(variants));
+  put_u64(key, probe_step_budget);
+  put_u64(key, testbed_heap);
+  put_u64(key, testbed_stack);
+  put_u32(key, endpoint == Endpoint::kBundle ? static_cast<std::uint32_t>(bundle) : 0U);
+  put_u32(key, static_cast<std::uint32_t>(format));
+  return key;
+}
+
+xml::Node DeriveRequest::to_xml() const {
+  xml::Node node("derive-request");
+  node.set_attr("endpoint", std::string(to_string(endpoint)));
+  node.set_attr("soname", soname);
+  node.set_attr("seed", std::to_string(seed));
+  node.set_attr("variants", std::to_string(variants));
+  node.set_attr("budget", std::to_string(probe_step_budget));
+  node.set_attr("heap", std::to_string(testbed_heap));
+  node.set_attr("stack", std::to_string(testbed_stack));
+  if (endpoint == Endpoint::kBundle) node.set_attr("bundle", std::string(to_string(bundle)));
+  node.set_attr("format", format == WireFormat::kBinary ? "binary" : "xml");
+  return node;
+}
+
+Result<DeriveRequest> DeriveRequest::from_xml(const xml::Node& node) {
+  if (node.name() != "derive-request") return Error("expected <derive-request>");
+  DeriveRequest request;
+  const std::string* endpoint = node.attr("endpoint");
+  if (endpoint == nullptr || *endpoint == "derive") {
+    request.endpoint = Endpoint::kDerive;
+  } else if (*endpoint == "bundle") {
+    request.endpoint = Endpoint::kBundle;
+  } else {
+    return Error("<derive-request> unknown endpoint " + *endpoint);
+  }
+  const std::string* soname = node.attr("soname");
+  if (soname == nullptr || soname->empty()) return Error("<derive-request> missing soname");
+  request.soname = *soname;
+  request.seed = static_cast<std::uint64_t>(node.attr_int("seed", 42));
+  request.variants = static_cast<int>(node.attr_int("variants", 2));
+  request.probe_step_budget = static_cast<std::uint64_t>(node.attr_int("budget", 2'000'000));
+  request.testbed_heap = static_cast<std::uint64_t>(node.attr_int("heap", 256 << 10));
+  request.testbed_stack = static_cast<std::uint64_t>(node.attr_int("stack", 64 << 10));
+  if (const std::string* bundle = node.attr("bundle")) {
+    if (*bundle == "robustness") {
+      request.bundle = BundleKind::kRobustness;
+    } else if (*bundle == "security") {
+      request.bundle = BundleKind::kSecurity;
+    } else if (*bundle == "profiling") {
+      request.bundle = BundleKind::kProfiling;
+    } else {
+      return Error("<derive-request> unknown bundle " + *bundle);
+    }
+  }
+  if (const std::string* format = node.attr("format")) {
+    if (*format == "xml") {
+      request.format = WireFormat::kXml;
+    } else if (*format == "binary") {
+      request.format = WireFormat::kBinary;
+    } else {
+      return Error("<derive-request> unknown format " + *format);
+    }
+  }
+  return request;
+}
+
+std::string DeriveRequest::encode() const {
+  if (format == WireFormat::kXml) return xml::serialize(to_xml());
+  std::string out;
+  out.append(kRequestMagic);
+  out.append(canonical_key());
+  return out;
+}
+
+Result<DeriveRequest> DeriveRequest::decode(std::string_view payload) {
+  if (!is_request_binary(payload)) {
+    auto parsed = xml::parse(payload);
+    if (!parsed.ok()) return Error("xml request: " + parsed.error().message);
+    return from_xml(parsed.value());
+  }
+  Cursor cur(payload.substr(kRequestMagic.size()));
+  DeriveRequest request;
+  const std::uint32_t endpoint = cur.u32();
+  if (!cur.ok() || endpoint > static_cast<std::uint32_t>(Endpoint::kBundle)) {
+    return Error("binary request: bad endpoint");
+  }
+  request.endpoint = static_cast<Endpoint>(endpoint);
+  request.soname = cur.str();
+  request.seed = cur.u64();
+  request.variants = static_cast<int>(cur.u32());
+  request.probe_step_budget = cur.u64();
+  request.testbed_heap = cur.u64();
+  request.testbed_stack = cur.u64();
+  const std::uint32_t bundle = cur.u32();
+  if (!cur.ok() || bundle > static_cast<std::uint32_t>(BundleKind::kProfiling)) {
+    return Error("binary request: bad bundle kind");
+  }
+  request.bundle = static_cast<BundleKind>(bundle);
+  const std::uint32_t format = cur.u32();
+  if (!cur.ok() || format > static_cast<std::uint32_t>(WireFormat::kBinary)) {
+    return Error("binary request: bad format");
+  }
+  request.format = static_cast<WireFormat>(format);
+  if (!cur.at_end()) return Error("binary request: trailing bytes");
+  if (request.soname.empty()) return Error("binary request: missing soname");
+  return request;
+}
+
+xml::Node DeriveResponse::to_xml() const {
+  xml::Node node("derive-response");
+  node.set_attr("status", std::string(to_string(status)));
+  node.set_attr("probes", std::to_string(probes));
+  if (!error.empty()) node.add_text_child("error", error);
+  // NOTE: the XML parser trims character data, so an XML envelope normalizes
+  // leading/trailing payload whitespace on decode. The binary envelope is
+  // byte-exact; binary campaign payloads always travel in binary envelopes.
+  if (!payload.empty()) node.add_text_child("payload", payload);
+  return node;
+}
+
+Result<DeriveResponse> DeriveResponse::from_xml(const xml::Node& node) {
+  if (node.name() != "derive-response") return Error("expected <derive-response>");
+  DeriveResponse response;
+  const std::string* status = node.attr("status");
+  if (status == nullptr || *status == "ok") {
+    response.status = ResponseStatus::kOk;
+  } else if (*status == "error") {
+    response.status = ResponseStatus::kError;
+  } else if (*status == "shed") {
+    response.status = ResponseStatus::kShed;
+  } else {
+    return Error("<derive-response> unknown status " + *status);
+  }
+  response.probes = static_cast<std::uint64_t>(node.attr_int("probes", 0));
+  if (const xml::Node* error = node.child("error")) response.error = error->text();
+  if (const xml::Node* payload = node.child("payload")) response.payload = payload->text();
+  return response;
+}
+
+std::string DeriveResponse::encode(WireFormat format) const {
+  if (format == WireFormat::kXml) return xml::serialize(to_xml());
+  std::string out;
+  out.append(kResponseMagic);
+  put_u32(out, static_cast<std::uint32_t>(status));
+  put_u64(out, probes);
+  put_str(out, error);
+  put_str(out, payload);
+  return out;
+}
+
+Result<DeriveResponse> DeriveResponse::decode(std::string_view payload) {
+  if (!is_response_binary(payload)) {
+    auto parsed = xml::parse(payload);
+    if (!parsed.ok()) return Error("xml response: " + parsed.error().message);
+    return from_xml(parsed.value());
+  }
+  Cursor cur(payload.substr(kResponseMagic.size()));
+  DeriveResponse response;
+  const std::uint32_t status = cur.u32();
+  if (!cur.ok() || status > static_cast<std::uint32_t>(ResponseStatus::kShed)) {
+    return Error("binary response: bad status");
+  }
+  response.status = static_cast<ResponseStatus>(status);
+  response.probes = cur.u64();
+  response.error = cur.str();
+  response.payload = cur.str();
+  if (!cur.ok()) return Error("binary response: truncated");
+  if (!cur.at_end()) return Error("binary response: trailing bytes");
+  return response;
+}
+
+}  // namespace healers::server

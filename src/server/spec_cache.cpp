@@ -1,0 +1,89 @@
+#include "server/spec_cache.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "fleet/wire.hpp"
+#include "server/codec.hpp"
+
+namespace healers::server {
+
+std::string encode_cache_entry(const core::CachedCampaign& entry) {
+  using fleet::codec::put_str;
+  using fleet::codec::put_u32;
+  using fleet::codec::put_u64;
+  std::string out;
+  out.append(kCacheEntryMagic);
+  put_str(out, entry.soname);
+  put_u64(out, entry.fingerprint);
+  put_u64(out, entry.seed);
+  put_u32(out, static_cast<std::uint32_t>(entry.variants));
+  put_u64(out, entry.probe_step_budget);
+  put_u64(out, entry.testbed_heap);
+  put_u64(out, entry.testbed_stack);
+  put_str(out, encode_campaign_binary(entry.result));
+  return out;
+}
+
+Result<core::CachedCampaign> decode_cache_entry(std::string_view payload) {
+  if (payload.substr(0, kCacheEntryMagic.size()) != kCacheEntryMagic) {
+    return Error("cache entry: bad magic");
+  }
+  fleet::codec::Cursor cur(payload.substr(kCacheEntryMagic.size()));
+  core::CachedCampaign entry;
+  entry.soname = cur.str();
+  entry.fingerprint = cur.u64();
+  entry.seed = cur.u64();
+  entry.variants = static_cast<int>(cur.u32());
+  entry.probe_step_budget = cur.u64();
+  entry.testbed_heap = cur.u64();
+  entry.testbed_stack = cur.u64();
+  const std::string campaign_bytes = cur.str();
+  if (!cur.ok()) return Error("cache entry: truncated");
+  if (!cur.at_end()) return Error("cache entry: trailing bytes");
+  auto campaign = decode_campaign_binary(campaign_bytes);
+  if (!campaign.ok()) return Error("cache entry: " + campaign.error().message);
+  entry.result = std::move(campaign).take();
+  return entry;
+}
+
+std::string encode_cache_file(const std::vector<core::CachedCampaign>& entries) {
+  std::vector<std::string> documents;
+  documents.reserve(entries.size());
+  for (const core::CachedCampaign& entry : entries) documents.push_back(encode_cache_entry(entry));
+  return fleet::frame_stream(documents);
+}
+
+Result<std::vector<core::CachedCampaign>> decode_cache_file(std::string_view image) {
+  auto documents = fleet::unframe_stream(image);
+  if (!documents.ok()) return Error("cache file: " + documents.error().message);
+  std::vector<core::CachedCampaign> entries;
+  entries.reserve(documents.value().size());
+  for (const std::string& doc : documents.value()) {
+    auto entry = decode_cache_entry(doc);
+    if (!entry.ok()) return entry.error();
+    entries.push_back(std::move(entry).take());
+  }
+  return entries;
+}
+
+Status save_cache_file(const core::Toolkit& toolkit, const std::string& path) {
+  const std::string image = encode_cache_file(toolkit.export_campaigns());
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::failure("cannot write " + path);
+  out << image;
+  if (!out) return Status::failure("short write to " + path);
+  return Status::success();
+}
+
+Result<std::size_t> load_cache_file(const core::Toolkit& toolkit, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Error("cannot read " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  auto entries = decode_cache_file(buffer.str());
+  if (!entries.ok()) return Error(path + ": " + entries.error().message);
+  return toolkit.import_campaigns(std::move(entries).take());
+}
+
+}  // namespace healers::server

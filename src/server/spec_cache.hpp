@@ -1,0 +1,54 @@
+// Persistent spec cache for the derivation service (ISSUE 5).
+//
+// HEALERS' premise is that robust APIs are derived ONCE per library and then
+// reused to harden any application on the host (paper §2.2); this file makes
+// "once" survive the process. A cache file is the toolkit's campaign memo
+// table with every key spelled out, so a fresh server (or a fresh `healers
+// derive` run) imports it and answers matching requests with zero probes —
+// observable via Toolkit::probes_executed().
+//
+// On-disk format: the fleet document-stream framing ("HFDS1\n" +
+// u32-length-prefixed payloads, fleet::frame_stream) where each payload is
+// one cache entry:
+//
+//   "HSCE1"                                magic, 5 bytes
+//   str soname, u64 fingerprint
+//   u64 seed, u32 variants, u64 probe_step_budget,
+//   u64 testbed_heap, u64 testbed_stack
+//   str campaign                           an "HCB1" binary campaign document
+//
+// The fingerprint is part of the key: entries recorded against an older
+// build of a library decode fine but are skipped at import, so a cache file
+// can never serve stale specs. Both layers are strict decoders — a
+// truncated or alien file is an error, never a partial cache.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/toolkit.hpp"
+#include "support/result.hpp"
+
+namespace healers::server {
+
+// Magic prefix of one cache entry inside the stream framing.
+inline constexpr std::string_view kCacheEntryMagic = "HSCE1";
+
+// One entry <-> its binary payload.
+[[nodiscard]] std::string encode_cache_entry(const core::CachedCampaign& entry);
+[[nodiscard]] Result<core::CachedCampaign> decode_cache_entry(std::string_view payload);
+
+// A whole cache <-> the framed file image (deterministic: entries are
+// emitted in the toolkit's canonical key order).
+[[nodiscard]] std::string encode_cache_file(const std::vector<core::CachedCampaign>& entries);
+[[nodiscard]] Result<std::vector<core::CachedCampaign>> decode_cache_file(std::string_view image);
+
+// Convenience file I/O: save the toolkit's memo table / import a saved one.
+// load_cache_file returns the number of entries admitted (entries whose
+// library or fingerprint no longer matches are decoded but skipped).
+[[nodiscard]] Status save_cache_file(const core::Toolkit& toolkit, const std::string& path);
+[[nodiscard]] Result<std::size_t> load_cache_file(const core::Toolkit& toolkit,
+                                                  const std::string& path);
+
+}  // namespace healers::server

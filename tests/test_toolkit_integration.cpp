@@ -5,6 +5,9 @@
 // collector from a wrapped executable).
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 #include "attacks/attacks.hpp"
 #include "core/toolkit.hpp"
 #include "profile/collector.hpp"
@@ -188,6 +191,72 @@ TEST_F(ToolkitFixture, CampaignFromStoredXmlDrivesWrapperGeneration) {
   auto proc = testbed::make_process();
   proc->preload(wrapper.value());
   EXPECT_FALSE(proc->supervised_call("strlen", {P(0)}).robustness_failure());
+}
+
+TEST_F(ToolkitFixture, RepeatedDeriveHitsMemoAndExecutesNoProbes) {
+  const auto first = toolkit.derive_robust_api("libsimio.so.1", config);
+  ASSERT_TRUE(first.ok());
+  const std::uint64_t after_first = toolkit.probes_executed();
+  EXPECT_GT(after_first, 0u);
+
+  const auto second = toolkit.derive_robust_api("libsimio.so.1", config);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(toolkit.probes_executed(), after_first);
+  EXPECT_EQ(xml::serialize(second.value().to_xml()), xml::serialize(first.value().to_xml()));
+
+  // jobs is not part of the cache key: the engine is jobs-invariant, so a
+  // different worker count must still hit the same memo slot.
+  auto reconfigured = config;
+  reconfigured.jobs = 4;
+  ASSERT_TRUE(toolkit.derive_robust_api("libsimio.so.1", reconfigured).ok());
+  EXPECT_EQ(toolkit.probes_executed(), after_first);
+}
+
+// The satellite stress test: cache_mutex_ alone would serialize campaigns but
+// still run M of them back to back. Single-flight means M threads racing on
+// one cold key charge the toolkit exactly ONE campaign's probes.
+TEST_F(ToolkitFixture, ConcurrentDeriveIsSingleFlight) {
+  // Baseline: one campaign's probe count, measured on a separate toolkit.
+  Toolkit baseline_toolkit;
+  const auto baseline = baseline_toolkit.derive_robust_api("libsimio.so.1", config);
+  ASSERT_TRUE(baseline.ok());
+  const std::uint64_t one_campaign = baseline_toolkit.probes_executed();
+  ASSERT_GT(one_campaign, 0u);
+  const std::string golden = xml::serialize(baseline.value().to_xml());
+
+  constexpr int kThreads = 8;
+  std::vector<std::string> serialized(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([this, t, &serialized] {
+      const auto campaign = toolkit.derive_robust_api("libsimio.so.1", config);
+      ASSERT_TRUE(campaign.ok());
+      serialized[t] = xml::serialize(campaign.value().to_xml());
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(toolkit.probes_executed(), one_campaign);
+  for (const auto& doc : serialized) EXPECT_EQ(doc, golden);
+}
+
+TEST_F(ToolkitFixture, ExportImportCampaignsMovesMemoBetweenToolkits) {
+  ASSERT_TRUE(toolkit.derive_robust_api("libsimm.so.1", config).ok());
+  ASSERT_TRUE(toolkit.derive_robust_api("libsimio.so.1", config).ok());
+  auto exported = toolkit.export_campaigns();
+  ASSERT_EQ(exported.size(), 2u);
+
+  Toolkit fresh;
+  EXPECT_EQ(fresh.import_campaigns(exported), 2u);
+  ASSERT_TRUE(fresh.derive_robust_api("libsimm.so.1", config).ok());
+  ASSERT_TRUE(fresh.derive_robust_api("libsimio.so.1", config).ok());
+  EXPECT_EQ(fresh.probes_executed(), 0u);
+
+  // A corrupted fingerprint can never hit, so import refuses it.
+  exported[0].fingerprint ^= 1;
+  Toolkit skeptical;
+  EXPECT_EQ(skeptical.import_campaigns(exported), 1u);
 }
 
 }  // namespace

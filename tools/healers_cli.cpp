@@ -14,12 +14,18 @@
 //                          [--encoding xml|binary|mixed] -o fleet.docs
 //   healers fleet ingest <fleet.docs> [--shards N] [--jobs N] [--capacity N]
 //   healers fleet report <fleet.docs> [--shards N] [--jobs N]
+//   healers serve [--clients N] [--requests N] [--jobs N] [--shards N]
+//                 [--capacity N] [--cache-file F] [--encoding xml|binary]
 //
 // derive→(ship XML)→gen-source is the paper's offline pipeline: campaigns
 // run where the library lives; wrapper generation can happen anywhere the
 // spec file reaches. fleet simulate→ingest/report is the §2.3 collection
 // story at fleet scale: hosts emit profile documents (XML or the compact
-// binary wire format), the sharded collector aggregates them.
+// binary wire format), the sharded collector aggregates them. serve is the
+// derivation service: a simulated client fleet asks one DeriveServer for
+// robust APIs and wrapper bundles; single-flight dedup plus the persistent
+// spec cache (--cache-file, shared with derive) keep repeat answers at zero
+// probes.
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -34,6 +40,8 @@
 #include "fleet/simulator.hpp"
 #include "fleet/wire.hpp"
 #include "incident/recorder.hpp"
+#include "server/derive_server.hpp"
+#include "server/spec_cache.hpp"
 #include "wrappers/wrappers.hpp"
 
 using namespace healers;
@@ -47,9 +55,11 @@ void print_usage(std::FILE* out) {
                "  list-libs\n"
                "  list-functions <soname>\n"
                "  decls <soname> [-o file]\n"
-               "  derive <soname> [--seed N] [--variants N] [--jobs N] [-o file]\n"
+               "  derive <soname> [--seed N] [--variants N] [--jobs N]\n"
+               "         [--cache-file file] [-o file]\n"
                "         (--jobs N probes on N worker threads, 0 = all cores;\n"
-               "          results are identical for every N)\n"
+               "          results are identical for every N; --cache-file loads/saves\n"
+               "          the persistent spec cache so repeat runs execute 0 probes)\n"
                "  report <campaign.xml>\n"
                "  gen-source <soname> --type profiling|robustness|security|testing\n"
                "             [--campaign file] [-o file]\n"
@@ -59,7 +69,10 @@ void print_usage(std::FILE* out) {
                "  fleet simulate [--hosts N] [--docs N] [--seed N] [--jobs N]\n"
                "                 [--encoding xml|binary|mixed] [-o file]\n"
                "  fleet ingest <file> [--shards N] [--jobs N] [--capacity N]\n"
-               "  fleet report <file> [--shards N] [--jobs N]\n");
+               "  fleet report <file> [--shards N] [--jobs N]\n"
+               "  serve [--clients N] [--requests N] [--jobs N] [--shards N]\n"
+               "        [--capacity N] [--cache-file file] [--encoding xml|binary]\n"
+               "        [--seed N] [-o file]\n");
 }
 
 int usage() {
@@ -105,8 +118,11 @@ struct Options {
   int docs = 8;
   int shards = 4;
   int capacity = 4096;
+  int clients = 4;
+  int requests = 8;
   std::string encoding = "mixed";
   std::string format = "text";
+  std::string cache_file;
 };
 
 Result<Options> parse_options(int argc, char** argv) {
@@ -157,6 +173,18 @@ Result<Options> parse_options(int argc, char** argv) {
       auto value = next();
       if (!value.ok()) return value.error();
       options.capacity = std::stoi(value.value());
+    } else if (arg == "--clients") {
+      auto value = next();
+      if (!value.ok()) return value.error();
+      options.clients = std::stoi(value.value());
+    } else if (arg == "--requests") {
+      auto value = next();
+      if (!value.ok()) return value.error();
+      options.requests = std::stoi(value.value());
+    } else if (arg == "--cache-file") {
+      auto value = next();
+      if (!value.ok()) return value.error();
+      options.cache_file = value.value();
     } else if (arg == "--encoding") {
       auto value = next();
       if (!value.ok()) return value.error();
@@ -205,18 +233,41 @@ int cmd_decls(const core::Toolkit& toolkit, const Options& options) {
   return emit(xml::serialize(doc.value()), options.out_path);
 }
 
+// Imports the persistent spec cache when the file exists; a missing file is
+// a cold start, not an error (the save after the run creates it).
+int load_spec_cache(const core::Toolkit& toolkit, const std::string& path, bool* loaded) {
+  std::ifstream probe(path, std::ios::binary);
+  if (!probe) return 0;
+  auto imported = server::load_cache_file(toolkit, path);
+  if (!imported.ok()) return fail(imported.error().message);
+  std::fprintf(stderr, "spec cache: imported %zu campaign(s) from %s\n", imported.value(),
+               path.c_str());
+  if (loaded != nullptr) *loaded = true;
+  return 0;
+}
+
 int cmd_derive(const core::Toolkit& toolkit, const Options& options) {
   if (options.positional.empty()) return usage();
+  if (!options.cache_file.empty()) {
+    if (const int rc = load_spec_cache(toolkit, options.cache_file, nullptr); rc != 0) return rc;
+  }
   injector::InjectorConfig config;
   config.seed = options.seed;
   config.variants = options.variants;
   config.jobs = options.jobs;
   const auto campaign = toolkit.derive_robust_api(options.positional[0], config);
   if (!campaign.ok()) return fail(campaign.error().message);
-  std::fprintf(stderr, "%llu probes, %llu failures in %zu functions\n",
+  std::fprintf(stderr, "%llu probes, %llu failures in %zu functions; executed %llu probes this run\n",
                static_cast<unsigned long long>(campaign.value().total_probes()),
                static_cast<unsigned long long>(campaign.value().total_failures()),
-               campaign.value().functions_with_failures());
+               campaign.value().functions_with_failures(),
+               static_cast<unsigned long long>(toolkit.probes_executed()));
+  if (!options.cache_file.empty()) {
+    const auto saved = server::save_cache_file(toolkit, options.cache_file);
+    if (!saved.ok()) return fail(saved.error().message);
+    std::fprintf(stderr, "spec cache: saved %zu campaign(s) to %s\n",
+                 toolkit.export_campaigns().size(), options.cache_file.c_str());
+  }
   return emit(xml::serialize(campaign.value().to_xml()), options.out_path);
 }
 
@@ -393,6 +444,89 @@ int cmd_dossier(const core::Toolkit& toolkit, const Options& options) {
   return fail("unknown format: " + options.format + " (text|xml|binary)");
 }
 
+// Drives the derivation service with a simulated client fleet: --clients
+// clients each submit --requests requests (rotating over the installed
+// libraries, the derive endpoint, and the three bundle kinds), then one
+// drain on --jobs workers answers everything. The trace is a pure function
+// of the options, so the rendered summary is byte-identical across reruns
+// and across --jobs values.
+int cmd_serve(const core::Toolkit& toolkit, const Options& options) {
+  const bool mixed = options.encoding == "mixed";
+  if (!mixed && options.encoding != "xml" && options.encoding != "binary") {
+    return fail("unknown encoding: " + options.encoding + " (xml|binary|mixed)");
+  }
+  if (!options.cache_file.empty()) {
+    if (const int rc = load_spec_cache(toolkit, options.cache_file, nullptr); rc != 0) return rc;
+  }
+  server::ServerConfig config;
+  config.shards = options.shards > 0 ? static_cast<unsigned>(options.shards) : 1;
+  config.queue_capacity = options.capacity > 0 ? static_cast<std::size_t>(options.capacity) : 1;
+  config.workers = options.jobs >= 0 ? static_cast<unsigned>(options.jobs) : 1;
+  server::DeriveServer server(toolkit, config);
+
+  // Smallest library first keeps tiny traces (few requests) cheap.
+  const std::vector<std::string> sonames = {"libsimm.so.1", "libsimio.so.1", "libsimc.so.1"};
+  const std::vector<server::BundleKind> bundles = {server::BundleKind::kProfiling,
+                                                   server::BundleKind::kSecurity,
+                                                   server::BundleKind::kRobustness};
+  std::vector<server::DeriveServer::Ticket> tickets;
+  std::size_t n = 0;
+  for (int client = 0; client < options.clients; ++client) {
+    for (int request = 0; request < options.requests; ++request, ++n) {
+      server::DeriveRequest req;
+      req.soname = sonames[n % sonames.size()];
+      req.seed = options.seed;
+      req.variants = options.variants;
+      // Every fourth request asks for a wrapper bundle instead of a spec.
+      if (n % 4 == 3) {
+        req.endpoint = server::Endpoint::kBundle;
+        req.bundle = bundles[(n / 4) % bundles.size()];
+      }
+      req.format = (mixed ? (n % 2 == 1) : options.encoding == "binary")
+                       ? server::WireFormat::kBinary
+                       : server::WireFormat::kXml;
+      tickets.push_back(server.submit(req.encode()));
+    }
+  }
+  server.drain();
+
+  std::fputs(server.render_summary().c_str(), stdout);
+  std::printf("  probes executed this run: %llu\n",
+              static_cast<unsigned long long>(toolkit.probes_executed()));
+  std::fprintf(stderr, "wall latency us: derive p50=%llu p99=%llu, bundle p50=%llu p99=%llu\n",
+               static_cast<unsigned long long>(
+                   server.wall_latency_micros(server::Endpoint::kDerive, 0.50)),
+               static_cast<unsigned long long>(
+                   server.wall_latency_micros(server::Endpoint::kDerive, 0.99)),
+               static_cast<unsigned long long>(
+                   server.wall_latency_micros(server::Endpoint::kBundle, 0.50)),
+               static_cast<unsigned long long>(
+                   server.wall_latency_micros(server::Endpoint::kBundle, 0.99)));
+
+  if (!options.cache_file.empty()) {
+    const auto saved = server::save_cache_file(toolkit, options.cache_file);
+    if (!saved.ok()) return fail(saved.error().message);
+    std::fprintf(stderr, "spec cache: saved %zu campaign(s) to %s\n",
+                 toolkit.export_campaigns().size(), options.cache_file.c_str());
+  }
+
+  if (!options.out_path.empty()) {
+    // Responses in ticket (submission) order, wrapped in the same stream
+    // framing fleet documents use — replayable through fleet::unframe_stream.
+    std::vector<std::string> responses;
+    responses.reserve(tickets.size());
+    for (const auto ticket : tickets) {
+      const auto response = server.response(ticket);
+      responses.push_back(response ? *response : std::string());
+    }
+    const int rc = emit(fleet::frame_stream(responses), options.out_path);
+    if (rc != 0) return rc;
+  }
+
+  const auto stats = server.stats();
+  return stats.answered_error == 0 ? 0 : 1;
+}
+
 int cmd_demo(const core::Toolkit& toolkit, const Options& options) {
   if (options.positional.empty() || options.positional[0] != "attacks") return usage();
   const auto plain = attacks::run_heap_smash_attack(toolkit.catalog(), {});
@@ -426,5 +560,6 @@ int main(int argc, char** argv) {
   if (command == "demo") return cmd_demo(toolkit, options.value());
   if (command == "dossier") return cmd_dossier(toolkit, options.value());
   if (command == "fleet") return cmd_fleet(toolkit, options.value());
+  if (command == "serve") return cmd_serve(toolkit, options.value());
   return usage();
 }
