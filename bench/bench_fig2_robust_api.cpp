@@ -12,8 +12,11 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <vector>
 
 #include "core/toolkit.hpp"
+#include "linker/testbed.hpp"
+#include "memmodel/addr_space.hpp"
 
 using namespace healers;
 
@@ -22,6 +25,45 @@ namespace {
 const core::Toolkit& toolkit() {
   static const core::Toolkit instance;
   return instance;
+}
+
+// Resident-set size from /proc/self/statm (Linux); 0 when unavailable.
+std::uint64_t rss_bytes() {
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  unsigned long long total = 0;
+  unsigned long long resident = 0;
+  const int fields = std::fscanf(f, "%llu %llu", &total, &resident);
+  std::fclose(f);
+  return fields == 2 ? resident * 4096ULL : 0;
+}
+
+// Verifies COW state storage is actually compiled in: a store after
+// snapshot() must privatize exactly the touched page, and restore() must
+// drop it again. run_benches.sh refuses to publish numbers from a tree where
+// this fails (main() exits nonzero), and every fig2 state row carries the
+// cow_states marker counter the script greps for.
+bool cow_self_check() {
+  mem::AddressSpace space;
+  const mem::Region& region =
+      space.map(4 * mem::kCowPageSize, mem::Perm::kReadWrite, mem::RegionKind::kScratch, "probe");
+  const auto snap = space.snapshot();
+  space.store8(region.base, 7);
+  if (space.find(region.base)->private_pages() != 1) return false;
+  if (space.cow_stats().pages_privatized == 0) return false;
+  space.restore(snap);
+  return space.load8(region.base) == 0 && space.cow_stats().pages_dropped >= 1;
+}
+
+bool g_cow_ok = false;
+
+mem::MachineConfig testbed_machine_config() {
+  const injector::InjectorConfig defaults;
+  mem::MachineConfig machine_config;
+  machine_config.heap_size = defaults.testbed_heap;
+  machine_config.stack_size = defaults.testbed_stack;
+  machine_config.step_budget = defaults.probe_step_budget;
+  return machine_config;
 }
 
 injector::InjectorConfig config() {
@@ -49,11 +91,14 @@ void print_report() {
 // Campaign throughput, measured on the FaultInjector itself: the toolkit's
 // derive cache would otherwise serve every iteration after the first from
 // memory. One configuration per engine mode:
-//   fresh/jobs:1    — the pre-engine baseline (rebuild a process per probe),
-//   snapshot/jobs:1 — per-worker snapshot restore between probes,
-//   snapshot/jobs:8 — snapshot restore + 8 worker threads.
+//   fresh/jobs:1 — the deep baseline (rebuild a full process per probe),
+//   fork/jobs:1  — COW fork from one shared pristine state, per-probe reset
+//                  drops only the pages the probe privatized,
+//   fork/jobs:8  — the same, fanned out over 8 worker threads.
 // All three produce byte-identical campaign XML (enforced by
-// test_injector_parallel); only the probes/s counter may differ.
+// test_injector_parallel); only the throughput counters may differ. The
+// engine counters expose the mechanism: fresh rows build one testbed per
+// probe, fork rows build one per worker and fork the rest.
 void BM_CampaignEngine(benchmark::State& state, const std::string& soname, int jobs,
                        bool snapshot_reset) {
   injector::InjectorConfig cfg = config();
@@ -63,13 +108,85 @@ void BM_CampaignEngine(benchmark::State& state, const std::string& soname, int j
   const simlib::SharedLibrary* lib = toolkit().library(soname);
   injector::FaultInjector injector(catalog, cfg);
   std::uint64_t probes_before = injector.probes_executed();
+  const injector::CampaignEngineStats engine_before = injector.engine_stats();
   for (auto _ : state) {
     const auto campaign = injector.run_campaign(*lib).value();
     benchmark::DoNotOptimize(campaign.total_failures());
   }
-  state.counters["probes/s"] = benchmark::Counter(
-      static_cast<double>(injector.probes_executed() - probes_before),
-      benchmark::Counter::kIsRate);
+  const injector::CampaignEngineStats engine = injector.engine_stats();
+  const double probes = static_cast<double>(injector.probes_executed() - probes_before);
+  state.counters["probes/s"] = benchmark::Counter(probes, benchmark::Counter::kIsRate);
+  state.counters["testbeds_built"] = benchmark::Counter(
+      static_cast<double>(engine.testbeds_built - engine_before.testbeds_built),
+      benchmark::Counter::kAvgIterations);
+  state.counters["pages_dropped/probe"] =
+      probes == 0 ? 0
+                  : static_cast<double>(engine.pages_dropped - engine_before.pages_dropped) /
+                        probes;
+}
+
+// The per-probe reset primitive in isolation: dirty a couple of pages (one
+// heap allocation), then rewind the shell onto the shared pristine state.
+// This is the cost fork mode pays per probe where fresh mode pays
+// BM_FreshTestbedBuild.
+void BM_StateForkReset(benchmark::State& state) {
+  const auto pristine = linker::TestbedState::build(toolkit().catalog(),
+                                                    testbed_machine_config(), "bench stdin\n");
+  auto shell = pristine->fork("bench-shell");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(shell->alloc_cstring("dirty a heap page"));
+    pristine->reset(*shell);
+  }
+  const mem::CowStats stats = shell->machine().mem().cow_stats();
+  state.counters["pages_dropped/reset"] = benchmark::Counter(
+      static_cast<double>(stats.pages_dropped), benchmark::Counter::kAvgIterations);
+  state.counters["cow_states"] = g_cow_ok ? 1 : 0;
+}
+
+// The fresh-mode per-probe cost: construct a process and load the whole
+// catalog from scratch — what every probe paid before testbed states forked.
+void BM_FreshTestbedBuild(benchmark::State& state) {
+  const linker::LibraryCatalog& catalog = toolkit().catalog();
+  for (auto _ : state) {
+    linker::Process process("bench-fresh", testbed_machine_config());
+    process.state().stdin_content = "bench stdin\n";
+    for (const std::string& soname : catalog.sonames()) {
+      process.load_library(catalog.find(soname));
+    }
+    benchmark::DoNotOptimize(process.resolve("strlen"));
+  }
+}
+
+// Memory footprint of coexisting probe states: take one snapshot per
+// iteration (each with a freshly dirtied heap page, like a probe that ran),
+// keep them all alive, and report resident bytes per state against the
+// analytic deep-copy cost (total mapped bytes a byte-copying snapshot would
+// duplicate). states/GB is the campaign-capacity headline: how many probe
+// states fit in a gigabyte.
+void BM_CoexistingStates(benchmark::State& state) {
+  const auto pristine = linker::TestbedState::build(toolkit().catalog(),
+                                                    testbed_machine_config(), "bench stdin\n");
+  auto shell = pristine->fork("bench-shell");
+  std::vector<linker::Process::Snapshot> states;
+  states.reserve(4096);
+  const std::uint64_t rss_before = rss_bytes();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(shell->alloc_cstring("one page of probe dirt"));
+    states.push_back(shell->snapshot());
+  }
+  const std::uint64_t rss_after = rss_bytes();
+  std::uint64_t mapped = 0;  // what a deep copy would duplicate per state
+  for (const mem::RegionImage& ri : states.back().machine.space.regions()) {
+    mapped += ri.size;
+  }
+  const double count = static_cast<double>(states.size());
+  const double per_state =
+      rss_after > rss_before ? static_cast<double>(rss_after - rss_before) / count : 0.0;
+  state.counters["rss_bytes/state"] = per_state;
+  state.counters["deepcopy_bytes/state"] = static_cast<double>(mapped);
+  state.counters["states/GB"] =
+      per_state > 0 ? (1024.0 * 1024.0 * 1024.0) / per_state : 0.0;
+  state.counters["cow_states"] = g_cow_ok ? 1 : 0;
 }
 
 // The toolkit-level derive path: first call runs the campaign, the rest hit
@@ -113,20 +230,23 @@ void BM_SpecXmlParse(benchmark::State& state) {
 
 BENCHMARK_CAPTURE(BM_CampaignEngine, libsimc_fresh_jobs1, "libsimc.so.1", 1, false)
     ->Unit(benchmark::kMillisecond);
-BENCHMARK_CAPTURE(BM_CampaignEngine, libsimc_snapshot_jobs1, "libsimc.so.1", 1, true)
+BENCHMARK_CAPTURE(BM_CampaignEngine, libsimc_fork_jobs1, "libsimc.so.1", 1, true)
     ->Unit(benchmark::kMillisecond);
-BENCHMARK_CAPTURE(BM_CampaignEngine, libsimc_snapshot_jobs8, "libsimc.so.1", 8, true)
+BENCHMARK_CAPTURE(BM_CampaignEngine, libsimc_fork_jobs8, "libsimc.so.1", 8, true)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_CampaignEngine, libsimio_fresh_jobs1, "libsimio.so.1", 1, false)
     ->Unit(benchmark::kMillisecond);
-BENCHMARK_CAPTURE(BM_CampaignEngine, libsimio_snapshot_jobs1, "libsimio.so.1", 1, true)
+BENCHMARK_CAPTURE(BM_CampaignEngine, libsimio_fork_jobs1, "libsimio.so.1", 1, true)
     ->Unit(benchmark::kMillisecond);
-BENCHMARK_CAPTURE(BM_CampaignEngine, libsimio_snapshot_jobs8, "libsimio.so.1", 8, true)
+BENCHMARK_CAPTURE(BM_CampaignEngine, libsimio_fork_jobs8, "libsimio.so.1", 8, true)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_CampaignEngine, libsimm_fresh_jobs1, "libsimm.so.1", 1, false)
     ->Unit(benchmark::kMillisecond);
-BENCHMARK_CAPTURE(BM_CampaignEngine, libsimm_snapshot_jobs8, "libsimm.so.1", 8, true)
+BENCHMARK_CAPTURE(BM_CampaignEngine, libsimm_fork_jobs8, "libsimm.so.1", 8, true)
     ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_StateForkReset)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_FreshTestbedBuild)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_CoexistingStates)->Iterations(2048)->Unit(benchmark::kMicrosecond);
 BENCHMARK_CAPTURE(BM_CachedDerive, libsimc, "libsimc.so.1")->Unit(benchmark::kMicrosecond);
 BENCHMARK_CAPTURE(BM_ProbeSingleFunction, strcpy, "strcpy")->Unit(benchmark::kMicrosecond);
 BENCHMARK_CAPTURE(BM_ProbeSingleFunction, atoi, "atoi")->Unit(benchmark::kMicrosecond);
@@ -134,6 +254,13 @@ BENCHMARK(BM_SpecXmlSerialize)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_SpecXmlParse)->Unit(benchmark::kMicrosecond);
 
 int main(int argc, char** argv) {
+  g_cow_ok = cow_self_check();
+  if (!g_cow_ok) {
+    std::fprintf(stderr,
+                 "bench_fig2: COW self-check FAILED — this tree snapshots without "
+                 "copy-on-write state; refusing to publish numbers.\n");
+    return 1;
+  }
   print_report();
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();

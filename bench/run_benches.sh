@@ -49,6 +49,17 @@ cmake --build "$build" -j --target bench_fig2_robust_api bench_f6_fleet_ingest b
   --benchmark_out_format=json \
   --benchmark_min_time=0.2
 
+# Guard: the fig2 fork-vs-fresh comparison is only meaningful when COW state
+# storage is compiled in. The bench binary self-checks at startup (and exits
+# nonzero on failure, which set -e catches above); the marker counter it
+# stamps on the state rows must also land in the artifact — a JSON without it
+# came from a tree with COW compiled out or from a stale binary.
+if ! grep -q '"cow_states"' "$root/BENCH_fig2.json"; then
+  echo "error: BENCH_fig2.json lacks the cow_states marker — the bench tree" >&2
+  echo "       has COW testbed states compiled out; refusing the artifact." >&2
+  exit 1
+fi
+
 echo "wrote $root/BENCH_fig2.json"
 
 "$build/bench/bench_f6_fleet_ingest" \

@@ -13,6 +13,15 @@ Toolkit::Toolkit() {
 void Toolkit::install_library(simlib::SharedLibrary lib) {
   owned_.push_back(std::make_unique<simlib::SharedLibrary>(std::move(lib)));
   catalog_.install(owned_.back().get());
+  // The load set changed: every cached pristine state baked in the old
+  // catalog and would fork testbeds missing the new library.
+  std::lock_guard lock(cache_mutex_);
+  testbed_states_.clear();
+}
+
+std::size_t Toolkit::testbed_states_cached() const noexcept {
+  std::lock_guard lock(cache_mutex_);
+  return testbed_states_.size();
 }
 
 std::vector<std::string> Toolkit::list_libraries() const { return catalog_.sonames(); }
@@ -79,12 +88,27 @@ Result<injector::CampaignResult> Toolkit::derive_robust_api(
     return flight->outcome;
   }
   injector::FaultInjector injector(catalog_, config);
+  const TestbedKey state_key{config.probe_step_budget, config.testbed_heap,
+                             config.testbed_stack};
+  {
+    // Hand the injector the cached pristine state for this machine shape, if
+    // any — the campaign then skips setup entirely and forks straight from
+    // the shared image.
+    std::lock_guard lock(cache_mutex_);
+    const auto it = testbed_states_.find(state_key);
+    if (it != testbed_states_.end()) injector.set_testbed_state(it->second);
+  }
   auto campaign = injector.run_campaign(*lib);
   probes_executed_.fetch_add(injector.probes_executed(), std::memory_order_relaxed);
   {
     std::lock_guard lock(cache_mutex_);
     if (campaign.ok()) campaign_cache_.insert_or_assign(key, campaign.value());
     inflight_.erase(key);  // failures are not cached; a later call retries
+    // Remember the pristine state the campaign built (or keep the one it
+    // adopted) so the next derive — any library, any seed — reuses it.
+    if (auto state = injector.testbed_state()) {
+      testbed_states_.insert_or_assign(state_key, std::move(state));
+    }
   }
   {
     std::lock_guard lock(flight->mutex);

@@ -84,6 +84,10 @@ class Toolkit {
     return probes_executed_.load(std::memory_order_relaxed);
   }
 
+  // Pristine testbed states currently cached for reuse across campaigns
+  // (one per distinct machine shape). Test/bench handle.
+  [[nodiscard]] std::size_t testbed_states_cached() const noexcept;
+
   // --- persistent spec cache (derivation service) ---------------------------
   // Every memoized campaign, with its key spelled out, in deterministic key
   // order — the derivation server's spec cache serializes this.
@@ -143,12 +147,23 @@ class Toolkit {
     Result<injector::CampaignResult> outcome{Error("campaign in flight")};
   };
 
+  // A pristine TestbedState depends only on the catalog and the machine
+  // shape — not on which library a campaign probes, the seed, or variants.
+  // One cached state therefore serves every derive (and every concurrent
+  // request in the derivation server): each campaign forks O(metadata)
+  // shells from it instead of re-running setup. Invalidated wholesale by
+  // install_library (the load set changed).
+  using TestbedKey = std::tuple<std::uint64_t,   // probe_step_budget
+                                std::uint64_t,   // testbed_heap
+                                std::uint64_t>;  // testbed_stack
+
   std::vector<std::unique_ptr<simlib::SharedLibrary>> owned_;
   linker::LibraryCatalog catalog_;
 
   mutable std::mutex cache_mutex_;
   mutable std::map<CampaignKey, injector::CampaignResult> campaign_cache_;
   mutable std::map<CampaignKey, std::shared_ptr<Inflight>> inflight_;
+  mutable std::map<TestbedKey, std::shared_ptr<const linker::TestbedState>> testbed_states_;
   mutable std::atomic<std::uint64_t> probes_executed_{0};
 };
 

@@ -1,7 +1,6 @@
 #include "injector/injector.hpp"
 
 #include <algorithm>
-#include <optional>
 #include <utility>
 
 #include "support/rng.hpp"
@@ -45,19 +44,82 @@ namespace {
 
 }  // namespace
 
-// A worker's private probe environment: one fully loaded process plus the
-// snapshot of its pristine post-load state (when snapshot_reset is on).
-struct FaultInjector::Testbed {
-  Testbed(std::string name, mem::MachineConfig config) : process(std::move(name), config) {}
-
-  linker::Process process;
-  std::optional<linker::Process::Snapshot> snapshot;
-};
-
 FaultInjector::FaultInjector(const linker::LibraryCatalog& catalog, InjectorConfig config)
     : catalog_(catalog), config_(config) {}
 
 FaultInjector::~FaultInjector() = default;
+
+const std::string& FaultInjector::probe_stdin() {
+  // Testbed environment: pending console input so stdin-consuming functions
+  // (gets) do real work during probes.
+  static const std::string kInput = "a line of console input for the probe\n";
+  return kInput;
+}
+
+mem::MachineConfig FaultInjector::machine_config() const noexcept {
+  mem::MachineConfig machine_config;
+  machine_config.heap_size = config_.testbed_heap;
+  machine_config.stack_size = config_.testbed_stack;
+  machine_config.step_budget = config_.probe_step_budget;
+  return machine_config;
+}
+
+void FaultInjector::set_testbed_state(
+    std::shared_ptr<const linker::TestbedState> state) noexcept {
+  if (state == nullptr) return;
+  const mem::MachineConfig want = machine_config();
+  const mem::MachineConfig& got = state->config();
+  if (got.heap_size != want.heap_size || got.stack_size != want.stack_size ||
+      got.step_budget != want.step_budget) {
+    return;  // built for a different machine shape — forking it would skew results
+  }
+  state_ = std::move(state);
+}
+
+void FaultInjector::ensure_state() {
+  if (!config_.snapshot_reset || state_ != nullptr) return;
+  state_ = linker::TestbedState::build(catalog_, machine_config(), probe_stdin());
+  const mem::CowStats& built = state_->build_stats();
+  pages_sealed_.fetch_add(built.pages_sealed, std::memory_order_relaxed);
+  pages_faulted_.fetch_add(built.pages_faulted, std::memory_order_relaxed);
+  pages_privatized_.fetch_add(built.pages_privatized, std::memory_order_relaxed);
+  pages_dropped_.fetch_add(built.pages_dropped, std::memory_order_relaxed);
+}
+
+std::unique_ptr<linker::Process> FaultInjector::make_bed() {
+  testbeds_built_.fetch_add(1, std::memory_order_relaxed);
+  if (config_.snapshot_reset) {
+    // ensure_state() already ran (before the fan-out); fork an O(metadata)
+    // shell from the shared pristine image.
+    states_forked_.fetch_add(1, std::memory_order_relaxed);
+    return state_->fork("probe-testbed");
+  }
+  auto bed = std::make_unique<linker::Process>("probe-testbed", machine_config());
+  bed->state().stdin_content = probe_stdin();
+  for (const std::string& soname : catalog_.sonames()) {
+    bed->load_library(catalog_.find(soname));
+  }
+  return bed;
+}
+
+void FaultInjector::harvest(const linker::Process& bed) noexcept {
+  const mem::CowStats stats = bed.machine().mem().cow_stats();
+  pages_sealed_.fetch_add(stats.pages_sealed, std::memory_order_relaxed);
+  pages_faulted_.fetch_add(stats.pages_faulted, std::memory_order_relaxed);
+  pages_privatized_.fetch_add(stats.pages_privatized, std::memory_order_relaxed);
+  pages_dropped_.fetch_add(stats.pages_dropped, std::memory_order_relaxed);
+}
+
+CampaignEngineStats FaultInjector::engine_stats() const noexcept {
+  CampaignEngineStats stats;
+  stats.states_forked = states_forked_.load(std::memory_order_relaxed);
+  stats.testbeds_built = testbeds_built_.load(std::memory_order_relaxed);
+  stats.pages_sealed = pages_sealed_.load(std::memory_order_relaxed);
+  stats.pages_faulted = pages_faulted_.load(std::memory_order_relaxed);
+  stats.pages_privatized = pages_privatized_.load(std::memory_order_relaxed);
+  stats.pages_dropped = pages_dropped_.load(std::memory_order_relaxed);
+  return stats;
+}
 
 const FaultInjector::PageEntry& FaultInjector::page_for(const simlib::SharedLibrary& lib,
                                                         const simlib::Symbol& symbol) {
@@ -75,39 +137,27 @@ const FaultInjector::PageEntry& FaultInjector::page_for(const simlib::SharedLibr
   return it->second;
 }
 
-std::unique_ptr<FaultInjector::Testbed> FaultInjector::make_testbed(bool take_snapshot) const {
-  mem::MachineConfig machine_config;
-  machine_config.heap_size = config_.testbed_heap;
-  machine_config.stack_size = config_.testbed_stack;
-  machine_config.step_budget = config_.probe_step_budget;
-  auto bed = std::make_unique<Testbed>("probe-testbed", machine_config);
-  // Testbed environment: pending console input so stdin-consuming functions
-  // (gets) do real work during probes.
-  bed->process.state().stdin_content = "a line of console input for the probe\n";
-  for (const std::string& soname : catalog_.sonames()) {
-    bed->process.load_library(catalog_.find(soname));
-  }
-  if (take_snapshot) bed->snapshot = bed->process.snapshot();
-  return bed;
-}
-
-CallOutcome FaultInjector::run_probe(std::unique_ptr<Testbed>& bed,
+CallOutcome FaultInjector::run_probe(std::unique_ptr<linker::Process>& bed,
                                      const simlib::SharedLibrary& lib, const ProbeTask& task,
                                      std::size_t case_index, std::int64_t* injected_int) {
   // One probe = one pristine process, as the paper forked one child per
-  // probe. snapshot_reset rewinds the worker's testbed to its post-load
-  // state — bit-identical to a fresh build, because the restore also rewinds
-  // the address-space allocation cursor — instead of rebuilding from scratch.
+  // probe. snapshot_reset rewinds the worker's shell onto the shared
+  // pristine image — bit-identical to a fresh build, because the restore
+  // also rewinds the address-space allocation cursor — by dropping only the
+  // pages the previous probe privatized. Fresh mode rebuilds from scratch
+  // (the deep-copy oracle the benches compare against).
   if (config_.snapshot_reset) {
     if (bed == nullptr) {
-      bed = make_testbed(true);
+      bed = make_bed();
     } else {
-      bed->process.restore(*bed->snapshot);
+      state_->reset(*bed);
+      states_forked_.fetch_add(1, std::memory_order_relaxed);
     }
   } else {
-    bed = make_testbed(false);
+    if (bed != nullptr) harvest(*bed);
+    bed = make_bed();
   }
-  linker::Process& process = bed->process;
+  linker::Process& process = *bed;
   const parser::ManPage& page = *task.page;
 
   CallOutcome not_run;
@@ -140,7 +190,7 @@ CallOutcome FaultInjector::run_probe(std::unique_ptr<Testbed>& bed,
   return process.supervised_call(page.proto.name, std::move(args));
 }
 
-FaultInjector::TaskOutput FaultInjector::run_task(std::unique_ptr<Testbed>& bed,
+FaultInjector::TaskOutput FaultInjector::run_task(std::unique_ptr<linker::Process>& bed,
                                                   const simlib::SharedLibrary& lib,
                                                   const ProbeTask& task) {
   TaskOutput out;
@@ -180,19 +230,24 @@ std::vector<FaultInjector::TaskOutput> FaultInjector::execute(const simlib::Shar
                                                               const std::vector<ProbeTask>& tasks) {
   const unsigned jobs = config_.jobs <= 0 ? support::ThreadPool::hardware_workers()
                                           : static_cast<unsigned>(config_.jobs);
+  // Build (or adopt) the shared pristine state before the fan-out: state_ is
+  // written once here, then only read (and forked — atomic refcounts) by the
+  // workers.
+  ensure_state();
   std::vector<TaskOutput> outputs(tasks.size());
   if (jobs <= 1) {
     // Sequential: one testbed, no pool, no locking.
-    std::unique_ptr<Testbed> bed;
+    std::unique_ptr<linker::Process> bed;
     for (std::size_t i = 0; i < tasks.size(); ++i) {
       outputs[i] = run_task(bed, lib, tasks[i]);
     }
+    if (bed != nullptr) harvest(*bed);
     return outputs;
   }
   if (pool_ == nullptr || pool_->workers() != jobs) {
     pool_ = std::make_unique<support::ThreadPool>(jobs);
   }
-  std::vector<std::unique_ptr<Testbed>> beds(jobs);  // lazily built, one per worker
+  std::vector<std::unique_ptr<linker::Process>> beds(jobs);  // lazily built, one per worker
   std::vector<support::ThreadPool::Task> pool_tasks;
   pool_tasks.reserve(tasks.size());
   for (std::size_t i = 0; i < tasks.size(); ++i) {
@@ -201,6 +256,9 @@ std::vector<FaultInjector::TaskOutput> FaultInjector::execute(const simlib::Shar
     });
   }
   pool_->run(std::move(pool_tasks));
+  for (const auto& bed : beds) {
+    if (bed != nullptr) harvest(*bed);
+  }
   return outputs;
 }
 
@@ -358,7 +416,15 @@ Result<CampaignResult> FaultInjector::run_campaign(
     }
     functions.emplace_back(symbol, &entry.page);
   }
+  const CampaignEngineStats before = engine_stats();
   result.specs = build_specs(lib, functions);
+  const CampaignEngineStats after = engine_stats();
+  result.engine.states_forked = after.states_forked - before.states_forked;
+  result.engine.testbeds_built = after.testbeds_built - before.testbeds_built;
+  result.engine.pages_sealed = after.pages_sealed - before.pages_sealed;
+  result.engine.pages_faulted = after.pages_faulted - before.pages_faulted;
+  result.engine.pages_privatized = after.pages_privatized - before.pages_privatized;
+  result.engine.pages_dropped = after.pages_dropped - before.pages_dropped;
   return result;
 }
 

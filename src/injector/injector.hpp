@@ -14,9 +14,11 @@
 //   1. all probe coordinates (function, argument, test type) are enumerated
 //      up front in canonical order,
 //   2. they fan out over a small work-stealing thread pool (config.jobs),
-//   3. each worker owns ONE fully loaded testbed process and, instead of
-//      rebuilding it per probe, restores a snapshot of the post-load state
-//      between probes (config.snapshot_reset; see linker::Process::snapshot).
+//   3. the expensive setup (construct + load the whole catalog + seal) runs
+//      ONCE per campaign into a shared pristine linker::TestbedState; every
+//      worker forks an O(metadata) shell from it, and each probe resets by
+//      dropping the pages it privatized — no per-worker deep snapshot, no
+//      byte copy-back (config.snapshot_reset; see linker/testbed.hpp).
 //
 // Determinism guarantee: results are bit-identical for every jobs value and
 // either reset mode. Each probe seeds its own Rng from
@@ -35,6 +37,7 @@
 
 #include "injector/robust_spec.hpp"
 #include "linker/executable.hpp"
+#include "linker/testbed.hpp"
 #include "parser/manpage.hpp"
 #include "support/result.hpp"
 
@@ -85,6 +88,28 @@ class FaultInjector {
     return probes_executed_.load(std::memory_order_relaxed);
   }
 
+  // --- shared pristine testbed state ---------------------------------------
+  // Adopts a prebuilt pristine state (e.g. the Toolkit's cached one) so this
+  // campaign skips setup entirely and forks straight from the shared image.
+  // Ignored unless the state was built with this injector's exact machine
+  // config. Call before the first probe runs.
+  void set_testbed_state(std::shared_ptr<const linker::TestbedState> state) noexcept;
+  // The pristine state this injector forks from (built lazily on the first
+  // snapshot-reset probe when none was adopted); null until then. The
+  // Toolkit caches this across campaigns so every derive — including every
+  // in-flight request in the derivation server — forks from one image.
+  [[nodiscard]] std::shared_ptr<const linker::TestbedState> testbed_state() const noexcept {
+    return state_;
+  }
+
+  // The console input every probe testbed starts with.
+  [[nodiscard]] static const std::string& probe_stdin();
+
+  // Cumulative engine telemetry (fork/privatize/drop counters) across every
+  // probe this injector has run; run_campaign stores the per-campaign delta
+  // in CampaignResult::engine.
+  [[nodiscard]] CampaignEngineStats engine_stats() const noexcept;
+
  private:
   // A memoized man page: parsed once per (library, function) per injector,
   // not once per probe_function call.
@@ -108,20 +133,29 @@ class FaultInjector {
     // for range derivation when every case of the type passed.
     std::vector<std::int64_t> int_values;
   };
-  struct Testbed;
 
   const PageEntry& page_for(const simlib::SharedLibrary& lib, const simlib::Symbol& symbol);
 
-  [[nodiscard]] std::unique_ptr<Testbed> make_testbed(bool take_snapshot) const;
+  // The machine config every probe process (and the shared pristine state)
+  // is built with.
+  [[nodiscard]] mem::MachineConfig machine_config() const noexcept;
+  // Builds (or adopts) the shared pristine state; no-op when already set.
+  void ensure_state();
+  // Forks one probe shell from the pristine state (snapshot-reset mode) or
+  // constructs a fresh full process (fresh mode).
+  [[nodiscard]] std::unique_ptr<linker::Process> make_bed();
+  // Folds a retiring bed's COW counters into the engine totals. Every bed
+  // must be harvested exactly once, just before it is destroyed or rebuilt.
+  void harvest(const linker::Process& bed) noexcept;
 
   // One probe = one process reset + one supervised call. Returns a kNotRun
   // outcome (never folded into statistics) when case_index has no test case
   // or the symbol vanished.
-  [[nodiscard]] linker::CallOutcome run_probe(std::unique_ptr<Testbed>& bed,
+  [[nodiscard]] linker::CallOutcome run_probe(std::unique_ptr<linker::Process>& bed,
                                               const simlib::SharedLibrary& lib,
                                               const ProbeTask& task, std::size_t case_index,
                                               std::int64_t* injected_int);
-  [[nodiscard]] TaskOutput run_task(std::unique_ptr<Testbed>& bed,
+  [[nodiscard]] TaskOutput run_task(std::unique_ptr<linker::Process>& bed,
                                     const simlib::SharedLibrary& lib, const ProbeTask& task);
   // Fans the tasks out over the pool (inline when jobs == 1) and returns
   // outputs indexed like `tasks` — the canonical reduction order.
@@ -136,6 +170,18 @@ class FaultInjector {
   const linker::LibraryCatalog& catalog_;
   InjectorConfig config_;
   std::atomic<std::uint64_t> probes_executed_{0};
+
+  // Shared pristine state (snapshot-reset mode). Immutable once built;
+  // workers fork from it concurrently (atomic refcounts only).
+  std::shared_ptr<const linker::TestbedState> state_;
+
+  // Engine telemetry, bumped by workers (relaxed — read only after joins).
+  std::atomic<std::uint64_t> states_forked_{0};
+  std::atomic<std::uint64_t> testbeds_built_{0};
+  std::atomic<std::uint64_t> pages_sealed_{0};
+  std::atomic<std::uint64_t> pages_faulted_{0};
+  std::atomic<std::uint64_t> pages_privatized_{0};
+  std::atomic<std::uint64_t> pages_dropped_{0};
 
   std::mutex pages_mutex_;
   std::map<std::string, PageEntry> pages_;  // node-stable; keyed soname:function

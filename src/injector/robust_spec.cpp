@@ -264,6 +264,17 @@ std::string CampaignResult::to_table() const {
   return out.str();
 }
 
+xml::Node CampaignEngineStats::to_xml() const {
+  xml::Node node("engine");
+  node.set_attr("states-forked", std::to_string(states_forked));
+  node.set_attr("testbeds-built", std::to_string(testbeds_built));
+  node.set_attr("pages-sealed", std::to_string(pages_sealed));
+  node.set_attr("pages-faulted", std::to_string(pages_faulted));
+  node.set_attr("pages-privatized", std::to_string(pages_privatized));
+  node.set_attr("pages-dropped", std::to_string(pages_dropped));
+  return node;
+}
+
 xml::Node CampaignResult::to_xml() const {
   xml::Node node("campaign");
   node.set_attr("library", library);

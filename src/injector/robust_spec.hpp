@@ -88,11 +88,35 @@ struct RobustSpec {
   [[nodiscard]] static Result<RobustSpec> from_xml(const xml::Node& node);
 };
 
+// Operational counters from the campaign engine's COW state machinery: how
+// many probe states were forked from the shared pristine image, how many
+// full processes had to be built, and the page traffic of the write barrier
+// (DESIGN.md, "COW testbed states"). Telemetry, NOT results: several of
+// these depend on worker count, reset mode, and whether a cached pristine
+// image was shared, so they are excluded from to_xml()/from_xml() — the
+// campaign document stays bit-identical across --jobs and reset modes.
+// `healers derive --stats` appends them as a separate <engine> node. They
+// also baseline future probe-subsumption pruning (ROADMAP item 2).
+struct CampaignEngineStats {
+  std::uint64_t states_forked = 0;     // probe-state activations (fork/reset)
+  std::uint64_t testbeds_built = 0;    // full process constructions
+  std::uint64_t pages_sealed = 0;      // pages frozen building pristine images
+  std::uint64_t pages_faulted = 0;     // lazy copy-ins from the shared image
+  std::uint64_t pages_privatized = 0;  // COW breaks by probe writes
+  std::uint64_t pages_dropped = 0;     // private pages discarded by resets
+
+  [[nodiscard]] xml::Node to_xml() const;
+};
+
 // A whole library's campaign output.
 struct CampaignResult {
   std::string library;
   std::uint64_t seed = 0;
   std::vector<RobustSpec> specs;
+  // Engine telemetry for the run that produced this result (zero for results
+  // parsed back from XML). Deliberately not serialized by to_xml(); see
+  // CampaignEngineStats.
+  CampaignEngineStats engine;
 
   [[nodiscard]] std::uint64_t total_probes() const noexcept;
   [[nodiscard]] std::uint64_t total_failures() const noexcept;

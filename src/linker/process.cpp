@@ -184,7 +184,7 @@ mem::Addr Process::rodata_cstring(const std::string& text) {
 Process::Snapshot Process::snapshot() {
   Snapshot snap;
   snap.machine = machine_.snapshot();
-  snap.state = state_.snapshot();
+  snap.state = std::make_shared<const simlib::LibState>(state_.snapshot());
   snap.calls_dispatched = calls_dispatched_;
   snap.library_count = libraries_.size();
   snap.preload_count = preloads_.size();
@@ -199,7 +199,7 @@ void Process::restore(const Snapshot& snap) {
   preloads_.resize(snap.preload_count);
   plans_.clear();  // plans may reference wrappers/symbols dropped by the resize
   machine_.restore(snap.machine);
-  state_.restore(snap.state);
+  state_.restore(*snap.state);
   state_.observer = observer_;  // the recorder survives testbed resets
   calls_dispatched_ = snap.calls_dispatched;
 }

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -58,6 +59,7 @@ class Process {
 
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] mem::Machine& machine() noexcept { return machine_; }
+  [[nodiscard]] const mem::Machine& machine() const noexcept { return machine_; }
   [[nodiscard]] simlib::LibState& state() noexcept { return state_; }
 
   // Attaches (or detaches, with nullptr) an incident flight recorder. The
@@ -124,12 +126,16 @@ class Process {
   // --- snapshot / restore ---
   // Captures machine + C-runtime state after the testbed is fully loaded;
   // restore() rewinds both, giving the fault injector a fresh process
-  // without reconstructing and reloading it. The loaded-library and preload
-  // lists are NOT part of the snapshot: a restore requires the same load
-  // set that was present at snapshot time (checked).
+  // without reconstructing and reloading it. The machine half is a
+  // refcounted COW image and the C-runtime half is shared immutable state,
+  // so a Snapshot is cheap to copy, any number may coexist, and one frozen
+  // Snapshot can reset many processes (linker::TestbedState forks shells
+  // from exactly such a shared pristine snapshot). The loaded-library and
+  // preload lists are NOT part of the snapshot: a restore requires the same
+  // load set that was present at snapshot time (checked).
   struct Snapshot {
     mem::Machine::Snapshot machine;
-    simlib::LibState state;
+    std::shared_ptr<const simlib::LibState> state;
     std::uint64_t calls_dispatched = 0;
     std::size_t library_count = 0;
     std::size_t preload_count = 0;

@@ -1,0 +1,47 @@
+#include "linker/testbed.hpp"
+
+namespace healers::linker {
+
+TestbedState::TestbedState(const LibraryCatalog& catalog, mem::MachineConfig config,
+                           std::string stdin_content)
+    : catalog_(&catalog), config_(config), stdin_content_(std::move(stdin_content)) {
+  // Run the expensive setup exactly once: construct, preset stdin, load the
+  // whole catalog, seal. Every fork/reset replays this state by reference.
+  Process prototype("testbed-prototype", config_);
+  prototype.state().stdin_content = stdin_content_;
+  sonames_ = catalog_->sonames();
+  for (const std::string& soname : sonames_) {
+    prototype.load_library(catalog_->find(soname));
+  }
+  pristine_ = prototype.snapshot();
+  build_stats_ = prototype.machine().mem().cow_stats();
+}
+
+std::shared_ptr<const TestbedState> TestbedState::build(const LibraryCatalog& catalog,
+                                                        mem::MachineConfig config,
+                                                        std::string stdin_content) {
+  return std::shared_ptr<const TestbedState>(
+      new TestbedState(catalog, config, std::move(stdin_content)));
+}
+
+std::unique_ptr<Process> TestbedState::fork(std::string name) const {
+  auto shell = std::make_unique<Process>(std::move(name), config_);
+  // Replay the load recipe so the shell's library/preload lists (which a
+  // snapshot deliberately does not carry) match the pristine load set; the
+  // restore below then rewinds the machine and C-runtime state onto the
+  // shared image without copying a single region byte.
+  shell->state().stdin_content = stdin_content_;
+  for (const std::string& soname : sonames_) {
+    shell->load_library(catalog_->find(soname));
+  }
+  shell->restore(pristine_);
+  forks_.fetch_add(1, std::memory_order_relaxed);
+  return shell;
+}
+
+void TestbedState::reset(Process& shell) const {
+  shell.restore(pristine_);
+  forks_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace healers::linker

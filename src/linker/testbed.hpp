@@ -1,0 +1,74 @@
+// Forkable testbed states (DESIGN.md, "COW testbed states").
+//
+// A TestbedState is the frozen post-load state of a fully loaded simulated
+// process: machine image (COW page tables), C-runtime state, and the load
+// recipe (catalog + sonames in load order) needed to rebuild a shell around
+// it. It composes the layers the paper's driver resets per probe —
+// AddressSpace/Heap/Stack via mem::Machine, simlib::LibState, and the
+// linker::Process load set — into one refcounted, immutable object:
+//
+//   build()  runs setup ONCE (construct + load + seal),
+//   fork()   stamps out a fresh shell process in O(metadata),
+//   reset()  rewinds an existing shell to the pristine state in O(pages the
+//            probe touched) — the campaign engine's per-probe reset, and the
+//            derivation server's per-request isolation.
+//
+// A TestbedState is immutable after build() and safe to fork/reset from any
+// number of threads concurrently (page refcounts are atomic); the shells it
+// produces are single-threaded like any Process.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "linker/executable.hpp"
+#include "linker/process.hpp"
+
+namespace healers::linker {
+
+class TestbedState {
+ public:
+  // Builds the pristine state: constructs a process with `config`, presets
+  // its stdin, loads every catalog library in catalog order, and seals the
+  // result. The catalog must outlive the returned state and every shell.
+  [[nodiscard]] static std::shared_ptr<const TestbedState> build(
+      const LibraryCatalog& catalog, mem::MachineConfig config, std::string stdin_content);
+
+  // Stamps out a fresh shell: a new process with the same load set, rewound
+  // to the pristine image. O(metadata) — no region bytes are copied; pages
+  // fault in lazily from the shared image as the probe touches them.
+  [[nodiscard]] std::unique_ptr<Process> fork(std::string name) const;
+
+  // Rewinds a shell made by fork() (or any process with the same load set)
+  // back to the pristine state. O(pages touched since the last reset).
+  void reset(Process& shell) const;
+
+  [[nodiscard]] const Process::Snapshot& pristine() const noexcept { return pristine_; }
+  [[nodiscard]] const mem::MachineConfig& config() const noexcept { return config_; }
+
+  // COW counters of the one-time setup (notably pages_sealed: the size of
+  // the pristine image in frozen pages).
+  [[nodiscard]] const mem::CowStats& build_stats() const noexcept { return build_stats_; }
+
+  // Shells forked + resets served, over the state's lifetime (telemetry).
+  [[nodiscard]] std::uint64_t forks() const noexcept {
+    return forks_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  TestbedState(const LibraryCatalog& catalog, mem::MachineConfig config,
+               std::string stdin_content);
+
+  const LibraryCatalog* catalog_;
+  mem::MachineConfig config_;
+  std::string stdin_content_;
+  std::vector<std::string> sonames_;  // load order
+  Process::Snapshot pristine_;
+  mem::CowStats build_stats_;
+  mutable std::atomic<std::uint64_t> forks_{0};
+};
+
+}  // namespace healers::linker

@@ -16,6 +16,10 @@ constexpr Addr kFirstBase = 0x10000;
 // Guard gap between consecutive mappings.
 constexpr Addr kGuardGap = 0x1000;
 
+[[nodiscard]] std::size_t bitmap_words(std::uint64_t pages) noexcept {
+  return static_cast<std::size_t>((pages + 63) / 64);
+}
+
 }  // namespace
 
 AddressSpace::AddressSpace() : next_base_(kFirstBase) {}
@@ -50,7 +54,17 @@ Region& AddressSpace::map_at(Addr base, std::uint64_t size, Perm perm, RegionKin
   region.perm = perm;
   region.kind = kind;
   region.label = std::move(label);
-  region.bytes.assign(size, std::byte{0});
+  region.working.assign(size, std::byte{0});
+  // A fresh region has no sealed form to fall back on: born fully resident
+  // and fully private, so the next snapshot seals every page (all-zero pages
+  // collapse onto the shared zero page).
+  const std::uint64_t pages = region.page_count();
+  region.resident.assign(bitmap_words(pages), ~std::uint64_t{0});
+  region.private_.assign(bitmap_words(pages), ~std::uint64_t{0});
+  region.resident_count = pages;
+  region.private_count = pages;
+  region.all_resident = true;
+  region.backing = nullptr;
   auto [it, inserted] = regions_.emplace(base, std::move(region));
   (void)inserted;
   cache_flush();
@@ -141,29 +155,66 @@ Region& AddressSpace::checked_mut(Addr addr, std::uint64_t len, Perm want) {
   return const_cast<Region&>(checked(addr, len, want));
 }
 
+void AddressSpace::fault_in(const Region& region, std::uint64_t off,
+                            std::uint64_t len) const noexcept {
+  if (region.all_resident) return;
+  const std::uint64_t first = off >> kCowPageBits;
+  const std::uint64_t last = (off + len - 1) >> kCowPageBits;
+  for (std::uint64_t p = first; p <= last; ++p) {
+    if (Region::test_bit(region.resident, p)) continue;
+    // A non-resident page implies an adopted image to fall back on: regions
+    // without backing are born all_resident and short-circuit above.
+    const std::uint64_t page_off = p << kCowPageBits;
+    const std::uint64_t page_len = std::min<std::uint64_t>(kCowPageSize, region.size - page_off);
+    std::memcpy(region.working.data() + page_off, region.backing->pages[p]->data.data(),
+                static_cast<std::size_t>(page_len));
+    Region::set_bit(region.resident, p);
+    ++region.resident_count;
+    ++cow_.pages_faulted;
+  }
+  if (region.resident_count == region.page_count()) region.all_resident = true;
+}
+
+void AddressSpace::privatize(Region& region, std::uint64_t off, std::uint64_t len) noexcept {
+  if (region.private_count == region.page_count()) return;  // fully diverged already
+  fault_in(region, off, len);
+  const std::uint64_t first = off >> kCowPageBits;
+  const std::uint64_t last = (off + len - 1) >> kCowPageBits;
+  for (std::uint64_t p = first; p <= last; ++p) {
+    if (Region::set_bit(region.private_, p)) {
+      ++region.private_count;
+      ++cow_.pages_privatized;
+    }
+  }
+}
+
 std::uint8_t AddressSpace::load8(Addr addr) const {
   const Region& region = checked(addr, 1, Perm::kRead);
-  return std::to_integer<std::uint8_t>(region.bytes[addr - region.base]);
+  const std::uint64_t off = addr - region.base;
+  fault_in(region, off, 1);
+  return std::to_integer<std::uint8_t>(region.working[off]);
 }
 
 void AddressSpace::store8(Addr addr, std::uint8_t value) {
   Region& region = checked_mut(addr, 1, Perm::kWrite);
-  region.mark_dirty(addr - region.base, 1);
-  region.bytes[addr - region.base] = std::byte{value};
+  const std::uint64_t off = addr - region.base;
+  privatize(region, off, 1);
+  region.working[off] = std::byte{value};
 }
 
 std::uint64_t AddressSpace::load64(Addr addr) const {
   const Region& region = checked(addr, 8, Perm::kRead);
-  const std::size_t off = addr - region.base;
+  const std::uint64_t off = addr - region.base;
+  fault_in(region, off, 8);
   if constexpr (std::endian::native == std::endian::little) {
     std::uint64_t value;
-    std::memcpy(&value, region.bytes.data() + off, 8);
+    std::memcpy(&value, region.working.data() + off, 8);
     return value;
   } else {
     std::uint64_t value = 0;
     for (int i = 7; i >= 0; --i) {
       value = (value << 8) |
-              std::to_integer<std::uint64_t>(region.bytes[off + static_cast<std::size_t>(i)]);
+              std::to_integer<std::uint64_t>(region.working[off + static_cast<std::size_t>(i)]);
     }
     return value;
   }
@@ -171,13 +222,13 @@ std::uint64_t AddressSpace::load64(Addr addr) const {
 
 void AddressSpace::store64(Addr addr, std::uint64_t value) {
   Region& region = checked_mut(addr, 8, Perm::kWrite);
-  region.mark_dirty(addr - region.base, 8);
-  const std::size_t off = addr - region.base;
+  const std::uint64_t off = addr - region.base;
+  privatize(region, off, 8);
   if constexpr (std::endian::native == std::endian::little) {
-    std::memcpy(region.bytes.data() + off, &value, 8);
+    std::memcpy(region.working.data() + off, &value, 8);
   } else {
     for (std::size_t i = 0; i < 8; ++i) {
-      region.bytes[off + i] = std::byte{static_cast<std::uint8_t>(value >> (8 * i))};
+      region.working[off + i] = std::byte{static_cast<std::uint8_t>(value >> (8 * i))};
     }
   }
 }
@@ -185,27 +236,43 @@ void AddressSpace::store64(Addr addr, std::uint64_t value) {
 std::vector<std::byte> AddressSpace::read_bytes(Addr addr, std::uint64_t len) const {
   if (len == 0) return {};
   const Region& region = checked(addr, len, Perm::kRead);
-  const std::size_t off = addr - region.base;
-  return {region.bytes.begin() + static_cast<std::ptrdiff_t>(off),
-          region.bytes.begin() + static_cast<std::ptrdiff_t>(off + len)};
+  const std::uint64_t off = addr - region.base;
+  fault_in(region, off, len);
+  return {region.working.begin() + static_cast<std::ptrdiff_t>(off),
+          region.working.begin() + static_cast<std::ptrdiff_t>(off + len)};
 }
 
 void AddressSpace::write_bytes(Addr addr, const std::byte* data, std::uint64_t len) {
   if (len == 0) return;
   Region& region = checked_mut(addr, len, Perm::kWrite);
-  region.mark_dirty(addr - region.base, len);
-  std::memcpy(region.bytes.data() + (addr - region.base), data, len);
+  const std::uint64_t off = addr - region.base;
+  privatize(region, off, len);
+  std::memcpy(region.working.data() + off, data, len);
+}
+
+void AddressSpace::loader_fill(Addr addr, const void* data, std::uint64_t len) {
+  if (len == 0) return;
+  Region* region = find(addr);
+  if (region == nullptr || len > region->size - (addr - region->base)) {
+    throw std::logic_error("AddressSpace::loader_fill: range not inside one mapped region");
+  }
+  const std::uint64_t off = addr - region->base;
+  privatize(*region, off, len);
+  std::memcpy(region->working.data() + off, data, len);
 }
 
 const std::byte* AddressSpace::span(Addr addr, std::uint64_t len, Perm want) const {
   const Region& region = checked(addr, len, want);
-  return region.bytes.data() + (addr - region.base);
+  const std::uint64_t off = addr - region.base;
+  fault_in(region, off, len);
+  return region.working.data() + off;
 }
 
 std::byte* AddressSpace::mutable_span(Addr addr, std::uint64_t len) {
   Region& region = checked_mut(addr, len, Perm::kWrite);
-  region.mark_dirty(addr - region.base, len);
-  return region.bytes.data() + (addr - region.base);
+  const std::uint64_t off = addr - region.base;
+  privatize(region, off, len);
+  return region.working.data() + off;
 }
 
 std::uint64_t AddressSpace::span_extent(Addr addr, Perm want) const noexcept {
@@ -233,11 +300,12 @@ AddressSpace::TerminatorScan AddressSpace::scan_terminator(Addr addr,
     }
     const std::uint64_t chunk =
         std::min<std::uint64_t>(region->end() - cursor, cap - scanned);
-    const void* hit = std::memchr(region->bytes.data() + (cursor - region->base), 0,
+    fault_in(*region, cursor - region->base, chunk);
+    const void* hit = std::memchr(region->working.data() + (cursor - region->base), 0,
                                   static_cast<std::size_t>(chunk));
     if (hit != nullptr) {
       const auto off = static_cast<const std::byte*>(hit) -
-                       (region->bytes.data() + (cursor - region->base));
+                       (region->working.data() + (cursor - region->base));
       return {true, scanned + static_cast<std::uint64_t>(off)};
     }
     scanned += chunk;
@@ -250,15 +318,15 @@ std::string AddressSpace::read_cstring(Addr addr, std::uint64_t max_len) const {
   if (scan.found) {
     std::string out;
     out.resize(static_cast<std::size_t>(scan.scanned));
-    // The scan proved [addr, addr+scanned) readable; gather per-region chunks
-    // (the run may cross abutting regions).
+    // The scan proved [addr, addr+scanned) readable (and resident); gather
+    // per-region chunks (the run may cross abutting regions).
     std::uint64_t copied = 0;
     while (copied < scan.scanned) {
       const Addr cursor = addr + copied;
       const Region* region = find(cursor);
       const std::uint64_t chunk =
           std::min<std::uint64_t>(region->end() - cursor, scan.scanned - copied);
-      std::memcpy(out.data() + copied, region->bytes.data() + (cursor - region->base), chunk);
+      std::memcpy(out.data() + copied, region->working.data() + (cursor - region->base), chunk);
       copied += chunk;
     }
     return out;
@@ -283,43 +351,155 @@ void AddressSpace::check(Addr addr, std::uint64_t len, Perm want) const {
   (void)checked(addr, len, want);
 }
 
-AddressSpace::Snapshot AddressSpace::snapshot() {
-  Snapshot snap;
-  snap.regions.reserve(regions_.size());
-  for (auto& [base, region] : regions_) {
-    region.mark_clean();
-    snap.regions.push_back(region);  // already clean, bytes copied
+PageRef AddressSpace::seal_page(const Region& region, std::uint64_t p) {
+  const std::uint64_t off = p << kCowPageBits;
+  const std::uint64_t len = std::min<std::uint64_t>(kCowPageSize, region.size - off);
+  const std::byte* src = region.working.data() + off;
+  // All-zero pages collapse onto the global zero page: a pristine testbed
+  // image mostly describes untouched heap/stack and costs almost nothing.
+  if (std::memcmp(src, zero_page()->data.data(), static_cast<std::size_t>(len)) == 0) {
+    return zero_page();
   }
-  snap.next_base = next_base_;
-  return snap;
+  auto page = std::make_shared<Page>();
+  std::memcpy(page->data.data(), src, static_cast<std::size_t>(len));
+  if (len < kCowPageSize) {
+    std::memset(page->data.data() + len, 0, static_cast<std::size_t>(kCowPageSize - len));
+  }
+  ++cow_.pages_sealed;
+  return page;
+}
+
+AddressSpace::Snapshot AddressSpace::snapshot() {
+  auto image = std::make_shared<SpaceImage>();
+  image->regions.reserve(regions_.size());
+  for (const auto& [base, region] : regions_) {
+    RegionImage ri;
+    ri.base = region.base;
+    ri.size = region.size;
+    ri.perm = region.perm;
+    ri.kind = region.kind;
+    ri.label = region.label;
+    const std::uint64_t pages = region.page_count();
+    ri.pages.resize(static_cast<std::size_t>(pages));
+    for (std::uint64_t p = 0; p < pages; ++p) {
+      if (Region::test_bit(region.private_, p)) {
+        ri.pages[p] = seal_page(region, p);
+      } else {
+        // Unwritten since the last adoption: share the sealed page by ref.
+        // (backing is non-null here: fresh regions are born fully private.)
+        ri.pages[p] = region.backing->pages[p];
+        ++cow_.pages_shared;
+      }
+    }
+    image->regions.push_back(std::move(ri));
+  }
+  image->next_base = next_base_;
+  ++cow_.snapshots_taken;
+  adopt(image);
+  return Snapshot(std::move(image));
+}
+
+void AddressSpace::adopt(const std::shared_ptr<const SpaceImage>& image) {
+  // The image was built from regions_ in iteration order, so entries align.
+  std::size_t i = 0;
+  for (auto& [base, region] : regions_) {
+    region.backing = &image->regions[i++];
+    if (region.private_count != 0) {
+      std::fill(region.private_.begin(), region.private_.end(), 0);
+      region.private_count = 0;
+    }
+    // Residency survives: working bytes equal the new image by construction
+    // (private pages were sealed from them, shared pages never diverged).
+  }
+  base_image_ = image;
+}
+
+void AddressSpace::reattach(Region& region, const RegionImage& ri) {
+  region.perm = ri.perm;
+  region.kind = ri.kind;
+  if (region.label != ri.label) region.label = ri.label;
+  const std::uint64_t pages = region.page_count();
+  const RegionImage* old = region.backing;
+  if (old == &ri) {
+    // Reset to the image we already track (the per-probe fast path): drop
+    // the private pages — their resident bits with them, so the next access
+    // faults the sealed bytes back in — and nothing else changes.
+    if (region.private_count != 0) {
+      for (std::size_t w = 0; w < region.private_.size(); ++w) {
+        region.resident[w] &= ~region.private_[w];  // private ⊆ resident
+        region.private_[w] = 0;
+      }
+      region.resident_count -= region.private_count;
+      cow_.pages_dropped += region.private_count;
+      region.private_count = 0;
+    }
+  } else {
+    // A different image: keep residency only where the sealed pages are the
+    // very same allocation (common along fork chains and via the zero page).
+    for (std::uint64_t p = 0; p < pages; ++p) {
+      if (!Region::test_bit(region.resident, p)) continue;
+      const bool is_private = Region::test_bit(region.private_, p);
+      const bool same_page =
+          !is_private && old != nullptr && old->pages[p].get() == ri.pages[p].get();
+      if (!same_page) {
+        region.resident[p >> 6] &= ~(std::uint64_t{1} << (p & 63));
+        --region.resident_count;
+      }
+    }
+    cow_.pages_dropped += region.private_count;
+    std::fill(region.private_.begin(), region.private_.end(), 0);
+    region.private_count = 0;
+    region.backing = &ri;
+  }
+  region.all_resident = region.resident_count == pages;
+}
+
+Region AddressSpace::materialize(const RegionImage& ri) {
+  Region region;
+  region.base = ri.base;
+  region.size = ri.size;
+  region.perm = ri.perm;
+  region.kind = ri.kind;
+  region.label = ri.label;
+  region.working.resize(static_cast<std::size_t>(ri.size));
+  const std::uint64_t pages = region.page_count();
+  region.resident.assign(bitmap_words(pages), 0);
+  region.private_.assign(bitmap_words(pages), 0);
+  region.resident_count = 0;
+  region.private_count = 0;
+  region.all_resident = false;
+  region.backing = &ri;
+  return region;
 }
 
 void AddressSpace::restore(const Snapshot& snap) {
+  if (!snap.valid()) {
+    throw std::logic_error("AddressSpace::restore: empty snapshot");
+  }
+  const SpaceImage& image = *snap.image();
   // Both sequences are sorted by base: merge-walk them, unmapping regions
-  // absent from the snapshot and copying back only dirty byte ranges.
+  // absent from the image and rebinding or materializing the rest. No bytes
+  // are copied here — dropped private pages fault back in lazily.
   auto live = regions_.begin();
-  for (const Region& saved : snap.regions) {
-    while (live != regions_.end() && live->first < saved.base) {
-      live = regions_.erase(live);  // mapped after the snapshot
+  for (const RegionImage& ri : image.regions) {
+    while (live != regions_.end() && live->first < ri.base) {
+      live = regions_.erase(live);  // mapped after the fork point
     }
-    if (live == regions_.end() || live->first != saved.base) {
-      // Unmapped since the snapshot: bring the saved copy back whole.
-      live = regions_.emplace_hint(live, saved.base, saved);
+    if (live != regions_.end() && live->first == ri.base && live->second.size == ri.size) {
+      reattach(live->second, ri);
       ++live;
       continue;
     }
-    Region& region = live->second;
-    region.perm = saved.perm;
-    if (region.dirty()) {
-      const std::uint64_t lo = region.dirty_lo;
-      const std::uint64_t hi = std::min<std::uint64_t>(region.dirty_hi, region.size);
-      std::memcpy(region.bytes.data() + lo, saved.bytes.data() + lo, hi - lo);
-      region.mark_clean();
+    if (live != regions_.end() && live->first == ri.base) {
+      live = regions_.erase(live);  // same base, different size: remade below
     }
+    live = regions_.emplace_hint(live, ri.base, materialize(ri));
     ++live;
   }
   while (live != regions_.end()) live = regions_.erase(live);
-  next_base_ = snap.next_base;
+  next_base_ = image.next_base;
+  base_image_ = snap.image();
+  ++cow_.restores;
   cache_flush();
 }
 

@@ -21,40 +21,30 @@
 // mutation (map/map_at/unmap/protect/restore) and can be disabled entirely
 // (set_region_cache_enabled) with no observable difference — tests enforce
 // this.
+//
+// State storage is copy-on-write at page granularity (DESIGN.md, "COW
+// testbed states"; cow.hpp has the sealed-page types). Each region keeps a
+// full-size contiguous working buffer — so span pointers stay raw, stable
+// and contiguous — plus two page bitmaps: `resident` (the working page holds
+// valid bytes) and `private` (the working page diverged from the adopted
+// image). Reads fault pages in from the image lazily; writes additionally
+// privatize the touched pages. snapshot() seals private pages and shares the
+// rest by refcount, and restore() drops private pages instead of copying
+// bytes back, so both are O(pages touched), not O(address space).
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "memmodel/cow.hpp"
 #include "support/faults.hpp"
 
 namespace healers::mem {
-
-using Addr = std::uint64_t;
-
-enum class Perm : std::uint8_t {
-  kNone = 0,
-  kRead = 1,
-  kWrite = 2,
-  kReadWrite = 3,
-};
-
-[[nodiscard]] constexpr bool allows(Perm have, Perm want) noexcept {
-  return (static_cast<std::uint8_t>(have) & static_cast<std::uint8_t>(want)) ==
-         static_cast<std::uint8_t>(want);
-}
-
-enum class RegionKind : std::uint8_t {
-  kHeapArena,
-  kStack,
-  kRodata,   // string literals, read-only tables
-  kData,     // writable globals, simulated GOT
-  kScratch,  // injector-provisioned test buffers
-};
 
 struct Region {
   Addr base = 0;
@@ -62,25 +52,49 @@ struct Region {
   Perm perm = Perm::kNone;
   RegionKind kind = RegionKind::kScratch;
   std::string label;
-  std::vector<std::byte> bytes;
-  // Half-open byte range written since the last snapshot()/restore(); lets a
-  // restore copy back only what a probe actually touched. Clean when
-  // dirty_lo >= dirty_hi.
-  std::uint64_t dirty_lo = ~std::uint64_t{0};
-  std::uint64_t dirty_hi = 0;
 
   [[nodiscard]] bool contains(Addr addr) const noexcept {
     return addr >= base && addr - base < size;
   }
   [[nodiscard]] Addr end() const noexcept { return base + size; }
-  [[nodiscard]] bool dirty() const noexcept { return dirty_lo < dirty_hi; }
-  void mark_dirty(std::uint64_t off, std::uint64_t len) noexcept {
-    if (off < dirty_lo) dirty_lo = off;
-    if (off + len > dirty_hi) dirty_hi = off + len;
+  [[nodiscard]] std::uint64_t page_count() const noexcept {
+    return (size + kCowPageSize - 1) >> kCowPageBits;
   }
-  void mark_clean() noexcept {
-    dirty_lo = ~std::uint64_t{0};
-    dirty_hi = 0;
+  // A region is dirty when any of its pages diverged from the adopted image
+  // (always true for regions mapped after the last snapshot()/restore(),
+  // which are born fully private).
+  [[nodiscard]] bool dirty() const noexcept { return private_count > 0; }
+  [[nodiscard]] std::uint64_t private_pages() const noexcept { return private_count; }
+  [[nodiscard]] std::uint64_t resident_pages() const noexcept { return resident_count; }
+
+  // --- COW state (managed by AddressSpace; do not touch directly) ----------
+  // `working` is the region's full-size contiguous byte buffer. It is never
+  // reallocated while the region lives, so faulting or privatizing pages
+  // never invalidates an outstanding span pointer. `resident`/`private_`
+  // bitmaps say which pages of `working` are populated / have diverged from
+  // `backing`, the region's sealed page table inside the space's adopted
+  // image (nullptr for regions mapped after the last adoption; those are
+  // born fully resident and private). Residency is a logically-const detail
+  // of the lazy read barrier, hence the mutable qualifiers (same reasoning
+  // as the region cache below).
+  mutable std::vector<std::byte> working;
+  const RegionImage* backing = nullptr;
+  mutable std::vector<std::uint64_t> resident;
+  std::vector<std::uint64_t> private_;
+  mutable std::uint64_t resident_count = 0;
+  std::uint64_t private_count = 0;
+  mutable bool all_resident = false;
+
+  [[nodiscard]] static bool test_bit(const std::vector<std::uint64_t>& bits,
+                                     std::uint64_t i) noexcept {
+    return (bits[i >> 6] >> (i & 63)) & 1;
+  }
+  // Sets bit i; returns true when it was previously clear.
+  static bool set_bit(std::vector<std::uint64_t>& bits, std::uint64_t i) noexcept {
+    const std::uint64_t mask = std::uint64_t{1} << (i & 63);
+    const bool fresh = (bits[i >> 6] & mask) == 0;
+    bits[i >> 6] |= mask;
+    return fresh;
   }
 };
 
@@ -127,19 +141,30 @@ class AddressSpace {
   [[nodiscard]] std::vector<std::byte> read_bytes(Addr addr, std::uint64_t len) const;
   void write_bytes(Addr addr, const std::byte* data, std::uint64_t len);
 
+  // Loader backdoor: copies host bytes into a region IGNORING permissions —
+  // how the simulated loader populates read-only segments (rodata interning,
+  // the ctype table) before program code runs. Not a simulated access: no
+  // ticks, no fault oracle, but the COW write barrier still applies so the
+  // bytes survive snapshot/restore like any store. Throws std::logic_error
+  // when the range does not sit inside one mapped region.
+  void loader_fill(Addr addr, const void* data, std::uint64_t len);
+
   // --- span fast path -------------------------------------------------------
   // One boundary+permission check for a whole run, then a raw pointer into
-  // the region's backing bytes. Pointers are valid only until the next
-  // layout mutation (map/map_at/unmap/restore) — consume them immediately.
+  // the region's contiguous working buffer. Pointers are valid only until
+  // the next layout mutation (map/map_at/unmap/restore) — consume them
+  // immediately. Faulting pages in or privatizing them never moves the
+  // buffer, so pointers survive other accesses in between.
 
   // Pointer to exactly [addr, addr+len); throws AccessFault like check()
   // when the run is unmapped, under-privileged, or crosses a region end.
   // len must be > 0.
   [[nodiscard]] const std::byte* span(Addr addr, std::uint64_t len, Perm want) const;
 
-  // Writable pointer to [addr, addr+len); the whole run is marked dirty up
-  // front (batched mark_dirty — a superset of what the caller may actually
-  // write, which restore() copies back harmlessly). len must be > 0.
+  // Writable pointer to [addr, addr+len); the whole run is privatized up
+  // front (a superset of what the caller may actually write — pages it
+  // leaves untouched are sealed again, bit-for-bit, by the next snapshot).
+  // len must be > 0.
   [[nodiscard]] std::byte* mutable_span(Addr addr, std::uint64_t len);
 
   // Longest run accessible with `want` starting at addr (0 when addr itself
@@ -194,22 +219,66 @@ class AddressSpace {
   [[nodiscard]] std::uint64_t region_cache_misses() const noexcept { return cache_misses_; }
 
   // --- snapshot / restore (the fault injector's process-reset primitive) ---
-  // A snapshot captures every region (metadata + bytes) and the bump
-  // allocator cursor. Taking a snapshot resets the dirty tracking, so a
-  // space supports ONE active snapshot at a time: restore() copies back only
-  // the byte ranges written since that snapshot (or since the last restore),
-  // unmaps regions mapped after it, and remaps regions unmapped since.
-  struct Snapshot {
-    std::vector<Region> regions;  // sorted by base
-    Addr next_base = 0;
+  // A Snapshot is a refcounted handle to a sealed SpaceImage (cow.hpp):
+  // snapshot() seals the pages written since the last adoption and shares
+  // every other page with the previously adopted image by refcount, so its
+  // cost is O(pages touched). Copying a Snapshot copies one shared_ptr —
+  // ANY number of snapshots may coexist and each may be restored any number
+  // of times, in any order; forked testbed states are exactly such handles.
+  // restore() adopts the snapshot's image: private pages are dropped (never
+  // copied back), regions mapped since are unmapped, regions unmapped since
+  // reappear, and the bump allocator cursor rewinds, so a restored space is
+  // bit-identical to the captured one. Pages are faulted back in lazily on
+  // first access after the adoption.
+  class Snapshot {
+   public:
+    Snapshot() = default;
+
+    [[nodiscard]] bool valid() const noexcept { return image_ != nullptr; }
+    [[nodiscard]] const std::shared_ptr<const SpaceImage>& image() const noexcept {
+      return image_;
+    }
+    // Sealed region metadata, sorted by base — the snapshot-side analogue of
+    // region_map() for tests and footprint accounting.
+    [[nodiscard]] const std::vector<RegionImage>& regions() const { return image_->regions; }
+    [[nodiscard]] Addr next_base() const { return image_->next_base; }
+
+   private:
+    friend class AddressSpace;
+    explicit Snapshot(std::shared_ptr<const SpaceImage> image) : image_(std::move(image)) {}
+    std::shared_ptr<const SpaceImage> image_;
   };
   [[nodiscard]] Snapshot snapshot();
   void restore(const Snapshot& snap);
+
+  // COW event counters (see cow.hpp). Cumulative for this space's lifetime.
+  [[nodiscard]] const CowStats& cow_stats() const noexcept { return cow_; }
 
  private:
   // Throws AccessFault unless [addr, addr+len) lies in one region with perm.
   const Region& checked(Addr addr, std::uint64_t len, Perm want) const;
   Region& checked_mut(Addr addr, std::uint64_t len, Perm want);
+
+  // --- COW barriers ---------------------------------------------------------
+  // Read barrier: ensures every page of [off, off+len) is resident in the
+  // region's working buffer, copying from the adopted image on demand.
+  // Bounds must already be validated. Logically const (see Region).
+  void fault_in(const Region& region, std::uint64_t off, std::uint64_t len) const noexcept;
+  // Write barrier: fault_in + mark the touched pages private.
+  void privatize(Region& region, std::uint64_t off, std::uint64_t len) noexcept;
+  // Seals page `p` of `region` (shares the global zero page for all-zero
+  // content) — the snapshot-side half of the write barrier.
+  [[nodiscard]] PageRef seal_page(const Region& region, std::uint64_t p);
+  // Repoints every region at `image` (which snapshot() just built from the
+  // live state) and clears private bits; residency is preserved because the
+  // working buffers match the new image by construction.
+  void adopt(const std::shared_ptr<const SpaceImage>& image);
+  // Rebinds one surviving region to its sealed form in a restored image,
+  // dropping private pages and keeping residency where the page refs agree.
+  void reattach(Region& region, const RegionImage& ri);
+  // Builds a live region from its sealed form (empty residency: pages fault
+  // in lazily).
+  [[nodiscard]] static Region materialize(const RegionImage& ri);
 
   // --- region cache (sim-TLB) ----------------------------------------------
   // Direct-mapped ways keyed by address page plus a last-hit slot. Entries
@@ -233,11 +302,18 @@ class AddressSpace {
 
   std::map<Addr, Region> regions_;  // keyed by base
   Addr next_base_;
+  // The adopted image: what restore() rewinds to implicitly via Region
+  // backing pointers. Held here so those pointers stay alive even after
+  // every external Snapshot handle is dropped.
+  std::shared_ptr<const SpaceImage> base_image_;
+  mutable CowStats cow_;
 
   bool cache_enabled_ = true;
-  // NOTE: the cache makes logically-const lookups write these fields, so a
-  // single AddressSpace must not be read from multiple threads. Every
-  // existing user (one machine per testbed worker) already satisfies this.
+  // NOTE: the cache and the lazy read barrier make logically-const lookups
+  // write these fields (and Region's mutable ones), so a single AddressSpace
+  // must not be accessed from multiple threads. Every existing user (one
+  // machine per testbed shell) already satisfies this; sealed SpaceImages,
+  // by contrast, are immutable and safe to fork from concurrently.
   mutable Region* last_hit_ = nullptr;
   mutable CacheWay ways_[kCacheWays];
   mutable std::uint64_t cache_hits_ = 0;

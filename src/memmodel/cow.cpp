@@ -1,0 +1,24 @@
+#include "memmodel/cow.hpp"
+
+#include <unordered_set>
+
+namespace healers::mem {
+
+std::size_t SpaceImage::distinct_pages(const SpaceImage* except) const {
+  std::unordered_set<const Page*> shared;
+  if (except != nullptr) {
+    for (const RegionImage& region : except->regions) {
+      for (const PageRef& page : region.pages) shared.insert(page.get());
+    }
+  }
+  shared.insert(zero_page().get());  // the zero page is a global, never marginal
+  std::unordered_set<const Page*> mine;
+  for (const RegionImage& region : regions) {
+    for (const PageRef& page : region.pages) {
+      if (!shared.contains(page.get())) mine.insert(page.get());
+    }
+  }
+  return mine.size();
+}
+
+}  // namespace healers::mem

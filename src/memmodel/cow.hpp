@@ -1,0 +1,120 @@
+// Copy-on-write page store for the simulated address space.
+//
+// The snapshot machinery is built on immutable, refcounted page tables — the
+// state-forking idiom of KLEE-style executors (ObjectState/ExeStateManager):
+//
+//   Page        one sealed 4 KiB block of simulated memory; immutable and
+//               shared by refcount between any number of images and spaces.
+//   RegionImage the sealed page table of one region (metadata + PageRefs).
+//   SpaceImage  a whole sealed address space: sorted RegionImages + the bump
+//               allocator cursor. AddressSpace::Snapshot is a shared_ptr to
+//               one of these, so forking a state copies only metadata.
+//
+// Sealed pages whose content is all zero collapse onto one global zero page
+// (fresh heaps and stacks are mostly zeros), so a pristine testbed image is
+// far smaller than the address space it describes — the "probe states per
+// GB" lever of the campaign engine.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace healers::mem {
+
+using Addr = std::uint64_t;
+
+enum class Perm : std::uint8_t {
+  kNone = 0,
+  kRead = 1,
+  kWrite = 2,
+  kReadWrite = 3,
+};
+
+[[nodiscard]] constexpr bool allows(Perm have, Perm want) noexcept {
+  return (static_cast<std::uint8_t>(have) & static_cast<std::uint8_t>(want)) ==
+         static_cast<std::uint8_t>(want);
+}
+
+enum class RegionKind : std::uint8_t {
+  kHeapArena,
+  kStack,
+  kRodata,   // string literals, read-only tables
+  kData,     // writable globals, simulated GOT
+  kScratch,  // injector-provisioned test buffers
+};
+
+// COW granularity. Matches the region cache's page size so one "page" means
+// the same thing throughout the memory model.
+inline constexpr unsigned kCowPageBits = 12;
+inline constexpr std::uint64_t kCowPageSize = std::uint64_t{1} << kCowPageBits;
+
+// One sealed page. Immutable after construction.
+struct Page {
+  std::array<std::byte, kCowPageSize> data;
+};
+using PageRef = std::shared_ptr<const Page>;
+
+// The shared all-zero page; every sealed all-zero page aliases it.
+[[nodiscard]] inline const PageRef& zero_page() {
+  static const PageRef page = std::make_shared<const Page>();  // value-init: zeroed
+  return page;
+}
+
+// The sealed form of one region: metadata plus a full page table. Pages are
+// never null; the tail page of a region whose size is not a page multiple is
+// zero-padded past `size`.
+struct RegionImage {
+  Addr base = 0;
+  std::uint64_t size = 0;
+  Perm perm = Perm::kNone;
+  RegionKind kind = RegionKind::kScratch;
+  std::string label;
+  std::vector<PageRef> pages;
+
+  [[nodiscard]] std::uint64_t page_count() const noexcept { return pages.size(); }
+};
+
+// A whole sealed address space. Immutable once published inside a
+// shared_ptr<const SpaceImage>; any number of snapshots, forked testbeds and
+// live spaces share it concurrently (refcounts are atomic).
+struct SpaceImage {
+  std::vector<RegionImage> regions;  // sorted by base
+  Addr next_base = 0;
+
+  // Distinct Page allocations reachable from this image — the true memory
+  // footprint, as opposed to the address-space size it describes. Pages
+  // shared with `except` (e.g. the pristine image a state forked from) are
+  // not counted, giving the marginal footprint of a fork.
+  [[nodiscard]] std::size_t distinct_pages(const SpaceImage* except = nullptr) const;
+};
+
+// Counters for the COW machinery, exposed via AddressSpace::cow_stats().
+// Sums of per-access events; everything here is operational telemetry (it
+// depends on sharing history, worker count and reset mode) and must never be
+// folded into deterministic campaign artifacts compared across modes.
+struct CowStats {
+  std::uint64_t snapshots_taken = 0;   // images sealed (fork points)
+  std::uint64_t restores = 0;          // state adoptions (probe resets)
+  std::uint64_t pages_sealed = 0;      // working pages frozen into an image
+  std::uint64_t pages_shared = 0;      // image pages reused by ref, not copied
+  std::uint64_t pages_faulted = 0;     // pages copied in from backing on access
+  std::uint64_t pages_privatized = 0;  // COW breaks: shared page made writable
+  std::uint64_t pages_dropped = 0;     // private pages discarded by restore
+
+  CowStats& operator+=(const CowStats& other) noexcept {
+    snapshots_taken += other.snapshots_taken;
+    restores += other.restores;
+    pages_sealed += other.pages_sealed;
+    pages_shared += other.pages_shared;
+    pages_faulted += other.pages_faulted;
+    pages_privatized += other.pages_privatized;
+    pages_dropped += other.pages_dropped;
+    return *this;
+  }
+};
+
+}  // namespace healers::mem

@@ -44,15 +44,12 @@ Addr Machine::intern_string(const std::string& text) {
     throw std::runtime_error("Machine: rodata segment exhausted");
   }
   const Addr addr = rodata_base_ + rodata_used_;
-  // rodata is mapped read-only; write through the region directly (this is
-  // the loader populating the segment, not simulated program code). Mark the
-  // bytes dirty by hand since the store API is bypassed.
-  Region* region = space_.find(addr);
-  region->mark_dirty(addr - region->base, need);
-  for (std::size_t i = 0; i < text.size(); ++i) {
-    region->bytes[addr - region->base + i] = std::byte{static_cast<std::uint8_t>(text[i])};
-  }
-  region->bytes[addr - region->base + text.size()] = std::byte{0};
+  // rodata is mapped read-only; loader_fill bypasses the permission check
+  // (this is the loader populating the segment, not simulated program code)
+  // while still honouring the COW write barrier.
+  space_.loader_fill(addr, text.data(), text.size());
+  const char nul = '\0';
+  space_.loader_fill(addr + text.size(), &nul, 1);
   rodata_used_ += need;
   interned_.emplace(text, addr);
   return addr;
@@ -116,13 +113,15 @@ Machine::Snapshot Machine::snapshot() {
   snap.steps = steps_;
   snap.cycles = cycles_;
   snap.err = errno_;
-  snap.rodata_used = rodata_used_;
-  snap.interned = interned_;
-  snap.text_next = text_next_;
-  snap.code_by_name = code_by_name_;
-  snap.name_by_code = name_by_code_;
-  snap.got_next = got_next_;
-  snap.got_slots = got_slots_;
+  auto loader = std::make_shared<LoaderTables>();
+  loader->rodata_used = rodata_used_;
+  loader->interned = interned_;
+  loader->text_next = text_next_;
+  loader->code_by_name = code_by_name_;
+  loader->name_by_code = name_by_code_;
+  loader->got_next = got_next_;
+  loader->got_slots = got_slots_;
+  snap.loader = std::move(loader);
   return snap;
 }
 
@@ -134,17 +133,18 @@ void Machine::restore(const Snapshot& snap) {
   steps_ = snap.steps;
   cycles_ = snap.cycles;
   errno_ = snap.err;
-  rodata_used_ = snap.rodata_used;
-  text_next_ = snap.text_next;
-  got_next_ = snap.got_next;
+  const LoaderTables& loader = *snap.loader;
+  rodata_used_ = loader.rodata_used;
+  text_next_ = loader.text_next;
+  got_next_ = loader.got_next;
   // The loader tables only ever grow (no API removes an entry), so an equal
   // size means an identical table — skip the copy on the hot reset path.
-  if (interned_.size() != snap.interned.size()) interned_ = snap.interned;
-  if (code_by_name_.size() != snap.code_by_name.size()) {
-    code_by_name_ = snap.code_by_name;
-    name_by_code_ = snap.name_by_code;
+  if (interned_.size() != loader.interned.size()) interned_ = loader.interned;
+  if (code_by_name_.size() != loader.code_by_name.size()) {
+    code_by_name_ = loader.code_by_name;
+    name_by_code_ = loader.name_by_code;
   }
-  if (got_slots_.size() != snap.got_slots.size()) got_slots_ = snap.got_slots;
+  if (got_slots_.size() != loader.got_slots.size()) got_slots_ = loader.got_slots;
 }
 
 }  // namespace healers::mem

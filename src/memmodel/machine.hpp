@@ -100,11 +100,22 @@ class Machine {
   std::string call_through_got(const std::string& name);
 
   // --- snapshot / restore --------------------------------------------------
-  // Captures the whole machine: address-space contents, heap/stack
-  // bookkeeping, step/cycle/errno cells, and the rodata/text/GOT loader
-  // tables. restore() rewinds to exactly that state; the fault injector uses
-  // it to reset a fully-loaded testbed between probes instead of rebuilding
-  // the process. One active snapshot per machine (see AddressSpace).
+  // Captures the whole machine: address-space contents (as a refcounted COW
+  // image — see AddressSpace::Snapshot), heap/stack bookkeeping,
+  // step/cycle/errno cells, and the rodata/text/GOT loader tables (shared,
+  // immutable once captured). restore() rewinds to exactly that state; the
+  // fault injector uses it to reset a fully-loaded testbed between probes
+  // instead of rebuilding the process. Snapshots are cheap to copy and any
+  // number may coexist; a machine may restore any of them in any order.
+  struct LoaderTables {
+    std::uint64_t rodata_used = 0;
+    std::unordered_map<std::string, Addr> interned;
+    std::uint64_t text_next = 0;
+    std::unordered_map<std::string, Addr> code_by_name;
+    std::unordered_map<Addr, std::string> name_by_code;
+    std::uint64_t got_next = 0;
+    std::unordered_map<std::string, Addr> got_slots;
+  };
   struct Snapshot {
     AddressSpace::Snapshot space;
     Heap::Snapshot heap;
@@ -113,13 +124,7 @@ class Machine {
     std::uint64_t steps = 0;
     std::uint64_t cycles = 0;
     int err = 0;
-    std::uint64_t rodata_used = 0;
-    std::unordered_map<std::string, Addr> interned;
-    std::uint64_t text_next = 0;
-    std::unordered_map<std::string, Addr> code_by_name;
-    std::unordered_map<Addr, std::string> name_by_code;
-    std::uint64_t got_next = 0;
-    std::unordered_map<std::string, Addr> got_slots;
+    std::shared_ptr<const LoaderTables> loader;
   };
   [[nodiscard]] Snapshot snapshot();
   void restore(const Snapshot& snap);

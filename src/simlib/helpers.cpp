@@ -33,6 +33,7 @@ mem::Addr ctype_table(CallContext& ctx) {
   // table[c] is a direct (and for wild c, faulting) lookup.
   mem::Region& region =
       ctx.machine.mem().map(384, mem::Perm::kRead, mem::RegionKind::kRodata, "ctype_table");
+  std::uint8_t table[384];
   for (int i = 0; i < 384; ++i) {
     const int c = i - 128;
     std::uint8_t bits = 0;
@@ -49,8 +50,11 @@ mem::Addr ctype_table(CallContext& ctx) {
       }
       if (c < 32 || c == 127) bits |= kCtCntrl;
     }
-    region.bytes[static_cast<std::size_t>(i)] = std::byte{bits};
+    table[static_cast<std::size_t>(i)] = bits;
   }
+  // The region is read-only; the loader backdoor populates it (and keeps the
+  // COW write barrier honest, so the table survives snapshot/restore).
+  ctx.machine.mem().loader_fill(region.base, table, sizeof table);
   ctx.state.ctype_table = region.base;
   return region.base + 128;
 }

@@ -214,17 +214,18 @@ TEST(AddressSpace, SpanExposesRunAfterOneCheck) {
   EXPECT_NO_THROW((void)space.span(ro.base, 16, Perm::kRead));
 }
 
-TEST(AddressSpace, MutableSpanMarksWholeRunDirty) {
+TEST(AddressSpace, MutableSpanPrivatizesWholeRun) {
   AddressSpace space;
   const Region& region = space.map(64, Perm::kReadWrite, RegionKind::kScratch, "r");
-  (void)space.snapshot();  // resets dirty tracking
+  (void)space.snapshot();  // seals the region; private tracking starts clean
   EXPECT_FALSE(space.find(region.base)->dirty());
+  EXPECT_EQ(space.find(region.base)->private_pages(), 0u);
   std::byte* p = space.mutable_span(region.base + 8, 16);
   p[0] = std::byte{42};
   const Region* after = space.find(region.base);
   EXPECT_TRUE(after->dirty());
-  EXPECT_LE(after->dirty_lo, 8u);
-  EXPECT_GE(after->dirty_hi, 24u);
+  // The whole run shares one COW page here, privatized by the write barrier.
+  EXPECT_EQ(after->private_pages(), 1u);
 }
 
 TEST(AddressSpace, SpanExtentMeasuresAccessibleRuns) {

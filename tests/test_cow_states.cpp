@@ -1,0 +1,331 @@
+// COW testbed-state edge cases (DESIGN.md, "COW testbed states"):
+// fork-from-fork snapshot chains, the write barrier on pages shared by many
+// snapshots, layout mutations (map_at/unmap/protect) with live forks, region
+// cache staleness across privatize/restore, zero-page dedup, TestbedState
+// fork/reset isolation, and a randomized differential test against a
+// deep-copy shadow oracle.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <random>
+#include <vector>
+
+#include "linker/testbed.hpp"
+#include "memmodel/addr_space.hpp"
+#include "testbed.hpp"
+
+namespace healers::mem {
+namespace {
+
+using Snapshot = AddressSpace::Snapshot;
+
+void fill_pattern(AddressSpace& space, Addr base, std::uint64_t len, std::uint8_t seed) {
+  std::vector<std::byte> data(len);
+  for (std::uint64_t i = 0; i < len; ++i) {
+    data[i] = static_cast<std::byte>(static_cast<std::uint8_t>(seed + i * 7));
+  }
+  space.write_bytes(base, data.data(), len);
+}
+
+void expect_pattern(const AddressSpace& space, Addr base, std::uint64_t len, std::uint8_t seed) {
+  const std::vector<std::byte> back = space.read_bytes(base, len);
+  for (std::uint64_t i = 0; i < len; ++i) {
+    ASSERT_EQ(std::to_integer<std::uint8_t>(back[i]),
+              static_cast<std::uint8_t>(seed + i * 7))
+        << "at offset " << i;
+  }
+}
+
+TEST(CowStates, ForkFromForkChainRestoresInAnyOrder) {
+  AddressSpace space;
+  const Region& region = space.map(3 * kCowPageSize, Perm::kReadWrite, RegionKind::kScratch, "r");
+  const Addr base = region.base;
+
+  fill_pattern(space, base, 64, 1);
+  const Snapshot s0 = space.snapshot();
+  fill_pattern(space, base, 64, 2);
+  const Snapshot s1 = space.snapshot();  // derived from s0's image
+  fill_pattern(space, base, 64, 3);
+  const Snapshot s2 = space.snapshot();  // derived from s1's image
+  fill_pattern(space, base, 64, 4);
+
+  // A chained snapshot shares every untouched page with its parent: only the
+  // one written page differs between consecutive images.
+  EXPECT_LE(s1.image()->distinct_pages(s0.image().get()), 1u);
+  EXPECT_LE(s2.image()->distinct_pages(s1.image().get()), 1u);
+
+  // Restore out of order, repeatedly — every generation stays intact.
+  space.restore(s1);
+  expect_pattern(space, base, 64, 2);
+  space.restore(s0);
+  expect_pattern(space, base, 64, 1);
+  space.restore(s2);
+  expect_pattern(space, base, 64, 3);
+  space.restore(s0);
+  expect_pattern(space, base, 64, 1);
+  // Writing after a restore never leaks into any snapshot.
+  fill_pattern(space, base, 64, 9);
+  space.restore(s2);
+  expect_pattern(space, base, 64, 3);
+}
+
+TEST(CowStates, WriteBarrierOnPageSharedByThreeSnapshots) {
+  AddressSpace space;
+  const Region& region = space.map(2 * kCowPageSize, Perm::kReadWrite, RegionKind::kScratch, "r");
+  const Addr base = region.base;
+  fill_pattern(space, base, 32, 7);
+
+  // Three snapshots with no writes in between share every page 3-ways.
+  const Snapshot a = space.snapshot();
+  const Snapshot b = space.snapshot();
+  const Snapshot c = space.snapshot();
+  EXPECT_EQ(b.image()->distinct_pages(a.image().get()), 0u);
+  EXPECT_EQ(c.image()->distinct_pages(a.image().get()), 0u);
+
+  // One store breaks COW on exactly one page; the shared page in all three
+  // snapshots is untouched.
+  const std::uint64_t privatized_before = space.cow_stats().pages_privatized;
+  space.store8(base, 0xEE);
+  EXPECT_EQ(space.cow_stats().pages_privatized, privatized_before + 1);
+  EXPECT_EQ(space.load8(base), 0xEEu);
+  for (const Snapshot* snap : {&a, &b, &c}) {
+    space.restore(*snap);
+    expect_pattern(space, base, 32, 7);
+    space.store8(base, 0xEE);  // dirty again before the next restore
+  }
+}
+
+TEST(CowStates, LayoutMutationsWithLiveForksRestoreCleanly) {
+  AddressSpace space;
+  const Region& keep = space.map(kCowPageSize, Perm::kReadWrite, RegionKind::kScratch, "keep");
+  const Region& doomed = space.map(kCowPageSize, Perm::kReadWrite, RegionKind::kScratch, "gone");
+  const Addr keep_base = keep.base;
+  const Addr doomed_base = doomed.base;
+  fill_pattern(space, keep_base, 48, 11);
+  fill_pattern(space, doomed_base, 48, 13);
+  const Snapshot snap = space.snapshot();
+
+  // Mutate the layout while the snapshot is live: unmap one captured region,
+  // map a new one at a fixed base, flip permissions on the survivor.
+  space.unmap(doomed_base);
+  space.map_at(0x7000000, 2 * kCowPageSize, Perm::kReadWrite, RegionKind::kScratch, "fresh");
+  fill_pattern(space, 0x7000000, 48, 17);
+  space.protect(keep_base, Perm::kRead);
+  EXPECT_THROW(space.store8(keep_base, 1), AccessFault);
+
+  space.restore(snap);
+  // The unmapped region reappears with its captured bytes; the new mapping
+  // is gone; permissions rewound.
+  expect_pattern(space, doomed_base, 48, 13);
+  EXPECT_THROW((void)space.load8(0x7000000), AccessFault);
+  EXPECT_NO_THROW(space.store8(keep_base, 1));
+  space.store8(keep_base, 42);
+  EXPECT_EQ(space.load8(keep_base), 42u);
+
+  // The bump allocator cursor rewound too: the next map lands where it would
+  // have landed at snapshot time, so forked layouts are deterministic.
+  space.restore(snap);
+  const Addr next_a = space.map(64, Perm::kReadWrite, RegionKind::kScratch, "n").base;
+  space.restore(snap);
+  const Addr next_b = space.map(64, Perm::kReadWrite, RegionKind::kScratch, "n").base;
+  EXPECT_EQ(next_a, next_b);
+}
+
+TEST(CowStates, RegionCacheNeverServesStaleBytesAcrossPrivatizeAndRestore) {
+  AddressSpace space;
+  ASSERT_TRUE(space.region_cache_enabled());
+  const Region& region = space.map(2 * kCowPageSize, Perm::kReadWrite, RegionKind::kScratch, "r");
+  const Addr base = region.base;
+  fill_pattern(space, base, 32, 21);
+  const Snapshot snap = space.snapshot();
+
+  // Warm the cache, then write through it: the store privatizes the page
+  // even though the lookup was a cache hit.
+  (void)space.load8(base);
+  const std::uint64_t hits_before = space.region_cache_hits();
+  space.store8(base, 0x5A);
+  EXPECT_GT(space.region_cache_hits(), hits_before);
+  EXPECT_EQ(space.load8(base), 0x5Au);
+  EXPECT_EQ(space.find(base)->private_pages(), 1u);
+
+  // restore() flushes the cache; the first read faults the sealed page back
+  // in rather than reusing the privatized bytes.
+  space.restore(snap);
+  expect_pattern(space, base, 32, 21);
+
+  // Same sequence with the cache disabled is byte-identical.
+  AddressSpace reference;
+  reference.set_region_cache_enabled(false);
+  const Region& ref_region =
+      reference.map(2 * kCowPageSize, Perm::kReadWrite, RegionKind::kScratch, "r");
+  fill_pattern(reference, ref_region.base, 32, 21);
+  const Snapshot ref_snap = reference.snapshot();
+  reference.store8(ref_region.base, 0x5A);
+  reference.restore(ref_snap);
+  EXPECT_EQ(space.read_bytes(base, 32), reference.read_bytes(ref_region.base, 32));
+}
+
+TEST(CowStates, SpanPointersSurviveFaultInAndPrivatize) {
+  AddressSpace space;
+  const Region& region = space.map(4 * kCowPageSize, Perm::kReadWrite, RegionKind::kScratch, "r");
+  const Addr base = region.base;
+  fill_pattern(space, base, 4 * kCowPageSize, 3);
+  const Snapshot snap = space.snapshot();
+  space.restore(snap);  // empty residency: everything faults in lazily
+
+  // Take a span over page 0, then fault in and privatize OTHER pages: the
+  // working buffer never moves, so the pointer stays valid and correct.
+  const std::byte* p = space.span(base, 16, Perm::kRead);
+  (void)space.load8(base + 2 * kCowPageSize);            // read barrier, page 2
+  space.store8(base + 3 * kCowPageSize, 0xFF);           // write barrier, page 3
+  EXPECT_EQ(std::to_integer<std::uint8_t>(p[0]), static_cast<std::uint8_t>(3));
+  EXPECT_EQ(std::to_integer<std::uint8_t>(p[9]),
+            static_cast<std::uint8_t>(3 + 9 * 7));
+}
+
+TEST(CowStates, AllZeroPagesDedupOntoTheSharedZeroPage) {
+  AddressSpace space;
+  // 16 pages of untouched zeros plus one written page.
+  const Region& region = space.map(16 * kCowPageSize, Perm::kReadWrite, RegionKind::kScratch, "z");
+  space.store8(region.base + 5 * kCowPageSize, 1);
+  const Snapshot snap = space.snapshot();
+  // distinct_pages excludes the global zero page: only the written page (and
+  // whatever the space itself maps) counts as real payload.
+  EXPECT_LE(snap.image()->distinct_pages(nullptr), 1u + 0u);
+}
+
+TEST(CowStates, RandomizedDifferentialAgainstDeepCopyOracle) {
+  // The shadow oracle is the pre-COW semantics: full deep copies of every
+  // region's bytes at snapshot time, restored by copying bytes back. The COW
+  // space must be indistinguishable from it under a random op mix.
+  struct ShadowRegion {
+    std::uint64_t size = 0;
+    Perm perm = Perm::kNone;
+    std::vector<std::uint8_t> bytes;
+  };
+  using ShadowSpace = std::map<Addr, ShadowRegion>;
+
+  AddressSpace space;
+  ShadowSpace shadow;
+  std::vector<Snapshot> snaps;
+  std::vector<ShadowSpace> shadow_snaps;
+  std::mt19937_64 rng(20260808);
+
+  const auto random_region = [&](auto& gen) -> Addr {
+    if (shadow.empty()) return 0;
+    auto it = shadow.begin();
+    std::advance(it, static_cast<long>(gen() % shadow.size()));
+    return it->first;
+  };
+
+  for (int step = 0; step < 400; ++step) {
+    switch (rng() % 8) {
+      case 0: {  // map a fresh region (sometimes sub-page, sometimes multi-page)
+        const std::uint64_t size = 1 + rng() % (3 * kCowPageSize);
+        const Perm perm = (rng() % 4 == 0) ? Perm::kRead : Perm::kReadWrite;
+        const Region& region = space.map(size, perm, RegionKind::kScratch, "rnd");
+        shadow[region.base] = ShadowRegion{size, perm, std::vector<std::uint8_t>(size, 0)};
+        break;
+      }
+      case 1: {  // unmap a random region
+        const Addr base = random_region(rng);
+        if (base == 0) break;
+        space.unmap(base);
+        shadow.erase(base);
+        break;
+      }
+      case 2:
+      case 3: {  // random write into a random writable region
+        const Addr base = random_region(rng);
+        if (base == 0) break;
+        ShadowRegion& sr = shadow[base];
+        if (!allows(sr.perm, Perm::kWrite)) break;
+        const std::uint64_t off = rng() % sr.size;
+        const std::uint64_t len = 1 + rng() % (sr.size - off);
+        std::vector<std::byte> data(len);
+        for (auto& b : data) b = static_cast<std::byte>(static_cast<std::uint8_t>(rng()));
+        space.write_bytes(base + off, data.data(), len);
+        std::memcpy(sr.bytes.data() + off, data.data(), len);
+        break;
+      }
+      case 4: {  // snapshot: COW seal vs deep copy
+        snaps.push_back(space.snapshot());
+        shadow_snaps.push_back(shadow);
+        break;
+      }
+      case 5: {  // restore a RANDOM live snapshot
+        if (snaps.empty()) break;
+        const std::size_t idx = rng() % snaps.size();
+        space.restore(snaps[idx]);
+        shadow = shadow_snaps[idx];
+        break;
+      }
+      default: {  // full differential read of a random region
+        const Addr base = random_region(rng);
+        if (base == 0) break;
+        const ShadowRegion& sr = shadow[base];
+        const std::vector<std::byte> got = space.read_bytes(base, sr.size);
+        for (std::uint64_t i = 0; i < sr.size; ++i) {
+          ASSERT_EQ(std::to_integer<std::uint8_t>(got[i]), sr.bytes[i])
+              << "step " << step << " region " << std::hex << base << " off " << i;
+        }
+        break;
+      }
+    }
+    // Cheap invariant sweep every step: region sets agree.
+    ASSERT_EQ(space.region_count(), shadow.size());
+  }
+  EXPECT_GT(space.cow_stats().snapshots_taken, 0u);
+  EXPECT_GT(space.cow_stats().restores, 0u);
+}
+
+}  // namespace
+}  // namespace healers::mem
+
+namespace healers::linker {
+namespace {
+
+TEST(TestbedState, ForkedShellsAreIsolatedAndDeterministic) {
+  LibraryCatalog catalog;
+  catalog.install(&testbed::libsimc());
+  catalog.install(&testbed::libsimio());
+  catalog.install(&testbed::libsimm());
+  const auto state = TestbedState::build(catalog, mem::MachineConfig{}, "stdin line\n");
+
+  auto a = state->fork("shell-a");
+  auto b = state->fork("shell-b");
+  // Identical machines: the same allocation lands at the same address.
+  const mem::Addr addr_a = a->alloc_cstring("forked");
+  const mem::Addr addr_b = b->alloc_cstring("forked");
+  EXPECT_EQ(addr_a, addr_b);
+  // ... and is private to its shell.
+  a->machine().mem().write_cstring(addr_a, "mutate");
+  EXPECT_EQ(b->machine().mem().read_cstring(addr_b), "forked");
+
+  // reset() rewinds a shell to pristine: the allocation is gone and replays
+  // identically.
+  state->reset(*a);
+  EXPECT_EQ(a->alloc_cstring("forked"), addr_a);
+  EXPECT_GE(state->forks(), 3u);  // 2 forks + 1 reset
+}
+
+TEST(TestbedState, ResetDropsOnlyTouchedPages) {
+  LibraryCatalog catalog;
+  catalog.install(&testbed::libsimc());
+  const auto state = TestbedState::build(catalog, mem::MachineConfig{}, "");
+  auto shell = state->fork("shell");
+  state->reset(*shell);  // settle: everything non-resident
+
+  const mem::CowStats before = shell->machine().mem().cow_stats();
+  shell->machine().mem().store8(shell->alloc_cstring("x"), 'y');
+  state->reset(*shell);
+  const mem::CowStats after = shell->machine().mem().cow_stats();
+  // The reset dropped the handful of pages the allocation privatized — not
+  // the whole address space.
+  EXPECT_GT(after.pages_dropped, before.pages_dropped);
+  EXPECT_LT(after.pages_dropped - before.pages_dropped, 16u);
+}
+
+}  // namespace
+}  // namespace healers::linker

@@ -541,8 +541,10 @@ TEST(RegionCacheProperty, RandomizedLifecycleNeverGoesStale) {
     AddressSpace uncached;
     uncached.set_region_cache_enabled(false);
     std::vector<Addr> bases;
-    std::optional<AddressSpace::Snapshot> snap_cached;
-    std::optional<AddressSpace::Snapshot> snap_uncached;
+    // COW snapshots are refcounted handles: any number may coexist and be
+    // restored in any order, so the lifecycle keeps a whole stack of them.
+    std::vector<AddressSpace::Snapshot> snaps_cached;
+    std::vector<AddressSpace::Snapshot> snaps_uncached;
 
     const auto probe_everywhere = [&]() {
       // Probe region starts, interiors, ends, and guard gaps, in a mixed
@@ -596,17 +598,20 @@ TEST(RegionCacheProperty, RandomizedLifecycleNeverGoesStale) {
           uncached.protect(base, perm);
           break;
         }
-        case 4: {  // snapshot (resets dirty tracking; one active at a time)
-          snap_cached = cached.snapshot();
-          snap_uncached = uncached.snapshot();
+        case 4: {  // fork: seal another coexisting snapshot
+          snaps_cached.push_back(cached.snapshot());
+          snaps_uncached.push_back(uncached.snapshot());
           break;
         }
-        case 5: {  // restore to the active snapshot, if any
-          if (!snap_cached.has_value()) break;
-          cached.restore(*snap_cached);
-          uncached.restore(*snap_uncached);
+        case 5: {  // restore ANY earlier snapshot, not just the latest
+          if (snaps_cached.empty()) break;
+          const std::size_t idx = rng() % snaps_cached.size();
+          cached.restore(snaps_cached[idx]);
+          uncached.restore(snaps_uncached[idx]);
           bases.clear();
-          for (const mem::Region& region : snap_cached->regions) bases.push_back(region.base);
+          for (const mem::RegionImage& region : snaps_cached[idx].regions()) {
+            bases.push_back(region.base);
+          }
           break;
         }
       }

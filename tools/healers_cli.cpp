@@ -56,10 +56,14 @@ void print_usage(std::FILE* out) {
                "  list-functions <soname>\n"
                "  decls <soname> [-o file]\n"
                "  derive <soname> [--seed N] [--variants N] [--jobs N]\n"
-               "         [--cache-file file] [-o file]\n"
+               "         [--reset fork|fresh] [--stats] [--cache-file file] [-o file]\n"
                "         (--jobs N probes on N worker threads, 0 = all cores;\n"
-               "          results are identical for every N; --cache-file loads/saves\n"
-               "          the persistent spec cache so repeat runs execute 0 probes)\n"
+               "          --reset fork resets probes by COW fork from a shared pristine\n"
+               "          state, fresh rebuilds a process per probe; results are\n"
+               "          identical for every --jobs and --reset value; --stats appends\n"
+               "          engine fork/privatize counters as an <engine> XML node;\n"
+               "          --cache-file loads/saves the persistent spec cache so repeat\n"
+               "          runs execute 0 probes)\n"
                "  report <campaign.xml>\n"
                "  gen-source <soname> --type profiling|robustness|security|testing\n"
                "             [--campaign file] [-o file]\n"
@@ -123,6 +127,8 @@ struct Options {
   std::string encoding = "mixed";
   std::string format = "text";
   std::string cache_file;
+  std::string reset = "fork";
+  bool stats = false;
 };
 
 Result<Options> parse_options(int argc, char** argv) {
@@ -193,6 +199,15 @@ Result<Options> parse_options(int argc, char** argv) {
       auto value = next();
       if (!value.ok()) return value.error();
       options.format = value.value();
+    } else if (arg == "--reset") {
+      auto value = next();
+      if (!value.ok()) return value.error();
+      options.reset = value.value();
+      if (options.reset != "fork" && options.reset != "fresh") {
+        return Error("--reset must be fork or fresh");
+      }
+    } else if (arg == "--stats") {
+      options.stats = true;
     } else if (!arg.empty() && arg[0] == '-') {
       return Error("unknown option " + arg);
     } else {
@@ -255,6 +270,7 @@ int cmd_derive(const core::Toolkit& toolkit, const Options& options) {
   config.seed = options.seed;
   config.variants = options.variants;
   config.jobs = options.jobs;
+  config.snapshot_reset = options.reset == "fork";
   const auto campaign = toolkit.derive_robust_api(options.positional[0], config);
   if (!campaign.ok()) return fail(campaign.error().message);
   std::fprintf(stderr, "%llu probes, %llu failures in %zu functions; executed %llu probes this run\n",
@@ -268,7 +284,23 @@ int cmd_derive(const core::Toolkit& toolkit, const Options& options) {
     std::fprintf(stderr, "spec cache: saved %zu campaign(s) to %s\n",
                  toolkit.export_campaigns().size(), options.cache_file.c_str());
   }
-  return emit(xml::serialize(campaign.value().to_xml()), options.out_path);
+  xml::Node doc = campaign.value().to_xml();
+  if (options.stats) {
+    // Engine telemetry is jobs/reset-dependent, so it rides along only on
+    // request — the default document stays bit-identical across both knobs.
+    const injector::CampaignEngineStats& engine = campaign.value().engine;
+    doc.add_child(engine.to_xml());
+    std::fprintf(stderr,
+                 "engine: %llu states forked, %llu testbeds built, pages sealed=%llu "
+                 "faulted=%llu privatized=%llu dropped=%llu\n",
+                 static_cast<unsigned long long>(engine.states_forked),
+                 static_cast<unsigned long long>(engine.testbeds_built),
+                 static_cast<unsigned long long>(engine.pages_sealed),
+                 static_cast<unsigned long long>(engine.pages_faulted),
+                 static_cast<unsigned long long>(engine.pages_privatized),
+                 static_cast<unsigned long long>(engine.pages_dropped));
+  }
+  return emit(xml::serialize(doc), options.out_path);
 }
 
 int cmd_report(const Options& options) {
