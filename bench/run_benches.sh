@@ -6,6 +6,8 @@
 #   BENCH_c1.json    per-call wrapper overhead (Table C1)
 #   BENCH_s1.json    derivation service (requests/sec: cold vs warm vs
 #                    cache-file-warm)
+#   BENCH_f7.json    virtual-time fleet simulation (simulated hosts/sec,
+#                    end-to-end ingest docs/sec, shed/drop rates at overload)
 #
 # Benchmarks are only meaningful from an optimized, assertion-free build, so
 # this script builds and uses the `release` preset (-O2 -DNDEBUG) by default
@@ -42,7 +44,7 @@ if [[ "$build_type" != "Release" ]]; then
 fi
 
 cmake --build "$build" -j --target bench_fig2_robust_api bench_f6_fleet_ingest bench_c1_overhead \
-  bench_s1_derive_service
+  bench_s1_derive_service bench_f7_fleet_sim
 
 "$build/bench/bench_fig2_robust_api" \
   --benchmark_out="$root/BENCH_fig2.json" \
@@ -88,10 +90,28 @@ echo "wrote $root/BENCH_c1.json"
 
 echo "wrote $root/BENCH_s1.json"
 
+"$build/bench/bench_f7_fleet_sim" \
+  --benchmark_out="$root/BENCH_f7.json" \
+  --benchmark_out_format=json \
+  --benchmark_min_time=0.2
+
+# Guard: every F7 row must carry the virtual_time marker counter — it is the
+# bench's own attestation that the numbers came from the discrete-event
+# virtual-clock path (the bench also self-checks the collector/server
+# accounting identities and exits nonzero on violation, which set -e catches
+# above). A JSON without the marker came from a stale or foreign binary.
+if ! grep -q '"virtual_time"' "$root/BENCH_f7.json"; then
+  echo "error: BENCH_f7.json lacks the virtual_time marker — it was not" >&2
+  echo "       produced by the virtual-clock fleet sim; refusing the artifact." >&2
+  exit 1
+fi
+
+echo "wrote $root/BENCH_f7.json"
+
 # Every BENCH_*.json at the repo root must be one this script owns: a stray
 # name (a typo'd output path, a bench renamed without its artifact) would sit
 # in review forever looking like a tracked result nobody regenerates.
-known_json=("BENCH_fig2.json" "BENCH_f6.json" "BENCH_c1.json" "BENCH_s1.json")
+known_json=("BENCH_fig2.json" "BENCH_f6.json" "BENCH_c1.json" "BENCH_s1.json" "BENCH_f7.json")
 unknown=0
 for artifact in "$root"/BENCH_*.json; do
   [[ -e "$artifact" ]] || continue
@@ -108,7 +128,7 @@ done
 
 # Be explicit about coverage: the figure/demo benches regenerate paper
 # numbers on demand but have no committed JSON, so they are NOT run here.
-ran=("bench_fig2_robust_api" "bench_f6_fleet_ingest" "bench_c1_overhead" "bench_s1_derive_service")
+ran=("bench_fig2_robust_api" "bench_f6_fleet_ingest" "bench_c1_overhead" "bench_s1_derive_service" "bench_f7_fleet_sim")
 echo "skipped (no committed JSON; run from $build/bench/ by hand):"
 for src in "$root"/bench/bench_*.cpp; do
   name="$(basename "$src" .cpp)"

@@ -86,9 +86,16 @@ void FleetCollector::fold_dossier(const incident::Dossier& dossier) {
 
 void FleetCollector::flush() {
   // Claim everything queued right now; later submits wait for the next flush.
+  // Shards are claimed one at a time, so a producer racing this loop may
+  // land a payload in an already-claimed shard — that payload is simply
+  // pending() until the next flush, never lost: the accounting identity
+  // submitted == aggregated + malformed + dropped + pending holds at every
+  // quiescent point for every shard/worker/policy combination (test_sim's
+  // drop-accounting matrix and test_fleet's flush-race test assert this).
   std::vector<std::string> claimed;
   for (auto& shard : ingest_) {
     std::lock_guard lock(shard->mutex);
+    claimed.reserve(claimed.size() + shard->queue.size());
     while (!shard->queue.empty()) {
       claimed.push_back(std::move(shard->queue.front()));
       shard->queue.pop_front();

@@ -14,12 +14,17 @@ namespace healers::server {
 namespace {
 
 // Shed responses are emitted before the request is ever decoded (that is
-// the point of admission control), so they are always XML envelopes.
+// the point of admission control), so they are always XML envelopes — and
+// they are all byte-identical, so every shed ticket shares ONE immutable
+// blob: a burst that sheds a million requests allocates nothing per victim.
 std::shared_ptr<const std::string> shed_response() {
-  DeriveResponse response;
-  response.status = ResponseStatus::kShed;
-  response.error = "admission control: request queue full";
-  return std::make_shared<const std::string>(response.encode(WireFormat::kXml));
+  static const std::shared_ptr<const std::string> blob = [] {
+    DeriveResponse response;
+    response.status = ResponseStatus::kShed;
+    response.error = "admission control: request queue full";
+    return std::make_shared<const std::string>(response.encode(WireFormat::kXml));
+  }();
+  return blob;
 }
 
 void render_quantiles(std::ostringstream& out, const char* label, std::uint64_t p50,
@@ -235,6 +240,15 @@ std::shared_ptr<const std::string> DeriveServer::response(Ticket ticket) const {
   std::lock_guard lock(responses_mutex_);
   const auto it = responses_.find(ticket);
   return it == responses_.end() ? nullptr : it->second;
+}
+
+std::shared_ptr<const std::string> DeriveServer::take_response(Ticket ticket) {
+  std::lock_guard lock(responses_mutex_);
+  const auto it = responses_.find(ticket);
+  if (it == responses_.end()) return nullptr;
+  auto blob = std::move(it->second);
+  responses_.erase(it);
+  return blob;
 }
 
 std::uint64_t DeriveServer::pending() const {

@@ -109,6 +109,13 @@ class DeriveServer {
   // — every ticket of a single-flight group points at the same bytes.
   [[nodiscard]] std::shared_ptr<const std::string> response(Ticket ticket) const;
 
+  // Like response(), but retires the ticket: the table entry is erased so a
+  // long-lived caller that consumes every response (the fleet simulator, a
+  // proxy) holds the response table to its in-flight window instead of the
+  // server's whole lifetime. The returned blob stays valid — responses are
+  // shared immutable strings.
+  [[nodiscard]] std::shared_ptr<const std::string> take_response(Ticket ticket);
+
   [[nodiscard]] std::uint64_t submitted() const noexcept { return submitted_.load(); }
   [[nodiscard]] std::uint64_t shed() const noexcept { return shed_.load(); }
   [[nodiscard]] std::uint64_t pending() const;

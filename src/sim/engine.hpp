@@ -1,0 +1,96 @@
+// Virtual-time discrete-event engine (ROADMAP: "heavy traffic from millions
+// of users").
+//
+// Real threads cannot model a million hosts — at fleet scale a host must be
+// a cheap resumable task woken by a scheduler, not an OS thread. This engine
+// supplies the two primitives the fleet simulator builds on:
+//
+//   * a virtual clock (microseconds, std::uint64_t) that advances only when
+//     events fire — simulating 60 virtual seconds of a quiet fleet costs
+//     exactly as much as the events in it, nothing more;
+//   * a binary min-heap event queue keyed (at, host). Keys are unique (a
+//     host has at most one scheduled wake-up), so pop order is a total
+//     order determined by the keys alone — never by insertion order, heap
+//     layout, or real-thread interleaving. That property is load-bearing:
+//     it is the bottom layer of the byte-reproducibility guarantee
+//     (same seed => same run, regardless of --jobs).
+//
+// The heap is hand-rolled rather than std::push_heap/pop_heap so the
+// structure is self-contained and the determinism argument stays local:
+// sift_up/sift_down only ever compare (at, host) pairs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace healers::sim {
+
+// Microseconds on the simulation's virtual clock.
+using VirtualTime = std::uint64_t;
+
+inline constexpr VirtualTime kMicrosPerVirtualSecond = 1'000'000;
+
+// One scheduled host wake-up.
+struct Event {
+  VirtualTime at = 0;
+  std::uint32_t host = 0;  // global host index
+
+  [[nodiscard]] friend constexpr bool operator<(const Event& a, const Event& b) noexcept {
+    return a.at != b.at ? a.at < b.at : a.host < b.host;
+  }
+  [[nodiscard]] friend constexpr bool operator==(const Event& a, const Event& b) noexcept {
+    return a.at == b.at && a.host == b.host;
+  }
+};
+
+// Binary min-heap of events: top() is the earliest (at, host) pair.
+class EventQueue {
+ public:
+  void reserve(std::size_t n) { heap_.reserve(n); }
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+  [[nodiscard]] const Event& top() const noexcept { return heap_.front(); }
+
+  void push(Event event) {
+    heap_.push_back(event);
+    sift_up(heap_.size() - 1);
+  }
+
+  Event pop() {
+    const Event first = heap_.front();
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0);
+    return first;
+  }
+
+ private:
+  void sift_up(std::size_t i) {
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!(heap_[i] < heap_[parent])) break;
+      std::swap(heap_[i], heap_[parent]);
+      i = parent;
+    }
+  }
+
+  void sift_down(std::size_t i) {
+    const std::size_t n = heap_.size();
+    for (;;) {
+      std::size_t least = i;
+      const std::size_t left = 2 * i + 1;
+      const std::size_t right = left + 1;
+      if (left < n && heap_[left] < heap_[least]) least = left;
+      if (right < n && heap_[right] < heap_[least]) least = right;
+      if (least == i) return;
+      std::swap(heap_[i], heap_[least]);
+      i = least;
+    }
+  }
+
+  std::vector<Event> heap_;
+};
+
+}  // namespace healers::sim

@@ -1,0 +1,113 @@
+#include "sim/traffic.hpp"
+
+#include <string>
+
+namespace healers::sim {
+namespace {
+
+// Mean steady check-in interval; every other model is phrased in terms of it.
+constexpr VirtualTime kBase = 20 * kMicrosPerVirtualSecond;
+// The diurnal "day" — compressed so a 60-virtual-second run sees a full wave.
+constexpr VirtualTime kDiurnalPeriod = 60 * kMicrosPerVirtualSecond;
+// Document spacing inside a burst.
+constexpr VirtualTime kBurstGap = 10'000;
+
+}  // namespace
+
+std::string_view to_string(TrafficModel model) noexcept {
+  switch (model) {
+    case TrafficModel::kSteady: return "steady";
+    case TrafficModel::kDiurnal: return "diurnal";
+    case TrafficModel::kBurst: return "burst";
+    case TrafficModel::kStraggler: return "straggler";
+    case TrafficModel::kCrashLoop: return "crash-loop";
+    case TrafficModel::kMixed: return "mixed";
+  }
+  return "?";
+}
+
+Result<TrafficModel> traffic_model_from_name(std::string_view name) {
+  if (name == "steady") return TrafficModel::kSteady;
+  if (name == "diurnal") return TrafficModel::kDiurnal;
+  if (name == "burst") return TrafficModel::kBurst;
+  if (name == "straggler") return TrafficModel::kStraggler;
+  if (name == "crashloop" || name == "crash-loop") return TrafficModel::kCrashLoop;
+  if (name == "mixed") return TrafficModel::kMixed;
+  return Error("unknown traffic model '" + std::string(name) +
+               "' (expected steady|diurnal|burst|straggler|crashloop|mixed)");
+}
+
+TrafficModel resolve_model(TrafficModel configured, std::uint32_t host) noexcept {
+  if (configured != TrafficModel::kMixed) return configured;
+  // Fleet share by host index modulo 20: 11/20 steady, 4/20 diurnal,
+  // 2/20 burst, 2/20 straggler, 1/20 crash-loop.
+  const std::uint32_t slot = host % 20;
+  if (slot < 11) return TrafficModel::kSteady;
+  if (slot < 15) return TrafficModel::kDiurnal;
+  if (slot < 17) return TrafficModel::kBurst;
+  if (slot < 19) return TrafficModel::kStraggler;
+  return TrafficModel::kCrashLoop;
+}
+
+HostTask::HostTask(std::uint64_t fleet_seed, std::uint32_t host, TrafficModel configured)
+    // Splitmix seeding: consecutive host indices land in unrelated stream
+    // positions, and the constant keeps sim streams disjoint from the other
+    // Rng users of the same fleet seed (campaign probes, FleetSimulator).
+    : rng((fleet_seed + 0x53494d31ULL) ^
+          (static_cast<std::uint64_t>(host) * 0x9e3779b97f4a7c15ULL)),
+      index(host),
+      model(resolve_model(configured, host)) {}
+
+VirtualTime initial_delay(HostTask& host) { return host.rng.below(kBase); }
+
+StepPlan step(HostTask& host, VirtualTime now) {
+  StepPlan plan;
+  const bool first = host.emissions == 0;
+  switch (host.model) {
+    case TrafficModel::kSteady:
+      plan.profile_docs = 1;
+      plan.next_delay = kBase / 2 + host.rng.below(kBase);
+      break;
+    case TrafficModel::kDiurnal: {
+      plan.profile_docs = 1;
+      // Integer triangle wave over the period: the interval shrinks to
+      // ~kBase/3 at the daily peak and relaxes to ~2*kBase in the trough.
+      const VirtualTime half = kDiurnalPeriod / 2;
+      const VirtualTime phase = now % kDiurnalPeriod;
+      const VirtualTime tri = phase < half ? phase : kDiurnalPeriod - phase;
+      const VirtualTime interval = 2 * kBase * half / (half + 4 * tri);
+      plan.next_delay = interval / 2 + host.rng.below(interval);
+      break;
+    }
+    case TrafficModel::kBurst:
+      if (host.burst_left == 0) {
+        host.burst_left = static_cast<std::uint16_t>(8 + host.rng.below(25));
+      }
+      plan.profile_docs = 1;
+      --host.burst_left;
+      plan.next_delay =
+          host.burst_left > 0 ? kBurstGap : 2 * kBase + host.rng.below(4 * kBase);
+      break;
+    case TrafficModel::kStraggler:
+      // A rare check-in flushes a small backlog in one wake-up.
+      plan.profile_docs = static_cast<std::uint8_t>(1 + host.rng.below(3));
+      plan.next_delay = 3 * kBase + host.rng.below(6 * kBase);
+      break;
+    case TrafficModel::kCrashLoop:
+      plan.dossier = true;
+      plan.derive = host.rng.below(8) == 0;
+      plan.profile_docs = host.rng.below(4) == 0 ? 1 : 0;
+      plan.next_delay = kBase / 8 + host.rng.below(kBase / 4);
+      break;
+    case TrafficModel::kMixed:
+      // Resolved to a concrete model at construction; unreachable.
+      plan.next_delay = kBase;
+      break;
+  }
+  // A sliver of every model's first wake-ups asks the derivation service
+  // for the robust API (a fresh install checking in).
+  if (first && !plan.derive) plan.derive = host.rng.below(64) == 0;
+  return plan;
+}
+
+}  // namespace healers::sim

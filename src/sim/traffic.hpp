@@ -1,0 +1,79 @@
+// Composable fleet traffic models.
+//
+// Each simulated host is a resumable state machine: step() consumes one
+// wake-up event and returns what the host emits now (profile documents,
+// a crash dossier, a derive request) plus the delay until its next wake-up.
+// All randomness comes from the host's own splitmix-seeded Rng, derived
+// from (fleet seed, host index) alone — so a host's entire emission
+// schedule is a pure function of those two numbers, independent of how
+// hosts are partitioned into shards or how many real threads advance them.
+//
+// The models are the shapes a real telemetry fleet throws at a collector:
+//
+//   steady     — periodic check-ins with jitter (the baseline load)
+//   diurnal    — check-in rate follows a triangle "day/night" wave
+//   burst      — long quiet, then a rapid-fire run of documents
+//   straggler  — rare check-ins that upload a small backlog at once
+//   crash-loop — a wedged host: dossier after dossier, occasionally
+//                asking the derivation service for a hardening bundle
+//   mixed      — a fixed fleet-share blend of all five (the default)
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "sim/engine.hpp"
+#include "support/result.hpp"
+#include "support/rng.hpp"
+
+namespace healers::sim {
+
+enum class TrafficModel : std::uint8_t {
+  kSteady = 0,
+  kDiurnal = 1,
+  kBurst = 2,
+  kStraggler = 3,
+  kCrashLoop = 4,
+  kMixed = 5,
+};
+
+// Number of concrete (non-mixed) models, for per-model accounting arrays.
+inline constexpr std::size_t kConcreteModels = 5;
+
+[[nodiscard]] std::string_view to_string(TrafficModel model) noexcept;
+// Parses a --traffic flag value ("steady", "diurnal", "burst", "straggler",
+// "crashloop", "mixed").
+[[nodiscard]] Result<TrafficModel> traffic_model_from_name(std::string_view name);
+
+// Resolves kMixed to the concrete model of one host. The blend is a fixed
+// fleet share by host index: 55% steady, 20% diurnal, 10% burst,
+// 10% straggler, 5% crash-loop. Concrete models resolve to themselves.
+[[nodiscard]] TrafficModel resolve_model(TrafficModel configured, std::uint32_t host) noexcept;
+
+// One simulated host. POD-small on purpose: a million of these is ~24 MB.
+struct HostTask {
+  Rng rng;
+  std::uint32_t index = 0;
+  TrafficModel model = TrafficModel::kSteady;
+  std::uint16_t burst_left = 0;   // remaining documents in the current burst
+  std::uint32_t emissions = 0;    // documents + requests emitted so far
+
+  HostTask(std::uint64_t fleet_seed, std::uint32_t host, TrafficModel configured);
+};
+
+// What one wake-up produces, and when the host wants to wake again.
+struct StepPlan {
+  VirtualTime next_delay = 0;
+  std::uint8_t profile_docs = 0;
+  bool dossier = false;
+  bool derive = false;
+};
+
+// Offset of the host's first wake-up (spreads the fleet over the first
+// base interval so virtual second 0 is not a thundering herd).
+[[nodiscard]] VirtualTime initial_delay(HostTask& host);
+
+// Advances the host's state machine by one wake-up at virtual time `now`.
+[[nodiscard]] StepPlan step(HostTask& host, VirtualTime now);
+
+}  // namespace healers::sim

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/toolkit.hpp"
@@ -226,6 +227,43 @@ TEST(FleetCollectorTest, EveryDocumentIsAggregatedOrCounted) {
   EXPECT_EQ(collector.pending(), 0u);
   EXPECT_EQ(collector.submitted(),
             collector.aggregated() + collector.malformed() + collector.dropped());
+}
+
+// The shard-drain race (ISSUE 7 audit): flush() claims ingest shards one at
+// a time, so a producer racing the claim loop can land a payload in an
+// already-claimed shard. That payload must surface as pending(), never be
+// lost — the accounting identity has to hold at the first quiescent point
+// for every shard/worker/policy combination.
+TEST(FleetCollectorTest, AccountingSurvivesSubmitDuringFlushRaces) {
+  for (const auto policy : {OverflowPolicy::kDropNewest, OverflowPolicy::kDropOldest}) {
+    CollectorConfig config;
+    config.shards = 3;
+    config.queue_capacity = 7;  // small enough that the race also drops
+    config.workers = 4;
+    config.policy = policy;
+    FleetCollector collector(config);
+    const std::string doc = encode_binary(sample_report());
+
+    constexpr int kProducers = 4;
+    constexpr int kDocsPerProducer = 200;
+    std::vector<std::thread> producers;
+    producers.reserve(kProducers);
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&collector, &doc] {
+        for (int i = 0; i < kDocsPerProducer; ++i) collector.submit(doc);
+      });
+    }
+    // Flush continuously while the producers hammer the shards.
+    for (int i = 0; i < 50; ++i) collector.flush();
+    for (auto& producer : producers) producer.join();
+    collector.flush();  // quiescent point: nothing can stay pending now
+
+    EXPECT_EQ(collector.submitted(), static_cast<std::uint64_t>(kProducers * kDocsPerProducer));
+    EXPECT_EQ(collector.submitted(), collector.aggregated() + collector.malformed() +
+                                         collector.dropped() + collector.pending());
+    EXPECT_EQ(collector.pending(), 0u);
+    EXPECT_EQ(collector.malformed(), 0u);
+  }
 }
 
 TEST(FleetCollectorTest, DropOldestEvictsHeadAndCounts) {

@@ -347,6 +347,54 @@ TEST_F(ServerFixture, AdmissionControlShedsAndAccountsEveryRequest) {
   }
 }
 
+// Burst sheds at fleet scale (ISSUE 7): every shed ticket must hold a real
+// kShed response — counted sheds and undelivered responses may never drift
+// apart — and since all shed envelopes are byte-identical, they share ONE
+// immutable blob (a million-victim burst allocates no per-victim response).
+TEST_F(ServerFixture, BurstShedsShareOneResponseBlob) {
+  for (const AdmissionPolicy policy :
+       {AdmissionPolicy::kShedNewest, AdmissionPolicy::kShedOldest}) {
+    ServerConfig config;
+    config.shards = 1;
+    config.queue_capacity = 1;
+    config.policy = policy;
+    DeriveServer server(toolkit, config);
+
+    std::vector<DeriveServer::Ticket> tickets;
+    for (int i = 0; i < 32; ++i) {
+      tickets.push_back(server.submit(quick_request("libsimm.so.1").encode()));
+    }
+    EXPECT_EQ(server.shed(), 31u);
+    server.drain();
+
+    std::size_t shed_delivered = 0;
+    const std::string* shed_blob = nullptr;
+    for (const auto ticket : tickets) {
+      const auto bytes = server.response(ticket);
+      ASSERT_NE(bytes, nullptr) << "every ticket is answered";
+      const auto response = DeriveResponse::decode(*bytes);
+      ASSERT_TRUE(response.ok());
+      if (response.value().status != ResponseStatus::kShed) continue;
+      ++shed_delivered;
+      if (shed_blob == nullptr) shed_blob = bytes.get();
+      EXPECT_EQ(bytes.get(), shed_blob) << "shed responses share one blob";
+    }
+    EXPECT_EQ(shed_delivered, server.shed());
+  }
+}
+
+TEST_F(ServerFixture, TakeResponseBoundsTheResponseTable) {
+  DeriveServer server(toolkit, {});
+  const auto ticket = server.submit(quick_request("libsimm.so.1").encode());
+  server.drain();
+  const auto taken = server.take_response(ticket);
+  ASSERT_NE(taken, nullptr);
+  EXPECT_EQ(DeriveResponse::decode(*taken).value().status, ResponseStatus::kOk);
+  // Retired: neither accessor sees the ticket again.
+  EXPECT_EQ(server.response(ticket), nullptr);
+  EXPECT_EQ(server.take_response(ticket), nullptr);
+}
+
 // The tentpole invariant: an identical submission trace replayed at worker
 // counts 1, 4, and 16 yields byte-identical response bytes for every ticket
 // and a byte-identical rendered summary.

@@ -16,6 +16,8 @@
 //   healers fleet report <fleet.docs> [--shards N] [--jobs N]
 //   healers serve [--clients N] [--requests N] [--jobs N] [--shards N]
 //                 [--capacity N] [--cache-file F] [--encoding xml|binary]
+//   healers simulate [--hosts N] [--virtual-seconds N] [--seed N] [--jobs N]
+//                    [--traffic M] [--shards N] [--capacity N] [--stats]
 //
 // derive→(ship XML)→gen-source is the paper's offline pipeline: campaigns
 // run where the library lives; wrapper generation can happen anywhere the
@@ -42,6 +44,7 @@
 #include "incident/recorder.hpp"
 #include "server/derive_server.hpp"
 #include "server/spec_cache.hpp"
+#include "sim/fleet_sim.hpp"
 #include "wrappers/wrappers.hpp"
 
 using namespace healers;
@@ -70,6 +73,13 @@ void print_usage(std::FILE* out) {
                "  inspect demo-heap|demo-stack\n"
                "  demo attacks\n"
                "  dossier demo-heap|demo-stack [--format text|xml|binary] [-o file]\n"
+               "  simulate [--hosts N] [--virtual-seconds N] [--seed N] [--jobs N]\n"
+               "           [--traffic steady|diurnal|burst|straggler|crashloop|mixed]\n"
+               "           [--shards N] [--capacity N] [--stats] [-o file]\n"
+               "           (virtual-time discrete-event fleet: N simulated hosts drive\n"
+               "            the real collector and DeriveServer; the summary is\n"
+               "            byte-identical for a given --seed at any --jobs/--shards;\n"
+               "            --stats appends the collector and derive-service summaries)\n"
                "  fleet simulate [--hosts N] [--docs N] [--seed N] [--jobs N]\n"
                "                 [--encoding xml|binary|mixed] [-o file]\n"
                "  fleet ingest <file> [--shards N] [--jobs N] [--capacity N]\n"
@@ -124,6 +134,9 @@ struct Options {
   int capacity = 4096;
   int clients = 4;
   int requests = 8;
+  std::uint64_t virtual_seconds = 60;
+  std::string traffic = "mixed";
+  bool capacity_set = false;
   std::string encoding = "mixed";
   std::string format = "text";
   std::string cache_file;
@@ -179,6 +192,15 @@ Result<Options> parse_options(int argc, char** argv) {
       auto value = next();
       if (!value.ok()) return value.error();
       options.capacity = std::stoi(value.value());
+      options.capacity_set = true;
+    } else if (arg == "--virtual-seconds") {
+      auto value = next();
+      if (!value.ok()) return value.error();
+      options.virtual_seconds = std::stoull(value.value());
+    } else if (arg == "--traffic") {
+      auto value = next();
+      if (!value.ok()) return value.error();
+      options.traffic = value.value();
     } else if (arg == "--clients") {
       auto value = next();
       if (!value.ok()) return value.error();
@@ -559,6 +581,61 @@ int cmd_serve(const core::Toolkit& toolkit, const Options& options) {
   return stats.answered_error == 0 ? 0 : 1;
 }
 
+// The virtual-time discrete-event fleet (src/sim): a million cheap host
+// tasks on a virtual clock, emitting into the real FleetCollector and
+// DeriveServer. The deterministic summary goes to stdout (byte-identical
+// for a given --seed at any --jobs/--shards); wall-clock throughput — the
+// one nondeterministic number — goes to stderr.
+int cmd_simulate(const core::Toolkit& toolkit, const Options& options) {
+  const auto traffic = sim::traffic_model_from_name(options.traffic);
+  if (!traffic.ok()) return fail(traffic.error().message);
+  if (options.hosts <= 0 || options.shards <= 0 || options.jobs < 0 ||
+      options.virtual_seconds == 0 || options.capacity <= 0) {
+    return fail("simulate: --hosts/--shards/--capacity/--virtual-seconds must be positive");
+  }
+  sim::SimConfig config;
+  config.hosts = static_cast<std::uint32_t>(options.hosts);
+  config.virtual_seconds = options.virtual_seconds;
+  config.seed = options.seed;
+  config.traffic = traffic.value();
+  config.shards = static_cast<unsigned>(options.shards);
+  config.jobs = static_cast<unsigned>(options.jobs);
+  if (options.capacity_set) {
+    config.collector.queue_capacity = static_cast<std::size_t>(options.capacity);
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  sim::FleetSim simulation(toolkit, config);
+  const sim::SimStats stats = simulation.run();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+  const auto& collector = simulation.collector();
+  const auto server_stats = simulation.server().stats();
+  // The accounting identities the sim exists to exercise, enforced at ANY
+  // scale this command runs at — a million-host run that loses one document
+  // exits nonzero.
+  if (collector.submitted() !=
+      collector.aggregated() + collector.malformed() + collector.dropped() + collector.pending()) {
+    return fail("simulate: collector accounting identity violated");
+  }
+  if (server_stats.submitted != server_stats.answered + server_stats.shed + server_stats.pending) {
+    return fail("simulate: derive-server accounting identity violated");
+  }
+  if (collector.malformed() != 0) {
+    return fail("simulate: malformed documents: " + collector.first_error());
+  }
+  if (stats.responses_error != 0) return fail("simulate: derive responses errored");
+
+  std::fprintf(stderr, "simulated %llu hosts / %llu emissions in %.2fs wall (%.0f hosts/s, %.0f docs/s)\n",
+               static_cast<unsigned long long>(stats.hosts),
+               static_cast<unsigned long long>(stats.emissions), wall,
+               static_cast<double>(stats.hosts) / (wall > 0 ? wall : 1e-9),
+               static_cast<double>(stats.emissions) / (wall > 0 ? wall : 1e-9));
+  return emit(options.stats ? simulation.render_global_summary() : stats.render(),
+              options.out_path);
+}
+
 int cmd_demo(const core::Toolkit& toolkit, const Options& options) {
   if (options.positional.empty() || options.positional[0] != "attacks") return usage();
   const auto plain = attacks::run_heap_smash_attack(toolkit.catalog(), {});
@@ -593,5 +670,6 @@ int main(int argc, char** argv) {
   if (command == "dossier") return cmd_dossier(toolkit, options.value());
   if (command == "fleet") return cmd_fleet(toolkit, options.value());
   if (command == "serve") return cmd_serve(toolkit, options.value());
+  if (command == "simulate") return cmd_simulate(toolkit, options.value());
   return usage();
 }
