@@ -86,6 +86,15 @@ void print_report() {
     std::printf("failure rate: %.1f%% of probes; %zu/%zu functions non-robust\n\n",
                 failure_rate, campaign.functions_with_failures(), campaign.specs.size());
   }
+  const std::uint64_t executed = toolkit().probes_executed();
+  const std::uint64_t implied = toolkit().probes_implied();
+  std::printf("subsumption pruning across the report's campaigns: %llu probes executed, "
+              "%llu implied (%.1f%% skipped)\n\n",
+              static_cast<unsigned long long>(executed),
+              static_cast<unsigned long long>(implied),
+              executed + implied == 0
+                  ? 0.0
+                  : 100.0 * static_cast<double>(implied) / static_cast<double>(executed + implied));
 }
 
 // Campaign throughput, measured on the FaultInjector itself: the toolkit's
@@ -94,16 +103,23 @@ void print_report() {
 //   fresh/jobs:1 — the deep baseline (rebuild a full process per probe),
 //   fork/jobs:1  — COW fork from one shared pristine state, per-probe reset
 //                  drops only the pages the probe privatized,
-//   fork/jobs:8  — the same, fanned out over 8 worker threads.
-// All three produce byte-identical campaign XML (enforced by
-// test_injector_parallel); only the throughput counters may differ. The
-// engine counters expose the mechanism: fresh rows build one testbed per
-// probe, fork rows build one per worker and fork the rest.
+//   fork/jobs:8  — the same, fanned out over 8 worker threads,
+//   pruned rows  — the subsumption-pruned lattice walk on top of fork mode:
+//                  implied verdicts are synthesized, not executed
+//                  (DESIGN.md, "Subsumption pruning").
+// All configurations produce byte-identical campaign XML (enforced by
+// test_injector_parallel and test_subsume); only the throughput counters may
+// differ. The engine counters expose the mechanism: fresh rows build one
+// testbed per probe, fork rows build one per worker and fork the rest, and
+// pruned rows split the probe count into executed vs implied — the speedup
+// over the matching unpruned row tracks probe_reduction. The non-pruned
+// rows pin prune off so their numbers stay comparable across revisions.
 void BM_CampaignEngine(benchmark::State& state, const std::string& soname, int jobs,
-                       bool snapshot_reset) {
+                       bool snapshot_reset, bool prune) {
   injector::InjectorConfig cfg = config();
   cfg.jobs = jobs;
   cfg.snapshot_reset = snapshot_reset;
+  cfg.prune = prune;
   const linker::LibraryCatalog& catalog = toolkit().catalog();
   const simlib::SharedLibrary* lib = toolkit().library(soname);
   injector::FaultInjector injector(catalog, cfg);
@@ -123,6 +139,28 @@ void BM_CampaignEngine(benchmark::State& state, const std::string& soname, int j
       probes == 0 ? 0
                   : static_cast<double>(engine.pages_dropped - engine_before.pages_dropped) /
                         probes;
+  if (prune) {
+    // Executed/implied split per campaign, plus the marker counter
+    // run_benches.sh greps for — the artifact's attestation that these rows
+    // came from the subsumption-pruned walk. Note the injector's profile
+    // store stays warm across iterations, so later campaigns prune a bit
+    // more than the first (cross-campaign learning, averaged here).
+    const double executed = probes;
+    const double implied =
+        static_cast<double>(engine.probes_implied - engine_before.probes_implied);
+    state.counters["probes_executed"] =
+        benchmark::Counter(executed, benchmark::Counter::kAvgIterations);
+    state.counters["probes_implied"] =
+        benchmark::Counter(implied, benchmark::Counter::kAvgIterations);
+    state.counters["probe_reduction"] =
+        executed + implied == 0 ? 0 : implied / (executed + implied);
+    // Verdict-case throughput: probes/s only counts *executed* probes, which
+    // understates pruned rows — implied cases are resolved too, just for
+    // free. This is the apples-to-apples rate against an unpruned row.
+    state.counters["cases_resolved/s"] =
+        benchmark::Counter(executed + implied, benchmark::Counter::kIsRate);
+    state.counters["subsumption_prune"] = 1;
+  }
 }
 
 // The per-probe reset primitive in isolation: dirty a couple of pages (one
@@ -228,21 +266,32 @@ void BM_SpecXmlParse(benchmark::State& state) {
 
 }  // namespace
 
-BENCHMARK_CAPTURE(BM_CampaignEngine, libsimc_fresh_jobs1, "libsimc.so.1", 1, false)
+BENCHMARK_CAPTURE(BM_CampaignEngine, libsimc_fresh_jobs1, "libsimc.so.1", 1, false, false)
     ->Unit(benchmark::kMillisecond);
-BENCHMARK_CAPTURE(BM_CampaignEngine, libsimc_fork_jobs1, "libsimc.so.1", 1, true)
+BENCHMARK_CAPTURE(BM_CampaignEngine, libsimc_fork_jobs1, "libsimc.so.1", 1, true, false)
     ->Unit(benchmark::kMillisecond);
-BENCHMARK_CAPTURE(BM_CampaignEngine, libsimc_fork_jobs8, "libsimc.so.1", 8, true)
+BENCHMARK_CAPTURE(BM_CampaignEngine, libsimc_fork_jobs8, "libsimc.so.1", 8, true, false)
     ->Unit(benchmark::kMillisecond);
-BENCHMARK_CAPTURE(BM_CampaignEngine, libsimio_fresh_jobs1, "libsimio.so.1", 1, false)
+BENCHMARK_CAPTURE(BM_CampaignEngine, libsimio_fresh_jobs1, "libsimio.so.1", 1, false, false)
     ->Unit(benchmark::kMillisecond);
-BENCHMARK_CAPTURE(BM_CampaignEngine, libsimio_fork_jobs1, "libsimio.so.1", 1, true)
+BENCHMARK_CAPTURE(BM_CampaignEngine, libsimio_fork_jobs1, "libsimio.so.1", 1, true, false)
     ->Unit(benchmark::kMillisecond);
-BENCHMARK_CAPTURE(BM_CampaignEngine, libsimio_fork_jobs8, "libsimio.so.1", 8, true)
+BENCHMARK_CAPTURE(BM_CampaignEngine, libsimio_fork_jobs8, "libsimio.so.1", 8, true, false)
     ->Unit(benchmark::kMillisecond);
-BENCHMARK_CAPTURE(BM_CampaignEngine, libsimm_fresh_jobs1, "libsimm.so.1", 1, false)
+BENCHMARK_CAPTURE(BM_CampaignEngine, libsimm_fresh_jobs1, "libsimm.so.1", 1, false, false)
     ->Unit(benchmark::kMillisecond);
-BENCHMARK_CAPTURE(BM_CampaignEngine, libsimm_fork_jobs8, "libsimm.so.1", 8, true)
+BENCHMARK_CAPTURE(BM_CampaignEngine, libsimm_fork_jobs8, "libsimm.so.1", 8, true, false)
+    ->Unit(benchmark::kMillisecond);
+// Pruned twins of the fork rows: same libraries, same engine, subsumption
+// pruning on — the wall-time ratio against the matching unpruned row is the
+// campaign speedup the lattice walk buys.
+BENCHMARK_CAPTURE(BM_CampaignEngine, libsimc_pruned_fork_jobs1, "libsimc.so.1", 1, true, true)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_CampaignEngine, libsimc_pruned_fork_jobs8, "libsimc.so.1", 8, true, true)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_CampaignEngine, libsimio_pruned_fork_jobs1, "libsimio.so.1", 1, true, true)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_CampaignEngine, libsimm_pruned_fork_jobs1, "libsimm.so.1", 1, true, true)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_StateForkReset)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_FreshTestbedBuild)->Unit(benchmark::kMicrosecond);

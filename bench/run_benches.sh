@@ -62,6 +62,16 @@ if ! grep -q '"cow_states"' "$root/BENCH_fig2.json"; then
   exit 1
 fi
 
+# Guard: the pruned campaign rows must carry the subsumption_prune marker —
+# without it the artifact came from a binary predating (or stripped of) the
+# subsumption-pruned lattice walk, and the pruned-vs-unpruned speedup rows
+# the JSON is committed for are missing.
+if ! grep -q '"subsumption_prune"' "$root/BENCH_fig2.json"; then
+  echo "error: BENCH_fig2.json lacks the subsumption_prune marker — the pruned" >&2
+  echo "       campaign rows are missing; refusing the artifact." >&2
+  exit 1
+fi
+
 echo "wrote $root/BENCH_fig2.json"
 
 "$build/bench/bench_f6_fleet_ingest" \

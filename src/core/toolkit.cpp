@@ -88,6 +88,9 @@ Result<injector::CampaignResult> Toolkit::derive_robust_api(
     return flight->outcome;
   }
   injector::FaultInjector injector(catalog_, config);
+  // Thread the shared implication profiles through: this campaign is warmed
+  // by every earlier derive, and what it learns warms the next.
+  injector.set_profile_store(profiles_);
   const TestbedKey state_key{config.probe_step_budget, config.testbed_heap,
                              config.testbed_stack};
   {
@@ -100,6 +103,7 @@ Result<injector::CampaignResult> Toolkit::derive_robust_api(
   }
   auto campaign = injector.run_campaign(*lib);
   probes_executed_.fetch_add(injector.probes_executed(), std::memory_order_relaxed);
+  probes_implied_.fetch_add(injector.probes_implied(), std::memory_order_relaxed);
   {
     std::lock_guard lock(cache_mutex_);
     if (campaign.ok()) campaign_cache_.insert_or_assign(key, campaign.value());

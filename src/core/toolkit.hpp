@@ -83,6 +83,20 @@ class Toolkit {
   [[nodiscard]] std::uint64_t probes_executed() const noexcept {
     return probes_executed_.load(std::memory_order_relaxed);
   }
+  // Probe cases synthesized from the subsumption lattice instead of executed
+  // (DESIGN.md, "Subsumption pruning") across all campaigns.
+  [[nodiscard]] std::uint64_t probes_implied() const noexcept {
+    return probes_implied_.load(std::memory_order_relaxed);
+  }
+
+  // The cross-campaign implication-profile store every derive this toolkit
+  // runs learns into and orders probes by. Shared so the derivation server
+  // can persist it (HSIP1 entries in the spec-cache file) and preload a warm
+  // fleet.
+  [[nodiscard]] const std::shared_ptr<lattice::ImplicationProfileStore>&
+  implication_profiles() const noexcept {
+    return profiles_;
+  }
 
   // Pristine testbed states currently cached for reuse across campaigns
   // (one per distinct machine shape). Test/bench handle.
@@ -128,7 +142,9 @@ class Toolkit {
 
  private:
   // Everything a campaign's output is a function of, minus the library
-  // content itself (covered by the fingerprint).
+  // content itself (covered by the fingerprint). `jobs`, `snapshot_reset`
+  // and `prune` are deliberately absent: the engine guarantees bit-identical
+  // results for any combination, so all of them share one cache slot.
   using CampaignKey = std::tuple<std::string,    // soname
                                  std::uint64_t,  // SharedLibrary::fingerprint()
                                  std::uint64_t,  // seed
@@ -165,6 +181,9 @@ class Toolkit {
   mutable std::map<CampaignKey, std::shared_ptr<Inflight>> inflight_;
   mutable std::map<TestbedKey, std::shared_ptr<const linker::TestbedState>> testbed_states_;
   mutable std::atomic<std::uint64_t> probes_executed_{0};
+  mutable std::atomic<std::uint64_t> probes_implied_{0};
+  std::shared_ptr<lattice::ImplicationProfileStore> profiles_ =
+      std::make_shared<lattice::ImplicationProfileStore>();
 };
 
 }  // namespace healers::core

@@ -1,6 +1,8 @@
 #include "injector/injector.hpp"
 
 #include <algorithm>
+#include <optional>
+#include <stdexcept>
 #include <utility>
 
 #include "support/rng.hpp"
@@ -30,10 +32,13 @@ namespace {
   return hash;
 }
 
-// The per-probe seed: a pure function of the campaign seed and the probe
-// coordinate. Every probe owns an independent Rng derived from this, so the
-// values it fabricates cannot depend on which worker ran it, in what order,
-// or how many probes ran before it — the root of the engine's determinism.
+// The per-coordinate seed: a pure function of the campaign seed and the
+// probe coordinate. Every fabrication owns an independent Rng derived from
+// this, so the values it produces cannot depend on which worker ran it, in
+// what order, or how many probes ran before it — the root of the engine's
+// determinism. A test type's whole case list is fabricated from the
+// case_index=0 seed (cases are picked out of one enumeration), so an
+// implied verdict can replay the identical values without a testbed.
 [[nodiscard]] std::uint64_t probe_seed(std::uint64_t seed, std::uint64_t fn_hash, std::size_t arg,
                                        TestTypeId id, std::size_t case_index) noexcept {
   std::uint64_t h = mix64(seed ^ fn_hash);
@@ -42,10 +47,38 @@ namespace {
   return h;
 }
 
+// Sentinel arg slot seeding the safe-value fabrication of a function's base
+// snapshot — outside any real argument index.
+inline constexpr std::size_t kSafeArgsSlot = 0xffff;
+
+// Folds one probe outcome into a type verdict.
+void fold_outcome(TypeVerdict& verdict, const CallOutcome& outcome) {
+  ++verdict.probes;
+  if (!outcome.robustness_failure()) return;
+  ++verdict.failures;
+  switch (outcome.kind) {
+    case CallOutcome::Kind::kCrash:
+    case CallOutcome::Kind::kHijack:
+      ++verdict.crashes;
+      break;
+    case CallOutcome::Kind::kHang:
+      ++verdict.hangs;
+      break;
+    case CallOutcome::Kind::kAbort:
+      ++verdict.aborts;
+      break;
+    default:
+      break;
+  }
+  if (verdict.first_failure.empty()) verdict.first_failure = outcome.detail;
+}
+
 }  // namespace
 
 FaultInjector::FaultInjector(const linker::LibraryCatalog& catalog, InjectorConfig config)
-    : catalog_(catalog), config_(config) {}
+    : catalog_(catalog),
+      config_(config),
+      profiles_(std::make_shared<lattice::ImplicationProfileStore>()) {}
 
 FaultInjector::~FaultInjector() = default;
 
@@ -74,6 +107,11 @@ void FaultInjector::set_testbed_state(
     return;  // built for a different machine shape — forking it would skew results
   }
   state_ = std::move(state);
+}
+
+void FaultInjector::set_profile_store(
+    std::shared_ptr<lattice::ImplicationProfileStore> store) noexcept {
+  if (store != nullptr) profiles_ = std::move(store);
 }
 
 void FaultInjector::ensure_state() {
@@ -118,6 +156,12 @@ CampaignEngineStats FaultInjector::engine_stats() const noexcept {
   stats.pages_faulted = pages_faulted_.load(std::memory_order_relaxed);
   stats.pages_privatized = pages_privatized_.load(std::memory_order_relaxed);
   stats.pages_dropped = pages_dropped_.load(std::memory_order_relaxed);
+  stats.probes_executed = probes_executed_.load(std::memory_order_relaxed);
+  stats.probes_implied = probes_implied_.load(std::memory_order_relaxed);
+  stats.verdicts_implied = verdicts_implied_.load(std::memory_order_relaxed);
+  stats.memo_case_hits = memo_hits_.load(std::memory_order_relaxed);
+  stats.args_probed = args_probed_.load(std::memory_order_relaxed);
+  stats.args_warm_ordered = args_warm_.load(std::memory_order_relaxed);
   return stats;
 }
 
@@ -137,93 +181,241 @@ const FaultInjector::PageEntry& FaultInjector::page_for(const simlib::SharedLibr
   return it->second;
 }
 
-CallOutcome FaultInjector::run_probe(std::unique_ptr<linker::Process>& bed,
-                                     const simlib::SharedLibrary& lib, const ProbeTask& task,
-                                     std::size_t case_index, std::int64_t* injected_int) {
-  // One probe = one pristine process, as the paper forked one child per
-  // probe. snapshot_reset rewinds the worker's shell onto the shared
-  // pristine image — bit-identical to a fresh build, because the restore
-  // also rewinds the address-space allocation cursor — by dropping only the
-  // pages the previous probe privatized. Fresh mode rebuilds from scratch
-  // (the deep-copy oracle the benches compare against).
-  if (config_.snapshot_reset) {
-    if (bed == nullptr) {
-      bed = make_bed();
-    } else {
-      state_->reset(*bed);
-      states_forked_.fetch_add(1, std::memory_order_relaxed);
-    }
-  } else {
-    if (bed != nullptr) harvest(*bed);
-    bed = make_bed();
-  }
-  linker::Process& process = *bed;
+void FaultInjector::fabricate_safe_args(WorkerBed& wb, const ProbeTask& task) {
   const parser::ManPage& page = *task.page;
-
-  CallOutcome not_run;
-  not_run.kind = CallOutcome::Kind::kNotRun;
-  if (!lib.defines(page.proto.name)) {
-    // Caller verified; belt and braces.
-    not_run.detail = "symbol " + page.proto.name + " not defined";
-    return not_run;
-  }
-
-  Rng rng(probe_seed(config_.seed, task.fn_hash, task.arg_index, task.id, case_index));
-  lattice::ValueFactory factory(process, rng);
-  const std::vector<lattice::TestCase> cases = factory.cases_of(task.id, config_.variants);
-  if (case_index >= cases.size()) {
-    not_run.detail = "no test case " + std::to_string(case_index);
-    return not_run;
-  }
-
-  std::vector<simlib::SimValue> args;
-  args.reserve(page.proto.params.size());
+  Rng rng(probe_seed(config_.seed, task.fn_hash, kSafeArgsSlot, TestTypeId::kNull, 0));
+  lattice::ValueFactory factory(*wb.bed, rng);
+  wb.safe_args.clear();
+  wb.safe_args.reserve(page.proto.params.size());
   for (std::size_t j = 0; j < page.proto.params.size(); ++j) {
-    if (j == task.arg_index) {
-      args.push_back(cases[case_index].value);
-    } else {
-      args.push_back(factory.safe_value(page, static_cast<int>(j) + 1));
-    }
+    wb.safe_args.push_back(factory.safe_value(page, static_cast<int>(j) + 1));
   }
-  if (injected_int != nullptr) *injected_int = cases[case_index].value.as_int();
-  probes_executed_.fetch_add(1, std::memory_order_relaxed);
-  return process.supervised_call(page.proto.name, std::move(args));
 }
 
-FaultInjector::TaskOutput FaultInjector::run_task(std::unique_ptr<linker::Process>& bed,
-                                                  const simlib::SharedLibrary& lib,
-                                                  const ProbeTask& task) {
-  TaskOutput out;
-  out.verdict.id = task.id;
-  const bool integral =
-      task.page->proto.params[task.arg_index].type.classify() == parser::TypeClass::kIntegral;
-  for (std::size_t case_index = 0;; ++case_index) {
-    std::int64_t injected = 0;
-    const CallOutcome outcome =
-        run_probe(bed, lib, task, case_index, integral ? &injected : nullptr);
-    if (outcome.kind == CallOutcome::Kind::kNotRun) break;
-    ++out.verdict.probes;
-    if (integral) out.int_values.push_back(injected);
-    if (outcome.robustness_failure()) {
-      ++out.verdict.failures;
-      switch (outcome.kind) {
-        case CallOutcome::Kind::kCrash:
-        case CallOutcome::Kind::kHijack:
-          ++out.verdict.crashes;
-          break;
-        case CallOutcome::Kind::kHang:
-          ++out.verdict.hangs;
-          break;
-        case CallOutcome::Kind::kAbort:
-          ++out.verdict.aborts;
-          break;
-        default:
-          break;
+void FaultInjector::bed_to_base(WorkerBed& wb, const simlib::SharedLibrary& lib,
+                                const ProbeTask& task) {
+  (void)lib;
+  if (config_.snapshot_reset) {
+    if (wb.bed != nullptr && wb.base_page == task.page) {
+      // Hot path: rewind onto the per-function base — drops only the pages
+      // the previous probe privatized; the safe values survive inside the
+      // snapshot's sealed image.
+      wb.bed->restore(wb.base);
+      states_forked_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    if (wb.bed == nullptr) {
+      wb.bed = make_bed();
+    } else {
+      state_->reset(*wb.bed);
+      states_forked_.fetch_add(1, std::memory_order_relaxed);
+    }
+    fabricate_safe_args(wb, task);
+    wb.base = wb.bed->snapshot();
+    wb.base_page = task.page;
+    return;
+  }
+  // Fresh mode: rebuild the whole process and re-fabricate every safe value
+  // per probe — the deep oracle the snapshot path is compared against.
+  if (wb.bed != nullptr) harvest(*wb.bed);
+  wb.bed = make_bed();
+  fabricate_safe_args(wb, task);
+  wb.base_page = task.page;
+}
+
+FaultInjector::TypeOutput FaultInjector::run_type(
+    WorkerBed& wb, const simlib::SharedLibrary& lib, const ProbeTask& task, TestTypeId id,
+    std::map<std::int64_t, CallOutcome>* int_memo) {
+  TypeOutput out;
+  out.verdict.id = id;
+  const parser::ManPage& page = *task.page;
+  const bool integral = task.cls == parser::TypeClass::kIntegral;
+  const std::size_t expected = lattice::case_count(id, config_.variants);
+
+  if (lattice::is_scalar_type(id)) {
+    // Scalar cases are pure data — enumerate without a testbed, and let the
+    // value memo answer integral cases whose exact value was already called
+    // for this argument (the bed state at call time is the base snapshot for
+    // every scalar probe, so the outcome is a function of the value alone).
+    Rng rng(probe_seed(config_.seed, task.fn_hash, task.arg_index, id, 0));
+    const std::vector<lattice::TestCase> cases =
+        lattice::scalar_cases(id, config_.variants, rng);
+    if (cases.size() != expected) {
+      throw std::logic_error("run_type: case_count(" + lattice::to_string(id) +
+                             ") disagrees with enumeration");
+    }
+    for (const lattice::TestCase& test_case : cases) {
+      const std::int64_t injected = test_case.value.as_int();
+      if (integral) out.int_values.push_back(injected);
+      if (integral && int_memo != nullptr) {
+        const auto hit = int_memo->find(injected);
+        if (hit != int_memo->end()) {
+          memo_hits_.fetch_add(1, std::memory_order_relaxed);
+          probes_implied_.fetch_add(1, std::memory_order_relaxed);
+          fold_outcome(out.verdict, hit->second);
+          continue;
+        }
       }
-      if (out.verdict.first_failure.empty()) out.verdict.first_failure = outcome.detail;
+      bed_to_base(wb, lib, task);
+      std::vector<simlib::SimValue> args = wb.safe_args;
+      args[task.arg_index] = test_case.value;
+      probes_executed_.fetch_add(1, std::memory_order_relaxed);
+      const CallOutcome outcome = wb.bed->supervised_call(page.proto.name, std::move(args));
+      if (integral && int_memo != nullptr) int_memo->emplace(injected, outcome);
+      fold_outcome(out.verdict, outcome);
+    }
+    return out;
+  }
+
+  // Pointer cases fabricate testbed state, so every probe re-enumerates the
+  // type's whole case list on a freshly based bed (identical each time —
+  // the Rng is seeded at case_index 0) and injects case `i`. Bed state at
+  // call time therefore includes every case's fabrication, uniformly.
+  for (std::size_t case_index = 0;; ++case_index) {
+    bed_to_base(wb, lib, task);
+    Rng rng(probe_seed(config_.seed, task.fn_hash, task.arg_index, id, 0));
+    lattice::ValueFactory factory(*wb.bed, rng);
+    const std::vector<lattice::TestCase> cases = factory.cases_of(id, config_.variants);
+    if (case_index == 0 && cases.size() != expected) {
+      throw std::logic_error("run_type: case_count(" + lattice::to_string(id) +
+                             ") disagrees with fabrication");
+    }
+    if (case_index >= cases.size()) break;
+    std::vector<simlib::SimValue> args = wb.safe_args;
+    args[task.arg_index] = cases[case_index].value;
+    probes_executed_.fetch_add(1, std::memory_order_relaxed);
+    fold_outcome(out.verdict, wb.bed->supervised_call(page.proto.name, std::move(args)));
+  }
+  return out;
+}
+
+FaultInjector::TypeOutput FaultInjector::synthesize_pass(const ProbeTask& task, TestTypeId id,
+                                                         TestTypeId from) {
+  TypeOutput out;
+  out.verdict.id = id;
+  out.verdict.implied = true;
+  out.verdict.implied_from = from;
+  if (lattice::is_scalar_type(id)) {
+    // Replay the exact enumeration execution would have used — including
+    // kHugeSize's rng draws — so int_values feed range derivation
+    // identically.
+    Rng rng(probe_seed(config_.seed, task.fn_hash, task.arg_index, id, 0));
+    const std::vector<lattice::TestCase> cases =
+        lattice::scalar_cases(id, config_.variants, rng);
+    out.verdict.probes = static_cast<int>(cases.size());
+    if (task.cls == parser::TypeClass::kIntegral) {
+      for (const lattice::TestCase& test_case : cases) {
+        out.int_values.push_back(test_case.value.as_int());
+      }
+    }
+  } else {
+    out.verdict.probes = static_cast<int>(lattice::case_count(id, config_.variants));
+  }
+  return out;
+}
+
+FaultInjector::TaskOutput FaultInjector::run_task(WorkerBed& wb, const simlib::SharedLibrary& lib,
+                                                  const ProbeTask& task,
+                                                  const lattice::SignatureProfile* profile) {
+  const parser::ManPage& page = *task.page;
+  const std::vector<TestTypeId>& types = lattice::test_types_for(task.cls);
+  TaskOutput out;
+  out.typed.resize(types.size());
+  for (std::size_t k = 0; k < types.size(); ++k) out.typed[k].verdict.id = types[k];
+  if (types.empty()) return out;
+  if (!lib.defines(page.proto.name)) {
+    // Caller verified; belt and braces. Zero-probe verdicts, never learned.
+    return out;
+  }
+  args_probed_.fetch_add(1, std::memory_order_relaxed);
+
+  if (!config_.prune) {
+    // Unpruned reference walk: canonical order, every case executed.
+    for (std::size_t k = 0; k < types.size(); ++k) {
+      out.typed[k] = run_type(wb, lib, task, types[k], nullptr);
+    }
+    return out;
+  }
+
+  if (profile != nullptr) args_warm_.fetch_add(1, std::memory_order_relaxed);
+  const lattice::ImplicationIndex& index = lattice::ImplicationIndex::instance();
+  std::map<std::int64_t, CallOutcome> memo;
+  std::map<std::int64_t, CallOutcome>* int_memo =
+      task.cls == parser::TypeClass::kIntegral ? &memo : nullptr;
+
+  std::vector<bool> resolved(types.size(), false);
+  // Dominated types still unresolved — how much a pass of `id` would prune.
+  const auto unresolved_reach = [&](TestTypeId id) {
+    std::size_t n = 0;
+    for (const TestTypeId safe : index.implied_pass(id)) {
+      if (!resolved[index.canonical_rank(safe)]) ++n;
+    }
+    return n;
+  };
+  // Walk: warm profiles probe predicted-pass frontier types first (widest
+  // unresolved reach); cold walks probe the endpoints first — the most
+  // hostile (maximum total reach), then the safest survivor — then the
+  // widest unresolved gap. Ties break toward canonical order.
+  for (std::size_t step = 0;; ++step) {
+    std::size_t pick = types.size();
+    std::size_t best = 0;
+    if (profile != nullptr) {
+      // Predicted-pass frontier: widest unresolved reach first, so the
+      // synthesized closure lands as early as possible.
+      for (std::size_t k = 0; k < types.size(); ++k) {
+        if (resolved[k] || !profile->predicts_pass(types[k])) continue;
+        const std::size_t score = unresolved_reach(types[k]);
+        if (pick == types.size() || score > best) {
+          pick = k;
+          best = score;
+        }
+      }
+    }
+    if (pick == types.size()) {
+      // Cold (or frontier exhausted): endpoints first, then widest gap.
+      for (std::size_t k = 0; k < types.size(); ++k) {
+        if (resolved[k]) continue;
+        std::size_t score = 0;
+        if (step == 0) {
+          score = index.reach(types[k]);  // most hostile endpoint
+        } else if (step == 1) {
+          score = index.hostility_rank(types[k]);  // safest survivor
+        } else {
+          score = unresolved_reach(types[k]);
+        }
+        if (pick == types.size() || score > best) {
+          pick = k;
+          best = score;
+        }
+      }
+    }
+    if (pick == types.size()) break;  // everything resolved
+
+    const TestTypeId id = types[pick];
+    out.typed[pick] = run_type(wb, lib, task, id, int_memo);
+    resolved[pick] = true;
+    if (out.typed[pick].verdict.probes > 0 && out.typed[pick].verdict.failures == 0) {
+      // pass(hostile) ⇒ pass(safe): synthesize the closure.
+      for (const TestTypeId safe : index.implied_pass(id)) {
+        const std::size_t k = index.canonical_rank(safe);
+        if (resolved[k]) continue;
+        out.typed[k] = synthesize_pass(task, safe, id);
+        resolved[k] = true;
+        verdicts_implied_.fetch_add(1, std::memory_order_relaxed);
+        probes_implied_.fetch_add(static_cast<std::uint64_t>(out.typed[k].verdict.probes),
+                                  std::memory_order_relaxed);
+      }
     }
   }
   return out;
+}
+
+void FaultInjector::learn_task(const ProbeTask& task, const TaskOutput& out) {
+  if (!config_.prune) return;
+  for (const TypeOutput& typed : out.typed) {
+    if (typed.verdict.probes == 0) continue;
+    profiles_->learn(task.signature, typed.verdict.id, typed.verdict.failures == 0);
+  }
 }
 
 std::vector<FaultInjector::TaskOutput> FaultInjector::execute(const simlib::SharedLibrary& lib,
@@ -236,29 +428,53 @@ std::vector<FaultInjector::TaskOutput> FaultInjector::execute(const simlib::Shar
   ensure_state();
   std::vector<TaskOutput> outputs(tasks.size());
   if (jobs <= 1) {
-    // Sequential: one testbed, no pool, no locking.
-    std::unique_ptr<linker::Process> bed;
+    // Sequential: one testbed, no pool, no locking — and live learning: an
+    // argument's walk is warmed by everything probed before it, including
+    // earlier arguments of this very campaign.
+    WorkerBed wb;
     for (std::size_t i = 0; i < tasks.size(); ++i) {
-      outputs[i] = run_task(bed, lib, tasks[i]);
+      const lattice::SignatureProfile* profile = nullptr;
+      std::optional<lattice::SignatureProfile> snap;
+      if (config_.prune) {
+        snap = profiles_->lookup(tasks[i].signature);
+        if (snap.has_value()) profile = &*snap;
+      }
+      outputs[i] = run_task(wb, lib, tasks[i], profile);
+      learn_task(tasks[i], outputs[i]);
     }
-    if (bed != nullptr) harvest(*bed);
+    if (wb.bed != nullptr) harvest(*wb.bed);
     return outputs;
   }
   if (pool_ == nullptr || pool_->workers() != jobs) {
     pool_ = std::make_unique<support::ThreadPool>(jobs);
   }
-  std::vector<std::unique_ptr<linker::Process>> beds(jobs);  // lazily built, one per worker
+  // Parallel walks read a profile snapshot frozen before the fan-out, so the
+  // executed/implied split cannot depend on scheduling; what the walks
+  // learned merges in canonical task order after the join.
+  std::map<std::string, lattice::SignatureProfile> frozen;
+  if (config_.prune) {
+    for (const ProbeTask& task : tasks) {
+      if (frozen.count(task.signature) != 0) continue;
+      const auto snap = profiles_->lookup(task.signature);
+      if (snap.has_value()) frozen.emplace(task.signature, *snap);
+    }
+  }
+  std::vector<WorkerBed> beds(jobs);  // lazily built, one per worker
   std::vector<support::ThreadPool::Task> pool_tasks;
   pool_tasks.reserve(tasks.size());
   for (std::size_t i = 0; i < tasks.size(); ++i) {
-    pool_tasks.push_back([this, &lib, &tasks, &outputs, &beds, i](unsigned worker) {
-      outputs[i] = run_task(beds[worker], lib, tasks[i]);
+    pool_tasks.push_back([this, &lib, &tasks, &outputs, &beds, &frozen, i](unsigned worker) {
+      const lattice::SignatureProfile* profile = nullptr;
+      const auto it = frozen.find(tasks[i].signature);
+      if (it != frozen.end()) profile = &it->second;
+      outputs[i] = run_task(beds[worker], lib, tasks[i], profile);
     });
   }
   pool_->run(std::move(pool_tasks));
-  for (const auto& bed : beds) {
-    if (bed != nullptr) harvest(*bed);
+  for (const WorkerBed& wb : beds) {
+    if (wb.bed != nullptr) harvest(*wb.bed);
   }
+  for (std::size_t i = 0; i < tasks.size(); ++i) learn_task(tasks[i], outputs[i]);
   return outputs;
 }
 
@@ -266,6 +482,8 @@ std::vector<RobustSpec> FaultInjector::build_specs(
     const simlib::SharedLibrary& lib,
     const std::vector<std::pair<const simlib::Symbol*, const parser::ManPage*>>& functions) {
   // Phase 1: enumerate every probe coordinate up front, in canonical order.
+  // The fan-out unit is one argument; its test types are walked inside the
+  // task so lattice implications resolve without cross-task traffic.
   std::vector<RobustSpec> specs;
   specs.reserve(functions.size());
   std::vector<ProbeTask> tasks;
@@ -280,17 +498,20 @@ std::vector<RobustSpec> FaultInjector::build_specs(
     if (page->noreturn) continue;
     const std::uint64_t fn_hash = fnv1a(page->proto.name);
     for (std::size_t i = 0; i < page->proto.params.size(); ++i) {
-      for (const TestTypeId id : lattice::test_types_for(page->proto.params[i].type.classify())) {
-        tasks.push_back(ProbeTask{page, fn_hash, s, i, id});
-      }
+      const parser::TypeClass cls = page->proto.params[i].type.classify();
+      tasks.push_back(ProbeTask{
+          page, fn_hash, s, i, cls,
+          lattice::ImplicationProfileStore::signature(cls,
+                                                      page->arg(static_cast<int>(i) + 1))});
     }
   }
 
   // Phase 2: fan out.
   const std::vector<TaskOutput> outputs = execute(lib, tasks);
 
-  // Phase 3: reduce in exactly the enumeration order — which worker ran a
-  // task cannot influence where its verdict lands or how counters fold.
+  // Phase 3: reduce in exactly the enumeration order — neither which worker
+  // ran a walk nor the order the walk probed types in can influence where a
+  // verdict lands or how counters fold.
   std::size_t t = 0;
   for (std::size_t s = 0; s < functions.size(); ++s) {
     const parser::ManPage* page = functions[s].second;
@@ -301,22 +522,21 @@ std::vector<RobustSpec> FaultInjector::build_specs(
       arg.index = static_cast<int>(i) + 1;
       arg.ctype = page->proto.params[i].type.to_string();
       arg.cls = page->proto.params[i].type.classify();
-      for (const TestTypeId id : lattice::test_types_for(arg.cls)) {
-        (void)id;
-        const TaskOutput& out = outputs[t++];
-        spec.total_probes += out.verdict.probes;
-        spec.total_failures += out.verdict.failures;
-        spec.crashes += out.verdict.crashes;
-        spec.hangs += out.verdict.hangs;
-        spec.aborts += out.verdict.aborts;
+      const TaskOutput& out = outputs[t++];
+      for (const TypeOutput& typed : out.typed) {
+        spec.total_probes += typed.verdict.probes;
+        spec.total_failures += typed.verdict.failures;
+        spec.crashes += typed.verdict.crashes;
+        spec.hangs += typed.verdict.hangs;
+        spec.aborts += typed.verdict.aborts;
         // The integral probe values that passed: the weakest safe range is
-        // derived from them when the annotation gives no domain. These are
-        // the values actually injected, recorded by the task itself.
-        if (arg.cls == parser::TypeClass::kIntegral && out.verdict.failures == 0) {
-          arg.passing_int_values.insert(arg.passing_int_values.end(), out.int_values.begin(),
-                                        out.int_values.end());
+        // derived from them when the annotation gives no domain. Implied
+        // verdicts replay the identical values execution would have injected.
+        if (arg.cls == parser::TypeClass::kIntegral && typed.verdict.failures == 0) {
+          arg.passing_int_values.insert(arg.passing_int_values.end(), typed.int_values.begin(),
+                                        typed.int_values.end());
         }
-        arg.verdicts.push_back(out.verdict);
+        arg.verdicts.push_back(typed.verdict);
       }
       arg.checks = derive_checks(arg, page->arg(arg.index));
       spec.args.push_back(std::move(arg));
@@ -425,6 +645,12 @@ Result<CampaignResult> FaultInjector::run_campaign(
   result.engine.pages_faulted = after.pages_faulted - before.pages_faulted;
   result.engine.pages_privatized = after.pages_privatized - before.pages_privatized;
   result.engine.pages_dropped = after.pages_dropped - before.pages_dropped;
+  result.engine.probes_executed = after.probes_executed - before.probes_executed;
+  result.engine.probes_implied = after.probes_implied - before.probes_implied;
+  result.engine.verdicts_implied = after.verdicts_implied - before.verdicts_implied;
+  result.engine.memo_case_hits = after.memo_case_hits - before.memo_case_hits;
+  result.engine.args_probed = after.args_probed - before.args_probed;
+  result.engine.args_warm_ordered = after.args_warm_ordered - before.args_warm_ordered;
   return result;
 }
 

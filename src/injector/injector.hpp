@@ -18,13 +18,27 @@
 //      ONCE per campaign into a shared pristine linker::TestbedState; every
 //      worker forks an O(metadata) shell from it, and each probe resets by
 //      dropping the pages it privatized — no per-worker deep snapshot, no
-//      byte copy-back (config.snapshot_reset; see linker/testbed.hpp).
+//      byte copy-back (config.snapshot_reset; see linker/testbed.hpp),
+//   4. the fan-out unit is one ARGUMENT, not one probe: the worker walks the
+//      argument's test types guided by the subsumption lattice
+//      (typelattice/subsume.hpp) — endpoints first, then the widest
+//      unresolved implication gap — and once a dominating type passes, every
+//      dominated type's verdict is synthesized instead of executed
+//      (config.prune). Safe values for the non-injected arguments are
+//      fabricated once per (function, worker) into a base snapshot that
+//      every probe of the function restores, instead of once per probe.
 //
-// Determinism guarantee: results are bit-identical for every jobs value and
-// either reset mode. Each probe seeds its own Rng from
-// mix(seed, hash(function), arg, test type, case) — no shared mutable RNG —
-// and verdicts are reduced in canonical probe-coordinate order after the
-// fan-out, so scheduling cannot influence a single byte of the output.
+// Determinism guarantee: results are bit-identical for every jobs value,
+// either reset mode, and pruning on or off. Each (arg, type) fabrication
+// seeds its own Rng from mix(seed, hash(function), arg, test type) — no
+// shared mutable RNG — every probe call starts from the same restored base
+// snapshot, and verdicts are reduced in canonical probe-coordinate order
+// after the fan-out, so neither scheduling nor the walk order can influence
+// a single byte of the output. The executed/implied *split* (engine
+// telemetry only) is deterministic per jobs value: sequential campaigns
+// learn signature profiles live, parallel campaigns walk against a profile
+// snapshot frozen before the fan-out and merge what they learned in
+// canonical order afterwards.
 #pragma once
 
 #include <atomic>
@@ -40,6 +54,7 @@
 #include "linker/testbed.hpp"
 #include "parser/manpage.hpp"
 #include "support/result.hpp"
+#include "typelattice/subsume.hpp"
 
 namespace healers::support {
 class ThreadPool;
@@ -53,11 +68,13 @@ struct InjectorConfig {
   std::uint64_t probe_step_budget = 2'000'000;  // watchdog per probe
   std::uint64_t testbed_heap = 256 << 10;
   std::uint64_t testbed_stack = 64 << 10;
-  // Campaign-engine knobs. Neither affects results (see the determinism
+  // Campaign-engine knobs. None affects results (see the determinism
   // guarantee above) — only how fast the campaign runs.
   int jobs = 1;                // worker threads; 0 = hardware concurrency
   bool snapshot_reset = true;  // restore a per-worker snapshot between probes
                                // (false: rebuild a fresh process per probe)
+  bool prune = true;           // subsumption pruning: synthesize implied
+                               // verdicts, skip the probes (--no-prune off)
 };
 
 class FaultInjector {
@@ -86,6 +103,21 @@ class FaultInjector {
   // Relaxed atomic: workers bump it concurrently during a campaign.
   [[nodiscard]] std::uint64_t probes_executed() const noexcept {
     return probes_executed_.load(std::memory_order_relaxed);
+  }
+  // Probe cases whose outcome was synthesized from the implication lattice
+  // (or the integral value memo) instead of executed.
+  [[nodiscard]] std::uint64_t probes_implied() const noexcept {
+    return probes_implied_.load(std::memory_order_relaxed);
+  }
+
+  // Adopts a shared cross-campaign implication-profile store (the Toolkit's,
+  // so every campaign it runs warms the next). Without one, the injector
+  // learns into a private store — intra-injector warm starts still work.
+  // Call before the first probe runs.
+  void set_profile_store(std::shared_ptr<lattice::ImplicationProfileStore> store) noexcept;
+  [[nodiscard]] const std::shared_ptr<lattice::ImplicationProfileStore>& profile_store()
+      const noexcept {
+    return profiles_;
   }
 
   // --- shared pristine testbed state ---------------------------------------
@@ -118,20 +150,36 @@ class FaultInjector {
     parser::ManPage page;
     std::string error;
   };
-  // One probe coordinate at (function, argument, test-type) granularity; the
-  // test cases of the type are enumerated inside the task.
+  // One probe coordinate at (function, argument) granularity: the worker
+  // walks the argument's whole test-type lattice so implications resolve
+  // inside one task (the per-(function, arg, type) implication cache is the
+  // walk's `resolved` set, consulted before any probe runs).
   struct ProbeTask {
     const parser::ManPage* page = nullptr;
     std::uint64_t fn_hash = 0;
     std::size_t spec_index = 0;
     std::size_t arg_index = 0;  // 0-based
-    lattice::TestTypeId id = lattice::TestTypeId::kNull;
+    parser::TypeClass cls = parser::TypeClass::kIntegral;
+    std::string signature;  // implication-profile key (class + annotation shape)
   };
-  struct TaskOutput {
+  struct TypeOutput {
     TypeVerdict verdict;
     // Injected values of integral probes, in case order — the raw material
     // for range derivation when every case of the type passed.
     std::vector<std::int64_t> int_values;
+  };
+  struct TaskOutput {
+    std::vector<TypeOutput> typed;  // canonical test_types_for order
+  };
+  // A worker's testbed plus the per-function base: safe values for every
+  // argument are fabricated once per (function, worker) and snapshotted, so
+  // each probe restores the base instead of re-fabricating (fresh mode
+  // rebuilds the same base from scratch per probe — the deep oracle).
+  struct WorkerBed {
+    std::unique_ptr<linker::Process> bed;
+    const parser::ManPage* base_page = nullptr;
+    linker::Process::Snapshot base;
+    std::vector<simlib::SimValue> safe_args;
   };
 
   const PageEntry& page_for(const simlib::SharedLibrary& lib, const simlib::Symbol& symbol);
@@ -148,15 +196,33 @@ class FaultInjector {
   // must be harvested exactly once, just before it is destroyed or rebuilt.
   void harvest(const linker::Process& bed) noexcept;
 
-  // One probe = one process reset + one supervised call. Returns a kNotRun
-  // outcome (never folded into statistics) when case_index has no test case
-  // or the symbol vanished.
-  [[nodiscard]] linker::CallOutcome run_probe(std::unique_ptr<linker::Process>& bed,
-                                              const simlib::SharedLibrary& lib,
-                                              const ProbeTask& task, std::size_t case_index,
-                                              std::int64_t* injected_int);
-  [[nodiscard]] TaskOutput run_task(std::unique_ptr<linker::Process>& bed,
-                                    const simlib::SharedLibrary& lib, const ProbeTask& task);
+  // Rebuilds `wb` to the per-function base: every argument at its safe value
+  // on a pristine testbed. Fork mode restores the base snapshot (taken on
+  // the first probe of the function per worker); fresh mode constructs a new
+  // process and re-fabricates every safe value from scratch.
+  void bed_to_base(WorkerBed& wb, const simlib::SharedLibrary& lib, const ProbeTask& task);
+  // Fabricates safe values for every argument of task's function into
+  // wb.safe_args (deterministic order, left to right).
+  void fabricate_safe_args(WorkerBed& wb, const ProbeTask& task);
+  // Executes every case of one test type against the argument: reset to
+  // base, fabricate the case, supervised call, fold. `int_memo`, when set,
+  // answers integral cases whose injected value was already called for this
+  // argument (prune mode only).
+  [[nodiscard]] TypeOutput run_type(WorkerBed& wb, const simlib::SharedLibrary& lib,
+                                    const ProbeTask& task, lattice::TestTypeId id,
+                                    std::map<std::int64_t, linker::CallOutcome>* int_memo);
+  // Synthesizes an implied-pass verdict for `id` from dominator `from` —
+  // byte-identical to the executed verdict, zero testbed work.
+  [[nodiscard]] TypeOutput synthesize_pass(const ProbeTask& task, lattice::TestTypeId id,
+                                           lattice::TestTypeId from);
+  // Walks one argument's test-type lattice: ordering by `profile` (may be
+  // null = cold), executing unresolved types, synthesizing implied passes.
+  // Output is re-sorted into canonical test_types_for order.
+  [[nodiscard]] TaskOutput run_task(WorkerBed& wb, const simlib::SharedLibrary& lib,
+                                    const ProbeTask& task,
+                                    const lattice::SignatureProfile* profile);
+  // Records what a finished walk learned into the shared profile store.
+  void learn_task(const ProbeTask& task, const TaskOutput& out);
   // Fans the tasks out over the pool (inline when jobs == 1) and returns
   // outputs indexed like `tasks` — the canonical reduction order.
   [[nodiscard]] std::vector<TaskOutput> execute(const simlib::SharedLibrary& lib,
@@ -170,6 +236,15 @@ class FaultInjector {
   const linker::LibraryCatalog& catalog_;
   InjectorConfig config_;
   std::atomic<std::uint64_t> probes_executed_{0};
+  std::atomic<std::uint64_t> probes_implied_{0};
+  std::atomic<std::uint64_t> verdicts_implied_{0};
+  std::atomic<std::uint64_t> memo_hits_{0};
+  std::atomic<std::uint64_t> args_probed_{0};
+  std::atomic<std::uint64_t> args_warm_{0};
+
+  // Cross-campaign implication profiles (shared via set_profile_store, or a
+  // private store created by the constructor).
+  std::shared_ptr<lattice::ImplicationProfileStore> profiles_;
 
   // Shared pristine state (snapshot-reset mode). Immutable once built;
   // workers fork from it concurrently (atomic refcounts only).

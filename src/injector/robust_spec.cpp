@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "typelattice/subsume.hpp"
+
 namespace healers::injector {
 
 const TypeVerdict* ArgSpec::verdict(lattice::TestTypeId id) const noexcept {
@@ -98,23 +100,22 @@ parser::TypeClass class_from_name(const std::string& name) {
   return parser::TypeClass::kIntegral;
 }
 
-// TestTypeId <-> string for serialization: reuse lattice::to_string and a
-// reverse scan over all known ids.
+// TestTypeId <-> string for serialization: the reverse of lattice::to_string
+// as a map built once — campaign parsing calls this per <verdict>, and the
+// old linear rescan re-stringified all 24 ids per lookup.
 std::optional<lattice::TestTypeId> test_type_from_name(const std::string& name) {
   using lattice::TestTypeId;
-  static const TestTypeId kAll[] = {
-      TestTypeId::kIntAsPtr,  TestTypeId::kNull,         TestTypeId::kWildPtr,
-      TestTypeId::kFreedPtr,  TestTypeId::kMisaligned,   TestTypeId::kReadOnlyCString,
-      TestTypeId::kUntermBuf, TestTypeId::kTinyWritable, TestTypeId::kValidWritable,
-      TestTypeId::kValidCString, TestTypeId::kZero,      TestTypeId::kOne,
-      TestTypeId::kNegOne,    TestTypeId::kIntMin,       TestTypeId::kIntMax,
-      TestTypeId::kHugeSize,  TestTypeId::kSmallRange,   TestTypeId::kByteRange,
-      TestTypeId::kFZero,     TestTypeId::kFOne,         TestTypeId::kFNegative,
-      TestTypeId::kFHuge,     TestTypeId::kFNan,         TestTypeId::kFInf};
-  for (const TestTypeId id : kAll) {
-    if (lattice::to_string(id) == name) return id;
-  }
-  return std::nullopt;
+  static const std::map<std::string, TestTypeId> kByName = [] {
+    std::map<std::string, TestTypeId> names;
+    for (std::size_t i = 0; i < lattice::kTestTypeCount; ++i) {
+      const auto id = static_cast<TestTypeId>(i);
+      names.emplace(lattice::to_string(id), id);
+    }
+    return names;
+  }();
+  const auto it = kByName.find(name);
+  if (it == kByName.end()) return std::nullopt;
+  return it->second;
 }
 
 }  // namespace
@@ -264,6 +265,17 @@ std::string CampaignResult::to_table() const {
   return out.str();
 }
 
+double CampaignEngineStats::implication_hit_rate() const noexcept {
+  const std::uint64_t total = probes_executed + probes_implied;
+  return total == 0 ? 0.0 : static_cast<double>(probes_implied) / static_cast<double>(total);
+}
+
+double CampaignEngineStats::warm_start_ratio() const noexcept {
+  return args_probed == 0 ? 0.0
+                          : static_cast<double>(args_warm_ordered) /
+                                static_cast<double>(args_probed);
+}
+
 xml::Node CampaignEngineStats::to_xml() const {
   xml::Node node("engine");
   node.set_attr("states-forked", std::to_string(states_forked));
@@ -272,6 +284,12 @@ xml::Node CampaignEngineStats::to_xml() const {
   node.set_attr("pages-faulted", std::to_string(pages_faulted));
   node.set_attr("pages-privatized", std::to_string(pages_privatized));
   node.set_attr("pages-dropped", std::to_string(pages_dropped));
+  node.set_attr("probes-executed", std::to_string(probes_executed));
+  node.set_attr("probes-implied", std::to_string(probes_implied));
+  node.set_attr("verdicts-implied", std::to_string(verdicts_implied));
+  node.set_attr("memo-case-hits", std::to_string(memo_case_hits));
+  node.set_attr("args-probed", std::to_string(args_probed));
+  node.set_attr("args-warm-ordered", std::to_string(args_warm_ordered));
   return node;
 }
 

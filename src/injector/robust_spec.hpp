@@ -34,6 +34,14 @@ struct TypeVerdict {
   int aborts = 0;
   std::string first_failure;  // detail of the first failing probe
 
+  // Subsumption-pruning provenance: true when this verdict was synthesized
+  // from a dominating type's pass instead of executed (implied_from names
+  // the dominator). In-memory only, like ArgSpec::passing_int_values — an
+  // implied verdict is byte-identical to the executed one, so serializing
+  // the provenance would break the pruned-vs-unpruned XML identity.
+  bool implied = false;
+  lattice::TestTypeId implied_from = lattice::TestTypeId::kNull;
+
   [[nodiscard]] bool failed() const noexcept { return failures > 0; }
 };
 
@@ -95,8 +103,15 @@ struct RobustSpec {
 // these depend on worker count, reset mode, and whether a cached pristine
 // image was shared, so they are excluded from to_xml()/from_xml() — the
 // campaign document stays bit-identical across --jobs and reset modes.
-// `healers derive --stats` appends them as a separate <engine> node. They
-// also baseline future probe-subsumption pruning (ROADMAP item 2).
+// `healers derive --stats` appends them as a separate <engine> node.
+//
+// The probes_* / *_implied counters report subsumption pruning (DESIGN.md,
+// "Subsumption pruning"): how many probe cases actually ran vs were
+// synthesized from the implication lattice, the integral value-memo hits,
+// and how many arguments were ordered by a warm cross-campaign profile.
+// Like the page counters, they are telemetry: the executed/implied split
+// can shift with worker count (profile learning merges differently at
+// jobs > 1) while the campaign document stays bit-identical.
 struct CampaignEngineStats {
   std::uint64_t states_forked = 0;     // probe-state activations (fork/reset)
   std::uint64_t testbeds_built = 0;    // full process constructions
@@ -104,6 +119,17 @@ struct CampaignEngineStats {
   std::uint64_t pages_faulted = 0;     // lazy copy-ins from the shared image
   std::uint64_t pages_privatized = 0;  // COW breaks by probe writes
   std::uint64_t pages_dropped = 0;     // private pages discarded by resets
+  std::uint64_t probes_executed = 0;   // probe cases that ran a supervised call
+  std::uint64_t probes_implied = 0;    // probe cases synthesized, zero testbed work
+  std::uint64_t verdicts_implied = 0;  // whole type verdicts synthesized
+  std::uint64_t memo_case_hits = 0;    // integral cases answered by the value memo
+  std::uint64_t args_probed = 0;       // argument walks run
+  std::uint64_t args_warm_ordered = 0;  // ... ordered by a learned signature profile
+
+  // probes_implied / (probes_executed + probes_implied); 0 when idle.
+  [[nodiscard]] double implication_hit_rate() const noexcept;
+  // args_warm_ordered / args_probed; 0 when idle.
+  [[nodiscard]] double warm_start_ratio() const noexcept;
 
   [[nodiscard]] xml::Node to_xml() const;
 };

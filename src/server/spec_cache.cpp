@@ -47,6 +47,41 @@ Result<core::CachedCampaign> decode_cache_entry(std::string_view payload) {
   return entry;
 }
 
+std::string encode_profile_entry(const lattice::SignatureProfile& profile) {
+  using fleet::codec::put_str;
+  using fleet::codec::put_u32;
+  std::string out;
+  out.append(kProfileEntryMagic);
+  put_str(out, profile.signature);
+  put_u32(out, static_cast<std::uint32_t>(lattice::kTestTypeCount));
+  for (std::size_t i = 0; i < lattice::kTestTypeCount; ++i) {
+    put_u32(out, profile.passes[i]);
+    put_u32(out, profile.fails[i]);
+  }
+  return out;
+}
+
+Result<lattice::SignatureProfile> decode_profile_entry(std::string_view payload) {
+  if (payload.substr(0, kProfileEntryMagic.size()) != kProfileEntryMagic) {
+    return Error("profile entry: bad magic");
+  }
+  fleet::codec::Cursor cur(payload.substr(kProfileEntryMagic.size()));
+  lattice::SignatureProfile profile;
+  profile.signature = cur.str();
+  const std::uint32_t count = cur.u32();
+  if (cur.ok() && count != lattice::kTestTypeCount) {
+    // A different lattice shape cannot be merged tally-for-tally.
+    return Error("profile entry: test-type count mismatch");
+  }
+  for (std::size_t i = 0; i < lattice::kTestTypeCount; ++i) {
+    profile.passes[i] = cur.u32();
+    profile.fails[i] = cur.u32();
+  }
+  if (!cur.ok()) return Error("profile entry: truncated");
+  if (!cur.at_end()) return Error("profile entry: trailing bytes");
+  return profile;
+}
+
 std::string encode_cache_file(const std::vector<core::CachedCampaign>& entries) {
   std::vector<std::string> documents;
   documents.reserve(entries.size());
@@ -68,7 +103,17 @@ Result<std::vector<core::CachedCampaign>> decode_cache_file(std::string_view ima
 }
 
 Status save_cache_file(const core::Toolkit& toolkit, const std::string& path) {
-  const std::string image = encode_cache_file(toolkit.export_campaigns());
+  // Campaign entries (canonical key order) followed by profile entries
+  // (sorted by signature) — the whole image is deterministic.
+  std::vector<std::string> documents;
+  for (const core::CachedCampaign& entry : toolkit.export_campaigns()) {
+    documents.push_back(encode_cache_entry(entry));
+  }
+  for (const lattice::SignatureProfile& profile :
+       toolkit.implication_profiles()->export_profiles()) {
+    documents.push_back(encode_profile_entry(profile));
+  }
+  const std::string image = fleet::frame_stream(documents);
   std::ofstream out(path, std::ios::binary);
   if (!out) return Status::failure("cannot write " + path);
   out << image;
@@ -81,9 +126,23 @@ Result<std::size_t> load_cache_file(const core::Toolkit& toolkit, const std::str
   if (!in) return Error("cannot read " + path);
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  auto entries = decode_cache_file(buffer.str());
-  if (!entries.ok()) return Error(path + ": " + entries.error().message);
-  return toolkit.import_campaigns(std::move(entries).take());
+  auto documents = fleet::unframe_stream(buffer.str());
+  if (!documents.ok()) return Error(path + ": " + documents.error().message);
+  std::vector<core::CachedCampaign> campaigns;
+  std::vector<lattice::SignatureProfile> profiles;
+  for (const std::string& doc : documents.value()) {
+    if (doc.substr(0, kProfileEntryMagic.size()) == kProfileEntryMagic) {
+      auto profile = decode_profile_entry(doc);
+      if (!profile.ok()) return Error(path + ": " + profile.error().message);
+      profiles.push_back(std::move(profile).take());
+      continue;
+    }
+    auto entry = decode_cache_entry(doc);
+    if (!entry.ok()) return Error(path + ": " + entry.error().message);
+    campaigns.push_back(std::move(entry).take());
+  }
+  toolkit.implication_profiles()->import_profiles(profiles);
+  return toolkit.import_campaigns(std::move(campaigns));
 }
 
 }  // namespace healers::server

@@ -9,13 +9,23 @@
 //
 // On-disk format: the fleet document-stream framing ("HFDS1\n" +
 // u32-length-prefixed payloads, fleet::frame_stream) where each payload is
-// one cache entry:
+// one cache entry, dispatched on a per-payload magic:
 //
-//   "HSCE1"                                magic, 5 bytes
+//   "HSCE1"                                campaign entry, magic 5 bytes
 //   str soname, u64 fingerprint
 //   u64 seed, u32 variants, u64 probe_step_budget,
 //   u64 testbed_heap, u64 testbed_stack
 //   str campaign                           an "HCB1" binary campaign document
+//
+//   "HSIP1"                                implication-profile entry
+//   str signature                          argument signature (class + notes)
+//   u32 n, n × (u32 passes, u32 fails)     per-test-type tallies
+//
+// Profile entries carry the cross-campaign implication learning (DESIGN.md,
+// "Subsumption pruning"): a warm server fleet loads them and orders/prunes
+// probes for novel-but-related argument signatures. A campaign-only file
+// (written before profiles existed) still loads — the dispatch just finds
+// no HSIP1 payloads.
 //
 // The fingerprint is part of the key: entries recorded against an older
 // build of a library decode fine but are skipped at import, so a cache file
@@ -32,21 +42,29 @@
 
 namespace healers::server {
 
-// Magic prefix of one cache entry inside the stream framing.
+// Magic prefixes of the cache-entry kinds inside the stream framing.
 inline constexpr std::string_view kCacheEntryMagic = "HSCE1";
+inline constexpr std::string_view kProfileEntryMagic = "HSIP1";
 
-// One entry <-> its binary payload.
+// One campaign entry <-> its binary payload.
 [[nodiscard]] std::string encode_cache_entry(const core::CachedCampaign& entry);
 [[nodiscard]] Result<core::CachedCampaign> decode_cache_entry(std::string_view payload);
 
-// A whole cache <-> the framed file image (deterministic: entries are
-// emitted in the toolkit's canonical key order).
+// One implication-profile entry <-> its binary payload.
+[[nodiscard]] std::string encode_profile_entry(const lattice::SignatureProfile& profile);
+[[nodiscard]] Result<lattice::SignatureProfile> decode_profile_entry(std::string_view payload);
+
+// A campaign-only cache <-> the framed file image (deterministic: entries
+// are emitted in the toolkit's canonical key order). Strict: the image must
+// contain campaign entries only — save_cache_file writes the mixed stream.
 [[nodiscard]] std::string encode_cache_file(const std::vector<core::CachedCampaign>& entries);
 [[nodiscard]] Result<std::vector<core::CachedCampaign>> decode_cache_file(std::string_view image);
 
-// Convenience file I/O: save the toolkit's memo table / import a saved one.
-// load_cache_file returns the number of entries admitted (entries whose
-// library or fingerprint no longer matches are decoded but skipped).
+// Convenience file I/O: save the toolkit's memo table AND its learned
+// implication profiles / import a saved file of either vintage.
+// load_cache_file returns the number of campaign entries admitted (entries
+// whose library or fingerprint no longer matches are decoded but skipped;
+// profile entries merge into the toolkit's store).
 [[nodiscard]] Status save_cache_file(const core::Toolkit& toolkit, const std::string& path);
 [[nodiscard]] Result<std::size_t> load_cache_file(const core::Toolkit& toolkit,
                                                   const std::string& path);

@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "typelattice/subsume.hpp"
+
 namespace healers::lattice {
 
 using parser::TypeClass;
@@ -81,6 +83,10 @@ mem::Addr ValueFactory::valid_file() {
 }
 
 std::vector<TestCase> ValueFactory::cases_of(TestTypeId id, int variants) {
+  // Integral/floating cases are pure data — they fabricate no testbed state
+  // — and the subsumption pruner replays them to synthesize implied
+  // verdicts, so they live in one place (subsume.cpp).
+  if (is_scalar_type(id)) return scalar_cases(id, variants, rng_);
   std::vector<TestCase> out;
   auto add = [&out, id](SimValue value, std::string note) {
     out.push_back(TestCase{id, value, std::move(note)});
@@ -140,58 +146,8 @@ std::vector<TestCase> ValueFactory::cases_of(TestTypeId id, int variants) {
       add(SimValue::ptr(p), "heap C string");
       break;
     }
-    case TestTypeId::kZero:
-      add(SimValue::integer(0), "0");
-      break;
-    case TestTypeId::kOne:
-      add(SimValue::integer(1), "1");
-      break;
-    case TestTypeId::kNegOne:
-      add(SimValue::integer(-1), "-1");
-      break;
-    case TestTypeId::kIntMin:
-      add(SimValue::integer(static_cast<std::int64_t>(0x8000000000000000ULL)), "INT64_MIN");
-      add(SimValue::integer(-2147483648LL), "INT32_MIN");
-      break;
-    case TestTypeId::kIntMax:
-      add(SimValue::integer(0x7fffffffffffffffLL), "INT64_MAX");
-      add(SimValue::integer(2147483647LL), "INT32_MAX");
-      add(SimValue::integer(-1), "SIZE_MAX (as unsigned)");
-      break;
-    case TestTypeId::kHugeSize:
-      add(SimValue::integer(1LL << 40), "2^40");
-      for (int i = 0; i < variants; ++i) {
-        add(SimValue::integer(rng_.between(1LL << 24, 1LL << 36)), "random huge size");
-      }
-      break;
-    case TestTypeId::kSmallRange:
-      add(SimValue::integer(2), "2");
-      add(SimValue::integer(7), "7");
-      add(SimValue::integer(16), "16");
-      break;
-    case TestTypeId::kByteRange:
-      add(SimValue::integer(-1), "EOF");
-      add(SimValue::integer('A'), "'A'");
-      add(SimValue::integer(255), "255");
-      break;
-    case TestTypeId::kFZero:
-      add(SimValue::fp(0.0), "0.0");
-      break;
-    case TestTypeId::kFOne:
-      add(SimValue::fp(1.0), "1.0");
-      break;
-    case TestTypeId::kFNegative:
-      add(SimValue::fp(-1.5), "-1.5");
-      break;
-    case TestTypeId::kFHuge:
-      add(SimValue::fp(1e308), "1e308");
-      break;
-    case TestTypeId::kFNan:
-      add(SimValue::fp(std::nan("")), "NaN");
-      break;
-    case TestTypeId::kFInf:
-      add(SimValue::fp(std::numeric_limits<double>::infinity()), "+inf");
-      break;
+    default:
+      break;  // scalar types handled above
   }
   return out;
 }

@@ -59,14 +59,18 @@ void print_usage(std::FILE* out) {
                "  list-functions <soname>\n"
                "  decls <soname> [-o file]\n"
                "  derive <soname> [--seed N] [--variants N] [--jobs N]\n"
-               "         [--reset fork|fresh] [--stats] [--cache-file file] [-o file]\n"
+               "         [--reset fork|fresh] [--no-prune] [--stats]\n"
+               "         [--cache-file file] [-o file]\n"
                "         (--jobs N probes on N worker threads, 0 = all cores;\n"
                "          --reset fork resets probes by COW fork from a shared pristine\n"
-               "          state, fresh rebuilds a process per probe; results are\n"
-               "          identical for every --jobs and --reset value; --stats appends\n"
-               "          engine fork/privatize counters as an <engine> XML node;\n"
+               "          state, fresh rebuilds a process per probe; --no-prune disables\n"
+               "          subsumption pruning and executes every probe; results are\n"
+               "          identical for every --jobs, --reset and --no-prune value;\n"
+               "          --stats appends engine fork/privatize and implication-cache\n"
+               "          counters as an <engine> XML node;\n"
                "          --cache-file loads/saves the persistent spec cache so repeat\n"
-               "          runs execute 0 probes)\n"
+               "          runs execute 0 probes and warm campaigns reuse learned\n"
+               "          implication profiles)\n"
                "  report <campaign.xml>\n"
                "  gen-source <soname> --type profiling|robustness|security|testing\n"
                "             [--campaign file] [-o file]\n"
@@ -141,6 +145,7 @@ struct Options {
   std::string format = "text";
   std::string cache_file;
   std::string reset = "fork";
+  bool prune = true;
   bool stats = false;
 };
 
@@ -228,6 +233,8 @@ Result<Options> parse_options(int argc, char** argv) {
       if (options.reset != "fork" && options.reset != "fresh") {
         return Error("--reset must be fork or fresh");
       }
+    } else if (arg == "--no-prune") {
+      options.prune = false;
     } else if (arg == "--stats") {
       options.stats = true;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -293,6 +300,7 @@ int cmd_derive(const core::Toolkit& toolkit, const Options& options) {
   config.variants = options.variants;
   config.jobs = options.jobs;
   config.snapshot_reset = options.reset == "fork";
+  config.prune = options.prune;
   const auto campaign = toolkit.derive_robust_api(options.positional[0], config);
   if (!campaign.ok()) return fail(campaign.error().message);
   std::fprintf(stderr, "%llu probes, %llu failures in %zu functions; executed %llu probes this run\n",
@@ -321,6 +329,16 @@ int cmd_derive(const core::Toolkit& toolkit, const Options& options) {
                  static_cast<unsigned long long>(engine.pages_faulted),
                  static_cast<unsigned long long>(engine.pages_privatized),
                  static_cast<unsigned long long>(engine.pages_dropped));
+    std::fprintf(stderr,
+                 "prune: %llu probes implied, %llu executed (implication hit rate %.1f%%), "
+                 "%llu/%llu args warm-ordered (%.1f%%), %llu memo case hits\n",
+                 static_cast<unsigned long long>(engine.probes_implied),
+                 static_cast<unsigned long long>(engine.probes_executed),
+                 engine.implication_hit_rate() * 100.0,
+                 static_cast<unsigned long long>(engine.args_warm_ordered),
+                 static_cast<unsigned long long>(engine.args_probed),
+                 engine.warm_start_ratio() * 100.0,
+                 static_cast<unsigned long long>(engine.memo_case_hits));
   }
   return emit(xml::serialize(doc), options.out_path);
 }
@@ -556,6 +574,20 @@ int cmd_serve(const core::Toolkit& toolkit, const Options& options) {
                    server.wall_latency_micros(server::Endpoint::kBundle, 0.50)),
                static_cast<unsigned long long>(
                    server.wall_latency_micros(server::Endpoint::kBundle, 0.99)));
+  // Per-campaign subsumption-pruning telemetry. Scheduling-dependent (like
+  // the wall latencies above): a warm profile learned from whichever campaign
+  // finished first shifts the executed/implied split — so stderr only, never
+  // the byte-compared summary.
+  for (const core::CachedCampaign& entry : toolkit.export_campaigns()) {
+    const injector::CampaignEngineStats& engine = entry.result.engine;
+    if (engine.args_probed == 0) continue;  // imported from cache: no engine run
+    std::fprintf(stderr,
+                 "prune %s: %llu implied / %llu executed (hit rate %.1f%%), "
+                 "warm-start %.1f%%\n",
+                 entry.soname.c_str(), static_cast<unsigned long long>(engine.probes_implied),
+                 static_cast<unsigned long long>(engine.probes_executed),
+                 engine.implication_hit_rate() * 100.0, engine.warm_start_ratio() * 100.0);
+  }
 
   if (!options.cache_file.empty()) {
     const auto saved = server::save_cache_file(toolkit, options.cache_file);
