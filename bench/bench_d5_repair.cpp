@@ -1,0 +1,113 @@
+// Experiment D5 — repair-mode wrappers (ISSUE 9): the §3.4 overflow attacks
+// under all three response postures, plus the repair wrapper's steady-state
+// cost on benign workloads.
+//
+// Regenerates: the EXPERIMENTS.md detect-vs-repair table (2 attacks x
+// unprotected/security/repair with hijack/terminated/survived verdicts and
+// applied-repair counts), then benchmarks benign-path overhead: the repair
+// wrapper's extent bookkeeping on allocation-heavy and string-heavy loops
+// against the bare and security-wrapped baselines.
+//
+// Expected shape: 100% hijack unprotected, 100% termination under the
+// security wrapper, 100% survival with correct output under the repair
+// wrapper (exactly one applied repair per attack); benign-path overhead a
+// small constant per call, below the canary wrapper's plant/verify cost.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "attacks/attacks.hpp"
+#include "core/toolkit.hpp"
+#include "incident/recorder.hpp"
+#include "linker/testbed.hpp"
+
+using namespace healers;
+using simlib::SimValue;
+
+namespace {
+
+const core::Toolkit& toolkit() {
+  static const core::Toolkit instance;
+  return instance;
+}
+
+std::shared_ptr<gen::ComposedWrapper> repair_wrapper() {
+  static const std::shared_ptr<gen::ComposedWrapper> wrapper = [] {
+    const auto campaign = toolkit().derive_robust_api("libsimc.so.1").value();
+    return toolkit().repair_wrapper("libsimc.so.1", campaign).value();
+  }();
+  return wrapper;
+}
+
+void print_report() {
+  std::printf("==== D5: overflow attacks under detect-only vs repair mode ====\n\n");
+  struct Row {
+    const char* attack;
+    const char* posture;
+    attacks::AttackResult result;
+    std::uint64_t repairs;
+  };
+  const auto security = toolkit().security_wrapper("libsimc.so.1").value();
+  std::vector<Row> rows;
+  for (const bool heap : {true, false}) {
+    const char* attack = heap ? "heap unlink" : "stack smash";
+    const auto run = [&](std::vector<linker::InterpositionPtr> preloads,
+                         simlib::CallObserver* observer) {
+      return heap ? attacks::run_heap_smash_attack(toolkit().catalog(), std::move(preloads),
+                                                   false, observer)
+                  : attacks::run_stack_smash_attack(toolkit().catalog(), std::move(preloads),
+                                                    observer);
+    };
+    rows.push_back({attack, "none", run({}, nullptr), 0});
+    rows.push_back({attack, "security", run({security}, nullptr), 0});
+    incident::FlightRecorder recorder;
+    rows.push_back({attack, "repair", run({repair_wrapper()}, &recorder),
+                    recorder.repairs_applied()});
+  }
+
+  std::printf("attack        posture   repairs  verdict\n");
+  std::printf("-----------------------------------------------------------------\n");
+  for (const Row& row : rows) {
+    const char* verdict = row.result.hijack_succeeded    ? "hijacked"
+                          : row.result.blocked_by_wrapper ? "terminated (detected)"
+                          : row.result.survived           ? "survived, correct output"
+                                                          : "other";
+    std::printf("%-12s  %-8s  %7llu  %s\n", row.attack, row.posture,
+                static_cast<unsigned long long>(row.repairs), verdict);
+  }
+  std::printf("-----------------------------------------------------------------\n\n");
+}
+
+// Benign steady-state cost: malloc/free churn (the repair wrapper's extent
+// table insert/erase per call) and bounded string traffic (rule lookup plus
+// an in-bounds write-size measurement that concludes "no repair needed").
+void BM_BenignWorkload(benchmark::State& state, int posture) {
+  auto process = std::make_unique<linker::Process>("bench-benign");
+  for (const std::string& soname : toolkit().catalog().sonames()) {
+    process->load_library(toolkit().catalog().find(soname));
+  }
+  if (posture == 1) process->preload(toolkit().security_wrapper("libsimc.so.1").value());
+  if (posture == 2) process->preload(repair_wrapper());
+  const mem::Addr src = process->alloc_cstring("forty-two bytes of benign string traffic");
+  for (auto _ : state) {
+    process->machine().reset_steps();  // keep the hang oracle out of steady-state timing
+    const mem::Addr p = process->call("malloc", {SimValue::integer(64)}).as_ptr();
+    process->call("strcpy", {SimValue::ptr(p), SimValue::ptr(src)});
+    benchmark::DoNotOptimize(process->call("strlen", {SimValue::ptr(p)}).as_int());
+    process->call("free", {SimValue::ptr(p)});
+  }
+  state.counters["repair_mode"] = posture == 2 ? 1 : 0;
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_BenignWorkload, unwrapped, 0)->Unit(benchmark::kNanosecond);
+BENCHMARK_CAPTURE(BM_BenignWorkload, security, 1)->Unit(benchmark::kNanosecond);
+BENCHMARK_CAPTURE(BM_BenignWorkload, repair, 2)->Unit(benchmark::kNanosecond);
+
+int main(int argc, char** argv) {
+  print_report();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

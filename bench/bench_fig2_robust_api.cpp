@@ -14,7 +14,10 @@
 #include <cstdio>
 #include <vector>
 
+#include "attacks/attacks.hpp"
 #include "core/toolkit.hpp"
+#include "gen/repair_policy.hpp"
+#include "incident/recorder.hpp"
 #include "linker/testbed.hpp"
 #include "memmodel/addr_space.hpp"
 
@@ -248,6 +251,56 @@ void BM_ProbeSingleFunction(benchmark::State& state, const std::string& name) {
   }
 }
 
+// Repair-mode rows (ISSUE 9): the same §3.4 attack victims under the
+// detect-only security wrapper (canary trips, process terminates) and under
+// the campaign-derived repair wrapper (overflow clamped, request completes).
+// The survived/blocked/repairs counters feed the EXPERIMENTS.md
+// detect-vs-repair table; the repair rows carry the repair_mode marker
+// counter run_benches.sh greps for, attesting the artifact was produced by a
+// tree with repair-mode wrappers compiled in.
+void BM_AttackResponse(benchmark::State& state, bool heap, bool repair) {
+  const core::Toolkit& tk = toolkit();
+  std::shared_ptr<gen::ComposedWrapper> wrapper;
+  if (repair) {
+    const auto campaign = tk.derive_robust_api("libsimc.so.1", config()).value();
+    wrapper = tk.repair_wrapper("libsimc.so.1", campaign).value();
+  } else {
+    wrapper = tk.security_wrapper("libsimc.so.1").value();
+  }
+  attacks::AttackResult result;
+  std::uint64_t repairs = 0;
+  for (auto _ : state) {
+    incident::FlightRecorder recorder;
+    result = heap ? attacks::run_heap_smash_attack(tk.catalog(), {wrapper}, false, &recorder)
+                  : attacks::run_stack_smash_attack(tk.catalog(), {wrapper}, &recorder);
+    repairs += recorder.repairs_applied();
+    benchmark::DoNotOptimize(result.outcome.kind);
+  }
+  state.counters["survived"] = result.survived ? 1 : 0;
+  state.counters["blocked"] = result.blocked_by_wrapper ? 1 : 0;
+  state.counters["hijacked"] = result.hijack_succeeded ? 1 : 0;
+  state.counters["repairs/run"] = benchmark::Counter(
+      static_cast<double>(repairs), benchmark::Counter::kAvgIterations);
+  if (repair) state.counters["repair_mode"] = 1;
+}
+
+// Repair-policy derivation from an already-memoized campaign: the marginal
+// cost --repair adds to a warm derive, plus the derived-rule census.
+void BM_RepairPolicyDerive(benchmark::State& state, const std::string& soname) {
+  core::Toolkit local;
+  (void)local.derive_robust_api(soname, config()).value();  // warm the campaign
+  const auto campaign = local.derive_robust_api(soname, config()).value();
+  const simlib::SharedLibrary* lib = local.library(soname);
+  std::size_t rules = 0;
+  for (auto _ : state) {
+    const auto policy = gen::derive_repair_policy(campaign, *lib).value();
+    rules = policy.rule_count();
+    benchmark::DoNotOptimize(rules);
+  }
+  state.counters["rules"] = static_cast<double>(rules);
+  state.counters["repair_mode"] = 1;
+}
+
 void BM_SpecXmlSerialize(benchmark::State& state) {
   const auto campaign = toolkit().derive_robust_api("libsimc.so.1", config()).value();
   for (auto _ : state) {
@@ -301,6 +354,17 @@ BENCHMARK_CAPTURE(BM_ProbeSingleFunction, strcpy, "strcpy")->Unit(benchmark::kMi
 BENCHMARK_CAPTURE(BM_ProbeSingleFunction, atoi, "atoi")->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_SpecXmlSerialize)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_SpecXmlParse)->Unit(benchmark::kMicrosecond);
+// Detect-only vs repair-mode outcomes on both §3.4 attacks (EXPERIMENTS.md).
+BENCHMARK_CAPTURE(BM_AttackResponse, heap_smash_detect, true, false)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_AttackResponse, heap_smash_repair, true, true)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_AttackResponse, stack_smash_detect, false, false)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_AttackResponse, stack_smash_repair, false, true)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_RepairPolicyDerive, libsimc, "libsimc.so.1")
+    ->Unit(benchmark::kMicrosecond);
 
 int main(int argc, char** argv) {
   g_cow_ok = cow_self_check();

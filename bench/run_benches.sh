@@ -43,8 +43,12 @@ if [[ "$build_type" != "Release" ]]; then
   echo "         pessimistic. Prefer: bench/run_benches.sh (uses the release preset)" >&2
 fi
 
-cmake --build "$build" -j --target bench_fig2_robust_api bench_f6_fleet_ingest bench_c1_overhead \
-  bench_s1_derive_service bench_f7_fleet_sim
+# The benches with committed JSON artifacts. This one list drives both the
+# build below and the skipped-bench report at the bottom, so a bench added
+# here can't silently stay in the "skipped" listing (or vice versa).
+ran=("bench_fig2_robust_api" "bench_f6_fleet_ingest" "bench_c1_overhead" "bench_s1_derive_service" "bench_f7_fleet_sim")
+
+cmake --build "$build" -j --target "${ran[@]}"
 
 "$build/bench/bench_fig2_robust_api" \
   --benchmark_out="$root/BENCH_fig2.json" \
@@ -69,6 +73,16 @@ fi
 if ! grep -q '"subsumption_prune"' "$root/BENCH_fig2.json"; then
   echo "error: BENCH_fig2.json lacks the subsumption_prune marker — the pruned" >&2
   echo "       campaign rows are missing; refusing the artifact." >&2
+  exit 1
+fi
+
+# Guard: the detect-vs-repair attack rows must carry the repair_mode marker —
+# a JSON without it predates the repair wrapper family (or came from a binary
+# with the repair rows stripped), and the EXPERIMENTS.md detect/repair
+# comparison it backs would silently go stale.
+if ! grep -q '"repair_mode"' "$root/BENCH_fig2.json"; then
+  echo "error: BENCH_fig2.json lacks the repair_mode marker — the repair-mode" >&2
+  echo "       attack rows are missing; refusing the artifact." >&2
   exit 1
 fi
 
@@ -136,9 +150,9 @@ for artifact in "$root"/BENCH_*.json; do
 done
 [[ "$unknown" == 0 ]] || exit 1
 
-# Be explicit about coverage: the figure/demo benches regenerate paper
-# numbers on demand but have no committed JSON, so they are NOT run here.
-ran=("bench_fig2_robust_api" "bench_f6_fleet_ingest" "bench_c1_overhead" "bench_s1_derive_service" "bench_f7_fleet_sim")
+# Be explicit about coverage: the figure/demo benches (including the D5
+# detect-vs-repair table) regenerate paper numbers on demand but have no
+# committed JSON, so they are NOT run here.
 echo "skipped (no committed JSON; run from $build/bench/ by hand):"
 for src in "$root"/bench/bench_*.cpp; do
   name="$(basename "$src" .cpp)"

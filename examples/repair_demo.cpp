@@ -1,0 +1,73 @@
+// Repair-mode walkthrough (ISSUE 9): the §3.4 heap overflow attack under the
+// three response postures HEALERS can take, side by side.
+//
+// Phase 1 — unprotected victim: the overflow rewrites a chunk header, the
+// victim's own free() performs the unlink's arbitrary write, and the next
+// library call jumps through the rewritten GOT slot (control-flow hijack).
+//
+// Phase 2 — security wrapper: detect-and-terminate. The heap canary trips and
+// the process aborts before the hijack — safe, but the request dies with it.
+//
+// Phase 3 — repair wrapper: the campaign-derived policy clamps the memcpy
+// length to the destination's 64-byte extent (failure-oblivious truncation),
+// the fake chunk header is never written, free() is ordinary, and the victim
+// completes its request with correct output. The flight recorder's dossier
+// carries the applied RepairEvent instead of a crash.
+//
+// Build & run:  ./build/examples/repair_demo
+#include <cstdio>
+#include <cstring>
+
+#include "attacks/attacks.hpp"
+#include "core/toolkit.hpp"
+#include "incident/recorder.hpp"
+
+using namespace healers;
+
+int main() {
+  core::Toolkit toolkit;
+
+  // --- phase 1: unprotected ------------------------------------------------
+  const auto plain = attacks::run_heap_smash_attack(toolkit.catalog(), {});
+  std::printf("=== unprotected victim ===\n%s\n", plain.narrative.c_str());
+
+  // --- phase 2: security wrapper (detect, terminate) -----------------------
+  auto security = toolkit.security_wrapper("libsimc.so.1");
+  const auto guarded = attacks::run_heap_smash_attack(toolkit.catalog(), {security.value()});
+  std::printf("=== security wrapper (detect) ===\n%s\n", guarded.narrative.c_str());
+
+  // --- phase 3: repair wrapper (survive) -----------------------------------
+  const auto campaign = toolkit.derive_robust_api("libsimc.so.1");
+  if (!campaign.ok()) {
+    std::printf("campaign failed: %s\n", campaign.error().message.c_str());
+    return 1;
+  }
+  auto repair = toolkit.repair_wrapper("libsimc.so.1", campaign.value());
+  if (!repair.ok()) {
+    std::printf("repair wrapper failed: %s\n", repair.error().message.c_str());
+    return 1;
+  }
+  incident::FlightRecorder recorder;
+  recorder.set_process_name("netd");
+  const auto repaired =
+      attacks::run_heap_smash_attack(toolkit.catalog(), {repair.value()}, false, &recorder);
+  std::printf("=== repair wrapper (survive) ===\n%s\n", repaired.narrative.c_str());
+  std::printf("victim stdout: %s", repaired.stdout_text.c_str());
+  std::printf("repairs applied: %llu\n",
+              static_cast<unsigned long long>(recorder.repairs_applied()));
+  for (const incident::RepairEvent& event : recorder.repair_log()) {
+    std::printf("  #%llu %s %s requested=%llu granted=%llu\n",
+                static_cast<unsigned long long>(event.seq), event.symbol.c_str(),
+                simlib::to_string(event.action).c_str(),
+                static_cast<unsigned long long>(event.requested),
+                static_cast<unsigned long long>(event.granted));
+  }
+
+  const bool ok = plain.hijack_succeeded && guarded.blocked_by_wrapper && repaired.survived &&
+                  repaired.stdout_text.find("request handled") != std::string::npos &&
+                  recorder.repairs_applied() == 1;
+  std::printf("\ndemo verdict: %s\n",
+              ok ? "hijacked unprotected, terminated under detection, survived under repair"
+                 : "UNEXPECTED — see output above");
+  return ok ? 0 : 1;
+}

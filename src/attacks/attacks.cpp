@@ -143,6 +143,14 @@ AttackResult run_attack(const linker::Executable& exe, const linker::LibraryCata
   result.hijack_succeeded = result.outcome.kind == CallOutcome::Kind::kHijack;
   result.blocked_by_wrapper = result.outcome.kind == CallOutcome::Kind::kAbort &&
                               result.outcome.detail.find("security wrapper") != std::string::npos;
+  // Repair-mode acceptance surface: the victim ran to completion AND its
+  // stdout shows the post-attack work actually happened (docs/repair.md).
+  // Main-driven victims come back as kReturned; exe.entry runs finish as an
+  // orderly kExit 0.
+  result.survived = result.outcome.kind == CallOutcome::Kind::kReturned ||
+                    (result.outcome.kind == CallOutcome::Kind::kExit &&
+                     result.outcome.exit_code == 0);
+  result.stdout_text = process->state().stdout_capture;
   result.narrative += "outcome: " + result.outcome.to_string() + "\n";
   return result;
 }

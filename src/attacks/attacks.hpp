@@ -38,6 +38,8 @@ struct AttackResult {
   linker::CallOutcome outcome;     // terminal outcome of the victim run
   bool hijack_succeeded = false;   // attacker got "a shell"
   bool blocked_by_wrapper = false; // a wrapper aborted the process first
+  bool survived = false;           // victim ran to completion (repair mode)
+  std::string stdout_text;         // victim's captured stdout after the run
   std::string narrative;           // step-by-step demo log
 };
 

@@ -123,6 +123,27 @@ Result<injector::CampaignResult> Toolkit::derive_robust_api(
   return campaign;
 }
 
+Result<gen::RepairPolicy> Toolkit::derive_repair_policy(const std::string& soname,
+                                                        injector::InjectorConfig config) const {
+  const simlib::SharedLibrary* lib = catalog_.find(soname);
+  if (lib == nullptr) return Error("no such library: " + soname);
+  const CampaignKey key{soname,         lib->fingerprint(),       config.seed,
+                        config.variants, config.probe_step_budget, config.testbed_heap,
+                        config.testbed_stack};
+  {
+    std::lock_guard lock(cache_mutex_);
+    const auto it = repair_cache_.find(key);
+    if (it != repair_cache_.end()) return it->second;
+  }
+  auto campaign = derive_robust_api(soname, config);
+  if (!campaign.ok()) return campaign.error();
+  auto policy = gen::derive_repair_policy(campaign.value(), *lib);
+  if (!policy.ok()) return policy.error();
+  std::lock_guard lock(cache_mutex_);
+  repair_cache_.insert_or_assign(key, policy.value());
+  return policy;
+}
+
 std::vector<CachedCampaign> Toolkit::export_campaigns() const {
   std::vector<CachedCampaign> out;
   std::lock_guard lock(cache_mutex_);
@@ -157,6 +178,40 @@ std::size_t Toolkit::import_campaigns(std::vector<CachedCampaign> entries) const
   return admitted;
 }
 
+std::vector<CachedRepairPolicy> Toolkit::export_repair_policies() const {
+  std::vector<CachedRepairPolicy> out;
+  std::lock_guard lock(cache_mutex_);
+  out.reserve(repair_cache_.size());
+  for (const auto& [key, policy] : repair_cache_) {
+    CachedRepairPolicy entry;
+    entry.soname = std::get<0>(key);
+    entry.fingerprint = std::get<1>(key);
+    entry.seed = std::get<2>(key);
+    entry.variants = std::get<3>(key);
+    entry.probe_step_budget = std::get<4>(key);
+    entry.testbed_heap = std::get<5>(key);
+    entry.testbed_stack = std::get<6>(key);
+    entry.policy = policy;
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+std::size_t Toolkit::import_repair_policies(std::vector<CachedRepairPolicy> entries) const {
+  std::size_t admitted = 0;
+  for (CachedRepairPolicy& entry : entries) {
+    const simlib::SharedLibrary* lib = catalog_.find(entry.soname);
+    if (lib == nullptr || lib->fingerprint() != entry.fingerprint) continue;
+    const CampaignKey key{entry.soname,      entry.fingerprint, entry.seed,
+                          entry.variants,    entry.probe_step_budget,
+                          entry.testbed_heap, entry.testbed_stack};
+    std::lock_guard lock(cache_mutex_);
+    repair_cache_.insert_or_assign(key, std::move(entry.policy));
+    ++admitted;
+  }
+  return admitted;
+}
+
 linker::LinkMap Toolkit::inspect(const linker::Executable& exe) const {
   return linker::inspect_executable(exe, catalog_);
 }
@@ -180,6 +235,13 @@ Result<std::shared_ptr<gen::ComposedWrapper>> Toolkit::profiling_wrapper(
   const simlib::SharedLibrary* lib = catalog_.find(soname);
   if (lib == nullptr) return Error("no such library: " + soname);
   return wrappers::make_profiling_wrapper(*lib, include_trace);
+}
+
+Result<std::shared_ptr<gen::ComposedWrapper>> Toolkit::repair_wrapper(
+    const std::string& soname, const injector::CampaignResult& campaign) const {
+  const simlib::SharedLibrary* lib = catalog_.find(soname);
+  if (lib == nullptr) return Error("no such library: " + soname);
+  return wrappers::make_repair_wrapper(*lib, campaign);
 }
 
 Result<std::string> Toolkit::wrapper_source(const std::string& soname,

@@ -49,6 +49,21 @@ struct CachedCampaign {
   injector::CampaignResult result;
 };
 
+// One memoized repair policy with its full cache key — the HSRP1 persistent
+// form. The key is identical to CachedCampaign's: a repair policy is a pure
+// function of the campaign document (plus the library's man pages), so it is
+// valid exactly when the campaign it derives from is.
+struct CachedRepairPolicy {
+  std::string soname;
+  std::uint64_t fingerprint = 0;
+  std::uint64_t seed = 0;
+  int variants = 0;
+  std::uint64_t probe_step_budget = 0;
+  std::uint64_t testbed_heap = 0;
+  std::uint64_t testbed_stack = 0;
+  gen::RepairPolicy policy;
+};
+
 class Toolkit {
  public:
   // Installs the stock simulated libraries (libsimc, libsimio, libsimm).
@@ -102,10 +117,22 @@ class Toolkit {
   // (one per distinct machine shape). Test/bench handle.
   [[nodiscard]] std::size_t testbed_states_cached() const noexcept;
 
+  // Derives the repair policy for `soname` from its (memoized) robust-API
+  // campaign: derive_robust_api + gen::derive_repair_policy, memoized under
+  // the same key. Warm fleets therefore ship repaired wrappers with zero
+  // probes once either the campaign or the policy is cached.
+  [[nodiscard]] Result<gen::RepairPolicy> derive_repair_policy(
+      const std::string& soname, injector::InjectorConfig config = {}) const;
+
   // --- persistent spec cache (derivation service) ---------------------------
   // Every memoized campaign, with its key spelled out, in deterministic key
   // order — the derivation server's spec cache serializes this.
   [[nodiscard]] std::vector<CachedCampaign> export_campaigns() const;
+  // Every memoized repair policy, same contract as export_campaigns (HSRP1).
+  [[nodiscard]] std::vector<CachedRepairPolicy> export_repair_policies() const;
+  // Preloads memoized repair policies; same admission rules as
+  // import_campaigns. Returns the number of entries admitted.
+  std::size_t import_repair_policies(std::vector<CachedRepairPolicy> entries) const;
   // Preloads memoized campaigns (e.g. parsed from a cache file). Entries for
   // libraries this toolkit does not have installed, or whose fingerprint no
   // longer matches the installed library, are skipped — they could never hit.
@@ -122,6 +149,8 @@ class Toolkit {
       const std::string& soname) const;
   [[nodiscard]] Result<std::shared_ptr<gen::ComposedWrapper>> profiling_wrapper(
       const std::string& soname, bool include_trace = false) const;
+  [[nodiscard]] Result<std::shared_ptr<gen::ComposedWrapper>> repair_wrapper(
+      const std::string& soname, const injector::CampaignResult& campaign) const;
 
   // The generated wrapper library's C source (Fig 3 per function).
   [[nodiscard]] Result<std::string> wrapper_source(
@@ -178,6 +207,7 @@ class Toolkit {
 
   mutable std::mutex cache_mutex_;
   mutable std::map<CampaignKey, injector::CampaignResult> campaign_cache_;
+  mutable std::map<CampaignKey, gen::RepairPolicy> repair_cache_;
   mutable std::map<CampaignKey, std::shared_ptr<Inflight>> inflight_;
   mutable std::map<TestbedKey, std::shared_ptr<const linker::TestbedState>> testbed_states_;
   mutable std::atomic<std::uint64_t> probes_executed_{0};

@@ -176,6 +176,17 @@ std::string encode_dossier_binary(const incident::Dossier& dossier) {
     put_str(out, region.kind);
     put_str(out, region.label);
   }
+  put_u32(out, static_cast<std::uint32_t>(dossier.repairs.size()));
+  for (const incident::RepairEvent& repair : dossier.repairs) {
+    put_u64(out, repair.seq);
+    put_u64(out, repair.tick);
+    put_u32(out, static_cast<std::uint32_t>(repair.action));
+    put_str(out, repair.symbol);
+    put_str(out, repair.detail);
+    put_u64(out, repair.fault_addr);
+    put_u64(out, repair.requested);
+    put_u64(out, repair.granted);
+  }
   return out;
 }
 
@@ -185,7 +196,7 @@ Result<incident::Dossier> decode_dossier_binary(std::string_view payload) {
   incident::Dossier dossier;
   dossier.process = cur.str();
   const std::uint32_t detector = cur.u32();
-  if (!cur.ok() || detector > static_cast<std::uint32_t>(simlib::DetectionKind::kErrorInject)) {
+  if (!cur.ok() || detector > static_cast<std::uint32_t>(simlib::DetectionKind::kRepair)) {
     return Error("binary dossier: bad detector");
   }
   dossier.detector = static_cast<simlib::DetectionKind>(detector);
@@ -234,6 +245,24 @@ Result<incident::Dossier> decode_dossier_binary(std::string_view payload) {
     region.kind = cur.str();
     region.label = cur.str();
     dossier.regions.push_back(std::move(region));
+  }
+  const std::uint32_t nrepairs = cur.u32();
+  if (!cur.ok() || nrepairs > payload.size()) return Error("binary dossier: truncated repairs");
+  for (std::uint32_t i = 0; i < nrepairs && cur.ok(); ++i) {
+    incident::RepairEvent repair;
+    repair.seq = cur.u64();
+    repair.tick = cur.u64();
+    const std::uint32_t action = cur.u32();
+    if (cur.ok() && action > static_cast<std::uint32_t>(simlib::RepairAction::kSafeReturn)) {
+      return Error("binary dossier: bad repair action");
+    }
+    repair.action = static_cast<simlib::RepairAction>(action);
+    repair.symbol = cur.str();
+    repair.detail = cur.str();
+    repair.fault_addr = cur.u64();
+    repair.requested = cur.u64();
+    repair.granted = cur.u64();
+    dossier.repairs.push_back(std::move(repair));
   }
   if (!cur.ok()) return Error("binary dossier: truncated");
   if (!cur.at_end()) return Error("binary dossier: trailing bytes");

@@ -7,10 +7,15 @@ namespace healers::incident {
 namespace {
 
 using simlib::DetectionKind;
+using simlib::RepairAction;
 
-constexpr std::array<DetectionKind, 5> kAllKinds = {
-    DetectionKind::kArgCheck, DetectionKind::kHeapSmash, DetectionKind::kStackSmash,
-    DetectionKind::kAccessFault, DetectionKind::kErrorInject};
+constexpr std::array<DetectionKind, 6> kAllKinds = {
+    DetectionKind::kArgCheck,    DetectionKind::kHeapSmash,   DetectionKind::kStackSmash,
+    DetectionKind::kAccessFault, DetectionKind::kErrorInject, DetectionKind::kRepair};
+
+constexpr std::array<RepairAction, 4> kAllActions = {
+    RepairAction::kTruncateWrite, RepairAction::kSubstituteBounded,
+    RepairAction::kSynthesizeInput, RepairAction::kSafeReturn};
 
 Result<std::uint64_t> parse_u64(const xml::Node& node, std::string_view attr) {
   const std::string* raw = node.attr(attr);
@@ -58,12 +63,18 @@ bool operator==(const RegionState& a, const RegionState& b) {
          a.label == b.label && a.suspect == b.suspect;
 }
 
+bool operator==(const RepairEvent& a, const RepairEvent& b) {
+  return a.seq == b.seq && a.tick == b.tick && a.action == b.action && a.symbol == b.symbol &&
+         a.detail == b.detail && a.fault_addr == b.fault_addr && a.requested == b.requested &&
+         a.granted == b.granted;
+}
+
 bool Dossier::operator==(const Dossier& other) const {
   return process == other.process && detector == other.detector && symbol == other.symbol &&
          detail == other.detail && seq == other.seq && tick == other.tick &&
          cycles == other.cycles && fault_addr == other.fault_addr && args == other.args &&
          trace == other.trace && heap == other.heap && heap_note == other.heap_note &&
-         regions == other.regions;
+         regions == other.regions && repairs == other.repairs;
 }
 
 Result<DetectionKind> detection_kind_from_name(const std::string& name) {
@@ -71,6 +82,13 @@ Result<DetectionKind> detection_kind_from_name(const std::string& name) {
     if (simlib::to_string(kind) == name) return kind;
   }
   return Error("dossier: unknown detector '" + name + "'");
+}
+
+Result<RepairAction> repair_action_from_name(const std::string& name) {
+  for (const RepairAction action : kAllActions) {
+    if (simlib::to_string(action) == name) return action;
+  }
+  return Error("dossier: unknown repair action '" + name + "'");
 }
 
 xml::Node Dossier::to_xml() const {
@@ -120,6 +138,23 @@ xml::Node Dossier::to_xml() const {
     row.set_attr("kind", region.kind);
     row.set_attr("label", region.label);
     if (region.suspect) row.set_attr("suspect", "1");
+  }
+
+  // Appended after <regions> so pre-repair documents (no <repairs> child)
+  // still parse: absent means "no repairs applied".
+  if (!repairs.empty()) {
+    xml::Node& repairs_node = root.add_child("repairs");
+    for (const RepairEvent& repair : repairs) {
+      xml::Node& row = repairs_node.add_child("repair");
+      row.set_attr("seq", std::to_string(repair.seq));
+      row.set_attr("tick", std::to_string(repair.tick));
+      row.set_attr("action", simlib::to_string(repair.action));
+      row.set_attr("symbol", repair.symbol);
+      row.set_attr("addr", hex_addr(repair.fault_addr));
+      row.set_attr("requested", std::to_string(repair.requested));
+      row.set_attr("granted", std::to_string(repair.granted));
+      row.set_attr("detail", repair.detail);
+    }
   }
   return root;
 }
@@ -206,6 +241,31 @@ Result<Dossier> from_xml(const xml::Node& node) {
       out.regions.push_back(std::move(region));
     }
   }
+
+  if (const xml::Node* repairs_node = node.child("repairs")) {
+    for (const xml::Node* row : repairs_node->children_named("repair")) {
+      RepairEvent repair;
+      auto action = repair_action_from_name(attr_or_empty(*row, "action"));
+      if (!action.ok()) return action.error();
+      repair.action = action.value();
+      repair.symbol = attr_or_empty(*row, "symbol");
+      repair.detail = attr_or_empty(*row, "detail");
+      auto seq = parse_u64(*row, "seq");
+      auto tick = parse_u64(*row, "tick");
+      auto addr = parse_u64(*row, "addr");
+      auto requested = parse_u64(*row, "requested");
+      auto granted = parse_u64(*row, "granted");
+      for (const auto* field : {&seq, &tick, &addr, &requested, &granted}) {
+        if (!field->ok()) return field->error();
+      }
+      repair.seq = seq.value();
+      repair.tick = tick.value();
+      repair.fault_addr = addr.value();
+      repair.requested = requested.value();
+      repair.granted = granted.value();
+      out.repairs.push_back(std::move(repair));
+    }
+  }
   return out;
 }
 
@@ -249,6 +309,15 @@ std::string Dossier::to_text() const {
       out += "  " + hex_addr(region.base) + " +" + std::to_string(region.size) + "  " +
              kPermNames[region.perm & 3] + "  " + region.kind + "  " + region.label +
              (region.suspect ? "   <-- fault here" : "") + "\n";
+    }
+  }
+  if (!repairs.empty()) {
+    out += "repairs applied:\n";
+    for (const RepairEvent& repair : repairs) {
+      out += "  #" + std::to_string(repair.seq) + "  " + repair.symbol + "  " +
+             simlib::to_string(repair.action) + "  " + hex_addr(repair.fault_addr) +
+             "  requested=" + std::to_string(repair.requested) +
+             " granted=" + std::to_string(repair.granted) + "  " + repair.detail + "\n";
     }
   }
   return out;

@@ -50,6 +50,20 @@ struct ChunkState {
   bool suspect = false;  // contains the implicated address
 };
 
+// One applied repair (ISSUE 9): a repair wrapper rewrote a call instead of
+// rejecting it. Dossiers carry the repairs applied so far so a post-mortem
+// can see *what was repaired and why* next to what was detected.
+struct RepairEvent {
+  std::uint64_t seq = 0;    // dispatch sequence number of the repaired call
+  std::uint64_t tick = 0;   // machine steps at the repair
+  simlib::RepairAction action = simlib::RepairAction::kTruncateWrite;
+  std::string symbol;       // the rewritten call
+  std::string detail;       // policy provenance + what was changed
+  std::uint64_t fault_addr = 0;  // the pointer the repair is about
+  std::uint64_t requested = 0;   // what the caller asked for (bytes)
+  std::uint64_t granted = 0;     // what the repair allowed
+};
+
 // One mapped region near the implicated address.
 struct RegionState {
   std::uint64_t base = 0;
@@ -74,6 +88,7 @@ struct Dossier {
   std::vector<ChunkState> heap;    // neighborhood around fault_addr
   std::string heap_note;           // e.g. "chunk chain truncated at 0x..."
   std::vector<RegionState> regions;
+  std::vector<RepairEvent> repairs;  // repairs applied up to this dossier
 
   [[nodiscard]] bool operator==(const Dossier& other) const;
 
@@ -88,12 +103,16 @@ struct Dossier {
 [[nodiscard]] bool operator==(const TraceEntry& a, const TraceEntry& b);
 [[nodiscard]] bool operator==(const ChunkState& a, const ChunkState& b);
 [[nodiscard]] bool operator==(const RegionState& a, const RegionState& b);
+[[nodiscard]] bool operator==(const RepairEvent& a, const RepairEvent& b);
 
 // Strict parser for the <dossier> document (round-trips to_xml()).
 [[nodiscard]] Result<Dossier> from_xml(const xml::Node& node);
 
 // Detector name <-> enum (the XML attribute encoding).
 [[nodiscard]] Result<simlib::DetectionKind> detection_kind_from_name(const std::string& name);
+
+// Repair action name <-> enum (the XML attribute encoding).
+[[nodiscard]] Result<simlib::RepairAction> repair_action_from_name(const std::string& name);
 
 // "0x1a2b" rendering shared by the XML and text serializers.
 [[nodiscard]] std::string hex_addr(std::uint64_t value);

@@ -96,6 +96,31 @@ void FlightRecorder::on_fault(const mem::Machine& machine, FaultKind kind, mem::
                        to_string(kind) + ": " + detail, fault_addr));
 }
 
+void FlightRecorder::on_repair(simlib::CallContext& ctx, simlib::RepairAction action,
+                               const std::string& symbol, const std::string& detail,
+                               mem::Addr fault_addr, std::uint64_t requested,
+                               std::uint64_t granted) {
+  RepairEvent event;
+  event.seq = next_seq_ == 0 ? 0 : next_seq_ - 1;
+  event.tick = ctx.machine.steps();
+  event.action = action;
+  event.symbol = symbol;
+  event.detail = detail;
+  event.fault_addr = fault_addr;
+  event.requested = requested;
+  event.granted = granted;
+  repair_log_.push_back(event);
+  ++repairs_applied_;
+
+  // A repair is an incident too: snapshot a dossier so the post-mortem shows
+  // the state the repair acted on, not just the fact of the rewrite.
+  Dossier dossier = build_dossier(ctx.machine, simlib::DetectionKind::kRepair, symbol,
+                                  to_string(action) + ": " + detail, fault_addr);
+  dossier.args.reserve(ctx.args.size());
+  for (const simlib::SimValue& arg : ctx.args) dossier.args.push_back(arg.to_string());
+  record(std::move(dossier));
+}
+
 TraceEntry FlightRecorder::decode(const Slot& slot) const {
   TraceEntry entry;
   entry.seq = slot.seq;
@@ -200,6 +225,10 @@ Dossier FlightRecorder::build_dossier(const mem::Machine& machine, simlib::Detec
     state.suspect = i == region_suspect;
     dossier.regions.push_back(std::move(state));
   }
+
+  // Every dossier carries the repairs applied so far, so a later detection's
+  // post-mortem can see what the repair layer already rewrote.
+  dossier.repairs = repair_log_;
   return dossier;
 }
 
@@ -212,7 +241,9 @@ void FlightRecorder::clear() {
   for (Slot& slot : ring_) slot = Slot{};
   next_seq_ = 0;
   detections_ = 0;
+  repairs_applied_ = 0;
   dossiers_.clear();
+  repair_log_.clear();
 }
 
 }  // namespace healers::incident

@@ -45,13 +45,23 @@ class FlightRecorder final : public simlib::CallObserver {
                     mem::Addr fault_addr) override;
   void on_fault(const mem::Machine& machine, FaultKind kind, mem::Addr fault_addr,
                 const std::string& detail) override;
+  void on_repair(simlib::CallContext& ctx, simlib::RepairAction action,
+                 const std::string& symbol, const std::string& detail, mem::Addr fault_addr,
+                 std::uint64_t requested, std::uint64_t granted) override;
 
   // --- inspection -----------------------------------------------------------
   [[nodiscard]] std::size_t capacity() const noexcept { return ring_.size(); }
   [[nodiscard]] std::uint64_t calls_seen() const noexcept { return next_seq_; }
   // Total detections, including ones whose dossier was dropped by the cap.
   [[nodiscard]] std::uint64_t detections() const noexcept { return detections_; }
+  // Total repairs applied (each also snapshots a kRepair dossier, capped).
+  [[nodiscard]] std::uint64_t repairs_applied() const noexcept { return repairs_applied_; }
   [[nodiscard]] const std::vector<Dossier>& dossiers() const noexcept { return dossiers_; }
+  // The repair log: every RepairEvent seen, oldest first (uncapped — repairs
+  // are rare by construction and each is a fixed-size record).
+  [[nodiscard]] const std::vector<RepairEvent>& repair_log() const noexcept {
+    return repair_log_;
+  }
 
   // Decoded ring contents, oldest first (at most capacity() entries).
   [[nodiscard]] std::vector<TraceEntry> trace() const;
@@ -86,7 +96,9 @@ class FlightRecorder final : public simlib::CallObserver {
   std::vector<Slot> ring_;
   std::uint64_t next_seq_ = 0;  // == calls seen; slot index is seq % capacity
   std::uint64_t detections_ = 0;
+  std::uint64_t repairs_applied_ = 0;
   std::vector<Dossier> dossiers_;
+  std::vector<RepairEvent> repair_log_;
 };
 
 }  // namespace healers::incident

@@ -81,6 +81,15 @@ class SizeExpr {
 
   [[nodiscard]] Kind kind() const noexcept { return kind_; }
 
+  // For kArg/kCstrlen/kFormatted: the 1-based argument index the expression
+  // refers to (0 otherwise). Repair-policy derivation uses this to find the
+  // clampable length argument of `arg(k)`-sized writes.
+  [[nodiscard]] int arg_index() const noexcept { return index_; }
+
+  // Sub-expressions of kMin/kMul/kSum (empty for leaves). Repair-policy
+  // derivation walks these to find the copy source of cstrlen-sized writes.
+  [[nodiscard]] const std::vector<SizeExpr>& children() const noexcept { return children_; }
+
   // Evaluates to a byte count. nullopt when the expression involves
   // formatted() or a cstrlen over an invalid/unterminated string — the
   // caller must then fall back to a conservative policy.

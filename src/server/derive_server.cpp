@@ -117,6 +117,23 @@ DeriveResponse DeriveServer::serve(const DeriveRequest& request) const {
     case BundleKind::kProfiling:
       for (const auto& g : wrappers::fig3_generators()) builder.add(g);
       break;
+    case BundleKind::kRepair: {
+      // Repair bundles derive the campaign AND the policy server-side, so a
+      // warm fleet ships repaired wrappers with zero client-side probes.
+      auto derived = toolkit_.derive_robust_api(request.soname, request.injector_config());
+      if (!derived.ok()) return reject(derived.error().message);
+      campaign = std::move(derived).take();
+      campaign_ptr = &campaign;
+      response.probes = campaign.total_probes();
+      auto policy = toolkit_.derive_repair_policy(request.soname, request.injector_config());
+      if (!policy.ok()) return reject(policy.error().message);
+      builder.add(gen::prototype_gen())
+          .add(wrappers::repair_gen(
+              std::make_shared<const gen::RepairPolicy>(std::move(policy).take())))
+          .add(gen::call_counter_gen())
+          .add(gen::caller_gen());
+      break;
+    }
   }
   auto source = toolkit_.wrapper_source(request.soname, builder, campaign_ptr);
   if (!source.ok()) return reject(source.error().message);

@@ -29,6 +29,7 @@ std::string_view to_string(BundleKind kind) noexcept {
     case BundleKind::kRobustness: return "robustness";
     case BundleKind::kSecurity: return "security";
     case BundleKind::kProfiling: return "profiling";
+    case BundleKind::kRepair: return "repair";
   }
   return "?";
 }
@@ -108,6 +109,8 @@ Result<DeriveRequest> DeriveRequest::from_xml(const xml::Node& node) {
       request.bundle = BundleKind::kSecurity;
     } else if (*bundle == "profiling") {
       request.bundle = BundleKind::kProfiling;
+    } else if (*bundle == "repair") {
+      request.bundle = BundleKind::kRepair;
     } else {
       return Error("<derive-request> unknown bundle " + *bundle);
     }
@@ -152,7 +155,7 @@ Result<DeriveRequest> DeriveRequest::decode(std::string_view payload) {
   request.testbed_heap = cur.u64();
   request.testbed_stack = cur.u64();
   const std::uint32_t bundle = cur.u32();
-  if (!cur.ok() || bundle > static_cast<std::uint32_t>(BundleKind::kProfiling)) {
+  if (!cur.ok() || bundle > static_cast<std::uint32_t>(BundleKind::kRepair)) {
     return Error("binary request: bad bundle kind");
   }
   request.bundle = static_cast<BundleKind>(bundle);

@@ -49,6 +49,7 @@ enum class BundleKind : std::uint8_t {
   kRobustness = 0,  // argument checks from the derived robust API
   kSecurity = 1,    // heap canaries + stack guards
   kProfiling = 2,   // Fig 3 call counting / timing / errno profiling
+  kRepair = 3,      // campaign-derived repair policy (truncate / substitute)
 };
 
 // Wire encoding of the envelope AND of a derive response's campaign payload.

@@ -82,6 +82,47 @@ Result<lattice::SignatureProfile> decode_profile_entry(std::string_view payload)
   return profile;
 }
 
+std::string encode_repair_entry(const core::CachedRepairPolicy& entry) {
+  using fleet::codec::put_str;
+  using fleet::codec::put_u32;
+  using fleet::codec::put_u64;
+  std::string out;
+  out.append(kRepairEntryMagic);
+  put_str(out, entry.soname);
+  put_u64(out, entry.fingerprint);
+  put_u64(out, entry.seed);
+  put_u32(out, static_cast<std::uint32_t>(entry.variants));
+  put_u64(out, entry.probe_step_budget);
+  put_u64(out, entry.testbed_heap);
+  put_u64(out, entry.testbed_stack);
+  put_str(out, xml::serialize(entry.policy.to_xml()));
+  return out;
+}
+
+Result<core::CachedRepairPolicy> decode_repair_entry(std::string_view payload) {
+  if (payload.substr(0, kRepairEntryMagic.size()) != kRepairEntryMagic) {
+    return Error("repair entry: bad magic");
+  }
+  fleet::codec::Cursor cur(payload.substr(kRepairEntryMagic.size()));
+  core::CachedRepairPolicy entry;
+  entry.soname = cur.str();
+  entry.fingerprint = cur.u64();
+  entry.seed = cur.u64();
+  entry.variants = static_cast<int>(cur.u32());
+  entry.probe_step_budget = cur.u64();
+  entry.testbed_heap = cur.u64();
+  entry.testbed_stack = cur.u64();
+  const std::string policy_text = cur.str();
+  if (!cur.ok()) return Error("repair entry: truncated");
+  if (!cur.at_end()) return Error("repair entry: trailing bytes");
+  auto doc = xml::parse(policy_text);
+  if (!doc.ok()) return Error("repair entry: " + doc.error().message);
+  auto policy = gen::RepairPolicy::from_xml(doc.value());
+  if (!policy.ok()) return Error("repair entry: " + policy.error().message);
+  entry.policy = std::move(policy).take();
+  return entry;
+}
+
 std::string encode_cache_file(const std::vector<core::CachedCampaign>& entries) {
   std::vector<std::string> documents;
   documents.reserve(entries.size());
@@ -113,6 +154,9 @@ Status save_cache_file(const core::Toolkit& toolkit, const std::string& path) {
        toolkit.implication_profiles()->export_profiles()) {
     documents.push_back(encode_profile_entry(profile));
   }
+  for (const core::CachedRepairPolicy& entry : toolkit.export_repair_policies()) {
+    documents.push_back(encode_repair_entry(entry));
+  }
   const std::string image = fleet::frame_stream(documents);
   std::ofstream out(path, std::ios::binary);
   if (!out) return Status::failure("cannot write " + path);
@@ -130,6 +174,7 @@ Result<std::size_t> load_cache_file(const core::Toolkit& toolkit, const std::str
   if (!documents.ok()) return Error(path + ": " + documents.error().message);
   std::vector<core::CachedCampaign> campaigns;
   std::vector<lattice::SignatureProfile> profiles;
+  std::vector<core::CachedRepairPolicy> repairs;
   for (const std::string& doc : documents.value()) {
     if (doc.substr(0, kProfileEntryMagic.size()) == kProfileEntryMagic) {
       auto profile = decode_profile_entry(doc);
@@ -137,11 +182,18 @@ Result<std::size_t> load_cache_file(const core::Toolkit& toolkit, const std::str
       profiles.push_back(std::move(profile).take());
       continue;
     }
+    if (doc.substr(0, kRepairEntryMagic.size()) == kRepairEntryMagic) {
+      auto repair = decode_repair_entry(doc);
+      if (!repair.ok()) return Error(path + ": " + repair.error().message);
+      repairs.push_back(std::move(repair).take());
+      continue;
+    }
     auto entry = decode_cache_entry(doc);
     if (!entry.ok()) return Error(path + ": " + entry.error().message);
     campaigns.push_back(std::move(entry).take());
   }
   toolkit.implication_profiles()->import_profiles(profiles);
+  toolkit.import_repair_policies(std::move(repairs));
   return toolkit.import_campaigns(std::move(campaigns));
 }
 

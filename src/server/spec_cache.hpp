@@ -21,6 +21,16 @@
 //   str signature                          argument signature (class + notes)
 //   u32 n, n × (u32 passes, u32 fails)     per-test-type tallies
 //
+//   "HSRP1"                                repair-policy entry
+//   str soname, u64 fingerprint
+//   u64 seed, u32 variants, u64 probe_step_budget,
+//   u64 testbed_heap, u64 testbed_stack
+//   str policy                             a <repair-policy> XML document
+//
+// Repair-policy entries (ISSUE 9) carry campaign-derived RepairPolicy
+// documents under the same key and fingerprint discipline as campaigns, so
+// a warm fleet ships repaired wrappers without re-deriving (docs/repair.md).
+//
 // Profile entries carry the cross-campaign implication learning (DESIGN.md,
 // "Subsumption pruning"): a warm server fleet loads them and orders/prunes
 // probes for novel-but-related argument signatures. A campaign-only file
@@ -45,6 +55,7 @@ namespace healers::server {
 // Magic prefixes of the cache-entry kinds inside the stream framing.
 inline constexpr std::string_view kCacheEntryMagic = "HSCE1";
 inline constexpr std::string_view kProfileEntryMagic = "HSIP1";
+inline constexpr std::string_view kRepairEntryMagic = "HSRP1";
 
 // One campaign entry <-> its binary payload.
 [[nodiscard]] std::string encode_cache_entry(const core::CachedCampaign& entry);
@@ -53,6 +64,10 @@ inline constexpr std::string_view kProfileEntryMagic = "HSIP1";
 // One implication-profile entry <-> its binary payload.
 [[nodiscard]] std::string encode_profile_entry(const lattice::SignatureProfile& profile);
 [[nodiscard]] Result<lattice::SignatureProfile> decode_profile_entry(std::string_view payload);
+
+// One repair-policy entry <-> its binary payload.
+[[nodiscard]] std::string encode_repair_entry(const core::CachedRepairPolicy& entry);
+[[nodiscard]] Result<core::CachedRepairPolicy> decode_repair_entry(std::string_view payload);
 
 // A campaign-only cache <-> the framed file image (deterministic: entries
 // are emitted in the toolkit's canonical key order). Strict: the image must

@@ -14,6 +14,22 @@ std::string to_string(DetectionKind kind) {
       return "access-fault";
     case DetectionKind::kErrorInject:
       return "error-inject";
+    case DetectionKind::kRepair:
+      return "repair";
+  }
+  return "?";
+}
+
+std::string to_string(RepairAction action) {
+  switch (action) {
+    case RepairAction::kTruncateWrite:
+      return "truncate-write";
+    case RepairAction::kSubstituteBounded:
+      return "substitute-bounded";
+    case RepairAction::kSynthesizeInput:
+      return "synthesize-input";
+    case RepairAction::kSafeReturn:
+      return "safe-return";
   }
   return "?";
 }

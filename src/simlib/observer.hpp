@@ -33,9 +33,21 @@ enum class DetectionKind : std::uint8_t {
   kStackSmash,   // security wrapper: stack bound / return-address violation
   kAccessFault,  // AccessFault surfaced through a wrapped call
   kErrorInject,  // testing wrapper injected a documented failure
+  kRepair,       // repair wrapper rewrote a call instead of rejecting it
 };
 
 [[nodiscard]] std::string to_string(DetectionKind kind);
+
+// How a repair wrapper rewrote an unsafe call (failure-oblivious execution /
+// safe substitution). Carried by on_repair and by incident::RepairEvent.
+enum class RepairAction : std::uint8_t {
+  kTruncateWrite,      // clamped an explicit length argument to the extent
+  kSubstituteBounded,  // rewrote an unbounded copy into a bounded variant
+  kSynthesizeInput,    // replaced an invalid input pointer with a benign one
+  kSafeReturn,         // skipped the call, manufactured the documented error
+};
+
+[[nodiscard]] std::string to_string(RepairAction action);
 
 class CallObserver {
  public:
@@ -57,6 +69,22 @@ class CallObserver {
   // The offending symbol is whatever on_call saw last.
   virtual void on_fault(const mem::Machine& machine, FaultKind kind, mem::Addr fault_addr,
                         const std::string& detail) = 0;
+
+  // A repair wrapper rewrote a call that would otherwise have crashed or been
+  // rejected. `requested` is what the caller asked for (bytes, usually) and
+  // `granted` what the repair allowed; `fault_addr` is the pointer the repair
+  // is about. Default-empty so non-incident observers ignore repairs.
+  virtual void on_repair(CallContext& ctx, RepairAction action, const std::string& symbol,
+                         const std::string& detail, mem::Addr fault_addr,
+                         std::uint64_t requested, std::uint64_t granted) {
+    (void)ctx;
+    (void)action;
+    (void)symbol;
+    (void)detail;
+    (void)fault_addr;
+    (void)requested;
+    (void)granted;
+  }
 };
 
 }  // namespace healers::simlib

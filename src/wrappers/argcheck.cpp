@@ -113,12 +113,17 @@ std::vector<CompiledArg> compile_checks(const gen::GenContext& ctx, CheckSource 
   return out;
 }
 
+}  // namespace
+
+namespace detail {
+
 // Safe printf-length pre-pass (libsafe carried its own format parser for
 // exactly this): computes the number of bytes the library's formatter will
 // produce for the format string at argument `fmt_index_1based`, using only
 // non-faulting reads. Mirrors simlib's format_into subset. nullopt when the
 // format or a %s argument cannot be safely measured (the caller then falls
-// back to the conservative policy).
+// back to the conservative policy). Shared with the repair wrapper
+// (declared in wrappers.hpp).
 std::optional<std::uint64_t> safe_formatted_length(CallContext& ctx, int fmt_index_1based) {
   const mem::AddressSpace& space = ctx.machine.mem();
   const mem::Addr fmt = ctx.args.at(static_cast<std::size_t>(fmt_index_1based) - 1).as_ptr();
@@ -218,6 +223,10 @@ std::optional<std::uint64_t> safe_formatted_length(CallContext& ctx, int fmt_ind
   }
 }
 
+}  // namespace detail
+
+namespace {
+
 // Runtime validation of one argument; returns false when the call must be
 // contained.
 bool check_arg(const CompiledArg& arg, CallContext& ctx) {
@@ -271,7 +280,7 @@ bool check_arg(const CompiledArg& arg, CallContext& ctx) {
   // Size expressions: the precise "buffer large enough" checks.
   if (arg.write_size || arg.read_size) {
     SizeExpr::EvalEnv env{space, {}, kScanCap,
-                          [&ctx](int idx) { return safe_formatted_length(ctx, idx); },
+                          [&ctx](int idx) { return detail::safe_formatted_length(ctx, idx); },
                           [&ctx]() -> std::optional<std::uint64_t> {
                             // Length of the pending stdin line (gets pre-pass).
                             const simlib::LibState& st = ctx.state;

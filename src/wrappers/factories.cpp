@@ -1,7 +1,7 @@
-// Stock wrapper factories: the three wrapper types of Fig 1, each a
-// particular composition of micro-generators (paper §2.3: "the
-// micro-generators can be combined in a variety of ways to generate new
-// wrapper types").
+// Stock wrapper factories: the wrapper types of Fig 1 plus the repair
+// family, each a particular composition of micro-generators (paper §2.3:
+// "the micro-generators can be combined in a variety of ways to generate
+// new wrapper types").
 #include "wrappers/wrappers.hpp"
 
 namespace healers::wrappers {
@@ -33,6 +33,18 @@ Result<std::shared_ptr<gen::ComposedWrapper>> make_security_wrapper(
       .add(stack_guard_gen())
       .add(gen::caller_gen());
   return builder.build(lib);
+}
+
+Result<std::shared_ptr<gen::ComposedWrapper>> make_repair_wrapper(
+    const simlib::SharedLibrary& lib, const injector::CampaignResult& campaign) {
+  auto policy = gen::derive_repair_policy(campaign, lib);
+  if (!policy.ok()) return policy.error();
+  gen::WrapperBuilder builder("repair-wrapper");
+  builder.add(gen::prototype_gen())
+      .add(repair_gen(std::make_shared<const gen::RepairPolicy>(std::move(policy).take())))
+      .add(gen::call_counter_gen())
+      .add(gen::caller_gen());
+  return builder.build(lib, &campaign);
 }
 
 Result<std::shared_ptr<gen::ComposedWrapper>> make_profiling_wrapper(

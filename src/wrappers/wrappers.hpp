@@ -9,6 +9,10 @@
 //   * profiling wrapper — the Fig 3 feature set (call counts, errno
 //     histograms, exec time) plus an optional call trace; its stats feed
 //     the XML documents of demo §3.3 / Fig 5.
+//   * repair wrapper — rewrites unsafe calls instead of rejecting or merely
+//     detecting them: failure-oblivious truncation of out-of-bounds writes
+//     and bounded substitution of strcpy-class calls, per a policy derived
+//     from the robust-API campaign (docs/repair.md).
 //
 // Each factory returns a freshly built ComposedWrapper. Security wrappers
 // hold per-process allocation state: build ONE wrapper per process and do
@@ -16,8 +20,10 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 
 #include "gen/composer.hpp"
+#include "gen/repair_policy.hpp"
 #include "injector/robust_spec.hpp"
 #include "simlib/library.hpp"
 #include "support/result.hpp"
@@ -77,5 +83,27 @@ struct HeapGuardState;  // wrapper-private allocation table + canary secret
 // func error, call counter, caller) — exposed so tests and benches can
 // reproduce the figure exactly.
 [[nodiscard]] std::vector<gen::MicroGeneratorPtr> fig3_generators();
+
+// --- repair (ISSUE 9: failure-oblivious execution + safe substitution) ---
+// Repair micro-generator: applies a campaign-derived RepairPolicy
+// (gen/repair_policy.hpp) at call time — truncating out-of-bounds writes to
+// the destination's known extent, substituting bounded copies for
+// strcpy-class calls, and manufacturing safe returns for invalid input
+// strings. Keeps its own allocation-extent table (no canaries, no argument
+// resizing): with nothing to repair the wrapped process behaves
+// bit-identically to an unwrapped one. One instance per protected process.
+[[nodiscard]] gen::MicroGeneratorPtr repair_gen(std::shared_ptr<const gen::RepairPolicy> policy);
+
+// Derives the repair policy from `campaign` and composes prototype + repair
+// + call counter + caller.
+[[nodiscard]] Result<std::shared_ptr<gen::ComposedWrapper>> make_repair_wrapper(
+    const simlib::SharedLibrary& lib, const injector::CampaignResult& campaign);
+
+namespace detail {
+// Safe printf-length pre-pass shared by the arg-check and repair wrappers
+// (defined in argcheck.cpp).
+[[nodiscard]] std::optional<std::uint64_t> safe_formatted_length(simlib::CallContext& ctx,
+                                                                 int fmt_index_1based);
+}  // namespace detail
 
 }  // namespace healers::wrappers

@@ -7,6 +7,10 @@
 #   2. Every relative markdown link in the repo's *.md files resolves to a
 #      file that exists (external http(s) links and pure #anchors are not
 #      checked).
+#   3. If the CLI exposes repair mode (`--repair` in `healers help`), the
+#      repair documentation must exist and stay reachable: docs/repair.md is
+#      present and referenced from docs/cli.md, docs/architecture.md, and
+#      README.md.
 #
 # Usage: tools/check_docs.sh <healers-binary> <repo-root>
 set -eu
@@ -49,6 +53,23 @@ for cmd in $doc_commands; do
     fail=1
   fi
 done
+
+# --- 1c. repair mode ships with its documentation ---------------------------
+# The repair flag is only as usable as its policy spec; if the CLI grows (or
+# keeps) --repair, docs/repair.md must exist and the entry points must link it.
+if printf '%s\n' "$flags" | grep -qx -- '--repair'; then
+  if [ ! -f "$root/docs/repair.md" ]; then
+    echo "check_docs: 'healers help' lists --repair but docs/repair.md is missing" >&2
+    fail=1
+  else
+    for ref in docs/cli.md docs/architecture.md README.md; do
+      if ! grep -q 'repair\.md' "$root/$ref"; then
+        echo "check_docs: $ref does not reference docs/repair.md (required while --repair exists)" >&2
+        fail=1
+      fi
+    done
+  fi
+fi
 
 # --- 2. every relative markdown link resolves -------------------------------
 for md in "$root"/*.md "$root"/docs/*.md; do

@@ -59,7 +59,7 @@ void print_usage(std::FILE* out) {
                "  list-functions <soname>\n"
                "  decls <soname> [-o file]\n"
                "  derive <soname> [--seed N] [--variants N] [--jobs N]\n"
-               "         [--reset fork|fresh] [--no-prune] [--stats]\n"
+               "         [--reset fork|fresh] [--no-prune] [--stats] [--repair]\n"
                "         [--cache-file file] [-o file]\n"
                "         (--jobs N probes on N worker threads, 0 = all cores;\n"
                "          --reset fork resets probes by COW fork from a shared pristine\n"
@@ -70,13 +70,21 @@ void print_usage(std::FILE* out) {
                "          counters as an <engine> XML node;\n"
                "          --cache-file loads/saves the persistent spec cache so repeat\n"
                "          runs execute 0 probes and warm campaigns reuse learned\n"
-               "          implication profiles)\n"
+               "          implication profiles;\n"
+               "          --repair additionally derives the repair policy from the\n"
+               "          campaign's crash boundaries and appends it as a\n"
+               "          <repair-policy> XML node — the campaign document itself is\n"
+               "          byte-identical with or without it)\n"
                "  report <campaign.xml>\n"
-               "  gen-source <soname> --type profiling|robustness|security|testing\n"
+               "  gen-source <soname> --type profiling|robustness|security|testing|repair\n"
                "             [--campaign file] [-o file]\n"
                "  inspect demo-heap|demo-stack\n"
                "  demo attacks\n"
-               "  dossier demo-heap|demo-stack [--format text|xml|binary] [-o file]\n"
+               "  dossier demo-heap|demo-stack [--format text|xml|binary] [--repair]\n"
+               "          [-o file]\n"
+               "          (--repair preloads the repair wrapper instead of the security\n"
+               "           wrapper: the attack is truncated/substituted away, the victim\n"
+               "           survives, and the dossier records the applied RepairEvents)\n"
                "  simulate [--hosts N] [--virtual-seconds N] [--seed N] [--jobs N]\n"
                "           [--traffic steady|diurnal|burst|straggler|crashloop|mixed]\n"
                "           [--shards N] [--capacity N] [--stats] [-o file]\n"
@@ -90,7 +98,11 @@ void print_usage(std::FILE* out) {
                "  fleet report <file> [--shards N] [--jobs N]\n"
                "  serve [--clients N] [--requests N] [--jobs N] [--shards N]\n"
                "        [--capacity N] [--cache-file file] [--encoding xml|binary]\n"
-               "        [--seed N] [-o file]\n");
+               "        [--seed N] [--repair] [--stats] [-o file]\n"
+               "        (--repair adds repair-wrapper bundles to the simulated client\n"
+               "         rotation; derived policies persist as HSRP1 spec-cache\n"
+               "         entries. --stats additionally reports the repair-policy\n"
+               "         census on stderr: policies derived, rules per action)\n");
 }
 
 int usage() {
@@ -147,6 +159,7 @@ struct Options {
   std::string reset = "fork";
   bool prune = true;
   bool stats = false;
+  bool repair = false;
 };
 
 Result<Options> parse_options(int argc, char** argv) {
@@ -237,6 +250,8 @@ Result<Options> parse_options(int argc, char** argv) {
       options.prune = false;
     } else if (arg == "--stats") {
       options.stats = true;
+    } else if (arg == "--repair") {
+      options.repair = true;
     } else if (!arg.empty() && arg[0] == '-') {
       return Error("unknown option " + arg);
     } else {
@@ -315,6 +330,29 @@ int cmd_derive(const core::Toolkit& toolkit, const Options& options) {
                  toolkit.export_campaigns().size(), options.cache_file.c_str());
   }
   xml::Node doc = campaign.value().to_xml();
+  if (options.repair) {
+    // The repair policy is a pure function of the campaign document, so it
+    // rides along as a sibling node — the campaign bytes stay identical.
+    const auto policy = toolkit.derive_repair_policy(options.positional[0], config);
+    if (!policy.ok()) return fail(policy.error().message);
+    std::size_t truncate = 0, substitute = 0, safe_return = 0;
+    for (const gen::FunctionRepairPolicy& fn : policy.value().functions) {
+      for (const gen::RepairRule& rule : fn.rules) {
+        switch (rule.action) {
+          case simlib::RepairAction::kTruncateWrite: ++truncate; break;
+          case simlib::RepairAction::kSubstituteBounded:
+          case simlib::RepairAction::kSynthesizeInput: ++substitute; break;
+          case simlib::RepairAction::kSafeReturn: ++safe_return; break;
+        }
+      }
+    }
+    std::fprintf(stderr,
+                 "repair: %zu rule(s) in %zu function(s): %zu truncate, %zu substitute, "
+                 "%zu safe-return\n",
+                 policy.value().rule_count(), policy.value().functions.size(), truncate,
+                 substitute, safe_return);
+    doc.add_child(policy.value().to_xml());
+  }
   if (options.stats) {
     // Engine telemetry is jobs/reset-dependent, so it rides along only on
     // request — the default document stays bit-identical across both knobs.
@@ -380,6 +418,23 @@ int cmd_gen_source(const core::Toolkit& toolkit, const Options& options) {
   } else if (options.type == "testing") {
     builder.add(gen::prototype_gen())
         .add(wrappers::error_injection_gen(0.1, options.seed))
+        .add(gen::call_counter_gen())
+        .add(gen::caller_gen());
+  } else if (options.type == "repair") {
+    if (options.campaign_path.empty()) {
+      return fail("gen-source --type repair requires --campaign <file>");
+    }
+    auto loaded = load_campaign(options.campaign_path);
+    if (!loaded.ok()) return fail(loaded.error().message);
+    campaign = std::move(loaded).take();
+    campaign_ptr = &campaign;
+    const simlib::SharedLibrary* lib = toolkit.library(soname);
+    if (lib == nullptr) return fail("no such library: " + soname);
+    auto policy = gen::derive_repair_policy(campaign, *lib);
+    if (!policy.ok()) return fail(policy.error().message);
+    builder.add(gen::prototype_gen())
+        .add(wrappers::repair_gen(
+            std::make_shared<const gen::RepairPolicy>(std::move(policy).take())))
         .add(gen::call_counter_gen())
         .add(gen::caller_gen());
   } else {
@@ -491,6 +546,13 @@ int cmd_dossier(const core::Toolkit& toolkit, const Options& options) {
   if (options.positional.empty()) return usage();
   const std::string& scenario = options.positional[0];
   auto wrapper = toolkit.security_wrapper("libsimc.so.1");
+  if (options.repair) {
+    // Repair mode: the victim keeps running — the dossier captured is the
+    // kRepair snapshot carrying the applied RepairEvents, not a crash.
+    const auto campaign = toolkit.derive_robust_api("libsimc.so.1");
+    if (!campaign.ok()) return fail(campaign.error().message);
+    wrapper = toolkit.repair_wrapper("libsimc.so.1", campaign.value());
+  }
   if (!wrapper.ok()) return fail(wrapper.error().message);
   incident::FlightRecorder recorder;
   attacks::AttackResult result;
@@ -506,6 +568,12 @@ int cmd_dossier(const core::Toolkit& toolkit, const Options& options) {
   }
   if (recorder.dossiers().empty()) {
     return fail("no detector fired (" + result.outcome.to_string() + "); no dossier captured");
+  }
+  if (options.repair) {
+    std::fprintf(stderr, "repair: %llu repair(s) applied, victim %s (%s)\n",
+                 static_cast<unsigned long long>(recorder.repairs_applied()),
+                 result.survived ? "survived" : "did NOT survive",
+                 result.outcome.to_string().c_str());
   }
   const incident::Dossier& dossier = recorder.dossiers().front();
   if (options.format == "text") return emit(dossier.to_text(), options.out_path);
@@ -538,9 +606,10 @@ int cmd_serve(const core::Toolkit& toolkit, const Options& options) {
 
   // Smallest library first keeps tiny traces (few requests) cheap.
   const std::vector<std::string> sonames = {"libsimm.so.1", "libsimio.so.1", "libsimc.so.1"};
-  const std::vector<server::BundleKind> bundles = {server::BundleKind::kProfiling,
-                                                   server::BundleKind::kSecurity,
-                                                   server::BundleKind::kRobustness};
+  std::vector<server::BundleKind> bundles = {server::BundleKind::kProfiling,
+                                             server::BundleKind::kSecurity,
+                                             server::BundleKind::kRobustness};
+  if (options.repair) bundles.push_back(server::BundleKind::kRepair);
   std::vector<server::DeriveServer::Ticket> tickets;
   std::size_t n = 0;
   for (int client = 0; client < options.clients; ++client) {
@@ -587,6 +656,34 @@ int cmd_serve(const core::Toolkit& toolkit, const Options& options) {
                  entry.soname.c_str(), static_cast<unsigned long long>(engine.probes_implied),
                  static_cast<unsigned long long>(engine.probes_executed),
                  engine.implication_hit_rate() * 100.0, engine.warm_start_ratio() * 100.0);
+  }
+
+  if (options.stats) {
+    // Repair-policy census across everything the drain derived. Stderr like
+    // the telemetry above: the byte-compared summary must not depend on
+    // whether --repair bundles were in the rotation.
+    std::size_t rules = 0;
+    std::size_t truncate = 0;
+    std::size_t substitute = 0;
+    std::size_t safe_return = 0;
+    const auto policies = toolkit.export_repair_policies();
+    for (const core::CachedRepairPolicy& entry : policies) {
+      for (const gen::FunctionRepairPolicy& fn : entry.policy.functions) {
+        for (const gen::RepairRule& rule : fn.rules) {
+          ++rules;
+          switch (rule.action) {
+            case simlib::RepairAction::kTruncateWrite: ++truncate; break;
+            case simlib::RepairAction::kSubstituteBounded:
+            case simlib::RepairAction::kSynthesizeInput: ++substitute; break;
+            case simlib::RepairAction::kSafeReturn: ++safe_return; break;
+          }
+        }
+      }
+    }
+    std::fprintf(stderr,
+                 "repair: %zu policy(ies) derived, %zu rule(s): %zu truncate, "
+                 "%zu substitute, %zu safe-return\n",
+                 policies.size(), rules, truncate, substitute, safe_return);
   }
 
   if (!options.cache_file.empty()) {
