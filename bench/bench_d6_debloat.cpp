@@ -1,0 +1,147 @@
+// Experiment D6 — demand-driven surface debloating (docs/debloat.md).
+//
+// Regenerates: the debloating numbers the surface subsystem claims —
+//   * unmapped surface: what share of the catalog's exported symbols a demo
+//     executable's run leaves unmapped under the demand-loading barrier
+//     (acceptance floor: >= 30%);
+//   * resident pages: text pages actually faulted in vs what eager binding
+//     maps, i.e. the memory-footprint reduction;
+//   * scoped campaigns: wall time of a derive scoped to the executable's
+//     reachable set vs the whole-library campaign — the speedup the
+//     surface-scope spec-cache entries buy the derivation service.
+//
+// Expected shape: >90% of symbols unmapped for the small demo executables,
+// resident pages tracking touched symbols (one page each), and the scoped
+// campaign several times faster than the full derive (it probes ~6 of ~30
+// functions).
+//
+// Every row carries the `demand_loading` marker counter; run_benches.sh
+// rejects a BENCH_d6.json without it. The bench also self-checks the
+// acceptance floor at startup and refuses to emit numbers below it.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "attacks/attacks.hpp"
+#include "core/toolkit.hpp"
+#include "debloat/reachability.hpp"
+#include "debloat/surface.hpp"
+
+using namespace healers;
+
+namespace {
+
+const core::Toolkit& toolkit() {
+  static const core::Toolkit instance;
+  return instance;
+}
+
+// The netd closure restricted to one library — what `healers debloat
+// --cache-file` installs as the library's surface scope.
+std::vector<std::string> scoped_functions(const std::string& soname) {
+  const linker::Executable exe = attacks::heap_victim_executable();
+  const auto report = debloat::compute_reachability(exe, toolkit().catalog());
+  const simlib::SharedLibrary* lib = toolkit().library(soname);
+  std::vector<std::string> scoped;
+  for (const std::string& symbol : report.reachable) {
+    if (lib != nullptr && lib->defines(symbol)) scoped.push_back(symbol);
+  }
+  return scoped;
+}
+
+// Startup self-check: the demo run must clear the >= 30% unmapped floor the
+// subsystem is built around; numbers from a tree where demand loading maps
+// everything eagerly would be meaningless.
+bool demand_loading_self_check() {
+  const linker::Executable exe = attacks::heap_victim_executable();
+  const auto report = debloat::compute_reachability(exe, toolkit().catalog());
+  auto proc = debloat::spawn_debloated(exe, toolkit().catalog(), report);
+  (void)proc->run(exe.entry);
+  const auto profile = debloat::capture_surface_profile(*proc, report, "bench");
+  return proc->demand_loading() && profile.unmapped_ratio() >= 0.30 &&
+         profile.resident_pages < profile.total_pages;
+}
+
+bool g_demand_ok = false;
+
+// One debloated run end to end: closure, spawn, run, profile capture. The
+// counters are the committed numbers.
+void BM_DebloatedRun(benchmark::State& state, linker::Executable (*make_exe)()) {
+  const linker::Executable exe = make_exe();
+  debloat::SurfaceProfile profile;
+  for (auto _ : state) {
+    const auto report = debloat::compute_reachability(exe, toolkit().catalog());
+    auto proc = debloat::spawn_debloated(exe, toolkit().catalog(), report);
+    (void)proc->run(exe.entry);
+    profile = debloat::capture_surface_profile(*proc, report, "bench");
+    benchmark::DoNotOptimize(profile);
+  }
+  state.counters["unmapped_pct"] = 100.0 * profile.unmapped_ratio();
+  state.counters["resident_pages"] = static_cast<double>(profile.resident_pages);
+  state.counters["total_pages"] = static_cast<double>(profile.total_pages);
+  state.counters["trapped"] = static_cast<double>(profile.trapped);
+  state.counters["demand_loading"] = g_demand_ok ? 1 : 0;
+}
+
+// The eager baseline the run above is compared against: the plain spawn
+// path, every GOT slot bound at load.
+void BM_EagerRun(benchmark::State& state) {
+  const linker::Executable exe = attacks::heap_victim_executable();
+  for (auto _ : state) {
+    auto proc = linker::spawn(exe, toolkit().catalog());
+    (void)proc->run(exe.entry);
+    benchmark::DoNotOptimize(proc);
+  }
+  state.counters["demand_loading"] = g_demand_ok ? 1 : 0;
+}
+
+// Campaign derivation scoped to the reachable set vs the whole library. A
+// fresh toolkit per iteration keeps the memo table out of the measurement.
+void BM_Campaign(benchmark::State& state, const std::string& soname, bool scoped) {
+  const std::vector<std::string> scope = scoped_functions(soname);
+  std::uint64_t probes = 0;
+  std::size_t functions = 0;
+  for (auto _ : state) {
+    core::Toolkit kit;
+    injector::InjectorConfig config;
+    config.seed = 2003;
+    if (scoped) config.only_functions = scope;
+    const auto campaign = kit.derive_robust_api(soname, config);
+    if (!campaign.ok()) state.SkipWithError(campaign.error().message.c_str());
+    probes = campaign.value().total_probes();
+    functions = campaign.value().specs.size();
+  }
+  state.counters["probes"] = static_cast<double>(probes);
+  state.counters["functions"] = static_cast<double>(functions);
+  state.counters["demand_loading"] = g_demand_ok ? 1 : 0;
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_DebloatedRun, netd, attacks::heap_victim_executable)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_DebloatedRun, statsd, attacks::drift_victim_executable)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_EagerRun)->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_Campaign, libsimc_scoped, "libsimc.so.1", true)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Campaign, libsimc_full, "libsimc.so.1", false)
+    ->Unit(benchmark::kMillisecond);
+
+int main(int argc, char** argv) {
+  g_demand_ok = demand_loading_self_check();
+  if (!g_demand_ok) {
+    std::fprintf(stderr,
+                 "bench_d6: demand-loading self-check FAILED — the demo run did not "
+                 "leave >= 30%% of the surface unmapped; refusing to emit numbers.\n");
+    return 1;
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -8,6 +8,8 @@
 #                    cache-file-warm)
 #   BENCH_f7.json    virtual-time fleet simulation (simulated hosts/sec,
 #                    end-to-end ingest docs/sec, shed/drop rates at overload)
+#   BENCH_d6.json    demand-driven surface debloating (unmapped-symbol %,
+#                    resident-page reduction, scoped-campaign speedup)
 #
 # Benchmarks are only meaningful from an optimized, assertion-free build, so
 # this script builds and uses the `release` preset (-O2 -DNDEBUG) by default
@@ -46,7 +48,7 @@ fi
 # The benches with committed JSON artifacts. This one list drives both the
 # build below and the skipped-bench report at the bottom, so a bench added
 # here can't silently stay in the "skipped" listing (or vice versa).
-ran=("bench_fig2_robust_api" "bench_f6_fleet_ingest" "bench_c1_overhead" "bench_s1_derive_service" "bench_f7_fleet_sim")
+ran=("bench_fig2_robust_api" "bench_f6_fleet_ingest" "bench_c1_overhead" "bench_s1_derive_service" "bench_f7_fleet_sim" "bench_d6_debloat")
 
 cmake --build "$build" -j --target "${ran[@]}"
 
@@ -132,10 +134,28 @@ fi
 
 echo "wrote $root/BENCH_f7.json"
 
+"$build/bench/bench_d6_debloat" \
+  --benchmark_out="$root/BENCH_d6.json" \
+  --benchmark_out_format=json \
+  --benchmark_min_time=0.2
+
+# Guard: every D6 row must carry the demand_loading marker counter — the
+# bench's own attestation that the run went through the load barrier and
+# cleared the >= 30% unmapped floor (it self-checks at startup and exits
+# nonzero below the floor, which set -e catches above). A JSON without the
+# marker came from a stale or foreign binary.
+if ! grep -q '"demand_loading"' "$root/BENCH_d6.json"; then
+  echo "error: BENCH_d6.json lacks the demand_loading marker — it was not" >&2
+  echo "       produced by the demand-loading debloat bench; refusing the artifact." >&2
+  exit 1
+fi
+
+echo "wrote $root/BENCH_d6.json"
+
 # Every BENCH_*.json at the repo root must be one this script owns: a stray
 # name (a typo'd output path, a bench renamed without its artifact) would sit
 # in review forever looking like a tracked result nobody regenerates.
-known_json=("BENCH_fig2.json" "BENCH_f6.json" "BENCH_c1.json" "BENCH_s1.json" "BENCH_f7.json")
+known_json=("BENCH_fig2.json" "BENCH_f6.json" "BENCH_c1.json" "BENCH_s1.json" "BENCH_f7.json" "BENCH_d6.json")
 unknown=0
 for artifact in "$root"/BENCH_*.json; do
   [[ -e "$artifact" ]] || continue

@@ -37,6 +37,11 @@ int heap_victim_main(Process& p, std::string& log) {
   };
   std::ostringstream out;
 
+  // Startup banner. Also binds puts' GOT slot before the attacker reads its
+  // address below — under demand loading the slot does not exist until the
+  // first call faults it in.
+  p.call("puts", {SimValue::ptr(p.rodata_cstring("netd: ready"))});
+
   const Addr msg = p.call("malloc", {SimValue::integer(64)}).as_ptr();
   const Addr session = p.call("malloc", {SimValue::integer(64)}).as_ptr();
   p.call("strcpy", {SimValue::ptr(session), SimValue::ptr(p.rodata_cstring("session:admin"))});
@@ -177,6 +182,23 @@ linker::Executable stack_victim_executable() {
   exe.entry = [](Process& p) {
     std::string ignored;
     return stack_victim_main(p, ignored);
+  };
+  return exe;
+}
+
+linker::Executable drift_victim_executable() {
+  linker::Executable exe;
+  exe.name = "statsd";
+  exe.needed = {"libsimc.so.1", "libsimio.so.1"};
+  // Stale on purpose: the v2 sampling path below also calls rand(), but the
+  // import list still describes v1.
+  exe.undefined = {"strlen", "puts"};
+  exe.entry = [](Process& p) {
+    p.call("puts", {SimValue::ptr(p.rodata_cstring("statsd: sampling"))});
+    p.call("strlen", {SimValue::ptr(p.rodata_cstring("metric=42"))});
+    p.call("rand", {});  // the drifted call
+    p.call("puts", {SimValue::ptr(p.rodata_cstring("statsd: done"))});
+    return 0;
   };
   return exe;
 }

@@ -64,4 +64,10 @@ struct AttackResult {
 [[nodiscard]] linker::Executable heap_victim_executable();
 [[nodiscard]] linker::Executable stack_victim_executable();
 
+// The surface-drift demo (docs/debloat.md): a daemon whose declared import
+// list went stale — a later code revision added a rand() call the binary's
+// undefined list never picked up. validate_executable reports the stale
+// import; under demand loading the call traps as a surface violation.
+[[nodiscard]] linker::Executable drift_victim_executable();
+
 }  // namespace healers::attacks

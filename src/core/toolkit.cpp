@@ -1,8 +1,31 @@
 #include "core/toolkit.hpp"
 
+#include <algorithm>
+
 #include "parser/header_parser.hpp"
 
 namespace healers::core {
+namespace {
+
+// Digest of a surface scope's function list for the campaign-cache key:
+// order-insensitive (the list is hashed sorted) and 0 exactly when unscoped.
+std::uint64_t scope_digest(const std::vector<std::string>& names) {
+  if (names.empty()) return 0;
+  std::vector<std::string> sorted = names;
+  std::sort(sorted.begin(), sorted.end());
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const std::string& name : sorted) {
+    for (const char c : name) {
+      hash ^= static_cast<unsigned char>(c);
+      hash *= 0x100000001b3ULL;
+    }
+    hash ^= '\0';
+    hash *= 0x100000001b3ULL;
+  }
+  return hash != 0 ? hash : 1;  // a scoped campaign never shares slot 0
+}
+
+}  // namespace
 
 Toolkit::Toolkit() {
   install_library(simlib::build_libsimc());
@@ -64,9 +87,9 @@ Result<injector::CampaignResult> Toolkit::derive_robust_api(
     const std::string& soname, injector::InjectorConfig config) const {
   const simlib::SharedLibrary* lib = catalog_.find(soname);
   if (lib == nullptr) return Error("no such library: " + soname);
-  const CampaignKey key{soname,         lib->fingerprint(),       config.seed,
+  const CampaignKey key{soname,          lib->fingerprint(),       config.seed,
                         config.variants, config.probe_step_budget, config.testbed_heap,
-                        config.testbed_stack};
+                        config.testbed_stack, scope_digest(config.only_functions)};
   std::shared_ptr<Inflight> flight;
   bool leader = false;
   {
@@ -127,9 +150,9 @@ Result<gen::RepairPolicy> Toolkit::derive_repair_policy(const std::string& sonam
                                                         injector::InjectorConfig config) const {
   const simlib::SharedLibrary* lib = catalog_.find(soname);
   if (lib == nullptr) return Error("no such library: " + soname);
-  const CampaignKey key{soname,         lib->fingerprint(),       config.seed,
+  const CampaignKey key{soname,          lib->fingerprint(),       config.seed,
                         config.variants, config.probe_step_budget, config.testbed_heap,
-                        config.testbed_stack};
+                        config.testbed_stack, scope_digest(config.only_functions)};
   {
     std::lock_guard lock(cache_mutex_);
     const auto it = repair_cache_.find(key);
@@ -149,6 +172,10 @@ std::vector<CachedCampaign> Toolkit::export_campaigns() const {
   std::lock_guard lock(cache_mutex_);
   out.reserve(campaign_cache_.size());
   for (const auto& [key, result] : campaign_cache_) {
+    // Scoped campaigns are partial documents — meaningless without the
+    // executable whose closure defined the scope — so only whole-library
+    // entries are portable.
+    if (std::get<7>(key) != 0) continue;
     CachedCampaign entry;
     entry.soname = std::get<0>(key);
     entry.fingerprint = std::get<1>(key);
@@ -170,7 +197,7 @@ std::size_t Toolkit::import_campaigns(std::vector<CachedCampaign> entries) const
     if (lib == nullptr || lib->fingerprint() != entry.fingerprint) continue;
     const CampaignKey key{entry.soname,      entry.fingerprint, entry.seed,
                           entry.variants,    entry.probe_step_budget,
-                          entry.testbed_heap, entry.testbed_stack};
+                          entry.testbed_heap, entry.testbed_stack, 0};
     std::lock_guard lock(cache_mutex_);
     campaign_cache_.insert_or_assign(key, std::move(entry.result));
     ++admitted;
@@ -183,6 +210,7 @@ std::vector<CachedRepairPolicy> Toolkit::export_repair_policies() const {
   std::lock_guard lock(cache_mutex_);
   out.reserve(repair_cache_.size());
   for (const auto& [key, policy] : repair_cache_) {
+    if (std::get<7>(key) != 0) continue;  // scoped: not portable (see campaigns)
     CachedRepairPolicy entry;
     entry.soname = std::get<0>(key);
     entry.fingerprint = std::get<1>(key);
@@ -204,12 +232,53 @@ std::size_t Toolkit::import_repair_policies(std::vector<CachedRepairPolicy> entr
     if (lib == nullptr || lib->fingerprint() != entry.fingerprint) continue;
     const CampaignKey key{entry.soname,      entry.fingerprint, entry.seed,
                           entry.variants,    entry.probe_step_budget,
-                          entry.testbed_heap, entry.testbed_stack};
+                          entry.testbed_heap, entry.testbed_stack, 0};
     std::lock_guard lock(cache_mutex_);
     repair_cache_.insert_or_assign(key, std::move(entry.policy));
     ++admitted;
   }
   return admitted;
+}
+
+bool Toolkit::install_surface_scope(SurfaceScope scope) const {
+  const simlib::SharedLibrary* lib = catalog_.find(scope.soname);
+  if (lib == nullptr) return false;
+  if (scope.fingerprint == 0) scope.fingerprint = lib->fingerprint();
+  if (scope.fingerprint != lib->fingerprint()) return false;
+  std::sort(scope.symbols.begin(), scope.symbols.end());
+  scope.symbols.erase(std::unique(scope.symbols.begin(), scope.symbols.end()),
+                      scope.symbols.end());
+  std::lock_guard lock(cache_mutex_);
+  surface_scopes_.insert_or_assign({scope.executable, scope.soname}, std::move(scope));
+  return true;
+}
+
+std::vector<SurfaceScope> Toolkit::export_surface_scopes() const {
+  std::vector<SurfaceScope> out;
+  std::lock_guard lock(cache_mutex_);
+  out.reserve(surface_scopes_.size());
+  for (const auto& [_, scope] : surface_scopes_) out.push_back(scope);
+  return out;
+}
+
+std::size_t Toolkit::import_surface_scopes(std::vector<SurfaceScope> entries) const {
+  std::size_t admitted = 0;
+  for (SurfaceScope& entry : entries) {
+    if (install_surface_scope(std::move(entry))) ++admitted;
+  }
+  return admitted;
+}
+
+std::vector<std::string> Toolkit::surface_scope_for(const std::string& soname) const {
+  std::vector<std::string> out;
+  std::lock_guard lock(cache_mutex_);
+  for (const auto& [key, scope] : surface_scopes_) {
+    if (key.second != soname) continue;
+    out.insert(out.end(), scope.symbols.begin(), scope.symbols.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
 }
 
 linker::LinkMap Toolkit::inspect(const linker::Executable& exe) const {

@@ -49,6 +49,20 @@ struct CachedCampaign {
   injector::CampaignResult result;
 };
 
+// One executable's demand-driven surface scope for one library: the symbols
+// its static closure (debloat::compute_reachability) can reach there. The
+// derivation service scopes campaigns to the union of installed scopes, and
+// persists them as HSSP1 spec-cache entries. The fingerprint keeps scopes
+// honest the same way campaign entries are: a rebuilt library never matches.
+struct SurfaceScope {
+  std::string executable;
+  std::string soname;
+  std::uint64_t fingerprint = 0;
+  std::vector<std::string> symbols;  // sorted
+
+  [[nodiscard]] bool operator==(const SurfaceScope& other) const = default;
+};
+
 // One memoized repair policy with its full cache key — the HSRP1 persistent
 // form. The key is identical to CachedCampaign's: a repair policy is a pure
 // function of the campaign document (plus the library's man pages), so it is
@@ -139,6 +153,21 @@ class Toolkit {
   // Returns the number of entries actually admitted.
   std::size_t import_campaigns(std::vector<CachedCampaign> entries) const;
 
+  // --- demand-driven surface scopes (docs/debloat.md) -----------------------
+  // Records which symbols of scope.soname one executable can reach. A zero
+  // fingerprint is filled in from the installed library; a stale or unknown
+  // library rejects the scope. Returns whether the scope was installed.
+  bool install_surface_scope(SurfaceScope scope) const;
+  // Every installed scope, sorted by (executable, soname) — the HSSP1
+  // serialization order.
+  [[nodiscard]] std::vector<SurfaceScope> export_surface_scopes() const;
+  // Preloads scopes (e.g. parsed from a cache file); same admission rules as
+  // install_surface_scope. Returns the number of entries admitted.
+  std::size_t import_surface_scopes(std::vector<SurfaceScope> entries) const;
+  // Union of every installed scope's symbols for `soname`, sorted. Empty
+  // means no executable's scope mentions the library — derive unscoped.
+  [[nodiscard]] std::vector<std::string> surface_scope_for(const std::string& soname) const;
+
   // --- demo §3.2: application-centric --------------------------------------
   [[nodiscard]] linker::LinkMap inspect(const linker::Executable& exe) const;
 
@@ -174,13 +203,18 @@ class Toolkit {
   // content itself (covered by the fingerprint). `jobs`, `snapshot_reset`
   // and `prune` are deliberately absent: the engine guarantees bit-identical
   // results for any combination, so all of them share one cache slot.
+  // The trailing element is the surface-scope digest: 0 for a whole-library
+  // campaign, a hash of config.only_functions otherwise. Scoped campaigns
+  // are partial documents, so they get their own slots and are never
+  // exported to the portable spec cache.
   using CampaignKey = std::tuple<std::string,    // soname
                                  std::uint64_t,  // SharedLibrary::fingerprint()
                                  std::uint64_t,  // seed
                                  int,            // variants
                                  std::uint64_t,  // probe_step_budget
                                  std::uint64_t,  // testbed_heap
-                                 std::uint64_t>; // testbed_stack
+                                 std::uint64_t,  // testbed_stack
+                                 std::uint64_t>; // surface-scope digest
 
   // One in-flight campaign: the first thread to miss the cache runs it, any
   // thread that arrives while it runs waits here and shares the outcome
@@ -210,6 +244,9 @@ class Toolkit {
   mutable std::map<CampaignKey, gen::RepairPolicy> repair_cache_;
   mutable std::map<CampaignKey, std::shared_ptr<Inflight>> inflight_;
   mutable std::map<TestbedKey, std::shared_ptr<const linker::TestbedState>> testbed_states_;
+  // Installed surface scopes, keyed (executable, soname) — one scope per
+  // executable per library, latest install wins.
+  mutable std::map<std::pair<std::string, std::string>, SurfaceScope> surface_scopes_;
   mutable std::atomic<std::uint64_t> probes_executed_{0};
   mutable std::atomic<std::uint64_t> probes_implied_{0};
   std::shared_ptr<lattice::ImplicationProfileStore> profiles_ =

@@ -1,0 +1,60 @@
+// Demand-driven surface debloating: reachability analysis (docs/debloat.md).
+//
+// HEALERS wraps every exported symbol of a library, but a given executable
+// reaches only a fraction of that surface (Binary Debloating for Security
+// via Demand Driven Loading, arXiv:1902.06570). This module computes that
+// fraction: the transitive closure of the executable's undefined-symbol
+// list over the per-library intra-call edges declared by the man pages'
+// CALLS annotations. The closure is the executable's *surface profile* —
+// what demand loading is allowed to map, what campaign derivation needs to
+// probe, and what the fleet aggregates per host.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "linker/executable.hpp"
+
+namespace healers::debloat {
+
+// The static closure for one executable against a catalog.
+struct ReachabilityReport {
+  std::string executable;
+  std::uint64_t exported = 0;           // exports of the needed libraries
+  std::vector<std::string> reachable;   // sorted transitive closure
+  std::vector<std::string> unresolved;  // roots with no provider, sorted
+  // Resolved call edges the closure walked, sorted (caller, callee) — the
+  // report's explanation of *why* a symbol is reachable.
+  std::vector<std::pair<std::string, std::string>> edges;
+
+  // Share of the exported surface the closure never reaches — the symbols
+  // demand loading leaves unmapped even if the workload touches everything
+  // it legally can. 0 when nothing is exported.
+  [[nodiscard]] double unmapped_ratio() const noexcept;
+
+  [[nodiscard]] std::string to_text() const;
+};
+
+// Static closure: seeds from `exe.undefined` resolved against the needed
+// libraries (in DT_NEEDED order, like the loader), then follows each
+// reached symbol's CALLS annotations until fixpoint. Unparseable man pages
+// contribute no edges (the symbol itself stays reachable).
+[[nodiscard]] ReachabilityReport compute_reachability(const linker::Executable& exe,
+                                                      const linker::LibraryCatalog& catalog);
+
+// Dynamic refinement: unions symbols observed by a validate_executable-style
+// trace into the closure (a stale import list under-approximates the static
+// roots; the trace restores what the binary actually calls).
+void refine_with_trace(ReachabilityReport& report, const std::vector<std::string>& trace);
+
+// Creates a ready-to-run process for the executable with demand loading
+// enabled against `profile.reachable` — the debloated twin of
+// linker::spawn. Throws std::runtime_error when a needed library is missing
+// from the catalog.
+[[nodiscard]] std::unique_ptr<linker::Process> spawn_debloated(
+    const linker::Executable& exe, const linker::LibraryCatalog& catalog,
+    const ReachabilityReport& profile, std::vector<linker::InterpositionPtr> preloads = {},
+    mem::MachineConfig config = {});
+
+}  // namespace healers::debloat

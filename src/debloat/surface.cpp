@@ -1,0 +1,160 @@
+#include "debloat/surface.hpp"
+
+#include <sstream>
+
+#include "xml/xml.hpp"
+
+namespace healers::debloat {
+
+namespace {
+
+Result<std::uint64_t> parse_u64(const xml::Node& node, std::string_view attr) {
+  const std::string* raw = node.attr(attr);
+  if (raw == nullptr) return Error("surface-profile: missing attribute " + std::string(attr));
+  try {
+    std::size_t used = 0;
+    const std::uint64_t value = std::stoull(*raw, &used, 10);
+    if (used != raw->size()) return Error("surface-profile: malformed " + std::string(attr));
+    return value;
+  } catch (const std::exception&) {
+    return Error("surface-profile: malformed " + std::string(attr));
+  }
+}
+
+void add_symbol_list(xml::Node& root, const std::string& name,
+                     const std::vector<std::string>& symbols) {
+  xml::Node& list = root.add_child(name);
+  for (const std::string& symbol : symbols) {
+    list.add_child("symbol").set_attr("name", symbol);
+  }
+}
+
+Result<std::vector<std::string>> read_symbol_list(const xml::Node& root,
+                                                  std::string_view name) {
+  const xml::Node* list = root.child(name);
+  if (list == nullptr) return Error("surface-profile: missing <" + std::string(name) + ">");
+  std::vector<std::string> out;
+  for (const xml::Node* row : list->children_named("symbol")) {
+    const std::string* symbol = row->attr("name");
+    if (symbol == nullptr) return Error("surface-profile: <symbol> without name");
+    out.push_back(*symbol);
+  }
+  return out;
+}
+
+int percent(double ratio) { return static_cast<int>(ratio * 100.0 + 0.5); }
+
+}  // namespace
+
+double SurfaceProfile::unmapped_ratio() const noexcept {
+  if (exported == 0) return 0.0;
+  const std::uint64_t mapped = touched < exported ? touched : exported;
+  return static_cast<double>(exported - mapped) / static_cast<double>(exported);
+}
+
+double SurfaceProfile::bloat_ratio() const noexcept {
+  if (exported == 0) return 0.0;
+  const std::uint64_t reached = reachable < exported ? reachable : exported;
+  return static_cast<double>(exported - reached) / static_cast<double>(exported);
+}
+
+double SurfaceProfile::resident_ratio() const noexcept {
+  if (total_pages == 0) return 0.0;
+  return static_cast<double>(resident_pages) / static_cast<double>(total_pages);
+}
+
+std::string SurfaceProfile::to_xml() const {
+  xml::Node root("surface-profile");
+  root.set_attr("host", host);
+  root.set_attr("executable", executable);
+  root.set_attr("exported", std::to_string(exported));
+  root.set_attr("reachable", std::to_string(reachable));
+  root.set_attr("touched", std::to_string(touched));
+  root.set_attr("trapped", std::to_string(trapped));
+  root.set_attr("resident_pages", std::to_string(resident_pages));
+  root.set_attr("total_pages", std::to_string(total_pages));
+  add_symbol_list(root, "reachable", reachable_symbols);
+  add_symbol_list(root, "touched", touched_symbols);
+  add_symbol_list(root, "trapped", trapped_symbols);
+  return xml::serialize(root);
+}
+
+std::string SurfaceProfile::to_text() const {
+  std::ostringstream out;
+  out << "surface profile: " << executable << " on " << host << "\n";
+  out << "  exported " << exported << ", reachable " << reachable << ", touched " << touched
+      << ", trapped " << trapped << "\n";
+  out << "  unmapped: " << percent(unmapped_ratio()) << "%  bloat (outside closure): "
+      << percent(bloat_ratio()) << "%\n";
+  out << "  text pages resident: " << resident_pages << "/" << total_pages << " ("
+      << percent(resident_ratio()) << "%)\n";
+  out << "  touched:";
+  for (const std::string& symbol : touched_symbols) out << ' ' << symbol;
+  out << "\n";
+  if (!trapped_symbols.empty()) {
+    out << "  TRAPPED (surface violations):";
+    for (const std::string& symbol : trapped_symbols) out << ' ' << symbol;
+    out << "\n";
+  }
+  return out.str();
+}
+
+Result<SurfaceProfile> surface_from_xml(std::string_view document) {
+  auto parsed = xml::parse(document);
+  if (!parsed.ok()) return parsed.error();
+  return surface_from_xml(parsed.value());
+}
+
+Result<SurfaceProfile> surface_from_xml(const xml::Node& root) {
+  if (root.name() != "surface-profile") {
+    return Error("surface-profile: root element is not <surface-profile>");
+  }
+  SurfaceProfile out;
+  if (const std::string* host = root.attr("host")) out.host = *host;
+  if (const std::string* exe = root.attr("executable")) out.executable = *exe;
+  for (const auto& [field, target] :
+       std::initializer_list<std::pair<const char*, std::uint64_t*>>{
+           {"exported", &out.exported},
+           {"reachable", &out.reachable},
+           {"touched", &out.touched},
+           {"trapped", &out.trapped},
+           {"resident_pages", &out.resident_pages},
+           {"total_pages", &out.total_pages}}) {
+    auto value = parse_u64(root, field);
+    if (!value.ok()) return value.error();
+    *target = value.value();
+  }
+  for (const auto& [name, target] :
+       std::initializer_list<std::pair<const char*, std::vector<std::string>*>>{
+           {"reachable", &out.reachable_symbols},
+           {"touched", &out.touched_symbols},
+           {"trapped", &out.trapped_symbols}}) {
+    auto list = read_symbol_list(root, name);
+    if (!list.ok()) return list.error();
+    *target = std::move(list).take();
+  }
+  return out;
+}
+
+SurfaceProfile capture_surface_profile(const linker::Process& proc,
+                                       const ReachabilityReport& reach, std::string host) {
+  SurfaceProfile profile;
+  profile.host = std::move(host);
+  profile.executable = proc.name();
+  profile.exported = proc.surface().exported;
+  profile.reachable = reach.reachable.size();
+  profile.touched = proc.surface().mapped;
+  profile.trapped = proc.surface().violations;
+  profile.reachable_symbols = reach.reachable;
+  profile.touched_symbols.assign(proc.touched_symbols().begin(), proc.touched_symbols().end());
+  profile.trapped_symbols.assign(proc.trapped_symbols().begin(), proc.trapped_symbols().end());
+  // One text page per export is what eager binding would map; the load
+  // barrier mapped exactly one resident page per touched symbol.
+  profile.total_pages = profile.exported;
+  for (const mem::Region* region : proc.machine().mem().region_map()) {
+    if (region->label.rfind("text:", 0) == 0) profile.resident_pages += region->resident_pages();
+  }
+  return profile;
+}
+
+}  // namespace healers::debloat

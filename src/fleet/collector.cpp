@@ -5,6 +5,7 @@
 #include <sstream>
 #include <utility>
 
+#include "debloat/surface.hpp"
 #include "fleet/wire.hpp"
 #include "incident/dossier.hpp"
 #include "simlib/cerrno.hpp"
@@ -84,6 +85,23 @@ void FleetCollector::fold_dossier(const incident::Dossier& dossier) {
   aggregated_.fetch_add(1, std::memory_order_relaxed);
 }
 
+void FleetCollector::fold_surface(const debloat::SurfaceProfile& profile) {
+  AggShard& shard = *agg_[fnv1a(profile.executable) % agg_.size()];
+  {
+    std::lock_guard lock(shard.mutex);
+    SurfaceAgg& agg = shard.surfaces[profile.executable];
+    ++agg.docs;
+    agg.exported += profile.exported;
+    agg.reachable += profile.reachable;
+    agg.touched += profile.touched;
+    agg.trapped += profile.trapped;
+    agg.resident_pages += profile.resident_pages;
+    agg.total_pages += profile.total_pages;
+    for (const std::string& symbol : profile.trapped_symbols) ++agg.trapped_symbols[symbol];
+  }
+  aggregated_.fetch_add(1, std::memory_order_relaxed);
+}
+
 void FleetCollector::flush() {
   // Claim everything queued right now; later submits wait for the next flush.
   // Shards are claimed one at a time, so a producer racing this loop may
@@ -131,6 +149,15 @@ void FleetCollector::flush() {
           fold_dossier(dossier.value());
           continue;
         }
+        if (is_surface_binary(payload)) {
+          auto surface = decode_surface_binary(payload);
+          if (!surface.ok()) {
+            reject(surface.error().message);
+            continue;
+          }
+          fold_surface(surface.value());
+          continue;
+        }
         if (is_binary_document(payload)) {
           auto report = decode_binary(payload);
           if (!report.ok()) {
@@ -152,6 +179,15 @@ void FleetCollector::flush() {
             continue;
           }
           fold_dossier(dossier.value());
+          continue;
+        }
+        if (parsed.value().name() == "surface-profile") {
+          auto surface = debloat::surface_from_xml(parsed.value());
+          if (!surface.ok()) {
+            reject(surface.error().message);
+            continue;
+          }
+          fold_surface(surface.value());
           continue;
         }
         auto report = profile::from_xml(parsed.value());
@@ -204,6 +240,18 @@ FleetSnapshot FleetCollector::snapshot() const {
     }
     for (const auto& [err, count] : shard->global_errnos) snap.global_errnos[err] += count;
     for (const auto& [key, count] : shard->dossiers) snap.dossiers[key] += count;
+    for (const auto& [exe, agg] : shard->surfaces) {
+      SurfaceAgg& total = snap.surfaces[exe];
+      total.docs += agg.docs;
+      total.exported += agg.exported;
+      total.reachable += agg.reachable;
+      total.touched += agg.touched;
+      total.trapped += agg.trapped;
+      total.resident_pages += agg.resident_pages;
+      total.total_pages += agg.total_pages;
+      for (const auto& [symbol, count] : agg.trapped_symbols)
+        total.trapped_symbols[symbol] += count;
+    }
   }
   snap.cycles_p50 = merged.quantile(0.50);
   snap.cycles_p95 = merged.quantile(0.95);
@@ -249,6 +297,26 @@ std::string FleetSnapshot::render() const {
     for (const auto& [key, count] : dossiers) {
       out << "    " << std::left << std::setw(24) << key << std::right << std::setw(8) << count
           << "\n";
+    }
+  }
+  if (!surfaces.empty()) {
+    std::uint64_t total = 0;
+    for (const auto& [_, agg] : surfaces) total += agg.docs;
+    out << "  surface profiles: " << total << "\n";
+    for (const auto& [exe, agg] : surfaces) {
+      // Integer percentages over commutative sums keep the line identical
+      // for every shard/worker split of the same document set.
+      const std::uint64_t unmapped =
+          agg.exported == 0 ? 0 : (agg.exported - agg.touched) * 100 / agg.exported;
+      const std::uint64_t resident =
+          agg.total_pages == 0 ? 0 : agg.resident_pages * 100 / agg.total_pages;
+      out << "    " << std::left << std::setw(12) << exe << std::right << std::setw(8)
+          << agg.docs << " docs, " << unmapped << "% unmapped, " << resident
+          << "% pages resident, " << agg.trapped << " trapped\n";
+      for (const auto& [symbol, count] : agg.trapped_symbols) {
+        out << "      trapped " << std::left << std::setw(16) << symbol << std::right
+            << std::setw(8) << count << "\n";
+      }
     }
   }
   return out.str();

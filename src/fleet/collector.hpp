@@ -35,6 +35,10 @@ namespace healers::incident {
 struct Dossier;
 }
 
+namespace healers::debloat {
+struct SurfaceProfile;
+}
+
 namespace healers::fleet {
 
 // What submit() does when the target queue is full. Both policies COUNT the
@@ -53,6 +57,20 @@ struct CollectorConfig {
   OverflowPolicy policy = OverflowPolicy::kDropNewest;
 };
 
+// Commutative per-executable aggregate of surface-profile documents
+// (docs/debloat.md): plain sums, so shard and worker counts cannot change
+// the snapshot.
+struct SurfaceAgg {
+  std::uint64_t docs = 0;
+  std::uint64_t exported = 0;
+  std::uint64_t reachable = 0;
+  std::uint64_t touched = 0;
+  std::uint64_t trapped = 0;
+  std::uint64_t resident_pages = 0;
+  std::uint64_t total_pages = 0;
+  std::map<std::string, std::uint64_t> trapped_symbols;  // symbol -> reports
+};
+
 // A merged, immutable view of the collector at one instant.
 struct FleetSnapshot {
   std::uint64_t submitted = 0;
@@ -66,6 +84,8 @@ struct FleetSnapshot {
   // counts, like everything else here, so the summary stays byte-identical
   // across shard and worker counts.
   std::map<std::string, std::uint64_t> dossiers;
+  // Surface-profile documents folded per executable.
+  std::map<std::string, SurfaceAgg> surfaces;
   std::uint64_t cycles_p50 = 0;  // exec cycles per document
   std::uint64_t cycles_p95 = 0;
   std::uint64_t cycles_p99 = 0;
@@ -111,11 +131,13 @@ class FleetCollector {
     std::map<std::string, profile::FunctionProfile> functions;
     std::map<int, std::uint64_t> global_errnos;
     std::map<std::string, std::uint64_t> dossiers;  // "<detector> <symbol>" -> docs
+    std::map<std::string, SurfaceAgg> surfaces;     // executable -> aggregate
     CycleSketch sketch;  // one sample per document: its total exec cycles
   };
 
   void fold(const profile::ProfileReport& report);
   void fold_dossier(const incident::Dossier& dossier);
+  void fold_surface(const debloat::SurfaceProfile& profile);
 
   CollectorConfig config_;
   std::vector<std::unique_ptr<IngestShard>> ingest_;

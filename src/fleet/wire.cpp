@@ -196,7 +196,8 @@ Result<incident::Dossier> decode_dossier_binary(std::string_view payload) {
   incident::Dossier dossier;
   dossier.process = cur.str();
   const std::uint32_t detector = cur.u32();
-  if (!cur.ok() || detector > static_cast<std::uint32_t>(simlib::DetectionKind::kRepair)) {
+  if (!cur.ok() ||
+      detector > static_cast<std::uint32_t>(simlib::DetectionKind::kSurfaceViolation)) {
     return Error("binary dossier: bad detector");
   }
   dossier.detector = static_cast<simlib::DetectionKind>(detector);
@@ -278,6 +279,59 @@ Result<incident::Dossier> decode_dossier(std::string_view payload) {
 
 bool is_dossier_binary(std::string_view payload) noexcept {
   return payload.substr(0, kDossierMagic.size()) == kDossierMagic;
+}
+
+std::string encode_surface_binary(const debloat::SurfaceProfile& profile) {
+  std::string out;
+  out.append(kSurfaceMagic);
+  put_str(out, profile.host);
+  put_str(out, profile.executable);
+  put_u64(out, profile.exported);
+  put_u64(out, profile.reachable);
+  put_u64(out, profile.touched);
+  put_u64(out, profile.trapped);
+  put_u64(out, profile.resident_pages);
+  put_u64(out, profile.total_pages);
+  for (const std::vector<std::string>* list :
+       {&profile.reachable_symbols, &profile.touched_symbols, &profile.trapped_symbols}) {
+    put_u32(out, static_cast<std::uint32_t>(list->size()));
+    for (const std::string& symbol : *list) put_str(out, symbol);
+  }
+  return out;
+}
+
+Result<debloat::SurfaceProfile> decode_surface_binary(std::string_view payload) {
+  if (!is_surface_binary(payload)) return Error("binary surface profile: bad magic");
+  Cursor cur(payload.substr(kSurfaceMagic.size()));
+  debloat::SurfaceProfile profile;
+  profile.host = cur.str();
+  profile.executable = cur.str();
+  profile.exported = cur.u64();
+  profile.reachable = cur.u64();
+  profile.touched = cur.u64();
+  profile.trapped = cur.u64();
+  profile.resident_pages = cur.u64();
+  profile.total_pages = cur.u64();
+  for (std::vector<std::string>* list :
+       {&profile.reachable_symbols, &profile.touched_symbols, &profile.trapped_symbols}) {
+    const std::uint32_t count = cur.u32();
+    if (!cur.ok() || count > payload.size()) {
+      return Error("binary surface profile: truncated list");
+    }
+    for (std::uint32_t i = 0; i < count && cur.ok(); ++i) list->push_back(cur.str());
+  }
+  if (!cur.ok()) return Error("binary surface profile: truncated");
+  if (!cur.at_end()) return Error("binary surface profile: trailing bytes");
+  return profile;
+}
+
+Result<debloat::SurfaceProfile> decode_surface(std::string_view payload) {
+  if (is_surface_binary(payload)) return decode_surface_binary(payload);
+  return debloat::surface_from_xml(payload);
+}
+
+bool is_surface_binary(std::string_view payload) noexcept {
+  return payload.substr(0, kSurfaceMagic.size()) == kSurfaceMagic;
 }
 
 std::string frame_stream(const std::vector<std::string>& documents) {

@@ -41,6 +41,7 @@
 #include <string_view>
 #include <vector>
 
+#include "debloat/surface.hpp"
 #include "incident/dossier.hpp"
 #include "profile/report.hpp"
 #include "support/result.hpp"
@@ -84,6 +85,16 @@ class Cursor {
 inline constexpr std::string_view kBinaryMagic = "HFB1";
 // Magic prefix of a binary crash-dossier document.
 inline constexpr std::string_view kDossierMagic = "HDB1";
+// Magic prefix of a binary surface-profile document (docs/debloat.md):
+//
+//   "HSP1"                                magic, 4 bytes
+//   str host, str executable
+//   u64 exported, u64 reachable, u64 touched, u64 trapped
+//   u64 resident_pages, u64 total_pages
+//   u32 nreachable, per symbol: str
+//   u32 ntouched, per symbol: str
+//   u32 ntrapped, per symbol: str
+inline constexpr std::string_view kSurfaceMagic = "HSP1";
 // Header of a framed document stream.
 inline constexpr std::string_view kStreamMagic = "HFDS1\n";
 
@@ -112,6 +123,20 @@ inline constexpr std::string_view kStreamMagic = "HFDS1\n";
 
 // True when the payload carries the binary dossier magic.
 [[nodiscard]] bool is_dossier_binary(std::string_view payload) noexcept;
+
+// Surface profile -> compact binary document (deterministic).
+[[nodiscard]] std::string encode_surface_binary(const debloat::SurfaceProfile& profile);
+
+// Strict binary surface-profile decoder (payload must start with
+// kSurfaceMagic).
+[[nodiscard]] Result<debloat::SurfaceProfile> decode_surface_binary(std::string_view payload);
+
+// Format-sniffing surface-profile decoder: binary by magic, otherwise
+// parsed as a <surface-profile> XML document.
+[[nodiscard]] Result<debloat::SurfaceProfile> decode_surface(std::string_view payload);
+
+// True when the payload carries the binary surface-profile magic.
+[[nodiscard]] bool is_surface_binary(std::string_view payload) noexcept;
 
 // Batch framing: documents -> one stream blob, and back.
 [[nodiscard]] std::string frame_stream(const std::vector<std::string>& documents);

@@ -9,9 +9,10 @@ namespace {
 using simlib::DetectionKind;
 using simlib::RepairAction;
 
-constexpr std::array<DetectionKind, 6> kAllKinds = {
+constexpr std::array<DetectionKind, 7> kAllKinds = {
     DetectionKind::kArgCheck,    DetectionKind::kHeapSmash,   DetectionKind::kStackSmash,
-    DetectionKind::kAccessFault, DetectionKind::kErrorInject, DetectionKind::kRepair};
+    DetectionKind::kAccessFault, DetectionKind::kErrorInject, DetectionKind::kRepair,
+    DetectionKind::kSurfaceViolation};
 
 constexpr std::array<RepairAction, 4> kAllActions = {
     RepairAction::kTruncateWrite, RepairAction::kSubstituteBounded,

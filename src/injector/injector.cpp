@@ -625,6 +625,11 @@ Result<CampaignResult> FaultInjector::run_campaign(
   // failures surface deterministically and workers never touch the cache.
   std::vector<std::pair<const simlib::Symbol*, const parser::ManPage*>> functions;
   for (const std::string& name : lib.names()) {
+    if (!config_.only_functions.empty() &&
+        std::find(config_.only_functions.begin(), config_.only_functions.end(), name) ==
+            config_.only_functions.end()) {
+      continue;  // outside the surface scope: the executable can never call it
+    }
     if (progress) progress(name);
     const simlib::Symbol* symbol = lib.find(name);
     if (symbol == nullptr) {

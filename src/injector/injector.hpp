@@ -48,6 +48,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "injector/robust_spec.hpp"
 #include "linker/executable.hpp"
@@ -68,6 +69,12 @@ struct InjectorConfig {
   std::uint64_t probe_step_budget = 2'000'000;  // watchdog per probe
   std::uint64_t testbed_heap = 256 << 10;
   std::uint64_t testbed_stack = 64 << 10;
+  // Restricts the campaign to these functions (the demand-driven surface
+  // scope, docs/debloat.md: probe only what an executable can reach). Empty
+  // probes the whole library. UNLIKE the engine knobs below, this changes
+  // the campaign document — scoped campaigns are cached under a separate
+  // key and never exported to the portable spec cache.
+  std::vector<std::string> only_functions;
   // Campaign-engine knobs. None affects results (see the determinism
   // guarantee above) — only how fast the campaign runs.
   int jobs = 1;                // worker threads; 0 = hardware concurrency

@@ -18,7 +18,30 @@ std::string LinkMap::to_text() const {
     out += "  " + res.symbol + " -> " + (res.provider.empty() ? "<unresolved>" : res.provider) +
            "\n";
   }
+  if (!stale_imports.empty()) {
+    out += "stale imports (called at runtime, missing from the declared list):\n";
+    for (const std::string& symbol : stale_imports) {
+      out += "  " + symbol + "\n";
+    }
+  }
   return out;
+}
+
+xml::Node LinkMap::to_xml() const {
+  xml::Node root("link-map");
+  root.set_attr("executable", executable);
+  for (const std::string& soname : linked_libraries) {
+    root.add_child("library").set_attr("soname", soname);
+  }
+  for (const SymbolResolution& res : resolutions) {
+    xml::Node& row = root.add_child("import");
+    row.set_attr("symbol", res.symbol);
+    row.set_attr("provider", res.provider);
+  }
+  for (const std::string& symbol : stale_imports) {
+    root.add_child("stale-import").set_attr("symbol", symbol);
+  }
+  return root;
 }
 
 void LibraryCatalog::install(const simlib::SharedLibrary* lib) {

@@ -11,6 +11,7 @@
 
 #include "linker/process.hpp"
 #include "simlib/library.hpp"
+#include "xml/xml.hpp"
 
 namespace healers::linker {
 
@@ -38,8 +39,15 @@ struct LinkMap {
   std::vector<std::string> linked_libraries;    // needed, in order
   std::vector<SymbolResolution> resolutions;    // one per undefined symbol
   std::vector<std::string> unresolved;          // subset with no provider
+  // validate_executable() findings: symbols the entry point actually called
+  // that the declared import list is missing. Empty until a dynamic
+  // validation pass records them (inspect --validate).
+  std::vector<std::string> stale_imports;
 
   [[nodiscard]] std::string to_text() const;  // human-readable rendering
+  // Deterministic <link-map> document, stale imports included — the
+  // machine-readable Fig 4 view.
+  [[nodiscard]] xml::Node to_xml() const;
 };
 
 // A catalogue of installed libraries ("list all libraries in the system",

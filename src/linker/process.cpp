@@ -32,18 +32,74 @@ Process::Process(std::string name, mem::MachineConfig config)
 void Process::load_library(const simlib::SharedLibrary* lib) {
   if (lib == nullptr) throw std::invalid_argument("Process::load_library: null library");
   libraries_.push_back(lib);
-  // Populate GOT slots for the library's exports (lazy binding is not
-  // modeled; all slots bind at load, as with LD_BIND_NOW).
-  for (const std::string& symbol : lib->names()) {
-    machine_.define_got_slot(symbol);
+  if (demand_loading_) {
+    // The load barrier: exports stay unmapped until first call. Only the
+    // export count is taken now, for the bloat-ratio denominator.
+    surface_.exported += lib->names().size();
+  } else {
+    // Populate GOT slots for the library's exports (all slots bind at load,
+    // as with LD_BIND_NOW).
+    for (const std::string& symbol : lib->names()) {
+      machine_.define_got_slot(symbol);
+    }
   }
   plans_.clear();  // new definitions may change symbol resolution
 }
 
 void Process::preload(InterpositionPtr wrapper) {
   if (wrapper == nullptr) throw std::invalid_argument("Process::preload: null wrapper");
+  // Reject the same *instance* twice (it would dispatch twice per call);
+  // distinct instances sharing a family name ("profiling-wrapper" for two
+  // libraries) are a legitimate stack.
+  for (const InterpositionPtr& existing : preloads_) {
+    if (existing.get() == wrapper.get()) {
+      throw std::invalid_argument("Process::preload: duplicate wrapper '" + wrapper->name() +
+                                  "'");
+    }
+  }
   preloads_.push_back(std::move(wrapper));
   plans_.clear();  // the new layer must appear in every affected chain
+}
+
+void Process::enable_demand_loading(std::vector<std::string> profile) {
+  if (!libraries_.empty()) {
+    throw std::logic_error("Process::enable_demand_loading: libraries already loaded");
+  }
+  demand_loading_ = true;
+  profile_.insert(std::make_move_iterator(profile.begin()),
+                  std::make_move_iterator(profile.end()));
+}
+
+void Process::fault_in_symbol(const std::string& symbol) {
+  machine_.define_got_slot(symbol);
+  // The symbol's code pages fault into the COW space as a one-page
+  // read-only region; resident_pages() over "text:" regions is the working
+  // set the surface profile reports.
+  const simlib::SharedLibrary* owner = nullptr;
+  for (const simlib::SharedLibrary* lib : libraries_) {
+    if (lib->find(symbol) != nullptr) {
+      owner = lib;
+      break;
+    }
+  }
+  machine_.mem().map(mem::kCowPageSize, mem::Perm::kRead, mem::RegionKind::kRodata,
+                     "text:" + (owner != nullptr ? owner->soname() : std::string("?")) + ":" +
+                         symbol);
+  ++surface_.mapped;
+  touched_.insert(symbol);
+}
+
+void Process::trap_surface_violation(const std::string& symbol,
+                                     std::vector<simlib::SimValue> args) {
+  ++surface_.violations;
+  trapped_.insert(symbol);
+  const std::string detail = "call to '" + symbol + "' outside the surface profile (" +
+                             std::to_string(profile_.size()) + " symbols reachable)";
+  if (observer_ != nullptr) {
+    simlib::CallContext ctx{machine_, state_, std::move(args)};
+    observer_->on_detection(ctx, simlib::DetectionKind::kSurfaceViolation, symbol, detail, 0);
+  }
+  throw SimAbort("surface violation: " + detail);
 }
 
 const simlib::Symbol* Process::resolve(const std::string& symbol) const {
@@ -93,6 +149,19 @@ simlib::SimValue Process::run_plan(const DispatchPlan& plan, std::size_t layer,
 }
 
 simlib::SimValue Process::call(const std::string& symbol, std::vector<simlib::SimValue> args) {
+  // The load barrier (demand loading only): a resolvable symbol with no GOT
+  // slot is either faulted in (profile member) or trapped as a surface
+  // violation. Unresolvable symbols fall through to the normal
+  // unresolved-symbol crash below.
+  if (demand_loading_ && !machine_.has_got_slot(symbol) && resolve(symbol) != nullptr) {
+    if (profile_.contains(symbol)) {
+      fault_in_symbol(symbol);
+    } else {
+      ++calls_dispatched_;
+      if (observer_ != nullptr) observer_->on_call(symbol, args, machine_);
+      trap_surface_violation(symbol, std::move(args));
+    }
+  }
   // The GOT hop: validates that the slot still points at real code. An
   // attacker-rewritten slot raises ControlFlowHijack here — *before* any
   // wrapper or library code runs, like a hijacked PLT jump. Symbols with no

@@ -15,6 +15,7 @@
 
 #include <functional>
 #include <memory>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -76,11 +77,41 @@ class Process {
   // --- loading ---
   // Loads a shared library (non-owning; the library must outlive the
   // process). Resolution searches libraries in load order. Defines a GOT
-  // slot for every symbol the library exports.
+  // slot for every symbol the library exports — unless demand loading is
+  // enabled, in which case exports stay behind the load barrier.
   void load_library(const simlib::SharedLibrary* lib);
   // Prepends/appends a wrapper to the preload list. Wrappers preloaded
   // earlier are outermost (first to see the call), matching LD_PRELOAD.
+  // Preloading the same wrapper object (or another wrapper with the same
+  // name) twice throws std::invalid_argument — a double LD_PRELOAD entry
+  // would silently double every detector.
   void preload(InterpositionPtr wrapper);
+
+  // --- demand loading (debloat, docs/debloat.md) ---
+  // Switches the loader to lazy binding against a surface profile: exports
+  // of subsequently loaded libraries start unmapped (no GOT slot, no text
+  // page). The first call to a profile symbol faults it in — defines its
+  // GOT slot and maps its one-page text region — while a call to a
+  // resolvable symbol OUTSIDE the profile raises the surface-violation
+  // detector on the observer and terminates the process (SimAbort).
+  // Enable before loading libraries; throws std::logic_error afterwards.
+  void enable_demand_loading(std::vector<std::string> profile);
+  [[nodiscard]] bool demand_loading() const noexcept { return demand_loading_; }
+
+  struct SurfaceCounters {
+    std::uint64_t exported = 0;    // symbols the load set exports (with dups)
+    std::uint64_t mapped = 0;      // symbols faulted in so far
+    std::uint64_t violations = 0;  // out-of-profile call attempts
+  };
+  [[nodiscard]] const SurfaceCounters& surface() const noexcept { return surface_; }
+  // Symbols faulted in so far, sorted (the dynamic "touched" trace).
+  [[nodiscard]] const std::set<std::string>& touched_symbols() const noexcept {
+    return touched_;
+  }
+  // Out-of-profile symbols whose calls trapped, sorted.
+  [[nodiscard]] const std::set<std::string>& trapped_symbols() const noexcept {
+    return trapped_;
+  }
   [[nodiscard]] const std::vector<const simlib::SharedLibrary*>& libraries() const noexcept {
     return libraries_;
   }
@@ -162,6 +193,11 @@ class Process {
   const DispatchPlan& plan_for(const std::string& symbol);
   simlib::SimValue run_plan(const DispatchPlan& plan, std::size_t layer,
                             const std::string& symbol, simlib::CallContext& ctx);
+  // Demand loading: defines the GOT slot and maps the symbol's text page.
+  void fault_in_symbol(const std::string& symbol);
+  // Demand loading: raises the surface-violation detector and aborts.
+  [[noreturn]] void trap_surface_violation(const std::string& symbol,
+                                           std::vector<simlib::SimValue> args);
 
   std::string name_;
   mem::Machine machine_;
@@ -171,6 +207,13 @@ class Process {
   std::unordered_map<std::string, DispatchPlan> plans_;
   std::uint64_t calls_dispatched_ = 0;
   simlib::CallObserver* observer_ = nullptr;
+
+  // Demand-loading state (inert unless enable_demand_loading ran).
+  bool demand_loading_ = false;
+  std::set<std::string> profile_;  // symbols allowed through the barrier
+  std::set<std::string> touched_;  // symbols faulted in, sorted
+  std::set<std::string> trapped_;  // out-of-profile symbols that trapped
+  SurfaceCounters surface_;
 };
 
 }  // namespace healers::linker

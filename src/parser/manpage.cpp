@@ -386,6 +386,11 @@ Status apply_note(ManPage& page, const std::string& line) {
     for (std::size_t i = 1; i < words.size(); ++i) page.errnos.push_back(words[i]);
     return Status::success();
   }
+  if (keyword == "CALLS") {
+    if (words.size() < 2) return Error("CALLS: missing symbol name");
+    for (std::size_t i = 1; i < words.size(); ++i) page.calls.push_back(words[i]);
+    return Status::success();
+  }
   if (keyword == "VARARGS") {
     page.varargs = true;
     return Status::success();

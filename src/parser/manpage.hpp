@@ -23,6 +23,10 @@
 //   HEAP ALLOC | HEAP FREE         allocation-tracking hints
 //   ERRNO <name...>                errno values the function may set
 //   VARARGS | STATEFUL | NORETURN  behavioural flags
+//   CALLS <name> [<name>...]       library symbols this function calls
+//                                  internally (intra-/cross-library call
+//                                  edges; the debloat reachability closure
+//                                  walks them)
 //
 // <expr> is a '+'-separated sum of: an integer literal, arg(k) (the value of
 // the k-th argument), cstrlen(k) (the string length of the k-th argument),
@@ -136,6 +140,7 @@ struct ManPage {
   bool noreturn = false;
   bool varargs = false;
   std::vector<std::string> errnos;
+  std::vector<std::string> calls;  // CALLS: symbols reached from this one
 
   // Annotation for a 1-based argument index; nullptr when unannotated.
   [[nodiscard]] const ArgAnnotation* arg(int index_1based) const noexcept;

@@ -69,6 +69,12 @@ DeriveServer::Ticket DeriveServer::submit(std::string request_bytes) {
   return ticket;
 }
 
+injector::InjectorConfig DeriveServer::campaign_config(const DeriveRequest& request) const {
+  injector::InjectorConfig config = request.injector_config();
+  if (config_.debloat) config.only_functions = toolkit_.surface_scope_for(request.soname);
+  return config;
+}
+
 DeriveResponse DeriveServer::serve(const DeriveRequest& request) const {
   DeriveResponse response;
   auto reject = [&response](std::string message) {
@@ -80,7 +86,7 @@ DeriveResponse DeriveServer::serve(const DeriveRequest& request) const {
   };
 
   if (request.endpoint == Endpoint::kDerive) {
-    auto campaign = toolkit_.derive_robust_api(request.soname, request.injector_config());
+    auto campaign = toolkit_.derive_robust_api(request.soname, campaign_config(request));
     if (!campaign.ok()) return reject(campaign.error().message);
     response.probes = campaign.value().total_probes();
     response.payload = request.format == WireFormat::kBinary
@@ -97,7 +103,7 @@ DeriveResponse DeriveServer::serve(const DeriveRequest& request) const {
   const injector::CampaignResult* campaign_ptr = nullptr;
   switch (request.bundle) {
     case BundleKind::kRobustness: {
-      auto derived = toolkit_.derive_robust_api(request.soname, request.injector_config());
+      auto derived = toolkit_.derive_robust_api(request.soname, campaign_config(request));
       if (!derived.ok()) return reject(derived.error().message);
       campaign = std::move(derived).take();
       campaign_ptr = &campaign;
@@ -120,12 +126,12 @@ DeriveResponse DeriveServer::serve(const DeriveRequest& request) const {
     case BundleKind::kRepair: {
       // Repair bundles derive the campaign AND the policy server-side, so a
       // warm fleet ships repaired wrappers with zero client-side probes.
-      auto derived = toolkit_.derive_robust_api(request.soname, request.injector_config());
+      auto derived = toolkit_.derive_robust_api(request.soname, campaign_config(request));
       if (!derived.ok()) return reject(derived.error().message);
       campaign = std::move(derived).take();
       campaign_ptr = &campaign;
       response.probes = campaign.total_probes();
-      auto policy = toolkit_.derive_repair_policy(request.soname, request.injector_config());
+      auto policy = toolkit_.derive_repair_policy(request.soname, campaign_config(request));
       if (!policy.ok()) return reject(policy.error().message);
       builder.add(gen::prototype_gen())
           .add(wrappers::repair_gen(

@@ -60,6 +60,10 @@ struct ServerConfig {
   std::size_t queue_capacity = 256;  // per queue shard
   unsigned workers = 1;              // drain workers, 0 = all cores
   AdmissionPolicy policy = AdmissionPolicy::kShedNewest;
+  // Scope campaigns to the toolkit's installed surface scopes (--debloat):
+  // a derive for a library only probes the symbols some executable's static
+  // closure can reach. Libraries with no installed scope derive unscoped.
+  bool debloat = false;
 };
 
 // A merged, immutable view of the server's counters at one instant. All
@@ -153,6 +157,10 @@ class DeriveServer {
   // Computes the response for one decoded request — the pure function the
   // whole service memoizes.
   [[nodiscard]] DeriveResponse serve(const DeriveRequest& request) const;
+
+  // The request's campaign config, with the toolkit's surface scope for the
+  // requested library applied when config_.debloat is set.
+  [[nodiscard]] injector::InjectorConfig campaign_config(const DeriveRequest& request) const;
 
   void answer(Ticket ticket, std::shared_ptr<const std::string> response);
 

@@ -123,6 +123,36 @@ Result<core::CachedRepairPolicy> decode_repair_entry(std::string_view payload) {
   return entry;
 }
 
+std::string encode_surface_entry(const core::SurfaceScope& entry) {
+  using fleet::codec::put_str;
+  using fleet::codec::put_u32;
+  using fleet::codec::put_u64;
+  std::string out;
+  out.append(kSurfaceEntryMagic);
+  put_str(out, entry.executable);
+  put_str(out, entry.soname);
+  put_u64(out, entry.fingerprint);
+  put_u32(out, static_cast<std::uint32_t>(entry.symbols.size()));
+  for (const std::string& symbol : entry.symbols) put_str(out, symbol);
+  return out;
+}
+
+Result<core::SurfaceScope> decode_surface_entry(std::string_view payload) {
+  if (payload.substr(0, kSurfaceEntryMagic.size()) != kSurfaceEntryMagic) {
+    return Error("surface entry: bad magic");
+  }
+  fleet::codec::Cursor cur(payload.substr(kSurfaceEntryMagic.size()));
+  core::SurfaceScope entry;
+  entry.executable = cur.str();
+  entry.soname = cur.str();
+  entry.fingerprint = cur.u64();
+  const std::uint32_t count = cur.u32();
+  for (std::uint32_t i = 0; cur.ok() && i < count; ++i) entry.symbols.push_back(cur.str());
+  if (!cur.ok()) return Error("surface entry: truncated");
+  if (!cur.at_end()) return Error("surface entry: trailing bytes");
+  return entry;
+}
+
 std::string encode_cache_file(const std::vector<core::CachedCampaign>& entries) {
   std::vector<std::string> documents;
   documents.reserve(entries.size());
@@ -157,6 +187,9 @@ Status save_cache_file(const core::Toolkit& toolkit, const std::string& path) {
   for (const core::CachedRepairPolicy& entry : toolkit.export_repair_policies()) {
     documents.push_back(encode_repair_entry(entry));
   }
+  for (const core::SurfaceScope& entry : toolkit.export_surface_scopes()) {
+    documents.push_back(encode_surface_entry(entry));
+  }
   const std::string image = fleet::frame_stream(documents);
   std::ofstream out(path, std::ios::binary);
   if (!out) return Status::failure("cannot write " + path);
@@ -165,7 +198,8 @@ Status save_cache_file(const core::Toolkit& toolkit, const std::string& path) {
   return Status::success();
 }
 
-Result<std::size_t> load_cache_file(const core::Toolkit& toolkit, const std::string& path) {
+Result<std::size_t> load_cache_file(const core::Toolkit& toolkit, const std::string& path,
+                                    std::size_t* skipped_unknown) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Error("cannot read " + path);
   std::ostringstream buffer;
@@ -175,6 +209,8 @@ Result<std::size_t> load_cache_file(const core::Toolkit& toolkit, const std::str
   std::vector<core::CachedCampaign> campaigns;
   std::vector<lattice::SignatureProfile> profiles;
   std::vector<core::CachedRepairPolicy> repairs;
+  std::vector<core::SurfaceScope> scopes;
+  std::size_t unknown = 0;
   for (const std::string& doc : documents.value()) {
     if (doc.substr(0, kProfileEntryMagic.size()) == kProfileEntryMagic) {
       auto profile = decode_profile_entry(doc);
@@ -188,12 +224,26 @@ Result<std::size_t> load_cache_file(const core::Toolkit& toolkit, const std::str
       repairs.push_back(std::move(repair).take());
       continue;
     }
+    if (doc.substr(0, kSurfaceEntryMagic.size()) == kSurfaceEntryMagic) {
+      auto scope = decode_surface_entry(doc);
+      if (!scope.ok()) return Error(path + ": " + scope.error().message);
+      scopes.push_back(std::move(scope).take());
+      continue;
+    }
+    if (doc.substr(0, kCacheEntryMagic.size()) != kCacheEntryMagic) {
+      // An entry kind this build does not know — written by a newer toolkit.
+      // Skipping it keeps old readers serving everything they DO understand.
+      ++unknown;
+      continue;
+    }
     auto entry = decode_cache_entry(doc);
     if (!entry.ok()) return Error(path + ": " + entry.error().message);
     campaigns.push_back(std::move(entry).take());
   }
+  if (skipped_unknown != nullptr) *skipped_unknown = unknown;
   toolkit.implication_profiles()->import_profiles(profiles);
   toolkit.import_repair_policies(std::move(repairs));
+  toolkit.import_surface_scopes(std::move(scopes));
   return toolkit.import_campaigns(std::move(campaigns));
 }
 

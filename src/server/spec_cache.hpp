@@ -27,9 +27,17 @@
 //   u64 testbed_heap, u64 testbed_stack
 //   str policy                             a <repair-policy> XML document
 //
+//   "HSSP1"                                surface-scope entry
+//   str executable, str soname, u64 fingerprint
+//   u32 n, n × str                         reachable symbols, sorted
+//
 // Repair-policy entries (ISSUE 9) carry campaign-derived RepairPolicy
 // documents under the same key and fingerprint discipline as campaigns, so
 // a warm fleet ships repaired wrappers without re-deriving (docs/repair.md).
+//
+// Surface-scope entries (docs/debloat.md) record which symbols of a library
+// one executable's static closure can reach; a loaded toolkit scopes
+// --debloat campaigns to the union of its installed scopes.
 //
 // Profile entries carry the cross-campaign implication learning (DESIGN.md,
 // "Subsumption pruning"): a warm server fleet loads them and orders/prunes
@@ -40,7 +48,10 @@
 // The fingerprint is part of the key: entries recorded against an older
 // build of a library decode fine but are skipped at import, so a cache file
 // can never serve stale specs. Both layers are strict decoders — a
-// truncated or alien file is an error, never a partial cache.
+// truncated or alien file is an error, never a partial cache. The one
+// deliberate leniency is forward compatibility: a payload whose magic this
+// build does not know (an entry kind a NEWER writer added) is skipped and
+// counted, not fatal — old readers keep serving what they understand.
 #pragma once
 
 #include <string>
@@ -56,6 +67,7 @@ namespace healers::server {
 inline constexpr std::string_view kCacheEntryMagic = "HSCE1";
 inline constexpr std::string_view kProfileEntryMagic = "HSIP1";
 inline constexpr std::string_view kRepairEntryMagic = "HSRP1";
+inline constexpr std::string_view kSurfaceEntryMagic = "HSSP1";
 
 // One campaign entry <-> its binary payload.
 [[nodiscard]] std::string encode_cache_entry(const core::CachedCampaign& entry);
@@ -69,6 +81,10 @@ inline constexpr std::string_view kRepairEntryMagic = "HSRP1";
 [[nodiscard]] std::string encode_repair_entry(const core::CachedRepairPolicy& entry);
 [[nodiscard]] Result<core::CachedRepairPolicy> decode_repair_entry(std::string_view payload);
 
+// One surface-scope entry <-> its binary payload.
+[[nodiscard]] std::string encode_surface_entry(const core::SurfaceScope& entry);
+[[nodiscard]] Result<core::SurfaceScope> decode_surface_entry(std::string_view payload);
+
 // A campaign-only cache <-> the framed file image (deterministic: entries
 // are emitted in the toolkit's canonical key order). Strict: the image must
 // contain campaign entries only — save_cache_file writes the mixed stream.
@@ -79,9 +95,12 @@ inline constexpr std::string_view kRepairEntryMagic = "HSRP1";
 // implication profiles / import a saved file of either vintage.
 // load_cache_file returns the number of campaign entries admitted (entries
 // whose library or fingerprint no longer matches are decoded but skipped;
-// profile entries merge into the toolkit's store).
+// profile/repair/surface entries merge into the toolkit's stores). Payloads
+// with an unrecognized magic are counted into *skipped_unknown (when
+// non-null) and otherwise ignored — never an error.
 [[nodiscard]] Status save_cache_file(const core::Toolkit& toolkit, const std::string& path);
 [[nodiscard]] Result<std::size_t> load_cache_file(const core::Toolkit& toolkit,
-                                                  const std::string& path);
+                                                  const std::string& path,
+                                                  std::size_t* skipped_unknown = nullptr);
 
 }  // namespace healers::server

@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "debloat/surface.hpp"
 #include "fleet/sketch.hpp"
 #include "fleet/wire.hpp"
 #include "incident/dossier.hpp"
@@ -19,7 +20,7 @@
 namespace healers::sim {
 namespace {
 
-enum class EmissionKind : std::uint8_t { kProfile, kDossier, kDerive };
+enum class EmissionKind : std::uint8_t { kProfile, kDossier, kSurface, kDerive };
 
 // One encoded payload waiting for the serial delivery phase. `seq` is the
 // host's emission counter at emission time, the tie-break that makes the
@@ -120,6 +121,41 @@ std::string make_dossier_doc(HostTask& host) {
   return fleet::encode_dossier_binary(dossier);
 }
 
+// A surface profile from a demand-loaded host, encoded in the compact
+// "HSP1" wire form. The netd closure (docs/debloat.md) is the reachable
+// set; how much of it the host has actually touched — and whether a drifted
+// caller tripped the surface-violation trap — comes from the host's Rng, so
+// the document is a pure function of (seed, host index) like every other
+// emission.
+std::string make_surface_doc(HostTask& host) {
+  static constexpr std::array<std::string_view, 6> kReachable = {
+      "free", "malloc", "memcpy", "puts", "strcpy", "strlen"};
+  debloat::SurfaceProfile profile;
+  {
+    char name[12];
+    std::snprintf(name, sizeof name, "h%07u", host.index);
+    profile.host = name;
+  }
+  profile.executable = "netd";
+  profile.exported = 90;
+  profile.reachable = kReachable.size();
+  for (const std::string_view symbol : kReachable) {
+    profile.reachable_symbols.emplace_back(symbol);
+  }
+  const auto touched = 3 + host.rng.below(4);  // 3..6 of the closure exercised
+  profile.touched = touched;
+  for (std::uint64_t i = 0; i < touched; ++i) {
+    profile.touched_symbols.emplace_back(kReachable[i]);
+  }
+  if (host.rng.below(16) == 0) {  // a drifted caller hit the load barrier
+    profile.trapped = 1;
+    profile.trapped_symbols.emplace_back("rand");
+  }
+  profile.resident_pages = touched;
+  profile.total_pages = profile.exported;
+  return fleet::encode_surface_binary(profile);
+}
+
 // A derive request against the stock libraries, pinned to a tiny campaign
 // (seed 21, variants 1) so the server's single-flight + response cache keep
 // the whole fleet's curiosity down to a handful of real campaigns.
@@ -203,6 +239,7 @@ SimStats FleetSim::run() {
         shard.queue.reserve(shard.hi - shard.lo);
         for (std::uint32_t host = shard.lo; host < shard.hi; ++host) {
           shard.tasks.emplace_back(config_.seed, host, config_.traffic);
+          shard.tasks.back().debloat = config_.debloat;
           shard.queue.push(Event{initial_delay(shard.tasks.back()), host});
         }
       });
@@ -244,6 +281,10 @@ SimStats FleetSim::run() {
               shard.out.push_back(Emission{event.at, event.host, task.emissions++,
                                            EmissionKind::kDossier, make_dossier_doc(task)});
             }
+            if (plan.surface) {
+              shard.out.push_back(Emission{event.at, event.host, task.emissions++,
+                                           EmissionKind::kSurface, make_surface_doc(task)});
+            }
             if (plan.derive) {
               shard.out.push_back(Emission{event.at, event.host, task.emissions++,
                                            EmissionKind::kDerive, make_derive_request(task)});
@@ -284,6 +325,10 @@ SimStats FleetSim::run() {
           break;
         case EmissionKind::kDossier:
           ++stats.dossier_docs;
+          collector_->submit(std::move(emission->payload));
+          break;
+        case EmissionKind::kSurface:
+          ++stats.surface_docs;
           collector_->submit(std::move(emission->payload));
           break;
         case EmissionKind::kDerive:
@@ -359,8 +404,9 @@ std::string SimStats::render() const {
   }
   out << "\n";
   out << "  events: " << events << " host wake-ups, " << emissions << " emissions ("
-      << profile_docs << " profile docs, " << dossier_docs << " dossiers, " << derive_requests
-      << " derive requests), " << payload_bytes << " payload bytes\n";
+      << profile_docs << " profile docs, " << dossier_docs << " dossiers, ";
+  if (surface_docs > 0) out << surface_docs << " surface profiles, ";
+  out << derive_requests << " derive requests), " << payload_bytes << " payload bytes\n";
   out << "  emissions per host: p50=" << emissions_per_host_p50
       << " p95=" << emissions_per_host_p95 << " p99=" << emissions_per_host_p99 << "\n";
   out << "  derive responses: " << responses_ok << " ok, " << responses_error << " error, "

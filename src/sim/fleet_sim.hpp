@@ -37,6 +37,9 @@ struct SimConfig {
   std::uint64_t virtual_seconds = 60;
   std::uint64_t seed = 2003;
   TrafficModel traffic = TrafficModel::kMixed;
+  // Hosts run demand-loaded and attach surface-profile documents to a slice
+  // of their check-ins (the --debloat simulate flag; docs/debloat.md).
+  bool debloat = false;
   unsigned shards = 8;  // sim shards (host partitions), NOT collector shards
   unsigned jobs = 1;    // real threads advancing shards; 0 = all cores
   // Lookahead window: emissions inside one window are merged and delivered
@@ -60,6 +63,7 @@ struct SimStats {
   std::uint64_t emissions = 0;  // documents + requests delivered downstream
   std::uint64_t profile_docs = 0;
   std::uint64_t dossier_docs = 0;
+  std::uint64_t surface_docs = 0;
   std::uint64_t derive_requests = 0;
   std::uint64_t payload_bytes = 0;  // wire bytes pushed into the services
   std::uint64_t responses_ok = 0;

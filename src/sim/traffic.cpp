@@ -107,6 +107,11 @@ StepPlan step(HostTask& host, VirtualTime now) {
   // A sliver of every model's first wake-ups asks the derivation service
   // for the robust API (a fresh install checking in).
   if (first && !plan.derive) plan.derive = host.rng.below(64) == 0;
+  // Demand-loaded hosts piggyback a surface profile on ~1/12 of their
+  // check-ins. The draw happens only when debloat is on, so a non-debloat
+  // fleet's emission stream is bit-for-bit what it was before the flag
+  // existed.
+  if (host.debloat && plan.profile_docs > 0) plan.surface = host.rng.below(12) == 0;
   return plan;
 }
 

@@ -55,6 +55,7 @@ struct HostTask {
   Rng rng;
   std::uint32_t index = 0;
   TrafficModel model = TrafficModel::kSteady;
+  bool debloat = false;           // host runs demand-loaded: emits surface profiles
   std::uint16_t burst_left = 0;   // remaining documents in the current burst
   std::uint32_t emissions = 0;    // documents + requests emitted so far
 
@@ -67,6 +68,7 @@ struct StepPlan {
   std::uint8_t profile_docs = 0;
   bool dossier = false;
   bool derive = false;
+  bool surface = false;  // attach a surface-profile document (debloat hosts only)
 };
 
 // Offset of the host's first wake-up (spreads the fleet over the first

@@ -227,14 +227,14 @@ SimValue fn_labs(CallContext& ctx) {
 
 void register_conv_funcs(SharedLibrary& lib) {
   lib.add(make_symbol("atoi", "convert a string to int",
-                      "int atoi(const char *nptr);", {"NONNULL 1", "ARG 1 CSTRING"},
-                      fn_atoi));
+                      "int atoi(const char *nptr);",
+                      {"NONNULL 1", "ARG 1 CSTRING", "CALLS strtol"}, fn_atoi));
   lib.add(make_symbol("atol", "convert a string to long",
-                      "long atol(const char *nptr);", {"NONNULL 1", "ARG 1 CSTRING"},
-                      fn_atol));
+                      "long atol(const char *nptr);",
+                      {"NONNULL 1", "ARG 1 CSTRING", "CALLS strtol"}, fn_atol));
   lib.add(make_symbol("atof", "convert a string to double",
-                      "double atof(const char *nptr);", {"NONNULL 1", "ARG 1 CSTRING"},
-                      fn_atof));
+                      "double atof(const char *nptr);",
+                      {"NONNULL 1", "ARG 1 CSTRING", "CALLS strtod"}, fn_atof));
   lib.add(make_symbol("strtol", "convert a string to long with error reporting",
                       "long strtol(const char *nptr, char **endptr, int base);",
                       {"NONNULL 1", "ARG 1 CSTRING", "ALLOWNULL 2",

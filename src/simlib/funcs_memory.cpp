@@ -119,10 +119,11 @@ void register_memory_funcs(SharedLibrary& lib) {
                       {"HEAP FREE", "ARG 1 HEAPPTR", "ALLOWNULL 1"}, fn_free));
   lib.add(make_symbol("calloc", "allocate zeroed heap memory",
                       "void *calloc(size_t nmemb, size_t size);",
-                      {"HEAP ALLOC", "ERRNO ENOMEM"}, fn_calloc));
+                      {"HEAP ALLOC", "ERRNO ENOMEM", "CALLS malloc memset"}, fn_calloc));
   lib.add(make_symbol("realloc", "resize a heap allocation",
                       "void *realloc(void *ptr, size_t size);",
-                      {"HEAP ALLOC", "ARG 1 HEAPPTR", "ALLOWNULL 1", "ERRNO ENOMEM"},
+                      {"HEAP ALLOC", "ARG 1 HEAPPTR", "ALLOWNULL 1", "ERRNO ENOMEM",
+                       "CALLS malloc memcpy free"},
                       fn_realloc));
 }
 

@@ -93,7 +93,8 @@ void register_sort_funcs(SharedLibrary& lib) {
       "qsort", "sort an array with a caller-supplied comparator",
       "void qsort(void *base, size_t nmemb, size_t size, "
       "int (*compar)(const void *, const void *));",
-      {"NONNULL 1 4", "ARG 1 BUF WRITE SIZE mul(arg(2),arg(3))", "ARG 4 FUNCPTR"},
+      {"NONNULL 1 4", "ARG 1 BUF WRITE SIZE mul(arg(2),arg(3))", "ARG 4 FUNCPTR",
+       "CALLS memcpy"},
       fn_qsort));
   lib.add(make_symbol(
       "bsearch", "binary-search a sorted array with a caller-supplied comparator",

@@ -449,7 +449,8 @@ void register_stdio_funcs(SharedLibrary& lib) {
                       fn_fgets));
   lib.add(make_symbol("fputs", "write a string to a stream",
                       "int fputs(const char *s, FILE *stream);",
-                      {"NONNULL 1 2", "ARG 1 CSTRING", "ARG 2 FILE", "ERRNO EBADF"},
+                      {"NONNULL 1 2", "ARG 1 CSTRING", "ARG 2 FILE", "ERRNO EBADF",
+                       "CALLS strlen"},
                       fn_fputs));
   lib.add(make_symbol("fgetc", "read a character from a stream",
                       "int fgetc(FILE *stream);", {"NONNULL 1", "ARG 1 FILE", "ERRNO EBADF"},
@@ -489,7 +490,8 @@ void register_stdio_funcs(SharedLibrary& lib) {
   lib.add(make_symbol("getchar", "read a character from stdin",
                       "int getchar(void);", {"STATEFUL"}, fn_getchar));
   lib.add(make_symbol("puts", "write a string to stdout",
-                      "int puts(const char *s);", {"NONNULL 1", "ARG 1 CSTRING"}, fn_puts));
+                      "int puts(const char *s);",
+                      {"NONNULL 1", "ARG 1 CSTRING", "CALLS strlen"}, fn_puts));
   lib.add(make_symbol("printf", "formatted write to stdout",
                       "int printf(const char *format, ...);",
                       {"NONNULL 1", "ARG 1 CSTRING", "VARARGS"}, fn_printf));

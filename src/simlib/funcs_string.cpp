@@ -359,21 +359,24 @@ void register_string_funcs(SharedLibrary& lib) {
   lib.add(make_symbol("strcpy", "copy a string",
                       "char *strcpy(char *dest, const char *src);",
                       {"NONNULL 1 2", "ARG 2 CSTRING",
-                       "ARG 1 BUF WRITE SIZE cstrlen(2)+1"},
+                       "ARG 1 BUF WRITE SIZE cstrlen(2)+1", "CALLS strlen memcpy"},
                       fn_strcpy));
   lib.add(make_symbol("strncpy", "copy a bounded string",
                       "char *strncpy(char *dest, const char *src, size_t n);",
-                      {"NONNULL 1 2", "ARG 2 CSTRING", "ARG 1 BUF WRITE SIZE arg(3)"},
+                      {"NONNULL 1 2", "ARG 2 CSTRING", "ARG 1 BUF WRITE SIZE arg(3)",
+                       "CALLS strnlen"},
                       fn_strncpy));
   lib.add(make_symbol("strcat", "concatenate two strings",
                       "char *strcat(char *dest, const char *src);",
                       {"NONNULL 1 2", "ARG 1 CSTRING", "ARG 2 CSTRING",
-                       "ARG 1 BUF WRITE SIZE cstrlen(1)+cstrlen(2)+1"},
+                       "ARG 1 BUF WRITE SIZE cstrlen(1)+cstrlen(2)+1",
+                       "CALLS strlen memcpy"},
                       fn_strcat));
   lib.add(make_symbol("strncat", "concatenate a bounded string",
                       "char *strncat(char *dest, const char *src, size_t n);",
                       {"NONNULL 1 2", "ARG 1 CSTRING", "ARG 2 CSTRING",
-                       "ARG 1 BUF WRITE SIZE cstrlen(1)+min(arg(3),cstrlen(2))+1"},
+                       "ARG 1 BUF WRITE SIZE cstrlen(1)+min(arg(3),cstrlen(2))+1",
+                       "CALLS strlen strnlen"},
                       fn_strncat));
   lib.add(make_symbol("strcmp", "compare two strings",
                       "int strcmp(const char *s1, const char *s2);",
@@ -389,7 +392,9 @@ void register_string_funcs(SharedLibrary& lib) {
                       {"NONNULL 1", "ARG 1 CSTRING"}, fn_strrchr));
   lib.add(make_symbol("strstr", "locate a substring",
                       "char *strstr(const char *haystack, const char *needle);",
-                      {"NONNULL 1 2", "ARG 1 CSTRING", "ARG 2 CSTRING"}, fn_strstr));
+                      {"NONNULL 1 2", "ARG 1 CSTRING", "ARG 2 CSTRING",
+                       "CALLS strlen strncmp"},
+                      fn_strstr));
   lib.add(make_symbol("strspn", "span of accepted characters",
                       "size_t strspn(const char *s, const char *accept);",
                       {"NONNULL 1 2", "ARG 1 CSTRING", "ARG 2 CSTRING"},
@@ -403,17 +408,20 @@ void register_string_funcs(SharedLibrary& lib) {
                       {"NONNULL 1 2", "ARG 1 CSTRING", "ARG 2 CSTRING"}, fn_strpbrk));
   lib.add(make_symbol("strdup", "duplicate a string on the heap",
                       "char *strdup(const char *s);",
-                      {"NONNULL 1", "ARG 1 CSTRING", "ERRNO ENOMEM"}, fn_strdup));
+                      {"NONNULL 1", "ARG 1 CSTRING", "ERRNO ENOMEM",
+                       "CALLS strlen malloc memcpy"},
+                      fn_strdup));
   lib.add(make_symbol("strtok", "tokenize a string (stateful)",
                       "char *strtok(char *str, const char *delim);",
                       {"NONNULL 2", "ARG 2 CSTRING", "ARG 1 CSTRING", "ALLOWNULL 1",
-                       "ARG 1 CURSOR", "STATEFUL"},
+                       "ARG 1 CURSOR", "STATEFUL", "CALLS strspn strcspn"},
                       fn_strtok));
   lib.add(make_symbol("strerror", "describe an errno value",
                       "char *strerror(int errnum);", {"STATEFUL"}, fn_strerror));
   lib.add(make_symbol("strcoll", "compare strings in the current locale",
                       "int strcoll(const char *s1, const char *s2);",
-                      {"NONNULL 1 2", "ARG 1 CSTRING", "ARG 2 CSTRING"}, fn_strcoll));
+                      {"NONNULL 1 2", "ARG 1 CSTRING", "ARG 2 CSTRING", "CALLS strcmp"},
+                      fn_strcoll));
   lib.add(make_symbol("strnlen", "compute a bounded string length",
                       "size_t strnlen(const char *s, size_t maxlen);",
                       {"NONNULL 1", "ARG 1 BUF READ SIZE min(arg(2),cstrlen(1)+1)"},
@@ -427,7 +435,8 @@ void register_string_funcs(SharedLibrary& lib) {
   lib.add(make_symbol("strtok_r", "tokenize a string (reentrant)",
                       "char *strtok_r(char *str, const char *delim, char **saveptr);",
                       {"NONNULL 2 3", "ARG 2 CSTRING", "ALLOWNULL 1", "ARG 1 CSTRING",
-                       "ARG 1 SAVEPTR 3", "ARG 3 BUF WRITE SIZE 8"},
+                       "ARG 1 SAVEPTR 3", "ARG 3 BUF WRITE SIZE 8",
+                       "CALLS strspn strcspn"},
                       fn_strtok_r));
 }
 

@@ -16,6 +16,8 @@ std::string to_string(DetectionKind kind) {
       return "error-inject";
     case DetectionKind::kRepair:
       return "repair";
+    case DetectionKind::kSurfaceViolation:
+      return "surface-violation";
   }
   return "?";
 }

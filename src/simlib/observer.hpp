@@ -34,6 +34,8 @@ enum class DetectionKind : std::uint8_t {
   kAccessFault,  // AccessFault surfaced through a wrapped call
   kErrorInject,  // testing wrapper injected a documented failure
   kRepair,       // repair wrapper rewrote a call instead of rejecting it
+  kSurfaceViolation,  // demand loader: call to a symbol outside the
+                      // executable's debloated surface profile
 };
 
 [[nodiscard]] std::string to_string(DetectionKind kind);

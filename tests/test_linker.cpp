@@ -9,6 +9,7 @@
 namespace healers::linker {
 namespace {
 
+using testbed::F;
 using testbed::I;
 using testbed::P;
 
@@ -285,6 +286,50 @@ TEST(Spawn, MissingLibraryThrows) {
   exe.name = "app";
   exe.needed = {"libmissing.so"};
   EXPECT_THROW((void)spawn(exe, catalog), std::runtime_error);
+}
+
+TEST(Spawn, MissingLibraryNamesTheCulprit) {
+  LibraryCatalog catalog;
+  catalog.install(&testbed::libsimc());
+  Executable exe;
+  exe.name = "app";
+  exe.needed = {"libsimc.so.1", "libmissing.so"};
+  try {
+    (void)spawn(exe, catalog);
+    FAIL() << "spawn with a missing library must throw";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("libmissing.so"), std::string::npos);
+  }
+}
+
+TEST(Process, DuplicatePreloadIsRejected) {
+  auto proc = testbed::make_process();
+  std::vector<std::string> log;
+  proc->preload(std::make_shared<TraceWrapper>("tracer", log));
+  // The same *instance* twice (and null) are rejected; a distinct instance
+  // sharing the family name is a legitimate stack. The preload list and its
+  // dispatch behaviour must be unchanged by the failed attempts.
+  EXPECT_THROW(proc->preload(proc->preloads().front()), std::invalid_argument);
+  EXPECT_THROW(proc->preload(nullptr), std::invalid_argument);
+  EXPECT_EQ(proc->preloads().size(), 1u);
+  const mem::Addr s = proc->alloc_cstring("abc");
+  EXPECT_EQ(proc->call("strlen", {P(s)}).as_int(), 3);
+  EXPECT_EQ(log.size(), 2u);  // one pre + one post: the tracer is not doubled
+}
+
+TEST(Process, DispatchPlansInvalidateWhenTheLoadSetGrows) {
+  auto proc = std::make_unique<Process>("app");
+  proc->load_library(&testbed::libsimc());
+  const mem::Addr s = proc->alloc_cstring("abc");
+  // Build (and cache) a dispatch plan, and verify the load set's limits.
+  EXPECT_EQ(proc->call("strlen", {P(s)}).as_int(), 3);
+  EXPECT_EQ(proc->resolve("sqrt"), nullptr);
+  // Installing another library must invalidate the cached plans: the new
+  // exports resolve and dispatch, and existing plans still work.
+  proc->load_library(&testbed::libsimm());
+  ASSERT_NE(proc->resolve("sqrt"), nullptr);
+  EXPECT_EQ(proc->call("sqrt", {F(9.0)}).as_double(), 3.0);
+  EXPECT_EQ(proc->call("strlen", {P(s)}).as_int(), 3);
 }
 
 }  // namespace

@@ -6,7 +6,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -134,6 +136,63 @@ TEST_F(ServerFixture, CacheFileImageIsDeterministicAndStrict) {
   EXPECT_FALSE(decode_cache_file("not a stream").ok());
   EXPECT_FALSE(decode_cache_file(image.substr(0, image.size() - 3)).ok());
   EXPECT_FALSE(load_cache_file(toolkit, "/nonexistent/healers.hsc").ok());
+}
+
+// Forward compatibility: a payload whose magic this build does not know (an
+// entry kind a NEWER writer added) is skipped and counted, never fatal.
+TEST_F(ServerFixture, UnknownCacheEntryMagicIsSkippedNotFatal) {
+  ASSERT_TRUE(toolkit.derive_robust_api("libsimm.so.1", quick_config()).ok());
+  const std::string path = ::testing::TempDir() + "healers_forward_compat.hsc";
+  ASSERT_TRUE(save_cache_file(toolkit, path).ok());
+
+  // Splice two alien entries into the stream, as a future writer would.
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  auto documents = fleet::unframe_stream(buffer.str());
+  ASSERT_TRUE(documents.ok());
+  auto spliced = documents.value();
+  spliced.insert(spliced.begin(), "HSQQ1 an entry kind from the future");
+  spliced.push_back("HSZZ7\x01\x02\x03");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << fleet::frame_stream(spliced);
+  }
+
+  core::Toolkit fresh;
+  std::size_t skipped = 0;
+  const auto imported = load_cache_file(fresh, path, &skipped);
+  ASSERT_TRUE(imported.ok());
+  EXPECT_EQ(imported.value(), 1u);  // the campaign still loads
+  EXPECT_EQ(skipped, 2u);
+  ASSERT_TRUE(fresh.derive_robust_api("libsimm.so.1", quick_config()).ok());
+  EXPECT_EQ(fresh.probes_executed(), 0u);
+  std::remove(path.c_str());
+}
+
+// HSSP1 surface-scope entries persist through the same file and admit under
+// the same fingerprint discipline as campaigns.
+TEST_F(ServerFixture, SurfaceScopesPersistThroughTheCacheFile) {
+  core::SurfaceScope scope;
+  scope.executable = "netd";
+  scope.soname = "libsimc.so.1";
+  scope.symbols = {"strcpy", "strlen"};
+  ASSERT_TRUE(toolkit.install_surface_scope(scope));
+
+  const std::string payload = encode_surface_entry(toolkit.export_surface_scopes().front());
+  const auto round = decode_surface_entry(payload);
+  ASSERT_TRUE(round.ok());
+  EXPECT_EQ(round.value(), toolkit.export_surface_scopes().front());
+  EXPECT_FALSE(decode_surface_entry(payload.substr(0, payload.size() - 1)).ok());
+  EXPECT_FALSE(decode_surface_entry(payload + "x").ok());
+
+  const std::string path = ::testing::TempDir() + "healers_surface_scopes.hsc";
+  ASSERT_TRUE(save_cache_file(toolkit, path).ok());
+  core::Toolkit fresh;
+  ASSERT_TRUE(load_cache_file(fresh, path).ok());
+  const std::vector<std::string> expected = {"strcpy", "strlen"};
+  EXPECT_EQ(fresh.surface_scope_for("libsimc.so.1"), expected);
+  std::remove(path.c_str());
 }
 
 // --- request/response protocol ----------------------------------------------

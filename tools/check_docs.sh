@@ -11,6 +11,8 @@
 #      repair documentation must exist and stay reachable: docs/repair.md is
 #      present and referenced from docs/cli.md, docs/architecture.md, and
 #      README.md.
+#   4. Same for debloat mode: while `--debloat` exists, docs/debloat.md must
+#      be present and referenced from the same three entry points.
 #
 # Usage: tools/check_docs.sh <healers-binary> <repo-root>
 set -eu
@@ -65,6 +67,24 @@ if printf '%s\n' "$flags" | grep -qx -- '--repair'; then
     for ref in docs/cli.md docs/architecture.md README.md; do
       if ! grep -q 'repair\.md' "$root/$ref"; then
         echo "check_docs: $ref does not reference docs/repair.md (required while --repair exists)" >&2
+        fail=1
+      fi
+    done
+  fi
+fi
+
+# --- 1d. debloat mode ships with its documentation --------------------------
+# Demand loading is a security contract (out-of-profile calls trap); if the
+# CLI grows (or keeps) --debloat, docs/debloat.md must exist and the entry
+# points must link it.
+if printf '%s\n' "$flags" | grep -qx -- '--debloat'; then
+  if [ ! -f "$root/docs/debloat.md" ]; then
+    echo "check_docs: 'healers help' lists --debloat but docs/debloat.md is missing" >&2
+    fail=1
+  else
+    for ref in docs/cli.md docs/architecture.md README.md; do
+      if ! grep -q 'debloat\.md' "$root/$ref"; then
+        echo "check_docs: $ref does not reference docs/debloat.md (required while --debloat exists)" >&2
         fail=1
       fi
     done

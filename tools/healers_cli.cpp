@@ -38,6 +38,8 @@
 
 #include "attacks/attacks.hpp"
 #include "core/toolkit.hpp"
+#include "debloat/reachability.hpp"
+#include "debloat/surface.hpp"
 #include "fleet/collector.hpp"
 #include "fleet/simulator.hpp"
 #include "fleet/wire.hpp"
@@ -45,6 +47,7 @@
 #include "server/derive_server.hpp"
 #include "server/spec_cache.hpp"
 #include "sim/fleet_sim.hpp"
+#include "simlib/library.hpp"
 #include "wrappers/wrappers.hpp"
 
 using namespace healers;
@@ -61,6 +64,7 @@ void print_usage(std::FILE* out) {
                "  derive <soname> [--seed N] [--variants N] [--jobs N]\n"
                "         [--reset fork|fresh] [--no-prune] [--stats] [--repair]\n"
                "         [--cache-file file] [-o file]\n"
+               "         [--debloat]\n"
                "         (--jobs N probes on N worker threads, 0 = all cores;\n"
                "          --reset fork resets probes by COW fork from a shared pristine\n"
                "          state, fresh rebuilds a process per probe; --no-prune disables\n"
@@ -74,35 +78,54 @@ void print_usage(std::FILE* out) {
                "          --repair additionally derives the repair policy from the\n"
                "          campaign's crash boundaries and appends it as a\n"
                "          <repair-policy> XML node — the campaign document itself is\n"
-               "          byte-identical with or without it)\n"
+               "          byte-identical with or without it;\n"
+               "          --debloat scopes the campaign to the symbols reachable from\n"
+               "          an installed surface scope — HSSP1 cache entries, or the demo\n"
+               "          executables' closures when none are installed)\n"
                "  report <campaign.xml>\n"
                "  gen-source <soname> --type profiling|robustness|security|testing|repair\n"
                "             [--campaign file] [-o file]\n"
-               "  inspect demo-heap|demo-stack\n"
-               "  demo attacks\n"
-               "  dossier demo-heap|demo-stack [--format text|xml|binary] [--repair]\n"
+               "  inspect demo-heap|demo-stack|demo-drift [--validate] [--format text|xml]\n"
                "          [-o file]\n"
+               "          (--validate runs the entry point under a tracing interposition\n"
+               "           and records stale imports — symbols the binary calls that its\n"
+               "           declared import list is missing — in the Fig 4 link map)\n"
+               "  debloat demo-heap|demo-stack|demo-drift [--format text|xml|binary]\n"
+               "          [--cache-file file] [-o file]\n"
+               "          (static reachability closure + a demand-loading run: symbols\n"
+               "           start unmapped, the first call faults each one in, and calls\n"
+               "           outside the closure trap as surface violations; --cache-file\n"
+               "           persists the closure as HSSP1 surface-scope entries that\n"
+               "           derive/serve --debloat campaigns are scoped to)\n"
+               "  demo attacks\n"
+               "  dossier demo-heap|demo-stack|demo-drift [--format text|xml|binary]\n"
+               "          [--repair] [-o file]\n"
                "          (--repair preloads the repair wrapper instead of the security\n"
                "           wrapper: the attack is truncated/substituted away, the victim\n"
-               "           survives, and the dossier records the applied RepairEvents)\n"
+               "           survives, and the dossier records the applied RepairEvents;\n"
+               "           demo-drift runs under demand loading and captures the\n"
+               "           surface-violation dossier its stale rand() import raises)\n"
                "  simulate [--hosts N] [--virtual-seconds N] [--seed N] [--jobs N]\n"
                "           [--traffic steady|diurnal|burst|straggler|crashloop|mixed]\n"
-               "           [--shards N] [--capacity N] [--stats] [-o file]\n"
+               "           [--shards N] [--capacity N] [--stats] [--debloat] [-o file]\n"
                "           (virtual-time discrete-event fleet: N simulated hosts drive\n"
                "            the real collector and DeriveServer; the summary is\n"
                "            byte-identical for a given --seed at any --jobs/--shards;\n"
-               "            --stats appends the collector and derive-service summaries)\n"
+               "            --stats appends the collector and derive-service summaries;\n"
+               "            --debloat puts hosts under demand loading — they emit\n"
+               "            surface-profile documents the collector aggregates)\n"
                "  fleet simulate [--hosts N] [--docs N] [--seed N] [--jobs N]\n"
                "                 [--encoding xml|binary|mixed] [-o file]\n"
                "  fleet ingest <file> [--shards N] [--jobs N] [--capacity N]\n"
                "  fleet report <file> [--shards N] [--jobs N]\n"
                "  serve [--clients N] [--requests N] [--jobs N] [--shards N]\n"
                "        [--capacity N] [--cache-file file] [--encoding xml|binary]\n"
-               "        [--seed N] [--repair] [--stats] [-o file]\n"
+               "        [--seed N] [--repair] [--stats] [--debloat] [-o file]\n"
                "        (--repair adds repair-wrapper bundles to the simulated client\n"
                "         rotation; derived policies persist as HSRP1 spec-cache\n"
                "         entries. --stats additionally reports the repair-policy\n"
-               "         census on stderr: policies derived, rules per action)\n");
+               "         census on stderr: policies derived, rules per action.\n"
+               "         --debloat scopes campaigns to the installed surface scopes)\n");
 }
 
 int usage() {
@@ -160,6 +183,8 @@ struct Options {
   bool prune = true;
   bool stats = false;
   bool repair = false;
+  bool validate = false;
+  bool debloat = false;
 };
 
 Result<Options> parse_options(int argc, char** argv) {
@@ -252,6 +277,10 @@ Result<Options> parse_options(int argc, char** argv) {
       options.stats = true;
     } else if (arg == "--repair") {
       options.repair = true;
+    } else if (arg == "--validate") {
+      options.validate = true;
+    } else if (arg == "--debloat") {
+      options.debloat = true;
     } else if (!arg.empty() && arg[0] == '-') {
       return Error("unknown option " + arg);
     } else {
@@ -297,12 +326,56 @@ int cmd_decls(const core::Toolkit& toolkit, const Options& options) {
 int load_spec_cache(const core::Toolkit& toolkit, const std::string& path, bool* loaded) {
   std::ifstream probe(path, std::ios::binary);
   if (!probe) return 0;
-  auto imported = server::load_cache_file(toolkit, path);
+  std::size_t skipped_unknown = 0;
+  auto imported = server::load_cache_file(toolkit, path, &skipped_unknown);
   if (!imported.ok()) return fail(imported.error().message);
   std::fprintf(stderr, "spec cache: imported %zu campaign(s) from %s\n", imported.value(),
                path.c_str());
+  if (skipped_unknown > 0) {
+    std::fprintf(stderr, "spec cache: skipped %zu entry(ies) with unknown magic\n",
+                 skipped_unknown);
+  }
   if (loaded != nullptr) *loaded = true;
   return 0;
+}
+
+// The named demo executables (`healers inspect`, `healers debloat`).
+Result<linker::Executable> demo_executable(const std::string& name) {
+  if (name == "demo-heap") return attacks::heap_victim_executable();
+  if (name == "demo-stack") return attacks::stack_victim_executable();
+  if (name == "demo-drift") return attacks::drift_victim_executable();
+  return Error("unknown executable: " + name + " (try demo-heap, demo-stack or demo-drift)");
+}
+
+// Partitions one executable's static closure per needed library and installs
+// the pieces as surface scopes. Returns the number of scopes installed.
+std::size_t install_scopes_from(const core::Toolkit& toolkit, const linker::Executable& exe,
+                                const debloat::ReachabilityReport& report) {
+  std::size_t installed = 0;
+  for (const std::string& soname : exe.needed) {
+    const simlib::SharedLibrary* lib = toolkit.library(soname);
+    if (lib == nullptr) continue;
+    core::SurfaceScope scope;
+    scope.executable = exe.name;
+    scope.soname = soname;
+    for (const std::string& symbol : report.reachable) {
+      if (lib->defines(symbol)) scope.symbols.push_back(symbol);
+    }
+    if (scope.symbols.empty()) continue;
+    if (toolkit.install_surface_scope(std::move(scope))) ++installed;
+  }
+  return installed;
+}
+
+// Installs the scopes of every demo executable — what --debloat falls back
+// to when no cache file supplied installed scopes for the library.
+std::size_t install_demo_scopes(const core::Toolkit& toolkit) {
+  std::size_t installed = 0;
+  for (const char* name : {"demo-heap", "demo-stack", "demo-drift"}) {
+    const linker::Executable exe = demo_executable(name).value();
+    installed += install_scopes_from(toolkit, exe, debloat::compute_reachability(exe, toolkit.catalog()));
+  }
+  return installed;
 }
 
 int cmd_derive(const core::Toolkit& toolkit, const Options& options) {
@@ -316,6 +389,22 @@ int cmd_derive(const core::Toolkit& toolkit, const Options& options) {
   config.jobs = options.jobs;
   config.snapshot_reset = options.reset == "fork";
   config.prune = options.prune;
+  if (options.debloat) {
+    // Scope the campaign to the symbols some executable's static closure can
+    // reach. Scopes come from the cache file (HSSP1 entries) when present;
+    // otherwise the demo executables' closures stand in.
+    config.only_functions = toolkit.surface_scope_for(options.positional[0]);
+    if (config.only_functions.empty()) {
+      install_demo_scopes(toolkit);
+      config.only_functions = toolkit.surface_scope_for(options.positional[0]);
+    }
+    if (config.only_functions.empty()) {
+      return fail("no surface scope covers " + options.positional[0] +
+                  " (run `healers debloat <exe> --cache-file ...` first)");
+    }
+    std::fprintf(stderr, "debloat: campaign scoped to %zu reachable function(s)\n",
+                 config.only_functions.size());
+  }
   const auto campaign = toolkit.derive_robust_api(options.positional[0], config);
   if (!campaign.ok()) return fail(campaign.error().message);
   std::fprintf(stderr, "%llu probes, %llu failures in %zu functions; executed %llu probes this run\n",
@@ -448,17 +537,67 @@ int cmd_gen_source(const core::Toolkit& toolkit, const Options& options) {
 
 int cmd_inspect(const core::Toolkit& toolkit, const Options& options) {
   if (options.positional.empty()) return usage();
-  linker::Executable exe;
-  if (options.positional[0] == "demo-heap") {
-    exe = attacks::heap_victim_executable();
-  } else if (options.positional[0] == "demo-stack") {
-    exe = attacks::stack_victim_executable();
-  } else {
-    return fail("unknown executable: " + options.positional[0] +
-                " (try demo-heap or demo-stack)");
+  auto exe = demo_executable(options.positional[0]);
+  if (!exe.ok()) return fail(exe.error().message);
+  linker::LinkMap map = toolkit.inspect(exe.value());
+  if (options.validate) {
+    // Dynamic cross-check: run the entry point under a tracing interposition
+    // and record calls the declared import list is missing (Fig 4 rot).
+    linker::CallOutcome outcome;
+    map.stale_imports = linker::validate_executable(exe.value(), toolkit.catalog(), &outcome);
+    std::fprintf(stderr, "validate: %zu stale import(s), run %s\n", map.stale_imports.size(),
+                 outcome.to_string().c_str());
   }
-  std::fputs(toolkit.inspect(exe).to_text().c_str(), stdout);
-  return 0;
+  if (options.format == "xml") return emit(xml::serialize(map.to_xml()), options.out_path);
+  if (options.format != "text") return fail("unknown format: " + options.format + " (text|xml)");
+  return emit(map.to_text(), options.out_path);
+}
+
+// Demand-driven debloating report (docs/debloat.md): computes the static
+// closure for a demo executable, runs it under the demand-loading barrier,
+// and reports the surface profile. With --cache-file, the closure is also
+// persisted as HSSP1 surface-scope entries so later --debloat derives scope
+// their campaigns to it.
+int cmd_debloat(const core::Toolkit& toolkit, const Options& options) {
+  if (options.positional.empty()) return usage();
+  auto exe = demo_executable(options.positional[0]);
+  if (!exe.ok()) return fail(exe.error().message);
+  if (!options.cache_file.empty()) {
+    if (const int rc = load_spec_cache(toolkit, options.cache_file, nullptr); rc != 0) return rc;
+  }
+
+  const debloat::ReachabilityReport report =
+      debloat::compute_reachability(exe.value(), toolkit.catalog());
+  auto proc = debloat::spawn_debloated(exe.value(), toolkit.catalog(), report);
+  incident::FlightRecorder recorder;
+  recorder.set_process_name(exe.value().name);
+  proc->set_observer(&recorder);
+  const linker::CallOutcome outcome = proc->run(exe.value().entry);
+  const debloat::SurfaceProfile profile = debloat::capture_surface_profile(*proc, report, "local");
+  std::fprintf(stderr,
+               "debloat: run %s; %llu/%llu symbol(s) mapped, %llu violation(s), "
+               "%zu dossier(s)\n",
+               outcome.to_string().c_str(),
+               static_cast<unsigned long long>(profile.touched),
+               static_cast<unsigned long long>(profile.exported),
+               static_cast<unsigned long long>(profile.trapped), recorder.dossiers().size());
+
+  if (!options.cache_file.empty()) {
+    const std::size_t installed = install_scopes_from(toolkit, exe.value(), report);
+    const auto saved = server::save_cache_file(toolkit, options.cache_file);
+    if (!saved.ok()) return fail(saved.error().message);
+    std::fprintf(stderr, "spec cache: saved %zu surface scope(s) to %s\n", installed,
+                 options.cache_file.c_str());
+  }
+
+  if (options.format == "text") {
+    return emit(report.to_text() + profile.to_text(), options.out_path);
+  }
+  if (options.format == "xml") return emit(profile.to_xml(), options.out_path);
+  if (options.format == "binary") {
+    return emit(fleet::encode_surface_binary(profile), options.out_path);
+  }
+  return fail("unknown format: " + options.format + " (text|xml|binary)");
 }
 
 Result<fleet::SimulatorConfig> simulator_config(const Options& options) {
@@ -542,9 +681,36 @@ int cmd_fleet(const core::Toolkit& toolkit, const Options& options) {
 // flight recorder attached, then prints the captured crash dossier. The
 // dossier is derived purely from deterministic simulated state, so every
 // format is byte-identical across runs.
+int emit_dossier(const incident::FlightRecorder& recorder, const Options& options) {
+  const incident::Dossier& dossier = recorder.dossiers().front();
+  if (options.format == "text") return emit(dossier.to_text(), options.out_path);
+  if (options.format == "xml") return emit(xml::serialize(dossier.to_xml()), options.out_path);
+  if (options.format == "binary") {
+    return emit(fleet::encode_dossier_binary(dossier), options.out_path);
+  }
+  return fail("unknown format: " + options.format + " (text|xml|binary)");
+}
+
 int cmd_dossier(const core::Toolkit& toolkit, const Options& options) {
   if (options.positional.empty()) return usage();
   const std::string& scenario = options.positional[0];
+  if (scenario == "demo-drift") {
+    // Surface-drift scenario: the victim's stale import list leaves rand()
+    // outside the static closure, so under demand loading the call traps as
+    // a surface violation and the recorder snapshots the incident.
+    const linker::Executable exe = attacks::drift_victim_executable();
+    const debloat::ReachabilityReport report =
+        debloat::compute_reachability(exe, toolkit.catalog());
+    auto proc = debloat::spawn_debloated(exe, toolkit.catalog(), report);
+    incident::FlightRecorder recorder;
+    recorder.set_process_name(exe.name);
+    proc->set_observer(&recorder);
+    const linker::CallOutcome outcome = proc->run(exe.entry);
+    if (recorder.dossiers().empty()) {
+      return fail("no detector fired (" + outcome.to_string() + "); no dossier captured");
+    }
+    return emit_dossier(recorder, options);
+  }
   auto wrapper = toolkit.security_wrapper("libsimc.so.1");
   if (options.repair) {
     // Repair mode: the victim keeps running — the dossier captured is the
@@ -564,7 +730,8 @@ int cmd_dossier(const core::Toolkit& toolkit, const Options& options) {
     recorder.set_process_name("reqhandler");
     result = attacks::run_stack_smash_attack(toolkit.catalog(), {wrapper.value()}, &recorder);
   } else {
-    return fail("unknown scenario: " + scenario + " (try demo-heap or demo-stack)");
+    return fail("unknown scenario: " + scenario +
+                " (try demo-heap, demo-stack or demo-drift)");
   }
   if (recorder.dossiers().empty()) {
     return fail("no detector fired (" + result.outcome.to_string() + "); no dossier captured");
@@ -575,13 +742,7 @@ int cmd_dossier(const core::Toolkit& toolkit, const Options& options) {
                  result.survived ? "survived" : "did NOT survive",
                  result.outcome.to_string().c_str());
   }
-  const incident::Dossier& dossier = recorder.dossiers().front();
-  if (options.format == "text") return emit(dossier.to_text(), options.out_path);
-  if (options.format == "xml") return emit(xml::serialize(dossier.to_xml()), options.out_path);
-  if (options.format == "binary") {
-    return emit(fleet::encode_dossier_binary(dossier), options.out_path);
-  }
-  return fail("unknown format: " + options.format + " (text|xml|binary)");
+  return emit_dossier(recorder, options);
 }
 
 // Drives the derivation service with a simulated client fleet: --clients
@@ -602,6 +763,13 @@ int cmd_serve(const core::Toolkit& toolkit, const Options& options) {
   config.shards = options.shards > 0 ? static_cast<unsigned>(options.shards) : 1;
   config.queue_capacity = options.capacity > 0 ? static_cast<std::size_t>(options.capacity) : 1;
   config.workers = options.jobs >= 0 ? static_cast<unsigned>(options.jobs) : 1;
+  config.debloat = options.debloat;
+  if (options.debloat && toolkit.export_surface_scopes().empty()) {
+    // No cache file supplied scopes: the demo executables' closures stand in,
+    // so scoped serving is demonstrable from a cold start.
+    std::fprintf(stderr, "debloat: %zu demo surface scope(s) installed\n",
+                 install_demo_scopes(toolkit));
+  }
   server::DeriveServer server(toolkit, config);
 
   // Smallest library first keeps tiny traces (few requests) cheap.
@@ -729,6 +897,7 @@ int cmd_simulate(const core::Toolkit& toolkit, const Options& options) {
   config.traffic = traffic.value();
   config.shards = static_cast<unsigned>(options.shards);
   config.jobs = static_cast<unsigned>(options.jobs);
+  config.debloat = options.debloat;
   if (options.capacity_set) {
     config.collector.queue_capacity = static_cast<std::size_t>(options.capacity);
   }
@@ -795,6 +964,7 @@ int main(int argc, char** argv) {
   if (command == "report") return cmd_report(options.value());
   if (command == "gen-source") return cmd_gen_source(toolkit, options.value());
   if (command == "inspect") return cmd_inspect(toolkit, options.value());
+  if (command == "debloat") return cmd_debloat(toolkit, options.value());
   if (command == "demo") return cmd_demo(toolkit, options.value());
   if (command == "dossier") return cmd_dossier(toolkit, options.value());
   if (command == "fleet") return cmd_fleet(toolkit, options.value());
